@@ -1,0 +1,115 @@
+// Command taskgraph renders the OmpSs task dependence graph of a demo
+// program in Graphviz DOT — the usability-study companion to the paper's §3
+// Listing 1 discussion (it makes the pipeline's dependence structure
+// visible).
+//
+//	taskgraph -demo pipeline > pipeline.dot   # Listing 1 shape
+//	taskgraph -demo cholesky -nb 4            # dataflow beyond pipelines
+//	taskgraph -demo diamond                   # the smallest interesting DAG
+//
+// Render with `dot -Tsvg pipeline.dot -o pipeline.svg`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ompssgo/internal/kernels/linalg"
+	"ompssgo/ompss"
+)
+
+func main() {
+	var (
+		demo = flag.String("demo", "pipeline", "graph to emit: pipeline|cholesky|diamond")
+		n    = flag.Int("n", 6, "pipeline iterations")
+		nb   = flag.Int("nb", 3, "cholesky blocks per dimension")
+	)
+	flag.Parse()
+
+	tr := ompss.NewTracer()
+	rt := ompss.New(ompss.Workers(2), ompss.Trace(tr))
+
+	switch *demo {
+	case "pipeline":
+		pipeline(rt, *n)
+	case "cholesky":
+		cholesky(rt, *nb)
+	case "diamond":
+		diamond(rt)
+	default:
+		fmt.Fprintf(os.Stderr, "taskgraph: unknown demo %q\n", *demo)
+		os.Exit(1)
+	}
+	rt.Shutdown()
+	if err := tr.WriteDOT(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "taskgraph: %v\n", err)
+		os.Exit(1)
+	}
+	sum := tr.Summary()
+	fmt.Fprintf(os.Stderr, "taskgraph: %d tasks, %d edges, max concurrency %d\n",
+		sum.Tasks, sum.Edges, sum.MaxConcurrent)
+}
+
+// pipeline spawns the Listing 1 shape: per iteration, read→parse→decode→
+// output tasks chained by stage contexts and renamed circular-buffer slots.
+func pipeline(rt *ompss.Runtime, iters int) {
+	const N = 3
+	rc, pc, ec, oc := new(int), new(int), new(int), new(int)
+	frames := make([]int, N)
+	for k := 0; k < iters; k++ {
+		k := k
+		slot := &frames[k%N]
+		rt.Task(func(*ompss.TC) {}, ompss.InOut(rc), ompss.Out(slot),
+			ompss.Label(fmt.Sprintf("read %d", k)))
+		rt.Task(func(*ompss.TC) {}, ompss.InOut(pc), ompss.InOut(slot),
+			ompss.Label(fmt.Sprintf("parse %d", k)))
+		rt.Task(func(*ompss.TC) {}, ompss.InOut(ec), ompss.InOut(slot),
+			ompss.Label(fmt.Sprintf("decode %d", k)))
+		rt.Task(func(*ompss.TC) {}, ompss.InOut(oc), ompss.In(slot),
+			ompss.Label(fmt.Sprintf("output %d", k)))
+		rt.TaskwaitOn(rc)
+	}
+	rt.Taskwait()
+}
+
+// cholesky spawns the classic blocked right-looking factorization task
+// graph over an nb×nb blocked SPD matrix.
+func cholesky(rt *ompss.Runtime, nb int) {
+	m := linalg.NewMatrix(nb, 4)
+	m.GenSPD(1)
+	for k := 0; k < nb; k++ {
+		k := k
+		rt.Task(func(*ompss.TC) { linalg.POTRF(m.Blocks[k][k]) },
+			ompss.InOut(m.Blocks[k][k]), ompss.Label(fmt.Sprintf("potrf %d", k)))
+		for i := k + 1; i < nb; i++ {
+			i := i
+			rt.Task(func(*ompss.TC) { linalg.TRSM(m.Blocks[k][k], m.Blocks[i][k]) },
+				ompss.In(m.Blocks[k][k]), ompss.InOut(m.Blocks[i][k]),
+				ompss.Label(fmt.Sprintf("trsm %d,%d", i, k)))
+		}
+		for i := k + 1; i < nb; i++ {
+			i := i
+			rt.Task(func(*ompss.TC) { linalg.SYRK(m.Blocks[i][k], m.Blocks[i][i]) },
+				ompss.In(m.Blocks[i][k]), ompss.InOut(m.Blocks[i][i]),
+				ompss.Label(fmt.Sprintf("syrk %d", i)))
+			for j := k + 1; j < i; j++ {
+				j := j
+				rt.Task(func(*ompss.TC) { linalg.GEMM(m.Blocks[i][k], m.Blocks[j][k], m.Blocks[i][j]) },
+					ompss.In(m.Blocks[i][k]), ompss.In(m.Blocks[j][k]), ompss.InOut(m.Blocks[i][j]),
+					ompss.Label(fmt.Sprintf("gemm %d,%d", i, j)))
+			}
+		}
+	}
+	rt.Taskwait()
+}
+
+// diamond spawns the four-task diamond.
+func diamond(rt *ompss.Runtime) {
+	x, y, z := new(int), new(int), new(int)
+	rt.Task(func(*ompss.TC) { *x = 1 }, ompss.Out(x), ompss.Label("top"))
+	rt.Task(func(*ompss.TC) { *y = *x }, ompss.In(x), ompss.Out(y), ompss.Label("left"))
+	rt.Task(func(*ompss.TC) { *z = *x }, ompss.In(x), ompss.Out(z), ompss.Label("right"))
+	rt.Task(func(*ompss.TC) { _ = *y + *z }, ompss.In(y), ompss.In(z), ompss.Label("bottom"))
+	rt.Taskwait()
+}

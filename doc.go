@@ -1,0 +1,16 @@
+// Package ompssgo is a from-scratch Go reproduction of "Programming
+// Parallel Embedded and Consumer Applications in OpenMP Superscalar"
+// (Andersch, Chi & Juurlink, PPoPP 2012): the OmpSs task-dataflow
+// programming model (package ompss), the Pthreads baseline it is evaluated
+// against (package pthread), the simulated 4-socket cc-NUMA evaluation
+// machine (package machine over internal/vm), the paper's 10-benchmark
+// embedded/consumer suite (internal/suite), and the harness that
+// regenerates Table 1 and the §4/§5 mechanism analyses (internal/bench,
+// cmd/ompss-bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured-versus-published
+// results. The root package exists to carry the repository-level benchmark
+// suite (bench_test.go); the library entry points are packages ompss,
+// pthread, and machine.
+package ompssgo

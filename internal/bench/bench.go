@@ -1,0 +1,184 @@
+// Package bench is the evaluation harness: it reruns the paper's
+// experiments on the simulated cc-NUMA machine and renders the same tables
+// the paper reports — Table 1 (OmpSs-over-Pthreads speedup factors per
+// benchmark and core count, with geometric means) and the §4/§5 mechanism
+// ablations (barrier mode, locality scheduling, task granularity, core
+// occupancy).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"ompssgo/internal/suite"
+	"ompssgo/machine"
+	"ompssgo/ompss"
+	"ompssgo/pthread"
+)
+
+// PaperCores are the core counts of the paper's Table 1.
+var PaperCores = []int{1, 8, 16, 24, 32}
+
+// PaperTable1 holds the published speedup factors, for side-by-side
+// comparison in EXPERIMENTS.md.
+var PaperTable1 = map[string][]float64{
+	"c-ray":         {1.03, 1.11, 1.12, 1.11, 1.14},
+	"rotate":        {1.06, 1.04, 1.09, 1.02, 0.86},
+	"rgbcmy":        {1.02, 0.98, 1.14, 1.40, 1.53},
+	"md5":           {1.00, 1.02, 1.10, 1.14, 1.05},
+	"kmeans":        {0.91, 0.87, 1.30, 0.95, 0.88},
+	"ray-rot":       {1.02, 1.10, 1.65, 1.46, 1.20},
+	"rot-cc":        {1.00, 1.06, 1.17, 1.14, 1.04},
+	"streamcluster": {0.93, 0.84, 0.91, 0.99, 0.99},
+	"bodytrack":     {0.98, 0.99, 1.05, 0.97, 1.00},
+	"h264dec":       {0.94, 1.07, 0.87, 0.57, 0.42},
+}
+
+// Cell is one Table 1 measurement.
+type Cell struct {
+	Bench    string
+	Cores    int
+	Pthreads time.Duration // simulated makespan, Pthreads variant
+	OmpSs    time.Duration // simulated makespan, OmpSs variant
+}
+
+// Factor is the Table 1 entry: Pthreads time over OmpSs time (>1 means
+// OmpSs is faster).
+func (c Cell) Factor() float64 {
+	if c.OmpSs == 0 {
+		return 0
+	}
+	return float64(c.Pthreads) / float64(c.OmpSs)
+}
+
+// MeasureCell simulates both variants of one benchmark at one core count.
+// Options apply to the OmpSs runtime (the Pthreads variant has no knobs).
+func MeasureCell(in suite.Instance, cores int, opts ...ompss.Option) (Cell, error) {
+	mc := machine.Paper(cores)
+	stP, err := pthread.RunSim(mc, cores, func(m *pthread.Thread) { in.RunPthreads(m) })
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s/pthreads/%d: %w", in.Name(), cores, err)
+	}
+	stO, err := ompss.RunSim(mc, func(rt *ompss.Runtime) { in.RunOmpSs(rt) }, opts...)
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s/ompss/%d: %w", in.Name(), cores, err)
+	}
+	return Cell{Bench: in.Name(), Cores: cores, Pthreads: stP.Makespan, OmpSs: stO.Makespan}, nil
+}
+
+// Table1 is a full speedup-factor table.
+type Table1 struct {
+	Cores []int
+	Rows  []string
+	Cells map[string]map[int]Cell // bench -> cores -> cell
+}
+
+// RunTable1 measures every benchmark of the suite at every core count.
+// progress, if non-nil, receives one line per cell as it completes.
+func RunTable1(scale suite.Scale, cores []int, progress io.Writer) (*Table1, error) {
+	t := &Table1{Cores: cores, Rows: suite.Names(), Cells: map[string]map[int]Cell{}}
+	for _, name := range t.Rows {
+		in, err := suite.New(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		t.Cells[name] = map[int]Cell{}
+		for _, p := range cores {
+			cell, err := MeasureCell(in, p)
+			if err != nil {
+				return nil, err
+			}
+			t.Cells[name][p] = cell
+			if progress != nil {
+				fmt.Fprintf(progress, "# %-13s P=%-2d  pthreads=%-12v ompss=%-12v factor=%.2f\n",
+					name, p, cell.Pthreads, cell.OmpSs, cell.Factor())
+			}
+		}
+	}
+	return t, nil
+}
+
+// RowMean returns the geometric mean of a benchmark's factors across core
+// counts (the paper's "Mean" column).
+func (t *Table1) RowMean(bench string) float64 {
+	var fs []float64
+	for _, p := range t.Cores {
+		fs = append(fs, t.Cells[bench][p].Factor())
+	}
+	return geomean(fs)
+}
+
+// ColMean returns the geometric mean of all benchmarks' factors at one core
+// count (the paper's bottom "Mean" row).
+func (t *Table1) ColMean(cores int) float64 {
+	var fs []float64
+	for _, b := range t.Rows {
+		fs = append(fs, t.Cells[b][cores].Factor())
+	}
+	return geomean(fs)
+}
+
+// OverallMean returns the geometric mean over every cell (the paper's
+// headline "2% better" figure corresponds to 1.02 here).
+func (t *Table1) OverallMean() float64 {
+	var fs []float64
+	for _, b := range t.Rows {
+		for _, p := range t.Cores {
+			fs = append(fs, t.Cells[b][p].Factor())
+		}
+	}
+	return geomean(fs)
+}
+
+func geomean(fs []float64) float64 {
+	if len(fs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range fs {
+		if f <= 0 {
+			return 0
+		}
+		s += math.Log(f)
+	}
+	return math.Exp(s / float64(len(fs)))
+}
+
+// Write renders the table in the paper's layout, optionally with the
+// published numbers interleaved for comparison.
+func (t *Table1) Write(w io.Writer, withPaper bool) {
+	fmt.Fprintf(w, "%-14s", "Benchmark")
+	for _, p := range t.Cores {
+		fmt.Fprintf(w, "%8d", p)
+	}
+	fmt.Fprintf(w, "%8s\n", "Mean")
+	for _, b := range t.Rows {
+		fmt.Fprintf(w, "%-14s", b)
+		for _, p := range t.Cores {
+			fmt.Fprintf(w, "%8.2f", t.Cells[b][p].Factor())
+		}
+		fmt.Fprintf(w, "%8.2f\n", t.RowMean(b))
+		if withPaper {
+			if ref, ok := PaperTable1[b]; ok {
+				fmt.Fprintf(w, "%-14s", "  (paper)")
+				for i := range t.Cores {
+					if i < len(ref) {
+						fmt.Fprintf(w, "%8.2f", ref[i])
+					}
+				}
+				fmt.Fprintf(w, "%8.2f\n", geomean(ref))
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-14s", "Mean")
+	for _, p := range t.Cores {
+		fmt.Fprintf(w, "%8.2f", t.ColMean(p))
+	}
+	fmt.Fprintf(w, "%8.2f\n", t.OverallMean())
+	if withPaper {
+		fmt.Fprintf(w, "%-14s%8.2f%8.2f%8.2f%8.2f%8.2f%8.2f\n",
+			"  (paper)", 0.99, 1.00, 1.12, 1.05, 0.97, 1.02)
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ompssgo/internal/suite"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if g := geomean([]float64{1, 1, 1}); g != 1 {
+		t.Fatalf("geomean(ones) = %f", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+	if g := geomean([]float64{1, 0}); g != 0 {
+		t.Fatalf("geomean with zero = %f", g)
+	}
+}
+
+func TestCellFactor(t *testing.T) {
+	c := Cell{Pthreads: 200, OmpSs: 100}
+	if c.Factor() != 2 {
+		t.Fatalf("factor = %f", c.Factor())
+	}
+	if (Cell{}).Factor() != 0 {
+		t.Fatal("zero cell should not divide by zero")
+	}
+}
+
+func TestMeasureCellSmall(t *testing.T) {
+	in, err := suite.New("c-ray", suite.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := MeasureCell(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Pthreads <= 0 || cell.OmpSs <= 0 {
+		t.Fatalf("non-positive makespans: %+v", cell)
+	}
+	if f := cell.Factor(); f < 0.2 || f > 5 {
+		t.Fatalf("implausible factor %f", f)
+	}
+}
+
+func TestTable1SmallTwoBenchmarks(t *testing.T) {
+	// A reduced Table 1 (2 benchmarks × 2 core counts) exercises the whole
+	// pipeline: measurement, means, rendering.
+	tb := &Table1{Cores: []int{1, 4}, Rows: []string{"c-ray", "md5"}, Cells: map[string]map[int]Cell{}}
+	for _, name := range tb.Rows {
+		in, err := suite.New(name, suite.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Cells[name] = map[int]Cell{}
+		for _, p := range tb.Cores {
+			cell, err := MeasureCell(in, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb.Cells[name][p] = cell
+		}
+	}
+	if m := tb.RowMean("c-ray"); m <= 0 {
+		t.Fatalf("row mean %f", m)
+	}
+	if m := tb.ColMean(4); m <= 0 {
+		t.Fatalf("col mean %f", m)
+	}
+	if m := tb.OverallMean(); m <= 0 {
+		t.Fatalf("overall mean %f", m)
+	}
+	var buf bytes.Buffer
+	tb.Write(&buf, true)
+	out := buf.String()
+	for _, want := range []string{"Benchmark", "c-ray", "md5", "Mean", "(paper)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperTable1Reference(t *testing.T) {
+	// Pin the transcription of the paper's numbers.
+	if len(PaperTable1) != 10 {
+		t.Fatalf("paper table rows = %d", len(PaperTable1))
+	}
+	for name, row := range PaperTable1 {
+		if len(row) != 5 {
+			t.Fatalf("%s: %d columns", name, len(row))
+		}
+	}
+	if PaperTable1["h264dec"][4] != 0.42 || PaperTable1["rgbcmy"][4] != 1.53 {
+		t.Fatal("headline cells mistranscribed")
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarrierAblation(suite.Small, []int{4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LocalityAblation(suite.Small, []int{4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := GranularityAblation(suite.Small, []int{4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := OccupancyAblation(suite.Small, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"barrier ablation", "locality ablation", "granularity ablation", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}

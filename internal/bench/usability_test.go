@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasureUsability(t *testing.T) {
+	rows, err := MeasureUsability("../suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("benchmarks measured = %d, want 10", len(rows))
+	}
+	byName := map[string]UsabilityRow{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+		if r.Bench == "" {
+			t.Fatal("missing benchmark name")
+		}
+		if r.Seq.Lines <= 0 || r.Pthreads.Lines <= 0 || r.OmpSs.Lines <= 0 {
+			t.Fatalf("%s: empty variant metrics: %+v", r.Bench, r)
+		}
+		if r.OmpSs.Constructs == 0 {
+			t.Fatalf("%s: OmpSs variant uses no clauses?", r.Bench)
+		}
+		if r.Pthreads.Constructs == 0 {
+			t.Fatalf("%s: Pthreads variant uses no sync?", r.Bench)
+		}
+	}
+	// Both parallel variants must exceed the sequential baseline — the
+	// paper's point is about *which* parallel expression is cheaper.
+	for name, r := range byName {
+		if r.Pthreads.Lines < r.Seq.Lines {
+			t.Errorf("%s: pthreads smaller than sequential?", name)
+		}
+	}
+	// The qualitative claim of §3: the dataflow expression of the complex
+	// pipelined/irregular benchmarks is substantially leaner than the
+	// manual one.
+	if sc := byName["streamcluster"]; sc.OmpSs.Lines >= sc.Pthreads.Lines {
+		t.Errorf("streamcluster: OmpSs (%d lines) should be leaner than Pthreads (%d)",
+			sc.OmpSs.Lines, sc.Pthreads.Lines)
+	}
+	var buf bytes.Buffer
+	WriteUsability(rows, &buf)
+	if !strings.Contains(buf.String(), "total") {
+		t.Fatal("rendered table missing total row")
+	}
+}

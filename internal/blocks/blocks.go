@@ -1,0 +1,33 @@
+// Package blocks provides the index-space partitioners shared by the
+// benchmark variants: contiguous chunks for task decomposition and static
+// interleaving for SPMD thread decomposition.
+package blocks
+
+// Ranges splits [0, n) into contiguous chunks of at most `chunk` elements.
+func Ranges(n, chunk int) [][2]int {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Even splits [0, n) into `parts` contiguous ranges of near-equal size
+// (PARSEC-style static partition). Part i of n<parts may be empty.
+func Even(n, parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, parts)
+	for i := 0; i < parts; i++ {
+		out[i] = [2]int{i * n / parts, (i + 1) * n / parts}
+	}
+	return out
+}

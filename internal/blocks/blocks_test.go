@@ -1,0 +1,82 @@
+package blocks
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangesCoverExactly(t *testing.T) {
+	f := func(n, chunk uint16) bool {
+		nn, cc := int(n%5000), int(chunk%100)
+		rs := Ranges(nn, cc)
+		covered := 0
+		prev := 0
+		for _, r := range rs {
+			if r[0] != prev || r[1] <= r[0] {
+				return false
+			}
+			covered += r[1] - r[0]
+			prev = r[1]
+		}
+		return covered == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangesChunkBound(t *testing.T) {
+	for _, r := range Ranges(103, 10) {
+		if r[1]-r[0] > 10 {
+			t.Fatalf("oversized chunk %v", r)
+		}
+	}
+	if got := len(Ranges(103, 10)); got != 11 {
+		t.Fatalf("chunks = %d, want 11", got)
+	}
+}
+
+func TestRangesDegenerate(t *testing.T) {
+	if Ranges(0, 10) != nil {
+		t.Fatal("empty range should yield no chunks")
+	}
+	if got := len(Ranges(5, 0)); got != 5 {
+		t.Fatalf("chunk<1 should clamp to 1, got %d chunks", got)
+	}
+}
+
+func TestEvenPartition(t *testing.T) {
+	rs := Even(10, 3)
+	if len(rs) != 3 {
+		t.Fatalf("parts = %d", len(rs))
+	}
+	covered := 0
+	for i, r := range rs {
+		covered += r[1] - r[0]
+		if i > 0 && rs[i-1][1] != r[0] {
+			t.Fatal("parts not contiguous")
+		}
+	}
+	if covered != 10 {
+		t.Fatalf("covered %d", covered)
+	}
+	// Near-equal: sizes differ by at most 1.
+	for _, r := range rs {
+		if s := r[1] - r[0]; s < 3 || s > 4 {
+			t.Fatalf("uneven part %v", r)
+		}
+	}
+}
+
+func TestEvenMorePartsThanItems(t *testing.T) {
+	rs := Even(2, 5)
+	nonEmpty := 0
+	for _, r := range rs {
+		if r[1] > r[0] {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("non-empty parts = %d", nonEmpty)
+	}
+}

@@ -1,0 +1,60 @@
+// Package check provides the result-checksum helpers used to verify that
+// the sequential, Pthreads, and OmpSs variants of every benchmark compute
+// identical outputs.
+package check
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Combine folds a sequence of checksums into one, order-sensitively.
+func Combine(sums []uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, s := range sums {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(s >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Floats hashes a float64 slice bit-exactly. Benchmark decompositions are
+// arranged so floating-point reduction order is identical across variants
+// (fixed chunk boundaries, in-order merges), making bit-exact comparison
+// valid.
+func Floats(vals []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		u := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Ints hashes an int slice.
+func Ints(vals []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Bytes hashes a byte slice.
+func Bytes(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}

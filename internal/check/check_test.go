@@ -1,0 +1,41 @@
+package check
+
+import "testing"
+
+func TestCombineOrderSensitive(t *testing.T) {
+	a := Combine([]uint64{1, 2, 3})
+	b := Combine([]uint64{3, 2, 1})
+	if a == b {
+		t.Fatal("combine must be order-sensitive")
+	}
+	if Combine([]uint64{1, 2, 3}) != a {
+		t.Fatal("combine must be deterministic")
+	}
+}
+
+func TestFloatsBitExact(t *testing.T) {
+	a := Floats([]float64{1.0, 2.0})
+	b := Floats([]float64{1.0, 2.0000000000000004}) // one ulp apart
+	if a == b {
+		t.Fatal("one-ulp difference must change the hash")
+	}
+	neg := Floats([]float64{0.0})
+	negZero := Floats([]float64{negZeroF()})
+	if neg == negZero {
+		t.Fatal("±0 must hash differently (bit-exact)")
+	}
+}
+
+func negZeroF() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestIntsAndBytes(t *testing.T) {
+	if Ints([]int{1, 2}) == Ints([]int{2, 1}) {
+		t.Fatal("Ints order-sensitive")
+	}
+	if Bytes([]byte("abc")) == Bytes([]byte("abd")) {
+		t.Fatal("Bytes content-sensitive")
+	}
+}

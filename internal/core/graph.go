@@ -1,0 +1,168 @@
+package core
+
+import "sync/atomic"
+
+// datum is the dependence record of one tracked object: the task that last
+// (program-order) writes it, the tasks that read it since that write, and
+// the commutative updaters since the last write.
+type datum struct {
+	lastWriter *Task
+	readers    []*Task
+	commuters  []*Task
+}
+
+// GraphStats counts dependence activity, for tests, tracing, and the
+// benchmark harness.
+type GraphStats struct {
+	Submitted uint64
+	Finished  uint64
+	Edges     uint64 // dependence edges that actually delayed a task
+	Inlined   uint64 // tasks executed inline (If(false) clause)
+}
+
+// Graph tracks dataflow dependences between tasks. All methods must be
+// called with the owning executor's exclusion in place (a scheduler lock
+// natively; event-serialization in the simulator).
+type Graph struct {
+	datums     map[any]*datum
+	regions    map[any]*regionDatum // array-section dependences, by base
+	nextID     uint64
+	unfinished int64 // atomic: submitted but not finished (all contexts)
+	stats      GraphStats
+}
+
+// NewGraph returns an empty dependence graph.
+func NewGraph() *Graph {
+	return &Graph{datums: make(map[any]*datum)}
+}
+
+// Stats returns a copy of the graph counters.
+func (g *Graph) Stats() GraphStats { return g.stats }
+
+// Unfinished returns the number of in-flight tasks across all contexts. Safe
+// without the engine lock.
+func (g *Graph) Unfinished() int64 { return atomic.LoadInt64(&g.unfinished) }
+
+// Submit registers t's accesses, wiring dependence edges from unfinished
+// predecessors, and reports whether the task is immediately ready. The
+// caller must enqueue ready tasks itself (scheduling is the executor's
+// concern). The task's parent context, if any, is charged one pending child.
+func (g *Graph) Submit(t *Task) (ready bool) {
+	g.nextID++
+	t.ID = g.nextID
+	t.done = make(chan struct{})
+	t.state = stateCreated
+	g.stats.Submitted++
+	atomic.AddInt64(&g.unfinished, 1)
+	if t.Parent != nil {
+		t.Parent.add(1)
+	}
+
+	// Wire edges from unfinished predecessors, deduplicated so a task
+	// sharing several data with one predecessor counts it once.
+	seen := map[*Task]struct{}{t: {}}
+	addPred := func(p *Task) {
+		if p == nil || p.Finished() {
+			return
+		}
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		p.succs = append(p.succs, t)
+		t.npred++
+		t.Preds = append(t.Preds, p.ID)
+		g.stats.Edges++
+	}
+
+	for _, a := range t.Accesses {
+		if r, ok := a.Key.(Region); ok {
+			g.submitRegion(t, a, r, addPred)
+			continue
+		}
+		d := g.datums[a.Key]
+		if d == nil {
+			d = &datum{}
+			g.datums[a.Key] = d
+		}
+		switch a.Mode {
+		case In, Concurrent:
+			addPred(d.lastWriter)
+			for _, c := range d.commuters {
+				addPred(c) // commutative updaters may write: RAW
+			}
+			d.readers = append(d.readers, t)
+		case Commutative:
+			addPred(d.lastWriter)
+			for _, r := range d.readers {
+				addPred(r) // WAR against plain readers
+			}
+			d.commuters = append(d.commuters, t)
+		case Out, InOut:
+			addPred(d.lastWriter)
+			for _, r := range d.readers {
+				addPred(r)
+			}
+			for _, c := range d.commuters {
+				addPred(c)
+			}
+			d.lastWriter = t
+			d.readers = nil
+			d.commuters = nil
+			if a.Mode == InOut {
+				d.readers = append(d.readers, t)
+			}
+		}
+	}
+	if t.npred == 0 {
+		atomic.StoreInt32(&t.state, stateReady)
+		return true
+	}
+	return false
+}
+
+// MarkRunning flags t as dispatched on the given worker.
+func (g *Graph) MarkRunning(t *Task, worker int) {
+	t.Worker = worker
+	atomic.StoreInt32(&t.state, stateRunning)
+}
+
+// Finish completes t: closes its done channel, credits its parent context,
+// and returns the successors that became ready. The caller enqueues them.
+func (g *Graph) Finish(t *Task) (newlyReady []*Task) {
+	atomic.StoreInt32(&t.state, stateFinished)
+	close(t.done)
+	g.stats.Finished++
+	atomic.AddInt64(&g.unfinished, -1)
+	if t.Parent != nil {
+		t.Parent.add(-1)
+	}
+	for _, s := range t.succs {
+		s.npred--
+		if s.npred == 0 {
+			atomic.StoreInt32(&s.state, stateReady)
+			newlyReady = append(newlyReady, s)
+		}
+	}
+	t.succs = nil
+	return newlyReady
+}
+
+// CountInlined records a task executed inline (If(false)); it never enters
+// the graph.
+func (g *Graph) CountInlined() { g.stats.Inlined++ }
+
+// LastWriter returns the unfinished task that is the current program-order
+// last writer of key, or nil when the datum is untracked or its writer
+// already finished. This is the `taskwait on` lookup.
+func (g *Graph) LastWriter(key any) *Task {
+	d := g.datums[key]
+	if d == nil || d.lastWriter == nil || d.lastWriter.Finished() {
+		return nil
+	}
+	return d.lastWriter
+}
+
+// Forget drops the dependence record of key. Optional hygiene for
+// long-running programs cycling through many distinct data objects.
+func (g *Graph) Forget(key any) { delete(g.datums, key) }

@@ -1,0 +1,156 @@
+package core
+
+import "sort"
+
+// Region identifies a half-open span [Lo, Hi) of an underlying array (the
+// OmpSs array-section dependence, e.g. `input(a[lo:hi])`). Base is the
+// array's identity key (typically a pointer to its first element or header);
+// Lo/Hi are offsets in any consistent unit (bytes, elements). Two accesses
+// conflict when their bases match exactly and their spans overlap.
+type Region struct {
+	Base   any
+	Lo, Hi int64
+}
+
+// Len returns the span length.
+func (r Region) Len() int64 { return r.Hi - r.Lo }
+
+// segment is one disjoint span of a tracked array with its own dependence
+// record. Segments are kept sorted and split on access boundaries, so every
+// access operates on exactly-covered segments.
+type segment struct {
+	lo, hi     int64
+	lastWriter *Task
+	readers    []*Task
+}
+
+// regionDatum tracks all segments of one array base.
+type regionDatum struct {
+	segs []*segment
+}
+
+// split ensures segment boundaries exist at lo and hi, creating a fresh
+// untracked segment for any uncovered gap inside [lo, hi), and returns the
+// segments fully covered by [lo, hi).
+func (d *regionDatum) split(lo, hi int64) []*segment {
+	// Cut existing segments at lo and hi.
+	for _, cut := range []int64{lo, hi} {
+		for i, s := range d.segs {
+			if s.lo < cut && cut < s.hi {
+				right := &segment{lo: cut, hi: s.hi, lastWriter: s.lastWriter,
+					readers: append([]*Task(nil), s.readers...)}
+				s.hi = cut
+				d.segs = append(d.segs, nil)
+				copy(d.segs[i+2:], d.segs[i+1:])
+				d.segs[i+1] = right
+				break
+			}
+		}
+	}
+	// Fill gaps inside [lo, hi) with untracked segments.
+	var covered []*segment
+	cursor := lo
+	for _, s := range d.segs {
+		if s.hi <= lo || s.lo >= hi {
+			continue
+		}
+		if s.lo > cursor {
+			covered = append(covered, &segment{lo: cursor, hi: s.lo})
+		}
+		covered = append(covered, s)
+		cursor = s.hi
+	}
+	if cursor < hi {
+		covered = append(covered, &segment{lo: cursor, hi: hi})
+	}
+	// Merge any fresh gap segments back into the sorted list.
+	d.segs = mergeSegs(d.segs, covered)
+	return covered
+}
+
+func mergeSegs(all, add []*segment) []*segment {
+	seen := make(map[*segment]bool, len(all))
+	for _, s := range all {
+		seen[s] = true
+	}
+	for _, s := range add {
+		if !seen[s] {
+			all = append(all, s)
+			seen[s] = true
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lo < all[j].lo })
+	return all
+}
+
+// submitRegion wires dependence edges for one region access of t and
+// updates the segment records. Caller provides the shared edge-dedup set.
+func (g *Graph) submitRegion(t *Task, a Access, r Region, addPred func(*Task)) {
+	if r.Hi <= r.Lo {
+		return
+	}
+	rd := g.regions[r.Base]
+	if rd == nil {
+		rd = &regionDatum{}
+		if g.regions == nil {
+			g.regions = make(map[any]*regionDatum)
+		}
+		g.regions[r.Base] = rd
+	}
+	covered := rd.split(r.Lo, r.Hi)
+	switch a.Mode {
+	case In, Concurrent:
+		for _, s := range covered {
+			addPred(s.lastWriter)
+			s.readers = append(s.readers, t)
+		}
+	case Out, InOut, Commutative:
+		// Commutative over a region conservatively serializes like InOut
+		// (region-level commutativity is not supported).
+		for _, s := range covered {
+			addPred(s.lastWriter)
+			for _, rt := range s.readers {
+				addPred(rt)
+			}
+			s.lastWriter = t
+			s.readers = nil
+			if a.Mode != Out {
+				s.readers = append(s.readers, t)
+			}
+		}
+	}
+}
+
+// regionWriters returns the unfinished tasks that are last writers of any
+// segment overlapping r (the `taskwait on(a[lo:hi])` set).
+func (g *Graph) regionWriters(r Region) []*Task {
+	rd := g.regions[r.Base]
+	if rd == nil {
+		return nil
+	}
+	var out []*Task
+	seen := map[*Task]bool{}
+	for _, s := range rd.segs {
+		if s.hi <= r.Lo || s.lo >= r.Hi {
+			continue
+		}
+		if w := s.lastWriter; w != nil && !w.Finished() && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Writers generalizes LastWriter: for a Region key it returns every
+// unfinished last writer of an overlapping segment; for an exact key, the
+// single last writer (or none).
+func (g *Graph) Writers(key any) []*Task {
+	if r, ok := key.(Region); ok {
+		return g.regionWriters(r)
+	}
+	if w := g.LastWriter(key); w != nil {
+		return []*Task{w}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import "math/rand"
+
+// SchedStats counts scheduler activity.
+type SchedStats struct {
+	LocalPops  uint64
+	GlobalPops uint64
+	Steals     uint64
+	StealTries uint64
+}
+
+// Sched is the ready-task scheduler: one LIFO deque per worker plus a global
+// FIFO spawn queue, with random-victim work stealing.
+//
+// Policy knobs reproduce the mechanisms the paper's §4 analysis credits:
+//
+//   - Locality: a successor released by a finishing task is pushed to the
+//     head of the finisher's own deque, so producer→consumer chains run
+//     back-to-back on one core (the ray-rot cache-locality effect). With
+//     Locality off, released tasks go to the global queue.
+//   - Freshly submitted tasks go to the global FIFO (breadth-first spawn,
+//     the Nanos++ default), keeping pipeline stages flowing in order.
+//
+// Like Graph, Sched performs no locking; the executor serializes access.
+type Sched struct {
+	workers  int
+	locality bool
+	local    [][]*Task
+	global   []*Task
+	rng      *rand.Rand
+	stats    SchedStats
+	ready    int // total queued tasks
+}
+
+// NewSched creates a scheduler with one deque per worker (callers may index
+// workers 0..workers-1; by convention the main program uses the last index).
+func NewSched(workers int, locality bool, seed int64) *Sched {
+	return &Sched{
+		workers:  workers,
+		locality: locality,
+		local:    make([][]*Task, workers),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats returns a copy of the scheduler counters.
+func (s *Sched) Stats() SchedStats { return s.stats }
+
+// Ready returns the number of queued ready tasks.
+func (s *Sched) Ready() int { return s.ready }
+
+// Workers returns the number of deques.
+func (s *Sched) Workers() int { return s.workers }
+
+// PushSubmit enqueues a task that was ready at submission. Priority tasks
+// jump the global FIFO.
+func (s *Sched) PushSubmit(t *Task) {
+	s.ready++
+	if t.Priority > 0 {
+		// Keep the global queue priority-ordered: insert after the last
+		// task with priority >= t's (stable within a priority level).
+		i := 0
+		for i < len(s.global) && s.global[i].Priority >= t.Priority {
+			i++
+		}
+		s.global = append(s.global, nil)
+		copy(s.global[i+1:], s.global[i:])
+		s.global[i] = t
+		return
+	}
+	s.global = append(s.global, t)
+}
+
+// PushReady enqueues a task released by a finishing task on `worker`. Under
+// the locality policy it lands on that worker's deque head so it is the next
+// task popped there.
+func (s *Sched) PushReady(t *Task, worker int) {
+	if !s.locality || worker < 0 || worker >= s.workers {
+		s.PushSubmit(t)
+		return
+	}
+	s.ready++
+	s.local[worker] = append([]*Task{t}, s.local[worker]...)
+}
+
+// Pop returns the next task for `worker`: its own deque head (LIFO), then
+// the global FIFO, then a steal from a random victim's deque tail. Returns
+// nil when no work is available anywhere.
+func (s *Sched) Pop(worker int) *Task {
+	if worker >= 0 && worker < s.workers && len(s.local[worker]) > 0 {
+		t := s.local[worker][0]
+		s.local[worker] = s.local[worker][1:]
+		s.ready--
+		s.stats.LocalPops++
+		return t
+	}
+	if len(s.global) > 0 {
+		t := s.global[0]
+		s.global = s.global[1:]
+		s.ready--
+		s.stats.GlobalPops++
+		return t
+	}
+	// Steal: probe every other worker once, starting from a random victim.
+	if s.workers > 1 {
+		start := s.rng.Intn(s.workers)
+		for i := 0; i < s.workers; i++ {
+			v := (start + i) % s.workers
+			if v == worker {
+				continue
+			}
+			s.stats.StealTries++
+			if n := len(s.local[v]); n > 0 {
+				t := s.local[v][n-1] // steal coldest (tail)
+				s.local[v] = s.local[v][:n-1]
+				s.ready--
+				s.stats.Steals++
+				return t
+			}
+		}
+	}
+	return nil
+}

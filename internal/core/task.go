@@ -1,0 +1,142 @@
+// Package core implements the task-dataflow engine at the heart of the OmpSs
+// programming model: task objects, per-datum dependence tracking
+// (RAW/WAR/WAW), ready-task scheduling with locality-aware successor
+// placement and work stealing, and the child-counting contexts behind
+// taskwait.
+//
+// The package is a pure state machine: it performs no synchronization and no
+// execution of its own. The native executor (package ompss) drives it from
+// goroutines under a scheduler lock; the simulated executor drives it from
+// discrete-event context where execution is already serialized. This is what
+// guarantees that both evaluation modes exercise literally the same
+// dependence and scheduling policies.
+package core
+
+import "sync/atomic"
+
+// Mode is the dependence mode of one task argument, mirroring the OmpSs
+// pragma clauses input/output/inout (plus the concurrent extension).
+type Mode int
+
+const (
+	// In declares the task reads the datum (RAW dependence on its last
+	// writer).
+	In Mode = iota
+	// Out declares the task overwrites the datum (WAW on the last writer,
+	// WAR on readers since).
+	Out
+	// InOut declares the task reads and writes the datum.
+	InOut
+	// Concurrent declares the task updates the datum under its own
+	// synchronization: concurrent tasks may overlap each other, but are
+	// ordered against ordinary readers and writers like readers.
+	Concurrent
+	// Commutative declares the task updates the datum in an order-free
+	// but mutually exclusive way: commutative tasks on the same datum are
+	// unordered among themselves (the executor serializes their bodies
+	// with a per-datum lock), while ordinary readers and writers are
+	// ordered against all of them.
+	Commutative
+)
+
+func (m Mode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	case Concurrent:
+		return "concurrent"
+	case Commutative:
+		return "commutative"
+	}
+	return "?"
+}
+
+// Access is one (datum, mode) pair of a task. Key identifies the datum by
+// exact match — normally a pointer, as in OmpSs's by-reference dependences;
+// the paper's benchmarks rely on whole-object annotations and manual
+// circular-buffer renaming, which exact keys express directly. Bytes is the
+// datum footprint used by the simulated machine's memory model; zero is
+// valid (dependence only, no modeled traffic).
+type Access struct {
+	Key   any
+	Mode  Mode
+	Bytes int64
+}
+
+// Reads reports whether the access observes the datum's value.
+func (a Access) Reads() bool {
+	return a.Mode == In || a.Mode == InOut || a.Mode == Concurrent || a.Mode == Commutative
+}
+
+// Writes reports whether the access produces a new datum value.
+func (a Access) Writes() bool { return a.Mode == Out || a.Mode == InOut }
+
+// Task is one node of the dataflow graph.
+type Task struct {
+	ID       uint64
+	Label    string
+	Body     func()
+	Accesses []Access
+	// Priority biases dispatch order: higher-priority ready tasks are
+	// popped before FIFO-ordered peers.
+	Priority int
+	// CPUCost is the simulated execution cost hint in nanoseconds; the
+	// native executor ignores it.
+	CPUCost int64
+	// Parent is the context (spawning scope) whose taskwait covers this
+	// task.
+	Parent *Context
+	// Worker records where the task executed (set by the executor).
+	Worker int
+
+	// Preds records the IDs of the tasks this one had to wait for at
+	// submission (for tracing and DOT export; kept after they finish).
+	Preds []uint64
+
+	npred int32   // unfinished predecessors
+	succs []*Task // tasks waiting on this one
+	state int32   // atomic taskState
+	done  chan struct{}
+}
+
+type taskState int32
+
+const (
+	stateCreated int32 = iota
+	stateReady
+	stateRunning
+	stateFinished
+)
+
+// Done returns a channel closed when the task finishes. Used by native
+// TaskwaitOn waiters.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Finished reports whether the task has completed. Safe without the engine
+// lock.
+func (t *Task) Finished() bool { return atomic.LoadInt32(&t.state) == stateFinished }
+
+// NPred returns the number of unfinished predecessors (engine lock required).
+func (t *Task) NPred() int { return int(t.npred) }
+
+// Succs returns the current successor list (engine lock required; exposed for
+// tracing and tests).
+func (t *Task) Succs() []*Task { return t.succs }
+
+// Context counts unfinished direct children of a spawning scope (the main
+// program, or a task that spawns nested tasks). Taskwait blocks until the
+// caller's context drains.
+type Context struct {
+	pending int64
+	// Depth is 0 for the program's implicit task, +1 per nesting level.
+	Depth int
+}
+
+// Pending returns the number of unfinished direct children.
+func (c *Context) Pending() int64 { return atomic.LoadInt64(&c.pending) }
+
+func (c *Context) add(n int64) { atomic.AddInt64(&c.pending, n) }

@@ -1,0 +1,146 @@
+// Package h264 implements a complete toy block video codec with the
+// structure of an H.264/AVC decoder — the substrate behind the paper's §3
+// case study (Listing 1) and the h264dec benchmark.
+//
+// The codec is not bit-compatible with AVC, but reproduces the properties
+// the evaluation depends on:
+//
+//   - a 5-stage decode pipeline: read (bitstream splitting), parse (headers,
+//     Picture Info Buffer allocation), entropy decode (serial per frame),
+//     macroblock reconstruction (intra left/top wavefront dependences, motion
+//     compensation from reference pictures in the Decoded Picture Buffer),
+//     and output (reordering);
+//   - real H.264 building blocks: Exp-Golomb entropy coding, the 4×4
+//     integer transform, DC/H/V intra prediction, full-pel motion
+//     estimation/compensation, P-skip macroblocks;
+//   - PIB/DPB pools recycled under explicit locking, with buffer
+//     availability hidden from dependence analysis (the paper's "hidden
+//     dependencies behind criticals" observation).
+//
+// An encoder is included to synthesize bitstreams from the deterministic
+// internal/media video generator.
+package h264
+
+import "fmt"
+
+// BitWriter writes MSB-first bits.
+type BitWriter struct {
+	buf []byte
+	bit uint8 // bits used in the last byte (0..7)
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b int) {
+	if w.bit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.bit)
+	}
+	w.bit = (w.bit + 1) & 7
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// WriteUE appends v in unsigned Exp-Golomb code (as in H.264 ue(v)).
+func (w *BitWriter) WriteUE(v uint32) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n+1)
+}
+
+// WriteSE appends v in signed Exp-Golomb code (se(v)).
+func (w *BitWriter) WriteSE(v int32) {
+	if v <= 0 {
+		w.WriteUE(uint32(-2 * v))
+	} else {
+		w.WriteUE(uint32(2*v - 1))
+	}
+}
+
+// Bytes returns the written bytes (final partial byte zero-padded).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader reads MSB-first bits.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader reads from buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit consumes one bit.
+func (r *BitReader) ReadBit() (int, error) {
+	if r.pos >= 8*len(r.buf) {
+		return 0, fmt.Errorf("h264: bitstream underrun at bit %d", r.pos)
+	}
+	b := int(r.buf[r.pos>>3]>>(7-uint(r.pos&7))) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits consumes n bits, MSB first.
+func (r *BitReader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// ReadUE consumes an unsigned Exp-Golomb code.
+func (r *BitReader) ReadUE() (uint32, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 31 {
+			return 0, fmt.Errorf("h264: invalid exp-golomb code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) + rest - 1, nil
+}
+
+// ReadSE consumes a signed Exp-Golomb code.
+func (r *BitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int32(u / 2), nil
+	}
+	return int32(u+1) / 2, nil
+}
+
+// BitPos returns the current read position in bits (for tests).
+func (r *BitReader) BitPos() int { return r.pos }

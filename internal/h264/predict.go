@@ -1,0 +1,205 @@
+package h264
+
+import "ompssgo/internal/img"
+
+// Intra prediction operates on the *reconstructed* neighbours (left column,
+// top row), which is what creates the macroblock wavefront dependence
+// structure the h264dec benchmark parallelizes over.
+
+// predictIntra fills pred (16×16, row-major) for the MB at (mbx, mby) of
+// rec, using the given mode. Out-of-frame neighbours use the 128 midpoint,
+// as AVC does for unavailable samples.
+func predictIntra(pred *[MBSize * MBSize]uint8, rec *img.Gray, mbx, mby int, mode uint8) {
+	x0, y0 := mbx*MBSize, mby*MBSize
+	var top, left [MBSize]int
+	haveTop, haveLeft := mby > 0, mbx > 0
+	for i := 0; i < MBSize; i++ {
+		if haveTop {
+			top[i] = int(rec.At(x0+i, y0-1))
+		} else {
+			top[i] = 128
+		}
+		if haveLeft {
+			left[i] = int(rec.At(x0-1, y0+i))
+		} else {
+			left[i] = 128
+		}
+	}
+	switch mode {
+	case ModeIntraDC:
+		sum, n := 0, 0
+		if haveTop {
+			for _, v := range top {
+				sum += v
+			}
+			n += MBSize
+		}
+		if haveLeft {
+			for _, v := range left {
+				sum += v
+			}
+			n += MBSize
+		}
+		dc := 128
+		if n > 0 {
+			dc = (sum + n/2) / n
+		}
+		for i := range pred {
+			pred[i] = uint8(dc)
+		}
+	case ModeIntraH:
+		for y := 0; y < MBSize; y++ {
+			v := uint8(left[y])
+			for x := 0; x < MBSize; x++ {
+				pred[y*MBSize+x] = v
+			}
+		}
+	case ModeIntraV:
+		for x := 0; x < MBSize; x++ {
+			v := uint8(top[x])
+			for y := 0; y < MBSize; y++ {
+				pred[y*MBSize+x] = v
+			}
+		}
+	}
+}
+
+// predictInter fills pred with the full-pel motion-compensated block from
+// ref at (mbx*16+mvx, mby*16+mvy), clamping to the frame borders.
+func predictInter(pred *[MBSize * MBSize]uint8, ref *img.Gray, mbx, mby int, mvx, mvy int) {
+	x0, y0 := mbx*MBSize+mvx, mby*MBSize+mvy
+	for y := 0; y < MBSize; y++ {
+		sy := clampInt(y0+y, 0, ref.H-1)
+		for x := 0; x < MBSize; x++ {
+			sx := clampInt(x0+x, 0, ref.W-1)
+			pred[y*MBSize+x] = ref.At(sx, sy)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// reconstructMB rebuilds one macroblock into rec: prediction (intra from
+// rec's own neighbours, inter from ref) plus the dequantized inverse-
+// transformed residual.
+func reconstructMB(p Params, rec, ref *img.Gray, fd *FrameData, mbx, mby int) {
+	mb := &fd.MBs[mby*p.MBW()+mbx]
+	var pred [MBSize * MBSize]uint8
+	switch mb.Mode {
+	case ModeInter, ModeSkip:
+		predictInter(&pred, ref, mbx, mby, int(mb.MVX), int(mb.MVY))
+	default:
+		predictIntra(&pred, rec, mbx, mby, mb.Mode)
+	}
+	x0, y0 := mbx*MBSize, mby*MBSize
+	if mb.Mode == ModeSkip {
+		for y := 0; y < MBSize; y++ {
+			copy(rec.Row(y0 + y)[x0:x0+MBSize], pred[y*MBSize:(y+1)*MBSize])
+		}
+		return
+	}
+	qp := fd.Hdr.QP
+	for blk := 0; blk < 16; blk++ {
+		var c [16]int32
+		c = mb.Coef[blk]
+		dequantize(&c, qp)
+		inv4x4(&c)
+		bx, by := (blk%4)*4, (blk/4)*4
+		for y := 0; y < 4; y++ {
+			row := rec.Row(y0 + by + y)
+			for x := 0; x < 4; x++ {
+				pi := (by+y)*MBSize + bx + x
+				v := int32(pred[pi]) + c[y*4+x]
+				row[x0+bx+x] = clamp8i(v)
+			}
+		}
+	}
+	if p.Deblock {
+		deblockMB(rec, x0, y0, qp)
+	}
+}
+
+// deblockMB smooths the internal 4×4 sub-block edges of the macroblock at
+// (x0, y0): a weak H.264-style filter that corrects the boundary pair when
+// the step across the edge is small (blocking artifact) but leaves real
+// edges alone.
+func deblockMB(rec *img.Gray, x0, y0, qp int) {
+	alpha := int32(6 + qp)  // edge-step activation threshold
+	beta := int32(2 + qp/2) // side-flatness threshold
+	c := int32(2 + qp/12)   // correction clip
+	// Vertical edges at x0+4, +8, +12: filter horizontally.
+	for _, ex := range [3]int{4, 8, 12} {
+		for y := 0; y < MBSize; y++ {
+			row := rec.Row(y0 + y)
+			filterPair(row, x0+ex, 1, alpha, beta, c)
+		}
+	}
+	// Horizontal edges at y0+4, +8, +12: filter vertically.
+	for _, ey := range [3]int{4, 8, 12} {
+		for x := 0; x < MBSize; x++ {
+			col := rec.Pix[(y0+ey-2)*rec.W+x0+x:]
+			filterPairStride(col, 2*rec.W, rec.W, alpha, beta, c)
+		}
+	}
+}
+
+// filterPair adjusts samples p0=buf[i-1], q0=buf[i] (with neighbours p1, q1
+// at stride s) using the weak deblocking rule.
+func filterPair(buf []uint8, i, s int, alpha, beta, c int32) {
+	p1, p0 := int32(buf[i-2*s]), int32(buf[i-s])
+	q0, q1 := int32(buf[i]), int32(buf[i+s])
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	delta := clip32((((q0-p0)<<2)+(p1-q1)+4)>>3, -c, c)
+	buf[i-s] = clamp8i(p0 + delta)
+	buf[i] = clamp8i(q0 - delta)
+}
+
+// filterPairStride is filterPair for a column slice starting at p1, with
+// the edge between offsets `pos` and `pos+stride`.
+func filterPairStride(col []uint8, pos, stride int, alpha, beta, c int32) {
+	p1, p0 := int32(col[0]), int32(col[stride])
+	q0, q1 := int32(col[pos]), int32(col[pos+stride])
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	delta := clip32((((q0-p0)<<2)+(p1-q1)+4)>>3, -c, c)
+	col[stride] = clamp8i(p0 + delta)
+	col[pos] = clamp8i(q0 - delta)
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clip32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp8i(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,131 @@
+package h264
+
+// The H.264 4×4 integer transform pair (the real AVC core transform, without
+// the norm-correction folding into quantization — we use an explicit
+// post-scale instead, which keeps the pair exactly invertible in integer
+// arithmetic for our quantizer).
+
+// fwd4x4 applies the forward transform Cf·X·Cfᵀ to a 4×4 residual block.
+func fwd4x4(b *[16]int32) {
+	// Rows.
+	for i := 0; i < 4; i++ {
+		r := b[4*i : 4*i+4]
+		s0 := r[0] + r[3]
+		s1 := r[1] + r[2]
+		s2 := r[1] - r[2]
+		s3 := r[0] - r[3]
+		r[0] = s0 + s1
+		r[1] = 2*s3 + s2
+		r[2] = s0 - s1
+		r[3] = s3 - 2*s2
+	}
+	// Columns.
+	for j := 0; j < 4; j++ {
+		c0, c1, c2, c3 := b[j], b[4+j], b[8+j], b[12+j]
+		s0 := c0 + c3
+		s1 := c1 + c2
+		s2 := c1 - c2
+		s3 := c0 - c3
+		b[j] = s0 + s1
+		b[4+j] = 2*s3 + s2
+		b[8+j] = s0 - s1
+		b[12+j] = s3 - 2*s2
+	}
+}
+
+// inv4x4 applies the inverse transform Ciᵀ·X·Ci with the standard >>6 final
+// scaling (the forward/inverse pair gains 64× total).
+func inv4x4(b *[16]int32) {
+	// Rows.
+	for i := 0; i < 4; i++ {
+		r := b[4*i : 4*i+4]
+		s0 := r[0] + r[2]
+		s1 := r[0] - r[2]
+		s2 := r[1]>>1 - r[3]
+		s3 := r[1] + r[3]>>1
+		r[0] = s0 + s3
+		r[1] = s1 + s2
+		r[2] = s1 - s2
+		r[3] = s0 - s3
+	}
+	// Columns.
+	for j := 0; j < 4; j++ {
+		c0, c1, c2, c3 := b[j], b[4+j], b[8+j], b[12+j]
+		s0 := c0 + c2
+		s1 := c0 - c2
+		s2 := c1>>1 - c3
+		s3 := c1 + c3>>1
+		b[j] = (s0 + s3 + 32) >> 6
+		b[4+j] = (s1 + s2 + 32) >> 6
+		b[8+j] = (s1 - s2 + 32) >> 6
+		b[12+j] = (s0 - s3 + 32) >> 6
+	}
+}
+
+// AVC quantization. The 4×4 integer transform is not orthonormal (row norms
+// differ by position), so the standard folds position-dependent scaling into
+// the quantizer: the MF multipliers on the forward path and the V rescaling
+// values on the inverse path, indexed by QP%6 and the position class
+// (a: both coords even, b: both odd, c: mixed). These are the real H.264
+// tables.
+var mfTab = [6][3]int32{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+var vTab = [6][3]int32{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+func posClass(i int) int {
+	r, c := i/4, i%4
+	switch {
+	case r%2 == 0 && c%2 == 0:
+		return 0
+	case r%2 == 1 && c%2 == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// quantize maps transform coefficients to levels (AVC forward quantizer).
+func quantize(b *[16]int32, qp int) {
+	qbits := uint(15 + qp/6)
+	f := int32(1) << qbits / 3
+	mf := &mfTab[qp%6]
+	for i := range b {
+		v := b[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		v = (v*mf[posClass(i)] + f) >> qbits
+		if neg {
+			v = -v
+		}
+		b[i] = v
+	}
+}
+
+// dequantize maps levels back to scaled coefficients (AVC inverse
+// quantizer); inv4x4's >>6 completes the scaling.
+func dequantize(b *[16]int32, qp int) {
+	v := &vTab[qp%6]
+	shift := uint(qp / 6)
+	for i := range b {
+		b[i] = b[i] * v[posClass(i)] << shift
+	}
+}
+
+// zigzag4 is the 4×4 zigzag scan order.
+var zigzag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}

@@ -1,0 +1,74 @@
+package color
+
+import (
+	"testing"
+
+	"ompssgo/internal/media"
+)
+
+func TestCMYInversion(t *testing.T) {
+	src := media.Image(32, 24, 1)
+	dst := NewCMY(32, 24)
+	RGBToCMY(dst, src)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			r, g, b := src.At(x, y)
+			if dst.C.At(x, y) != 255-r || dst.M.At(x, y) != 255-g || dst.Y.At(x, y) != 255-b {
+				t.Fatalf("CMY inversion wrong at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestCMYKUnderColorRemoval(t *testing.T) {
+	src := media.Image(32, 24, 2)
+	dst := NewCMYK(32, 24)
+	RGBToCMYK(dst, src)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			r, g, b := src.At(x, y)
+			c, m, yy, k := dst.C.At(x, y), dst.M.At(x, y), dst.Y.At(x, y), dst.K.At(x, y)
+			// Reconstruction: plane + K = 255 − channel.
+			if int(c)+int(k) != int(255-r) || int(m)+int(k) != int(255-g) || int(yy)+int(k) != int(255-b) {
+				t.Fatalf("CMYK reconstruction wrong at (%d,%d)", x, y)
+			}
+			// K must be the min of the CMY components.
+			if k > c+k || k > m+k || k > yy+k {
+				t.Fatalf("K not minimal at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestRowPartitionEquivalence(t *testing.T) {
+	src := media.Image(40, 30, 3)
+	full := NewCMY(40, 30)
+	RGBToCMY(full, src)
+	parts := NewCMY(40, 30)
+	for _, blk := range [][2]int{{20, 30}, {0, 9}, {9, 20}} {
+		RGBToCMYRows(parts, src, blk[0], blk[1])
+	}
+	if full.Checksum() != parts.Checksum() {
+		t.Fatal("row-partitioned conversion differs")
+	}
+	fullK := NewCMYK(40, 30)
+	RGBToCMYK(fullK, src)
+	partsK := NewCMYK(40, 30)
+	for _, blk := range [][2]int{{15, 30}, {0, 15}} {
+		RGBToCMYKRows(partsK, src, blk[0], blk[1])
+	}
+	if fullK.Checksum() != partsK.Checksum() {
+		t.Fatal("row-partitioned CMYK conversion differs")
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	a, b := NewCMY(8, 8), NewCMY(8, 8)
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("empty planes should match")
+	}
+	b.M.Set(1, 1, 9)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum must see plane changes")
+	}
+}

@@ -1,0 +1,241 @@
+// Package cray is a from-scratch reimplementation of the c-ray benchmark
+// kernel: a small recursive ray tracer over a procedurally generated sphere
+// scene with Phong shading and specular reflections. The unit of parallel
+// work is a block of image rows, exactly as in the original benchmark.
+package cray
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ompssgo/internal/img"
+)
+
+// Vec3 is a 3-component float vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a − b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a × s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Norm returns a normalized.
+func (a Vec3) Norm() Vec3 {
+	l := math.Sqrt(a.Dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.Scale(1 / l)
+}
+
+// Sphere is a scene object.
+type Sphere struct {
+	Center Vec3
+	R      float64
+	Color  Vec3    // diffuse color, components in [0,1]
+	Refl   float64 // reflectivity in [0,1]
+	Spec   float64 // specular exponent
+}
+
+// Scene is a renderable collection of spheres and point lights.
+type Scene struct {
+	Spheres []Sphere
+	Lights  []Vec3
+	// Camera: at origin looking down −Z with a simple pinhole model.
+	FOV float64
+}
+
+// MaxDepth is the reflection recursion limit (as in c-ray).
+const MaxDepth = 5
+
+// GenScene procedurally generates a scene with n spheres and 3 lights.
+func GenScene(n int, seed int64) *Scene {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scene{FOV: math.Pi / 4}
+	// A large floor sphere grounds the scene.
+	s.Spheres = append(s.Spheres, Sphere{
+		Center: Vec3{0, -1004, -20}, R: 1000,
+		Color: Vec3{0.6, 0.6, 0.6}, Refl: 0.1, Spec: 20,
+	})
+	for i := 1; i < n; i++ {
+		s.Spheres = append(s.Spheres, Sphere{
+			Center: Vec3{rng.Float64()*16 - 8, rng.Float64()*6 - 2, -12 - rng.Float64()*16},
+			R:      0.6 + rng.Float64()*1.8,
+			Color:  Vec3{0.2 + 0.8*rng.Float64(), 0.2 + 0.8*rng.Float64(), 0.2 + 0.8*rng.Float64()},
+			Refl:   rng.Float64() * 0.6,
+			Spec:   10 + rng.Float64()*90,
+		})
+	}
+	s.Lights = []Vec3{{-20, 30, 10}, {15, 25, -5}, {0, 40, -30}}
+	return s
+}
+
+// intersect returns the nearest hit of ray (o, d) with sph, or false.
+func (sp *Sphere) intersect(o, d Vec3) (float64, bool) {
+	oc := o.Sub(sp.Center)
+	b := 2 * d.Dot(oc)
+	c := oc.Dot(oc) - sp.R*sp.R
+	disc := b*b - 4*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t1, t2 := (-b-sq)/2, (-b+sq)/2
+	const eps = 1e-6
+	if t1 > eps {
+		return t1, true
+	}
+	if t2 > eps {
+		return t2, true
+	}
+	return 0, false
+}
+
+// trace returns the color seen along ray (o, d).
+func (s *Scene) trace(o, d Vec3, depth int) Vec3 {
+	var best float64 = math.MaxFloat64
+	var hit *Sphere
+	for i := range s.Spheres {
+		if t, ok := s.Spheres[i].intersect(o, d); ok && t < best {
+			best = t
+			hit = &s.Spheres[i]
+		}
+	}
+	if hit == nil {
+		// Sky gradient.
+		t := 0.5 * (d.Y + 1)
+		return Vec3{0.15, 0.2, 0.3}.Scale(1 - t).Add(Vec3{0.4, 0.55, 0.8}.Scale(t))
+	}
+	p := o.Add(d.Scale(best))
+	n := p.Sub(hit.Center).Norm()
+	col := hit.Color.Scale(0.08) // ambient
+	for _, l := range s.Lights {
+		ldir := l.Sub(p).Norm()
+		// Shadow test.
+		shadowed := false
+		for i := range s.Spheres {
+			if &s.Spheres[i] == hit {
+				continue
+			}
+			if _, ok := s.Spheres[i].intersect(p, ldir); ok {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			continue
+		}
+		if diff := n.Dot(ldir); diff > 0 {
+			col = col.Add(hit.Color.Scale(diff * 0.5))
+		}
+		refl := n.Scale(2 * n.Dot(ldir)).Sub(ldir)
+		if spec := refl.Dot(d.Scale(-1)); spec > 0 {
+			col = col.Add(Vec3{1, 1, 1}.Scale(0.4 * math.Pow(spec, hit.Spec)))
+		}
+	}
+	if hit.Refl > 0 && depth < MaxDepth {
+		rdir := d.Sub(n.Scale(2 * d.Dot(n))).Norm()
+		col = col.Add(s.trace(p, rdir, depth+1).Scale(hit.Refl))
+	}
+	return col
+}
+
+// RenderRows renders image rows [y0, y1) of im — the parallel work unit.
+func (s *Scene) RenderRows(im *img.RGB, y0, y1 int) {
+	w, h := im.W, im.H
+	aspect := float64(w) / float64(h)
+	tanf := math.Tan(s.FOV / 2)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			px := (2*(float64(x)+0.5)/float64(w) - 1) * tanf * aspect
+			py := (1 - 2*(float64(y)+0.5)/float64(h)) * tanf
+			d := Vec3{px, py, -1}.Norm()
+			c := s.trace(Vec3{0, 0, 0}, d, 0)
+			im.Set(x, y, clamp8(c.X), clamp8(c.Y), clamp8(c.Z))
+		}
+	}
+}
+
+// Render renders the full image sequentially (the reference variant).
+func (s *Scene) Render(im *img.RGB) { s.RenderRows(im, 0, im.H) }
+
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}
+
+// PixelCost estimates the simulated cost of tracing one pixel for a scene
+// with n spheres: every primary ray tests all spheres, shading tests shadows
+// against all spheres per light, and reflections multiply the ray count.
+// Calibrated against the original c-ray's throughput class on a ~2 GHz core.
+func PixelCost(nspheres int) time.Duration {
+	perRay := 30 + 22*nspheres // ns: intersection sweep + shading
+	rays := 2.2                // primary + expected reflection continuations
+	return time.Duration(float64(perRay)*rays) * time.Nanosecond
+}
+
+// RowsCost estimates the simulated cost of rendering rows of the given
+// total pixel count.
+func RowsCost(pixels, nspheres int) time.Duration {
+	return time.Duration(pixels) * PixelCost(nspheres)
+}
+
+// RowCost estimates the simulated cost of rendering one image row: the
+// primary intersection sweep is uniform, but rows covered by sphere
+// projections additionally pay shadow tests and reflection continuations.
+// This heterogeneity is what makes static row partitions imbalanced (and
+// dynamic task scheduling profitable) in the real benchmark.
+func (s *Scene) RowCost(y, w, h int) time.Duration {
+	n := len(s.Spheres)
+	base := float64(w) * float64(30+22*n)
+	frac := s.rowHitFraction(y, w, h)
+	shade := frac * float64(w) * float64(22*n) * (float64(len(s.Lights)) + 1.5)
+	return time.Duration(base+shade) * time.Nanosecond
+}
+
+// BlockCost sums RowCost over rows [y0, y1).
+func (s *Scene) BlockCost(y0, y1, w, h int) time.Duration {
+	var total time.Duration
+	for y := y0; y < y1; y++ {
+		total += s.RowCost(y, w, h)
+	}
+	return total
+}
+
+// rowHitFraction estimates how much of row y is covered by projected
+// spheres (coarse screen-space bound; the floor sphere covers the lower
+// half).
+func (s *Scene) rowHitFraction(y, w, h int) float64 {
+	tanf := math.Tan(s.FOV / 2)
+	py := (1 - 2*(float64(y)+0.5)/float64(h)) * tanf
+	covered := 0.0
+	for i := range s.Spheres {
+		sp := &s.Spheres[i]
+		if sp.Center.Z >= 0 {
+			continue
+		}
+		depth := -sp.Center.Z
+		cy := sp.Center.Y / depth
+		half := sp.R / depth
+		if py >= cy-half && py <= cy+half {
+			// Horizontal extent as a fraction of the screen width.
+			aspect := float64(w) / float64(h)
+			frac := 2 * half / (2 * tanf * aspect)
+			covered += math.Min(1, frac)
+		}
+	}
+	return math.Min(1, covered)
+}

@@ -1,0 +1,104 @@
+package cray
+
+import (
+	"math"
+	"testing"
+
+	"ompssgo/internal/img"
+)
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) || b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Fatal("add/sub")
+	}
+	if a.Dot(b) != 32 {
+		t.Fatal("dot")
+	}
+	n := Vec3{3, 0, 4}.Norm()
+	if math.Abs(n.Dot(n)-1) > 1e-12 {
+		t.Fatal("norm not unit")
+	}
+}
+
+func TestSphereIntersection(t *testing.T) {
+	s := Sphere{Center: Vec3{0, 0, -10}, R: 2}
+	if d, ok := s.intersect(Vec3{}, Vec3{0, 0, -1}); !ok || math.Abs(d-8) > 1e-9 {
+		t.Fatalf("head-on hit: d=%v ok=%v", d, ok)
+	}
+	if _, ok := s.intersect(Vec3{}, Vec3{0, 1, 0}); ok {
+		t.Fatal("miss reported as hit")
+	}
+	// Ray starting inside hits the far surface.
+	if d, ok := s.intersect(Vec3{0, 0, -10}, Vec3{0, 0, -1}); !ok || math.Abs(d-2) > 1e-9 {
+		t.Fatalf("inside hit: d=%v ok=%v", d, ok)
+	}
+}
+
+func TestSceneDeterministic(t *testing.T) {
+	a := GenScene(8, 3)
+	b := GenScene(8, 3)
+	if len(a.Spheres) != len(b.Spheres) {
+		t.Fatal("scene sizes differ")
+	}
+	for i := range a.Spheres {
+		if a.Spheres[i] != b.Spheres[i] {
+			t.Fatal("scene must be deterministic")
+		}
+	}
+}
+
+func TestRenderProducesStructure(t *testing.T) {
+	s := GenScene(6, 1)
+	im := img.NewRGB(64, 48)
+	s.Render(im)
+	// The image must not be flat: count distinct pixel values.
+	seen := map[[3]uint8]bool{}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			seen[[3]uint8{r, g, b}] = true
+		}
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d distinct colors; scene not rendering", len(seen))
+	}
+}
+
+func TestRowPartitionEquivalence(t *testing.T) {
+	// The parallel decomposition contract: rendering in row blocks in any
+	// order must be identical to a full render.
+	s := GenScene(7, 2)
+	full := img.NewRGB(48, 36)
+	s.Render(full)
+	parts := img.NewRGB(48, 36)
+	for _, blk := range [][2]int{{24, 36}, {0, 7}, {7, 24}} {
+		s.RenderRows(parts, blk[0], blk[1])
+	}
+	if full.Checksum() != parts.Checksum() {
+		t.Fatal("row-partitioned render differs from full render")
+	}
+}
+
+func TestReflectionsTerminate(t *testing.T) {
+	// Two facing mirrors: recursion must stop at MaxDepth.
+	s := &Scene{
+		FOV: math.Pi / 4,
+		Spheres: []Sphere{
+			{Center: Vec3{0, 0, -6}, R: 2, Color: Vec3{1, 1, 1}, Refl: 1, Spec: 10},
+			{Center: Vec3{0, 0, 6}, R: 2, Color: Vec3{1, 1, 1}, Refl: 1, Spec: 10},
+		},
+		Lights: []Vec3{{0, 10, 0}},
+	}
+	im := img.NewRGB(16, 16)
+	s.Render(im) // would hang or overflow the stack without the depth cap
+}
+
+func TestPixelCostScalesWithSpheres(t *testing.T) {
+	if PixelCost(32) <= PixelCost(4) {
+		t.Fatal("cost should grow with scene size")
+	}
+	if RowsCost(100, 8) != 100*PixelCost(8) {
+		t.Fatal("RowsCost should be linear in pixels")
+	}
+}

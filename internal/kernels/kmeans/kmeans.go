@@ -1,0 +1,149 @@
+// Package kmeans reimplements the kmeans benchmark kernel: Lloyd's
+// algorithm over an n×dim point set. The parallel structure matches the
+// original benchmark: the assignment phase partitions points across
+// threads, each producing partial centroid sums, which a reduction merges
+// before the centroid update; a barrier (or taskwait) separates iterations.
+package kmeans
+
+import "time"
+
+// Problem is one clustering instance. Points is flattened n×dim.
+type Problem struct {
+	Points []float64
+	N, Dim int
+	K      int
+}
+
+// Partial is one thread's accumulation for the reduction: per-centroid
+// coordinate sums and member counts, plus the local assignment-change count.
+type Partial struct {
+	Sums   []float64 // K×Dim
+	Counts []int
+	Moved  int
+}
+
+// NewPartial allocates a zeroed partial for the problem.
+func (p *Problem) NewPartial() *Partial {
+	return &Partial{Sums: make([]float64, p.K*p.Dim), Counts: make([]int, p.K)}
+}
+
+// Reset zeroes the partial for the next iteration.
+func (pa *Partial) Reset() {
+	for i := range pa.Sums {
+		pa.Sums[i] = 0
+	}
+	for i := range pa.Counts {
+		pa.Counts[i] = 0
+	}
+	pa.Moved = 0
+}
+
+// Merge folds other into pa.
+func (pa *Partial) Merge(other *Partial) {
+	for i, v := range other.Sums {
+		pa.Sums[i] += v
+	}
+	for i, v := range other.Counts {
+		pa.Counts[i] += v
+	}
+	pa.Moved += other.Moved
+}
+
+// InitCentroids returns the first K points as initial centroids (the
+// deterministic initialization the original benchmark uses).
+func (p *Problem) InitCentroids() []float64 {
+	c := make([]float64, p.K*p.Dim)
+	copy(c, p.Points[:p.K*p.Dim])
+	return c
+}
+
+// AssignRange performs the assignment phase for points [lo, hi): finds each
+// point's nearest centroid, records it in assign, and accumulates the
+// partial sums. This is the parallel work unit.
+func (p *Problem) AssignRange(centroids []float64, assign []int, pa *Partial, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		pt := p.Points[i*p.Dim : (i+1)*p.Dim]
+		best, bestD := 0, distSq(pt, centroids[:p.Dim])
+		for c := 1; c < p.K; c++ {
+			if d := distSq(pt, centroids[c*p.Dim:(c+1)*p.Dim]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			pa.Moved++
+		}
+		sums := pa.Sums[best*p.Dim : (best+1)*p.Dim]
+		for d, v := range pt {
+			sums[d] += v
+		}
+		pa.Counts[best]++
+	}
+}
+
+// UpdateCentroids computes new centroids from a fully merged partial,
+// returning the number of points that changed assignment this iteration.
+func (p *Problem) UpdateCentroids(centroids []float64, merged *Partial) int {
+	for c := 0; c < p.K; c++ {
+		if merged.Counts[c] == 0 {
+			continue // keep empty centroid in place
+		}
+		inv := 1 / float64(merged.Counts[c])
+		for d := 0; d < p.Dim; d++ {
+			centroids[c*p.Dim+d] = merged.Sums[c*p.Dim+d] * inv
+		}
+	}
+	return merged.Moved
+}
+
+// Run executes Lloyd's algorithm sequentially (reference variant),
+// returning the final centroids, assignment, and iteration count.
+func (p *Problem) Run(maxIter int) ([]float64, []int, int) {
+	centroids := p.InitCentroids()
+	assign := make([]int, p.N)
+	for i := range assign {
+		assign[i] = -1
+	}
+	pa := p.NewPartial()
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		iters++
+		pa.Reset()
+		p.AssignRange(centroids, assign, pa, 0, p.N)
+		if moved := p.UpdateCentroids(centroids, pa); moved == 0 {
+			break
+		}
+	}
+	return centroids, assign, iters
+}
+
+// Cost returns the total squared distance of points to their assigned
+// centroids (the clustering objective, for tests).
+func (p *Problem) Cost(centroids []float64, assign []int) float64 {
+	var sum float64
+	for i := 0; i < p.N; i++ {
+		c := assign[i]
+		sum += distSq(p.Points[i*p.Dim:(i+1)*p.Dim], centroids[c*p.Dim:(c+1)*p.Dim])
+	}
+	return sum
+}
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// PointCost is the simulated per-point assignment cost for a problem with K
+// centroids of the given dimension.
+func PointCost(k, dim int) time.Duration {
+	return time.Duration(k*dim*2+20) * time.Nanosecond
+}
+
+// RangeCost estimates the simulated cost of assigning `points` points.
+func RangeCost(points, k, dim int) time.Duration {
+	return time.Duration(points) * PointCost(k, dim)
+}

@@ -1,0 +1,126 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"ompssgo/internal/media"
+)
+
+func problem(n, dim, k int, seed int64) *Problem {
+	pts, _ := media.Points(n, dim, k, seed)
+	return &Problem{Points: pts, N: n, Dim: dim, K: k}
+}
+
+func TestConvergesOnSeparatedClusters(t *testing.T) {
+	p := problem(300, 3, 4, 1)
+	centroids, assign, iters := p.Run(100)
+	if iters >= 100 {
+		t.Fatalf("did not converge in %d iterations", iters)
+	}
+	// Every cluster should be non-empty and the objective small relative
+	// to a single-cluster solution.
+	counts := make([]int, p.K)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+	}
+	got := p.Cost(centroids, assign)
+	single := problem(300, 3, 4, 1)
+	single.K = 1
+	c1, a1, _ := single.Run(100)
+	if got >= single.Cost(c1, a1)/4 {
+		t.Fatalf("k=4 cost %.1f not much better than k=1 cost %.1f", got, single.Cost(c1, a1))
+	}
+}
+
+func TestLloydMonotoneNonIncreasing(t *testing.T) {
+	p := problem(200, 2, 3, 2)
+	centroids := p.InitCentroids()
+	assign := make([]int, p.N)
+	for i := range assign {
+		assign[i] = -1
+	}
+	pa := p.NewPartial()
+	prev := math.Inf(1)
+	for it := 0; it < 20; it++ {
+		pa.Reset()
+		p.AssignRange(centroids, assign, pa, 0, p.N)
+		cost := p.Cost(centroids, assign)
+		if cost > prev+1e-9 {
+			t.Fatalf("iteration %d: cost rose %.6f -> %.6f", it, prev, cost)
+		}
+		prev = cost
+		if p.UpdateCentroids(centroids, pa) == 0 {
+			break
+		}
+	}
+}
+
+func TestPartitionedAssignEquivalence(t *testing.T) {
+	// The parallel decomposition contract: range-split assignment with
+	// partial merge equals the full-range pass.
+	p := problem(250, 3, 4, 3)
+	centroids := p.InitCentroids()
+
+	fullAssign := make([]int, p.N)
+	for i := range fullAssign {
+		fullAssign[i] = -1
+	}
+	full := p.NewPartial()
+	p.AssignRange(centroids, fullAssign, full, 0, p.N)
+
+	partAssign := make([]int, p.N)
+	for i := range partAssign {
+		partAssign[i] = -1
+	}
+	merged := p.NewPartial()
+	for _, blk := range [][2]int{{100, 250}, {0, 40}, {40, 100}} {
+		pa := p.NewPartial()
+		p.AssignRange(centroids, partAssign, pa, blk[0], blk[1])
+		merged.Merge(pa)
+	}
+	for i := range fullAssign {
+		if fullAssign[i] != partAssign[i] {
+			t.Fatalf("assignment differs at %d", i)
+		}
+	}
+	if full.Moved != merged.Moved {
+		t.Fatalf("moved %d != %d", full.Moved, merged.Moved)
+	}
+	for i := range full.Sums {
+		if math.Abs(full.Sums[i]-merged.Sums[i]) > 1e-9 {
+			t.Fatalf("sum %d differs", i)
+		}
+	}
+	for i := range full.Counts {
+		if full.Counts[i] != merged.Counts[i] {
+			t.Fatalf("count %d differs", i)
+		}
+	}
+}
+
+func TestEmptyClusterKept(t *testing.T) {
+	// Two identical points, K=2 with distinct initial centroids: one
+	// centroid may end up empty and must stay in place (not NaN).
+	p := &Problem{Points: []float64{0, 0, 0, 0, 9, 9}, N: 3, Dim: 2, K: 2}
+	centroids, _, _ := p.Run(10)
+	for _, v := range centroids {
+		if math.IsNaN(v) {
+			t.Fatal("NaN centroid from empty cluster")
+		}
+	}
+}
+
+func TestCostModelScales(t *testing.T) {
+	if PointCost(8, 4) <= PointCost(2, 4) {
+		t.Fatal("cost should scale with K")
+	}
+	if RangeCost(100, 4, 4) != 100*PointCost(4, 4) {
+		t.Fatal("RangeCost linear in points")
+	}
+}

@@ -1,0 +1,185 @@
+// Package linalg provides blocked dense linear algebra (Cholesky
+// factorization and its block kernels) used by the dataflow example — the
+// classic OmpSs demonstration of out-of-order task execution beyond
+// pipelines — and by scheduler stress tests.
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Block is a bs×bs column of a blocked matrix, stored row-major.
+type Block struct {
+	BS   int
+	Data []float64
+}
+
+// NewBlock allocates a zero block.
+func NewBlock(bs int) *Block { return &Block{BS: bs, Data: make([]float64, bs*bs)} }
+
+// At returns element (i, j).
+func (b *Block) At(i, j int) float64 { return b.Data[i*b.BS+j] }
+
+// Set writes element (i, j).
+func (b *Block) Set(i, j int, v float64) { b.Data[i*b.BS+j] = v }
+
+// Matrix is an n×n blocked matrix of nb×nb blocks of size bs.
+type Matrix struct {
+	NB, BS int
+	Blocks [][]*Block // Blocks[i][j], lower-triangular use
+}
+
+// NewMatrix allocates an nb×nb grid of bs×bs zero blocks.
+func NewMatrix(nb, bs int) *Matrix {
+	m := &Matrix{NB: nb, BS: bs, Blocks: make([][]*Block, nb)}
+	for i := range m.Blocks {
+		m.Blocks[i] = make([]*Block, nb)
+		for j := range m.Blocks[i] {
+			m.Blocks[i][j] = NewBlock(bs)
+		}
+	}
+	return m
+}
+
+// GenSPD fills the matrix with a random symmetric positive-definite value
+// (A = B·Bᵀ + n·I), deterministically from seed.
+func (m *Matrix) GenSPD(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := m.NB * m.BS
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			m.set(i, j, s)
+		}
+	}
+}
+
+func (m *Matrix) set(i, j int, v float64) {
+	m.Blocks[i/m.BS][j/m.BS].Set(i%m.BS, j%m.BS, v)
+}
+
+// Get returns element (i, j) of the full matrix.
+func (m *Matrix) Get(i, j int) float64 {
+	return m.Blocks[i/m.BS][j/m.BS].At(i%m.BS, j%m.BS)
+}
+
+// POTRF factors a diagonal block in place: A = L·Lᵀ (unblocked Cholesky).
+func POTRF(a *Block) {
+	bs := a.BS
+	for j := 0; j < bs; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < bs; i++ {
+			v := a.At(i, j)
+			for k := 0; k < j; k++ {
+				v -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, v/d)
+		}
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+}
+
+// TRSM solves B ← B·L⁻ᵀ for a factored diagonal block L.
+func TRSM(l, b *Block) {
+	bs := l.BS
+	for i := 0; i < bs; i++ {
+		for j := 0; j < bs; j++ {
+			v := b.At(i, j)
+			for k := 0; k < j; k++ {
+				v -= b.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, v/l.At(j, j))
+		}
+	}
+}
+
+// SYRK updates a diagonal block: C ← C − A·Aᵀ.
+func SYRK(a, c *Block) {
+	bs := a.BS
+	for i := 0; i < bs; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < bs; k++ {
+				s += a.At(i, k) * a.At(j, k)
+			}
+			c.Set(i, j, c.At(i, j)-s)
+			if i != j {
+				c.Set(j, i, c.At(j, i)-s)
+			}
+		}
+	}
+}
+
+// GEMM updates an off-diagonal block: C ← C − A·Bᵀ.
+func GEMM(a, b, c *Block) {
+	bs := a.BS
+	for i := 0; i < bs; i++ {
+		for j := 0; j < bs; j++ {
+			var s float64
+			for k := 0; k < bs; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			c.Set(i, j, c.At(i, j)-s)
+		}
+	}
+}
+
+// CholeskySequential factors the matrix in place (lower triangular), the
+// reference for the task-parallel example.
+func CholeskySequential(m *Matrix) {
+	for k := 0; k < m.NB; k++ {
+		POTRF(m.Blocks[k][k])
+		for i := k + 1; i < m.NB; i++ {
+			TRSM(m.Blocks[k][k], m.Blocks[i][k])
+		}
+		for i := k + 1; i < m.NB; i++ {
+			SYRK(m.Blocks[i][k], m.Blocks[i][i])
+			for j := k + 1; j < i; j++ {
+				GEMM(m.Blocks[i][k], m.Blocks[j][k], m.Blocks[i][j])
+			}
+		}
+	}
+}
+
+// ResidualL computes max |(L·Lᵀ − A)(i,j)| over the lower triangle, where m
+// holds the factor L and orig the original matrix.
+func ResidualL(m, orig *Matrix) float64 {
+	n := m.NB * m.BS
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += m.Get(i, k) * m.Get(j, k)
+			}
+			if d := math.Abs(s - orig.Get(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// BlockOpCost is the simulated cost of one bs³ block kernel (GEMM-class).
+func BlockOpCost(bs int) time.Duration {
+	return time.Duration(bs*bs*bs) * 2 * time.Nanosecond
+}

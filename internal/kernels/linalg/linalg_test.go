@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPOTRFSmallKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+	b := NewBlock(2)
+	b.Set(0, 0, 4)
+	b.Set(0, 1, 2)
+	b.Set(1, 0, 2)
+	b.Set(1, 1, 3)
+	POTRF(b)
+	if math.Abs(b.At(0, 0)-2) > 1e-12 || math.Abs(b.At(1, 0)-1) > 1e-12 ||
+		math.Abs(b.At(1, 1)-math.Sqrt(2)) > 1e-12 || b.At(0, 1) != 0 {
+		t.Fatalf("POTRF wrong: %+v", b.Data)
+	}
+}
+
+func TestCholeskyResidual(t *testing.T) {
+	for _, cfg := range []struct{ nb, bs int }{{1, 8}, {3, 4}, {4, 6}} {
+		m := NewMatrix(cfg.nb, cfg.bs)
+		m.GenSPD(42)
+		orig := NewMatrix(cfg.nb, cfg.bs)
+		orig.GenSPD(42)
+		CholeskySequential(m)
+		if r := ResidualL(m, orig); r > 1e-8 {
+			t.Fatalf("nb=%d bs=%d residual %g", cfg.nb, cfg.bs, r)
+		}
+	}
+}
+
+func TestBlockedMatchesUnblocked(t *testing.T) {
+	// Factor the same matrix as 1×(n) blocks and as k×k blocks; compare
+	// all lower-triangle entries.
+	one := NewMatrix(1, 12)
+	one.GenSPD(7)
+	CholeskySequential(one)
+	blk := NewMatrix(3, 4)
+	blk.GenSPD(7)
+	CholeskySequential(blk)
+	for i := 0; i < 12; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(one.Get(i, j)-blk.Get(i, j)) > 1e-9 {
+				t.Fatalf("L(%d,%d): %g vs %g", i, j, one.Get(i, j), blk.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestGEMMSpotCheck(t *testing.T) {
+	a, b, c := NewBlock(2), NewBlock(2), NewBlock(2)
+	// a = [[1,2],[3,4]], b = [[5,6],[7,8]], c starts zero:
+	// c -= a·bᵀ = [[17,23],[39,53]].
+	vals := []float64{1, 2, 3, 4}
+	copy(a.Data, vals)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	GEMM(a, b, c)
+	want := []float64{-17, -23, -39, -53}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("GEMM[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestSYRKSymmetric(t *testing.T) {
+	a, c := NewBlock(3), NewBlock(3)
+	for i := range a.Data {
+		a.Data[i] = float64(i + 1)
+	}
+	for i := 0; i < 3; i++ {
+		c.Set(i, i, 100)
+	}
+	SYRK(a, c)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != c.At(j, i) {
+				t.Fatal("SYRK result not symmetric")
+			}
+		}
+	}
+}
+
+func TestGenSPDDeterministic(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.GenSPD(5)
+	b := NewMatrix(2, 3)
+	b.GenSPD(5)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Fatal("GenSPD must be deterministic")
+			}
+		}
+	}
+	if a.Get(1, 0) != a.Get(0, 1) {
+		t.Fatal("GenSPD must be symmetric")
+	}
+}
+
+func TestBlockOpCostCubic(t *testing.T) {
+	if BlockOpCost(8) >= BlockOpCost(16) {
+		t.Fatal("cost should grow cubically with block size")
+	}
+}

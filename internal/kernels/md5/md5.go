@@ -1,0 +1,154 @@
+// Package md5 is a from-scratch implementation of the MD5 message digest
+// (RFC 1321), reproducing the md5 benchmark kernel: hashing a large set of
+// independent buffers, one buffer per unit of parallel work. The stdlib
+// crypto/md5 is deliberately not used for the kernel itself (the benchmark's
+// work must live in this repository); the tests cross-check against it.
+package md5
+
+import "time"
+
+// Size is the digest length in bytes.
+const Size = 16
+
+// table of per-round addition constants: floor(2^32 × abs(sin(i+1))).
+var k = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// per-round left-rotation amounts.
+var s = [64]uint{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// Digest is a streaming MD5 state. The zero value is not valid; use New.
+type Digest struct {
+	h   [4]uint32
+	buf [64]byte
+	n   int    // bytes buffered
+	len uint64 // total message length
+}
+
+// New returns an initialized Digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial chaining values.
+func (d *Digest) Reset() {
+	d.h = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	d.n = 0
+	d.len = 0
+}
+
+// Write absorbs p into the digest state. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.n > 0 {
+		c := copy(d.buf[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == 64 {
+			d.block(d.buf[:])
+			d.n = 0
+		}
+	}
+	for len(p) >= 64 {
+		d.block(p[:64])
+		p = p[64:]
+	}
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum16 finalizes a copy of the state and returns the digest.
+func (d *Digest) Sum16() [Size]byte {
+	c := *d
+	// Padding: 0x80, zeros, then the 64-bit bit length little-endian.
+	var pad [72]byte
+	pad[0] = 0x80
+	rem := int((c.len + 1 + 8) % 64)
+	padLen := 1
+	if rem != 0 {
+		padLen = 1 + (64-rem+64)%64
+	}
+	bitLen := c.len * 8
+	var lenb [8]byte
+	for i := 0; i < 8; i++ {
+		lenb[i] = byte(bitLen >> (8 * i))
+	}
+	c.Write(pad[:padLen]) //nolint:errcheck // cannot fail
+	c.Write(lenb[:])      //nolint:errcheck // cannot fail
+	var out [Size]byte
+	for i, v := range c.h {
+		out[4*i] = byte(v)
+		out[4*i+1] = byte(v >> 8)
+		out[4*i+2] = byte(v >> 16)
+		out[4*i+3] = byte(v >> 24)
+	}
+	return out
+}
+
+// Sum computes the MD5 digest of data in one call.
+func Sum(data []byte) [Size]byte {
+	d := New()
+	d.Write(data) //nolint:errcheck // cannot fail
+	return d.Sum16()
+}
+
+// block processes one 64-byte block.
+func (d *Digest) block(p []byte) {
+	var m [16]uint32
+	for i := 0; i < 16; i++ {
+		m[i] = uint32(p[4*i]) | uint32(p[4*i+1])<<8 | uint32(p[4*i+2])<<16 | uint32(p[4*i+3])<<24
+	}
+	a, b, c, dd := d.h[0], d.h[1], d.h[2], d.h[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & dd)
+			g = i
+		case i < 32:
+			f = (dd & b) | (^dd & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ dd
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^dd)
+			g = (7 * i) % 16
+		}
+		f += a + k[i] + m[g]
+		a = dd
+		dd = c
+		c = b
+		b += (f << s[i]) | (f >> (32 - s[i]))
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+}
+
+// ByteCost is the simulated per-byte hashing cost (MD5 runs ≈5 cycles/byte
+// on a ~2 GHz core of the paper's era).
+func ByteCost() time.Duration { return 3 * time.Nanosecond }
+
+// BufferCost estimates the simulated cost of hashing one buffer.
+func BufferCost(size int) time.Duration { return time.Duration(size) * ByteCost() }

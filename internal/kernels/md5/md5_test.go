@@ -1,0 +1,116 @@
+package md5
+
+import (
+	cryptomd5 "crypto/md5"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known RFC 1321 test vectors.
+func TestRFC1321Vectors(t *testing.T) {
+	vectors := map[string]string{
+		"":                           "d41d8cd98f00b204e9800998ecf8427e",
+		"a":                          "0cc175b9c0f1b6a831c399e269772661",
+		"abc":                        "900150983cd24fb0d6963f7d28e17f72",
+		"message digest":             "f96b697d7cb7938d525a2f31aaf161d0",
+		"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":                   "d174ab98d277d9f5a5611c2c9f419d9f",
+		"12345678901234567890123456789012345678901234567890123456789012345678901234567890": "57edf4a22be3c955ac49da2e2107b67a",
+	}
+	for in, want := range vectors {
+		got := hex(Sum([]byte(in)))
+		if got != want {
+			t.Errorf("MD5(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func hex(d [Size]byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 32)
+	for i, b := range d {
+		out[2*i] = digits[b>>4]
+		out[2*i+1] = digits[b&0xf]
+	}
+	return string(out)
+}
+
+// TestBoundaryLengths exercises the padding logic at every interesting
+// length around the 64-byte block size.
+func TestBoundaryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129, 1000} {
+		buf := make([]byte, n)
+		rng.Read(buf)
+		want := cryptomd5.Sum(buf)
+		got := Sum(buf)
+		if got != want {
+			t.Fatalf("length %d: %x != crypto/md5 %x", n, got, want)
+		}
+	}
+}
+
+// TestAgainstCryptoMD5Property cross-checks random inputs against the
+// stdlib implementation.
+func TestAgainstCryptoMD5Property(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum(data) == cryptomd5.Sum(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingEqualsOneShot verifies chunked Write produces the same
+// digest regardless of chunk boundaries.
+func TestStreamingEqualsOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 10_000)
+	rng.Read(data)
+	want := Sum(data)
+	for _, chunk := range []int{1, 3, 63, 64, 65, 1024} {
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		if got := d.Sum16(); got != want {
+			t.Fatalf("chunk %d: digest mismatch", chunk)
+		}
+	}
+}
+
+// TestSum16DoesNotMutate ensures Sum16 can be called mid-stream.
+func TestSum16DoesNotMutate(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	first := d.Sum16()
+	second := d.Sum16()
+	if first != second {
+		t.Fatal("Sum16 must not mutate the digest state")
+	}
+	d.Write([]byte("world"))
+	if d.Sum16() != Sum([]byte("hello world")) {
+		t.Fatal("continuing after Sum16 must work")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	if hex(d.Sum16()) != "900150983cd24fb0d6963f7d28e17f72" {
+		t.Fatal("Reset must restore the initial state")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	if BufferCost(1000) != 1000*ByteCost() {
+		t.Fatal("BufferCost should be linear")
+	}
+}

@@ -1,0 +1,65 @@
+// Package rotate reimplements the rotate benchmark kernel: rotation of an
+// RGB image by an arbitrary angle about its center with bilinear
+// interpolation. The parallel work unit is a block of destination rows,
+// as in the original benchmark.
+package rotate
+
+import (
+	"math"
+	"time"
+
+	"ompssgo/internal/img"
+)
+
+// Rows rotates src by angle (radians, counter-clockwise) into the
+// destination rows [y0, y1) of dst. dst and src must have equal dimensions;
+// samples falling outside src are black. Inverse mapping with bilinear
+// interpolation.
+func Rows(dst, src *img.RGB, angle float64, y0, y1 int) {
+	w, h := src.W, src.H
+	cx, cy := float64(w-1)/2, float64(h-1)/2
+	sin, cos := math.Sin(-angle), math.Cos(-angle)
+	for y := y0; y < y1; y++ {
+		dy := float64(y) - cy
+		drow := dst.Row(y)
+		for x := 0; x < w; x++ {
+			dx := float64(x) - cx
+			sx := cos*dx - sin*dy + cx
+			sy := sin*dx + cos*dy + cy
+			r, g, b := bilinear(src, sx, sy)
+			i := 3 * x
+			drow[i], drow[i+1], drow[i+2] = r, g, b
+		}
+	}
+}
+
+// Rotate rotates the whole image sequentially (the reference variant).
+func Rotate(dst, src *img.RGB, angle float64) { Rows(dst, src, angle, 0, src.H) }
+
+func bilinear(src *img.RGB, x, y float64) (uint8, uint8, uint8) {
+	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
+	fx, fy := x-float64(x0), y-float64(y0)
+	var acc [3]float64
+	for dy := 0; dy <= 1; dy++ {
+		for dx := 0; dx <= 1; dx++ {
+			wgt := (1 - math.Abs(float64(dx)-fx)) * (1 - math.Abs(float64(dy)-fy))
+			px, py := x0+dx, y0+dy
+			if px < 0 || py < 0 || px >= src.W || py >= src.H {
+				continue
+			}
+			r, g, b := src.At(px, py)
+			acc[0] += wgt * float64(r)
+			acc[1] += wgt * float64(g)
+			acc[2] += wgt * float64(b)
+		}
+	}
+	return uint8(acc[0] + 0.5), uint8(acc[1] + 0.5), uint8(acc[2] + 0.5)
+}
+
+// PixelCost is the simulated per-pixel cost of the inverse mapping plus
+// 4-tap bilinear filter.
+func PixelCost() time.Duration { return 16 * time.Nanosecond }
+
+// RowsCost estimates the simulated cost of rotating `pixels` destination
+// pixels.
+func RowsCost(pixels int) time.Duration { return time.Duration(pixels) * PixelCost() }

@@ -1,0 +1,79 @@
+package rotate
+
+import (
+	"math"
+	"testing"
+
+	"ompssgo/internal/img"
+	"ompssgo/internal/media"
+)
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	src := media.Image(32, 24, 1)
+	dst := img.NewRGB(32, 24)
+	Rotate(dst, src, 0)
+	if dst.Checksum() != src.Checksum() {
+		t.Fatal("rotation by 0 must be the identity")
+	}
+}
+
+func TestRowPartitionEquivalence(t *testing.T) {
+	src := media.Image(40, 40, 2)
+	full := img.NewRGB(40, 40)
+	Rotate(full, src, 0.7)
+	parts := img.NewRGB(40, 40)
+	for _, blk := range [][2]int{{30, 40}, {0, 13}, {13, 30}} {
+		Rows(parts, src, 0.7, blk[0], blk[1])
+	}
+	if full.Checksum() != parts.Checksum() {
+		t.Fatal("row-partitioned rotate differs from full rotate")
+	}
+}
+
+func TestQuarterTurnExactOnSquare(t *testing.T) {
+	// For a square image and a 90° turn, sampling falls on exact pixel
+	// centers: (x,y) in the destination reads (y, W-1-x)-ish from source.
+	src := media.Image(31, 31, 3)
+	dst := img.NewRGB(31, 31)
+	Rotate(dst, src, math.Pi/2)
+	r0, g0, b0 := dst.At(15, 15)
+	r1, g1, b1 := src.At(15, 15)
+	if r0 != r1 || g0 != g1 || b0 != b1 {
+		t.Fatal("center pixel must be fixed under rotation")
+	}
+	// Spot-check a known mapping: dst(x,y) = src(cx + (y-cy)... ) — verify
+	// via double rotation instead of deriving signs here.
+	back := img.NewRGB(31, 31)
+	Rotate(back, dst, -math.Pi/2)
+	// Interior pixels (away from corners clipped by the first rotation)
+	// must return exactly.
+	for y := 8; y < 23; y++ {
+		for x := 8; x < 23; x++ {
+			br, bg, bb := back.At(x, y)
+			sr, sg, sb := src.At(x, y)
+			if br != sr || bg != sg || bb != sb {
+				t.Fatalf("pixel (%d,%d) not restored by ±90°", x, y)
+			}
+		}
+	}
+}
+
+func TestRotationMovesMass(t *testing.T) {
+	src := media.Image(64, 64, 4)
+	dst := img.NewRGB(64, 64)
+	Rotate(dst, src, 0.3)
+	if dst.Checksum() == src.Checksum() {
+		t.Fatal("rotation by 0.3 rad should change the image")
+	}
+}
+
+func TestOutOfBoundsBlack(t *testing.T) {
+	src := media.Image(32, 32, 5)
+	dst := img.NewRGB(32, 32)
+	Rotate(dst, src, math.Pi/4)
+	// The extreme corner of a 45° rotation samples outside: must be black.
+	r, g, b := dst.At(0, 0)
+	if r != 0 || g != 0 || b != 0 {
+		t.Fatalf("corner should be black, got %d,%d,%d", r, g, b)
+	}
+}

@@ -1,0 +1,233 @@
+// Package streamcluster reimplements the PARSEC streamcluster workload: an
+// online k-median clusterer. Points arrive in chunks; for each chunk, the
+// algorithm greedily opens an initial solution (speedy), then improves it
+// with facility-location local search: candidate facilities are evaluated by
+// computing the total cost change (gain) of opening them, an evaluation that
+// parallelizes over points with partial sums and a barrier per candidate —
+// the barrier-per-candidate structure is what makes the benchmark
+// synchronization-bound (paper §4 places it slightly in Pthreads' favour).
+package streamcluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Problem is an online k-median instance over flattened dim-dimensional
+// points with unit weights.
+type Problem struct {
+	Points []float64
+	N, Dim int
+	// ChunkSize points are processed per stream step.
+	ChunkSize int
+	// FacilityCost is the cost z of opening a facility.
+	FacilityCost float64
+	// Candidates per local-search round.
+	Candidates int
+	Seed       int64
+}
+
+// State is the clusterer's evolving solution: open facilities (as point
+// indices into the stream prefix) and each point's current assignment.
+type State struct {
+	Open    []int     // indices of open facilities
+	Assign  []int     // point -> index into Open
+	DistTo  []float64 // point -> squared distance to its facility
+	Limit   int       // points processed so far
+	rng     *rand.Rand
+	problem *Problem
+}
+
+// NewState prepares an empty solution.
+func (p *Problem) NewState() *State {
+	return &State{
+		Assign:  make([]int, p.N),
+		DistTo:  make([]float64, p.N),
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		problem: p,
+	}
+}
+
+func (p *Problem) point(i int) []float64 { return p.Points[i*p.Dim : (i+1)*p.Dim] }
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// AbsorbChunk extends the solution over the next chunk of points: each new
+// point is either assigned to its nearest open facility or opens itself with
+// probability dist/z (the "speedy" online rule). Sequential by nature (the
+// stream order matters); cheap relative to the local search.
+func (s *State) AbsorbChunk() (lo, hi int) {
+	p := s.problem
+	lo = s.Limit
+	hi = lo + p.ChunkSize
+	if hi > p.N {
+		hi = p.N
+	}
+	for i := lo; i < hi; i++ {
+		if len(s.Open) == 0 {
+			s.Open = append(s.Open, i)
+			s.Assign[i] = 0
+			s.DistTo[i] = 0
+			continue
+		}
+		best, bestD := s.nearestOpen(i)
+		if s.rng.Float64() < bestD/p.FacilityCost {
+			s.Assign[i] = len(s.Open)
+			s.DistTo[i] = 0
+			s.Open = append(s.Open, i)
+		} else {
+			s.Assign[i] = best
+			s.DistTo[i] = bestD
+		}
+	}
+	s.Limit = hi
+	return lo, hi
+}
+
+func (s *State) nearestOpen(i int) (int, float64) {
+	p := s.problem
+	pt := p.point(i)
+	best, bestD := 0, distSq(pt, p.point(s.Open[0]))
+	for f := 1; f < len(s.Open); f++ {
+		if d := distSq(pt, p.point(s.Open[f])); d < bestD {
+			best, bestD = f, d
+		}
+	}
+	return best, bestD
+}
+
+// GainPartial is one thread's contribution to a candidate evaluation.
+type GainPartial struct {
+	// Save is the total assignment-cost saving over this thread's points
+	// if the candidate opens.
+	Save float64
+	// CloseSave[f] accumulates, for facility f, the cost delta of
+	// reassigning f's remaining points to the candidate if f closes.
+	CloseSave []float64
+}
+
+// NewGainPartial allocates a partial sized for the current facility count.
+func (s *State) NewGainPartial() *GainPartial {
+	return &GainPartial{CloseSave: make([]float64, len(s.Open))}
+}
+
+// EvalCandidateRange evaluates candidate point c over points [lo, hi) — the
+// parallel work unit of the pgain phase. For each point, if switching to the
+// candidate is cheaper than its current assignment, the saving accrues to
+// Save; otherwise the (negative) penalty of a forced switch accrues to the
+// point's current facility in CloseSave.
+func (s *State) EvalCandidateRange(c int, pa *GainPartial, lo, hi int) {
+	p := s.problem
+	cpt := p.point(c)
+	for i := lo; i < hi; i++ {
+		d := distSq(p.point(i), cpt)
+		if d < s.DistTo[i] {
+			pa.Save += s.DistTo[i] - d
+		} else {
+			pa.CloseSave[s.Assign[i]] += s.DistTo[i] - d
+		}
+	}
+}
+
+// ApplyCandidate decides, from the merged partials, whether opening c pays
+// for itself (including closing facilities whose remaining points are
+// cheaper served by c), and if so rewrites the assignment. Returns the gain
+// (0 if rejected). Sequential decision, as in pFL.
+func (s *State) ApplyCandidate(c int, merged *GainPartial) float64 {
+	p := s.problem
+	gain := merged.Save - p.FacilityCost
+	var toClose []int
+	for f := range s.Open {
+		// Closing f saves z but forces its points to the candidate.
+		if delta := merged.CloseSave[f] + p.FacilityCost; delta > 0 {
+			gain += delta
+			toClose = append(toClose, f)
+		}
+	}
+	if gain <= 0 {
+		return 0
+	}
+	closing := make(map[int]bool, len(toClose))
+	for _, f := range toClose {
+		closing[f] = true
+	}
+	// Rewrite: candidate becomes a new facility; points move if cheaper or
+	// if their facility closes.
+	cpt := p.point(c)
+	newIdx := -1
+	var kept []int
+	remap := make([]int, len(s.Open))
+	for f, pt := range s.Open {
+		if closing[f] {
+			remap[f] = -1
+			continue
+		}
+		remap[f] = len(kept)
+		kept = append(kept, pt)
+	}
+	kept = append(kept, c)
+	newIdx = len(kept) - 1
+	for i := 0; i < s.Limit; i++ {
+		d := distSq(p.point(i), cpt)
+		if d < s.DistTo[i] || remap[s.Assign[i]] == -1 {
+			s.Assign[i] = newIdx
+			s.DistTo[i] = d
+		} else {
+			s.Assign[i] = remap[s.Assign[i]]
+		}
+	}
+	s.Open = kept
+	return gain
+}
+
+// PickCandidates draws the next local-search candidate set (deterministic
+// for a seeded state).
+func (s *State) PickCandidates() []int {
+	p := s.problem
+	out := make([]int, 0, p.Candidates)
+	for len(out) < p.Candidates && s.Limit > 0 {
+		out = append(out, s.rng.Intn(s.Limit))
+	}
+	return out
+}
+
+// TotalCost returns the current solution cost (assignment + facility costs).
+func (s *State) TotalCost() float64 {
+	cost := float64(len(s.Open)) * s.problem.FacilityCost
+	for i := 0; i < s.Limit; i++ {
+		cost += s.DistTo[i]
+	}
+	return cost
+}
+
+// RunSequential executes the full stream sequentially (reference variant):
+// absorb each chunk, then one local-search round per chunk.
+func (p *Problem) RunSequential() *State {
+	s := p.NewState()
+	for s.Limit < p.N {
+		s.AbsorbChunk()
+		for _, c := range s.PickCandidates() {
+			pa := s.NewGainPartial()
+			s.EvalCandidateRange(c, pa, 0, s.Limit)
+			s.ApplyCandidate(c, pa)
+		}
+	}
+	return s
+}
+
+// PointEvalCost is the simulated per-point cost of one candidate evaluation.
+func PointEvalCost(dim int) time.Duration {
+	return time.Duration(2*dim+12) * time.Nanosecond
+}
+
+// RangeEvalCost estimates the simulated cost of evaluating `points` points.
+func RangeEvalCost(points, dim int) time.Duration {
+	return time.Duration(points) * PointEvalCost(dim)
+}

@@ -1,0 +1,81 @@
+package h264dec
+
+import (
+	"testing"
+
+	"ompssgo/internal/h264"
+	"ompssgo/internal/img"
+	"ompssgo/internal/media"
+	"ompssgo/machine"
+	"ompssgo/ompss"
+)
+
+func TestNewFromStreamEquivalent(t *testing.T) {
+	w := Small()
+	a := New(w)
+	b := NewFromStream(w, a.bs)
+	if a.RunSeq() != b.RunSeq() {
+		t.Fatal("NewFromStream must decode identically")
+	}
+}
+
+func TestDecodedQuality(t *testing.T) {
+	w := Small()
+	in := New(w)
+	frames, err := h264.Decode(in.bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	video := media.Video(w.Frames, w.W, w.H, w.Seed)
+	for i := range frames {
+		if psnr := img.PSNR(video[i], frames[i]); psnr < 28 {
+			t.Fatalf("frame %d PSNR %.1f dB below floor", i, psnr)
+		}
+	}
+}
+
+func TestGroupRowsClamped(t *testing.T) {
+	// Degenerate granularities must still decode correctly.
+	for _, g := range []int{0, 1, 100} {
+		w := Small()
+		w.Frames = 4
+		w.GroupRows = g
+		in := New(w)
+		want := in.RunSeq()
+		var got uint64
+		if _, err := ompss.RunSim(machine.Paper(4), func(rt *ompss.Runtime) {
+			got = in.RunOmpSs(rt)
+		}); err != nil {
+			t.Fatalf("GroupRows=%d: %v", g, err)
+		}
+		if got != want {
+			t.Fatalf("GroupRows=%d: wrong output", g)
+		}
+	}
+}
+
+func TestNBufDepthsDecodeCorrectly(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		w := Small()
+		w.Frames = 6
+		w.NBuf = n
+		in := New(w)
+		want := in.RunSeq()
+		var got uint64
+		if _, err := ompss.RunSim(machine.Paper(4), func(rt *ompss.Runtime) {
+			got = in.RunOmpSs(rt)
+		}); err != nil {
+			t.Fatalf("NBuf=%d: %v", n, err)
+		}
+		if got != want {
+			t.Fatalf("NBuf=%d: wrong output", n)
+		}
+	}
+}
+
+func TestNameAndClass(t *testing.T) {
+	in := New(Small())
+	if in.Name() != "h264dec" || in.Class() != "application" {
+		t.Fatalf("identity: %s/%s", in.Name(), in.Class())
+	}
+}

@@ -1,0 +1,83 @@
+// Package rotate is the rotate benchmark of the suite: bilinear rotation of
+// a synthetic image, parallelized over destination row blocks (kernel class;
+// paper Table 1 mean 1.01 — a wash, with Pthreads ahead at 32 cores where
+// task overhead on the tiny per-row work bites).
+package rotate
+
+import (
+	"ompssgo/internal/blocks"
+	"ompssgo/internal/img"
+	kern "ompssgo/internal/kernels/rotate"
+	"ompssgo/internal/media"
+	"ompssgo/ompss"
+	"ompssgo/pthread"
+)
+
+// Workload parameterizes one run.
+type Workload struct {
+	W, H     int
+	Angle    float64
+	Seed     int64
+	RowBlock int
+}
+
+// Default is the harness workload.
+func Default() Workload { return Workload{W: 1024, H: 768, Angle: 0.5, Seed: 4, RowBlock: 16} }
+
+// Small is the test workload.
+func Small() Workload { return Workload{W: 96, H: 64, Angle: 0.5, Seed: 4, RowBlock: 8} }
+
+// Instance is a prepared benchmark instance.
+type Instance struct {
+	W   Workload
+	src *img.RGB
+}
+
+// New generates the source image.
+func New(w Workload) *Instance { return &Instance{W: w, src: media.Image(w.W, w.H, w.Seed)} }
+
+// Name returns the Table 1 row name.
+func (in *Instance) Name() string { return "rotate" }
+
+// Class returns the paper's classification.
+func (in *Instance) Class() string { return "kernel" }
+
+// RunSeq rotates sequentially.
+func (in *Instance) RunSeq() uint64 {
+	dst := img.NewRGB(in.W.W, in.W.H)
+	kern.Rotate(dst, in.src, in.W.Angle)
+	return dst.Checksum()
+}
+
+// RunPthreads rotates with a static interleaved row-block partition.
+func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
+	dst := img.NewRGB(in.W.W, in.W.H)
+	bl := blocks.Ranges(in.W.H, in.W.RowBlock)
+	main.Parallel(func(t *pthread.Thread) {
+		p := t.API().Threads()
+		for b := t.ID(); b < len(bl); b += p {
+			lo, hi := bl[b][0], bl[b][1]
+			kern.Rows(dst, in.src, in.W.Angle, lo, hi)
+			t.Compute(kern.RowsCost((hi - lo) * in.W.W))
+			t.Touch(&in.src.Pix[0], int64(3*(hi-lo)*in.W.W), false)
+			t.Touch(&dst.Pix[3*lo*in.W.W], int64(3*(hi-lo)*in.W.W), true)
+		}
+	})
+	return dst.Checksum()
+}
+
+// RunOmpSs rotates with one task per destination row block.
+func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+	dst := img.NewRGB(in.W.W, in.W.H)
+	for _, b := range blocks.Ranges(in.W.H, in.W.RowBlock) {
+		lo, hi := b[0], b[1]
+		rows := hi - lo
+		rt.Task(func(*ompss.TC) { kern.Rows(dst, in.src, in.W.Angle, lo, hi) },
+			ompss.InSized(&in.src.Pix[0], int64(3*rows*in.W.W)),
+			ompss.OutSized(&dst.Pix[3*lo*in.W.W], int64(3*rows*in.W.W)),
+			ompss.Cost(kern.RowsCost(rows*in.W.W)),
+			ompss.Label("rotate"))
+	}
+	rt.Taskwait()
+	return dst.Checksum()
+}

@@ -1,0 +1,203 @@
+// Package streamcluster is the streamcluster benchmark of the suite:
+// online k-median over a point stream, with candidate-gain evaluations
+// parallelized over fixed point chunks and a synchronization point per
+// candidate (application class). The many short rounds make it
+// synchronization-bound; the paper's Table 1 has Pthreads slightly ahead
+// (mean 0.93) — the OmpSs master respawns tasks every round, while the
+// SPMD Pthreads team just re-loops through barriers.
+package streamcluster
+
+import (
+	"ompssgo/internal/blocks"
+	"ompssgo/internal/check"
+	kern "ompssgo/internal/kernels/streamcluster"
+	"ompssgo/internal/media"
+	"ompssgo/ompss"
+	"ompssgo/pthread"
+)
+
+// Workload parameterizes one run.
+type Workload struct {
+	N, Dim       int
+	ChunkSize    int // stream step
+	FacilityCost float64
+	Candidates   int
+	Seed         int64
+	EvalChunk    int // points per parallel evaluation chunk
+}
+
+// Default is the harness workload.
+func Default() Workload {
+	return Workload{N: 32768, Dim: 16, ChunkSize: 4096, FacilityCost: 2000, Candidates: 5, Seed: 10, EvalChunk: 512}
+}
+
+// Small is the test workload.
+func Small() Workload {
+	return Workload{N: 500, Dim: 3, ChunkSize: 125, FacilityCost: 400, Candidates: 4, Seed: 10, EvalChunk: 64}
+}
+
+// Instance is a prepared benchmark instance.
+type Instance struct {
+	W Workload
+}
+
+// New builds the instance (points are generated per run — the state is
+// mutated as the stream is absorbed, so each run re-creates it; generation
+// costs no virtual time).
+func New(w Workload) *Instance { return &Instance{W: w} }
+
+// Name returns the Table 1 row name.
+func (in *Instance) Name() string { return "streamcluster" }
+
+// Class returns the paper's classification.
+func (in *Instance) Class() string { return "application" }
+
+func (in *Instance) problem() *kern.Problem {
+	pts, _ := media.Points(in.W.N, in.W.Dim, 16, in.W.Seed)
+	return &kern.Problem{
+		Points: pts, N: in.W.N, Dim: in.W.Dim,
+		ChunkSize: in.W.ChunkSize, FacilityCost: in.W.FacilityCost,
+		Candidates: in.W.Candidates, Seed: in.W.Seed,
+	}
+}
+
+func result(s *kern.State) uint64 {
+	return check.Floats([]float64{s.TotalCost()}) ^ check.Ints(s.Open) ^ check.Ints(s.Assign)
+}
+
+// mergeInOrder folds chunk partials in fixed order (bit-exact reduction).
+func mergeInOrder(dst *kern.GainPartial, parts []*kern.GainPartial) {
+	for _, pa := range parts {
+		dst.Save += pa.Save
+		for f := range dst.CloseSave {
+			dst.CloseSave[f] += pa.CloseSave[f]
+		}
+	}
+}
+
+// RunSeq streams sequentially over the same chunk structure.
+func (in *Instance) RunSeq() uint64 {
+	p := in.problem()
+	s := p.NewState()
+	for s.Limit < p.N {
+		s.AbsorbChunk()
+		for _, c := range s.PickCandidates() {
+			ranges := blocks.Ranges(s.Limit, in.W.EvalChunk)
+			parts := make([]*kern.GainPartial, len(ranges))
+			for i, r := range ranges {
+				parts[i] = s.NewGainPartial()
+				s.EvalCandidateRange(c, parts[i], r[0], r[1])
+			}
+			merged := s.NewGainPartial()
+			mergeInOrder(merged, parts)
+			s.ApplyCandidate(c, merged)
+		}
+	}
+	return result(s)
+}
+
+// RunPthreads keeps one SPMD team alive for the whole stream: thread 0
+// performs the serial absorb/pick/reduce/apply steps, the team evaluates
+// gain chunks statically, and two blocking barriers bracket every candidate
+// round (release into the evaluation, collect for the reduction) — the
+// PARSEC pgain structure.
+func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
+	p := in.problem()
+	s := p.NewState()
+	api := main.API()
+	bar := api.NewBarrier(api.Threads())
+	var (
+		candidates []int
+		cand       int
+		ranges     [][2]int
+		parts      []*kern.GainPartial
+		finished   bool
+	)
+	evalCost := kern.RangeEvalCost(in.W.EvalChunk, in.W.Dim)
+	// prepare sets up the next candidate round (serial, thread 0): apply
+	// the previous round's result if any, then advance the stream or pick
+	// the next candidate.
+	prepare := func(t *pthread.Thread, applyPrev bool) {
+		if applyPrev {
+			merged := s.NewGainPartial()
+			mergeInOrder(merged, parts)
+			s.ApplyCandidate(cand, merged)
+			t.Compute(kern.RangeEvalCost(s.Limit/8+1, in.W.Dim))
+		}
+		for len(candidates) == 0 {
+			if s.Limit >= p.N {
+				finished = true
+				return
+			}
+			s.AbsorbChunk()
+			candidates = s.PickCandidates()
+			t.Compute(kern.RangeEvalCost(p.ChunkSize, in.W.Dim))
+		}
+		cand = candidates[0]
+		candidates = candidates[1:]
+		ranges = blocks.Ranges(s.Limit, in.W.EvalChunk)
+		parts = make([]*kern.GainPartial, len(ranges))
+		for i := range parts {
+			parts[i] = s.NewGainPartial()
+		}
+	}
+	main.Parallel(func(t *pthread.Thread) {
+		nt := t.API().Threads()
+		if t.ID() == 0 {
+			prepare(t, false)
+		}
+		t.Barrier(bar)
+		for {
+			if finished {
+				return
+			}
+			for i := t.ID(); i < len(ranges); i += nt {
+				s.EvalCandidateRange(cand, parts[i], ranges[i][0], ranges[i][1])
+				t.Compute(evalCost)
+				t.Touch(&p.Points[ranges[i][0]*p.Dim],
+					int64(8*(ranges[i][1]-ranges[i][0])*p.Dim), false)
+			}
+			t.Barrier(bar)
+			if t.ID() == 0 {
+				prepare(t, true)
+			}
+			t.Barrier(bar)
+		}
+	})
+	return result(s)
+}
+
+// RunOmpSs has the master absorb the stream and, per candidate, spawn gain
+// tasks over the chunks plus a dependent apply task, separated by taskwait.
+func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+	p := in.problem()
+	s := p.NewState()
+	evalCost := kern.RangeEvalCost(in.W.EvalChunk, in.W.Dim)
+	for s.Limit < p.N {
+		s.AbsorbChunk()
+		rt.Task(func(tc *ompss.TC) {}, ompss.Cost(kern.RangeEvalCost(p.ChunkSize, in.W.Dim)),
+			ompss.Label("absorb"), ompss.If(false)) // absorb is serial master work; charge it inline
+		for _, c := range s.PickCandidates() {
+			c := c
+			ranges := blocks.Ranges(s.Limit, in.W.EvalChunk)
+			parts := make([]*kern.GainPartial, len(ranges))
+			for i := range parts {
+				i := i
+				r := ranges[i]
+				parts[i] = s.NewGainPartial()
+				rt.Task(func(*ompss.TC) { s.EvalCandidateRange(c, parts[i], r[0], r[1]) },
+					ompss.OutSized(parts[i], int64(8*(1+len(parts[i].CloseSave)))),
+					ompss.InSized(&p.Points[r[0]*p.Dim], int64(8*(r[1]-r[0])*p.Dim)),
+					ompss.Cost(evalCost),
+					ompss.Label("pgain"))
+			}
+			rt.Taskwait()
+			merged := s.NewGainPartial()
+			mergeInOrder(merged, parts)
+			s.ApplyCandidate(c, merged)
+			rt.Task(func(*ompss.TC) {}, ompss.Cost(kern.RangeEvalCost(s.Limit/8+1, in.W.Dim)),
+				ompss.Label("apply"), ompss.If(false)) // serial apply charged inline
+		}
+	}
+	return result(s)
+}

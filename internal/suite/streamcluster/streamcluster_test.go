@@ -1,0 +1,31 @@
+package streamcluster
+
+import "testing"
+
+func TestSolutionOpensFacilities(t *testing.T) {
+	in := New(Small())
+	p := in.problem()
+	s := p.NewState()
+	for s.Limit < p.N {
+		s.AbsorbChunk()
+	}
+	if len(s.Open) < 2 {
+		t.Fatalf("only %d facilities for clustered data", len(s.Open))
+	}
+	if s.TotalCost() <= 0 {
+		t.Fatal("non-positive solution cost")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	if New(Small()).RunSeq() != New(Small()).RunSeq() {
+		t.Fatal("sequential run not deterministic")
+	}
+}
+
+func TestNameAndClass(t *testing.T) {
+	in := New(Small())
+	if in.Name() != "streamcluster" || in.Class() != "application" {
+		t.Fatalf("identity: %s/%s", in.Name(), in.Class())
+	}
+}

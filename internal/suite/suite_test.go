@@ -1,0 +1,111 @@
+package suite
+
+import (
+	"testing"
+
+	"ompssgo/machine"
+	"ompssgo/ompss"
+	"ompssgo/pthread"
+)
+
+// TestAllVariantsComputeIdenticalResults is the suite's central contract:
+// for every benchmark, the sequential, Pthreads, and OmpSs variants — native
+// and simulated, across thread counts — produce bit-identical results.
+func TestAllVariantsComputeIdenticalResults(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			in, err := New(name, Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := in.RunSeq()
+
+			for _, threads := range []int{1, 3} {
+				api := pthread.Native(threads)
+				if got := in.RunPthreads(api.Main()); got != want {
+					t.Errorf("native pthreads(%d) = %#x, want %#x", threads, got, want)
+				}
+			}
+			for _, workers := range []int{1, 3} {
+				rt := ompss.New(ompss.Workers(workers))
+				got := in.RunOmpSs(rt)
+				rt.Shutdown()
+				if got != want {
+					t.Errorf("native ompss(%d) = %#x, want %#x", workers, got, want)
+				}
+			}
+
+			var simP uint64
+			if _, err := pthread.RunSim(machine.Paper(4), 4, func(m *pthread.Thread) {
+				simP = in.RunPthreads(m)
+			}); err != nil {
+				t.Fatalf("sim pthreads: %v", err)
+			}
+			if simP != want {
+				t.Errorf("sim pthreads = %#x, want %#x", simP, want)
+			}
+
+			var simO uint64
+			if _, err := ompss.RunSim(machine.Paper(4), func(rt *ompss.Runtime) {
+				simO = in.RunOmpSs(rt)
+			}); err != nil {
+				t.Fatalf("sim ompss: %v", err)
+			}
+			if simO != want {
+				t.Errorf("sim ompss = %#x, want %#x", simO, want)
+			}
+		})
+	}
+}
+
+// TestSeqDeterministic double-runs the sequential variants.
+func TestSeqDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := New(name, Small)
+		if a.RunSeq() != b.RunSeq() {
+			t.Errorf("%s: sequential variant not deterministic", name)
+		}
+	}
+}
+
+// TestSimMakespansPositive sanity-checks that simulated runs accumulate
+// virtual time in both models.
+func TestSimMakespansPositive(t *testing.T) {
+	in, err := New("c-ray", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stP, err := pthread.RunSim(machine.Paper(8), 8, func(m *pthread.Thread) { in.RunPthreads(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stO, err := ompss.RunSim(machine.Paper(8), func(rt *ompss.Runtime) { in.RunOmpSs(rt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stP.Makespan <= 0 || stO.Makespan <= 0 {
+		t.Fatalf("zero makespans: pthreads %v, ompss %v", stP.Makespan, stO.Makespan)
+	}
+	if stO.Tasks == 0 {
+		t.Fatal("ompss sim executed no tasks")
+	}
+}
+
+// TestClassesMatchPaper pins the benchmark classification table.
+func TestClassesMatchPaper(t *testing.T) {
+	want := map[string]string{
+		"c-ray": "kernel", "rotate": "kernel", "rgbcmy": "kernel", "md5": "kernel",
+		"kmeans": "workload", "ray-rot": "workload", "rot-cc": "workload",
+		"streamcluster": "application", "bodytrack": "application", "h264dec": "application",
+	}
+	for _, in := range All(Small) {
+		if in.Class() != want[in.Name()] {
+			t.Errorf("%s classified %s, want %s", in.Name(), in.Class(), want[in.Name()])
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package vm
+
+// This file implements the synchronization vocabulary of the simulated
+// machine. Two families exist, mirroring the distinction the paper draws in
+// §4 (rgbcmy) and §5:
+//
+//   - blocking primitives (Mutex, Cond, Barrier): waiters release their core
+//     and pay an OS wake latency (CondWake, staggered BarrierWake) when
+//     released — the Pthreads default.
+//   - polling primitives (SpinBarrier, SpinVar, SpinUntil): waiters keep
+//     their core busy and observe releases within PollInterval — the OmpSs
+//     runtime style. Occupied-but-idle time is accounted as Spin so the §5
+//     occupancy observation can be measured.
+//
+// Spinners are timesliced when their core is oversubscribed, so polling code
+// still makes progress on fewer cores than threads (this matters for the
+// 1-core column of Table 1).
+
+// WaitSet tracks virtual threads parked inside a busy-wait loop. Producers
+// call WakeAll after changing the watched state; each waiter re-evaluates its
+// predicate. The zero value is ready to use.
+type WaitSet struct {
+	parked []*Thread
+}
+
+func (ws *WaitSet) park(t *Thread) {
+	t.parkedOn = ws
+	ws.parked = append(ws.parked, t)
+}
+
+func (ws *WaitSet) remove(t *Thread) {
+	for i, w := range ws.parked {
+		if w == t {
+			ws.parked = append(ws.parked[:i], ws.parked[i+1:]...)
+			return
+		}
+	}
+}
+
+// WakeAll releases every parked waiter. Each resumes after the machine's
+// PollInterval (the expected latency of a busy-wait loop noticing a store)
+// and re-evaluates its wait predicate.
+func (ws *WaitSet) WakeAll(v *VM) {
+	for _, w := range ws.parked {
+		t := w
+		t.parkedOn = nil
+		v.at(v.now+v.cfg.Cost.PollInterval, func() { v.transfer(t) })
+	}
+	ws.parked = nil
+}
+
+// SpinUntil busy-waits until check() reports true, keeping the thread's core
+// occupied (accounted as Spin). ws must be woken (WakeAll) by whoever makes
+// check() true. If other threads are queued on the same core, the spinner is
+// timesliced like a preemptively scheduled OS thread, so spin loops cannot
+// starve producers on oversubscribed cores.
+func (t *Thread) SpinUntil(ws *WaitSet, check func() bool) {
+	cm := &t.vm.cfg.Cost
+	t.Charge(cm.PollCheck)
+	for {
+		t.flush()
+		if check() {
+			return
+		}
+		if len(t.core.runq) == 0 {
+			start := t.vm.now
+			t.state = "spinning"
+			ws.park(t)
+			t.yield()
+			t.core.Spin += t.vm.now - start
+		} else {
+			t.advance(t.vm.cfg.Quantum, true)
+			t.preempt()
+		}
+		t.Charge(cm.PollCheck)
+	}
+}
+
+// Block parks the thread (releasing its core) until another thread wakes it
+// with VM.WakeAt. A wake that arrives while the thread is still running is
+// remembered and consumed by the next Block (futex-style saved wakeup).
+func (t *Thread) Block(state string) { t.block(state) }
+
+// WakeAt makes t runnable at the given virtual time. Use together with
+// Thread.Block.
+func (vm *VM) WakeAt(t *Thread, at Time) { vm.wakeAt(t, at) }
+
+// Mutex is a blocking lock with FIFO handoff. The zero value is unlocked.
+type Mutex struct {
+	locked bool
+	owner  *Thread
+	q      []*Thread
+}
+
+// Lock acquires m, blocking (off-core) while contended. An uncontended
+// acquire costs MutexFast; a contended one additionally pays MutexSlow +
+// CondWake before the waiter resumes with ownership.
+func (t *Thread) Lock(m *Mutex) {
+	t.Charge(t.vm.cfg.Cost.MutexFast)
+	t.flush()
+	if !m.locked {
+		m.locked = true
+		m.owner = t
+		return
+	}
+	m.q = append(m.q, t)
+	t.block("mutex")
+}
+
+// Unlock releases m, handing ownership to the oldest waiter if any.
+func (t *Thread) Unlock(m *Mutex) {
+	t.flush()
+	if m.owner != t {
+		panic("vm: Unlock of mutex not owned by thread " + t.Name)
+	}
+	if len(m.q) == 0 {
+		m.locked = false
+		m.owner = nil
+		return
+	}
+	next := m.q[0]
+	m.q = m.q[1:]
+	m.owner = next
+	t.vm.wakeAt(next, t.vm.now+t.vm.cfg.Cost.MutexSlow+t.vm.cfg.Cost.CondWake)
+}
+
+// Cond is a blocking condition variable used with a Mutex.
+type Cond struct {
+	q []*Thread
+}
+
+// CondWait atomically releases m and blocks until signalled, then reacquires
+// m before returning (pthread_cond_wait semantics, including the usual
+// requirement that callers re-check their predicate in a loop).
+func (t *Thread) CondWait(c *Cond, m *Mutex) {
+	c.q = append(c.q, t)
+	t.Unlock(m)
+	t.block("cond")
+	t.Lock(m)
+}
+
+// CondSignal wakes the oldest waiter, if any.
+func (t *Thread) CondSignal(c *Cond) {
+	t.flush()
+	if len(c.q) == 0 {
+		return
+	}
+	w := c.q[0]
+	c.q = c.q[1:]
+	t.vm.wakeAt(w, t.vm.now+t.vm.cfg.Cost.CondWake)
+}
+
+// CondBroadcast wakes all waiters, staggered by the machine's wake cost
+// (futex broadcasts wake serially).
+func (t *Thread) CondBroadcast(c *Cond) {
+	t.flush()
+	for i, w := range c.q {
+		t.vm.wakeAt(w, t.vm.now+t.vm.cfg.Cost.CondWake+Time(i)*t.vm.cfg.Cost.BarrierWake)
+	}
+	c.q = nil
+}
+
+// Barrier is a blocking thread barrier for N participants. Waiters sleep
+// off-core; the release is staggered per waiter (BarrierWake), which is what
+// makes blocking barriers expensive at high core counts for short phases —
+// the paper's rgbcmy observation. The zero value is invalid; set N.
+type Barrier struct {
+	N       int
+	arrived int
+	q       []*Thread
+}
+
+// BarrierWait blocks until N threads have arrived. Returns true on the last
+// arriver (the "serial thread", as in pthread_barrier_wait).
+func (t *Thread) BarrierWait(b *Barrier) bool {
+	cm := &t.vm.cfg.Cost
+	t.Charge(cm.MutexFast)
+	t.flush()
+	b.arrived++
+	if b.arrived < b.N {
+		b.q = append(b.q, t)
+		t.block("barrier")
+		return false
+	}
+	b.arrived = 0
+	for i, w := range b.q {
+		t.vm.wakeAt(w, t.vm.now+cm.CondWake+Time(i)*cm.BarrierWake)
+	}
+	b.q = nil
+	return true
+}
+
+// SpinBarrier is a polling (busy-wait) barrier for N participants. Waiters
+// keep their cores and observe the release within PollInterval — the OmpSs
+// task-barrier style. The zero value is invalid; set N.
+type SpinBarrier struct {
+	N       int
+	arrived int
+	gen     uint64
+	ws      WaitSet
+}
+
+// SpinBarrierWait busy-waits until N threads have arrived. Returns true on
+// the last arriver.
+func (t *Thread) SpinBarrierWait(b *SpinBarrier) bool {
+	t.Charge(t.vm.cfg.Cost.PollCheck)
+	t.flush()
+	b.arrived++
+	if b.arrived == b.N {
+		b.arrived = 0
+		b.gen++
+		b.ws.WakeAll(t.vm)
+		return true
+	}
+	gen := b.gen
+	t.SpinUntil(&b.ws, func() bool { return b.gen != gen })
+	return false
+}
+
+// SpinVar is an atomic progress counter with efficient simulated busy-wait
+// observers. It models the per-line decoded-macroblock counters used by
+// optimized wavefront decoders (Chi & Juurlink's line decoding, paper §4).
+// The zero value holds 0.
+type SpinVar struct {
+	val int64
+	ws  WaitSet
+}
+
+// SpinStore publishes a new value and wakes watchers.
+func (t *Thread) SpinStore(v *SpinVar, x int64) {
+	t.Charge(t.vm.cfg.Cost.PollCheck)
+	t.flush()
+	v.val = x
+	v.ws.WakeAll(t.vm)
+}
+
+// SpinAdd atomically adds delta, wakes watchers, and returns the new value.
+func (t *Thread) SpinAdd(v *SpinVar, delta int64) int64 {
+	t.Charge(t.vm.cfg.Cost.PollCheck)
+	t.flush()
+	v.val += delta
+	v.ws.WakeAll(t.vm)
+	return v.val
+}
+
+// SpinLoad reads the current value.
+func (t *Thread) SpinLoad(v *SpinVar) int64 {
+	t.Charge(t.vm.cfg.Cost.PollCheck)
+	return v.val
+}
+
+// SpinWaitGE busy-waits until the variable reaches at least x.
+func (t *Thread) SpinWaitGE(v *SpinVar, x int64) {
+	t.SpinUntil(&v.ws, func() bool { return v.val >= x })
+}

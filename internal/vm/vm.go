@@ -1,0 +1,520 @@
+// Package vm implements a deterministic discrete-event simulator of a
+// multi-socket, cache-coherent NUMA chip multiprocessor.
+//
+// The simulator stands in for the 4-socket, 32-core cc-NUMA machine used in
+// the paper's evaluation (see DESIGN.md §1). It executes *real* Go code: each
+// virtual thread is a goroutine that exchanges a scheduling token with the
+// simulator loop, so exactly one virtual thread runs at any real instant and
+// all virtual threads observe shared memory in virtual-time order. Results
+// computed inside the simulation are therefore bit-identical to a native run,
+// while wall-clock behaviour (core occupancy, synchronization latency, cache
+// warmth, NUMA penalties) is modeled by the CostModel.
+//
+// The engine is a classic event-heap DES: events are (time, seq, action)
+// triples, processed in (time, seq) order, so identical configurations replay
+// identically. Virtual threads are pinned to virtual cores; a core runs one
+// thread at a time and timeslices (quantum + context-switch cost) when
+// oversubscribed, like a preemptive OS scheduler.
+package vm
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of virtual cores (≥1).
+	Cores int
+	// Sockets is the number of NUMA sockets. Cores are split into
+	// contiguous, equally sized blocks, mirroring the paper's 4×8 layout.
+	// Values that do not divide Cores are rounded so every core has a
+	// socket. Zero means 1.
+	Sockets int
+	// Quantum is the preemption timeslice used when a core is
+	// oversubscribed. Zero selects the default (1 ms).
+	Quantum Time
+	// Seed seeds the deterministic RNG available to schedulers (e.g. for
+	// steal-victim selection).
+	Seed int64
+	// Cost is the machine cost model. Zero value selects DefaultCostModel.
+	Cost CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
+	if c.Sockets > c.Cores {
+		c.Sockets = c.Cores
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = Millisecond
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	return c
+}
+
+// event is a scheduled action. seq breaks time ties FIFO so runs replay
+// deterministically.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // earliest event time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Core is one virtual processor.
+type Core struct {
+	ID     int
+	Socket int
+
+	cur  *Thread   // thread currently owning the core (running or spinning)
+	runq []*Thread // ready threads waiting for the core
+
+	// accounting
+	Busy Time // time spent executing useful work
+	Spin Time // time spent busy-waiting (polling); a subset of occupancy
+	// Busy+Spin vs final time gives idle time.
+}
+
+// VM is a simulated machine instance. Create with New, populate with Go, and
+// drive to completion with Run. A VM is not safe for concurrent use from
+// multiple real goroutines except through its own virtual threads.
+type VM struct {
+	cfg     Config
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	cores   []*Core
+	threads []*Thread
+	live    int // threads not yet finished
+	nevents uint64
+
+	yielded chan struct{} // virtual thread -> VM: "I have yielded"
+	running bool
+
+	datums map[any]*datumState // memory warmth tracking
+}
+
+// New creates a simulated machine.
+func New(cfg Config) *VM {
+	cfg = cfg.withDefaults()
+	vm := &VM{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		yielded: make(chan struct{}),
+		datums:  make(map[any]*datumState),
+	}
+	per := (cfg.Cores + cfg.Sockets - 1) / cfg.Sockets
+	for i := 0; i < cfg.Cores; i++ {
+		vm.cores = append(vm.cores, &Core{ID: i, Socket: i / per})
+	}
+	return vm
+}
+
+// Now returns the current virtual time.
+func (vm *VM) Now() Time { return vm.now }
+
+// Cores returns the number of virtual cores.
+func (vm *VM) Cores() int { return len(vm.cores) }
+
+// Socket returns the socket index of a core.
+func (vm *VM) Socket(core int) int { return vm.cores[core].Socket }
+
+// Cost returns the machine's cost model.
+func (vm *VM) Cost() *CostModel { return &vm.cfg.Cost }
+
+// Rand returns a deterministic RNG owned by the machine. Only use from
+// virtual-thread or event context.
+func (vm *VM) Rand() *rand.Rand { return vm.rng }
+
+// at schedules fn to run in VM context at time `at` (clamped to now).
+func (vm *VM) at(at Time, fn func()) {
+	if at < vm.now {
+		at = vm.now
+	}
+	vm.seq++
+	heap.Push(&vm.events, event{at: at, seq: vm.seq, fn: fn})
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Time    Time   // virtual makespan
+	Events  uint64 // DES events processed
+	Cores   []CoreStats
+	Threads int
+}
+
+// CoreStats is per-core occupancy accounting.
+type CoreStats struct {
+	Busy Time // useful execution
+	Spin Time // busy-wait occupancy
+}
+
+// Utilization returns the fraction of core-time spent on useful work.
+func (s Stats) Utilization() float64 {
+	if s.Time == 0 || len(s.Cores) == 0 {
+		return 0
+	}
+	var busy Time
+	for _, c := range s.Cores {
+		busy += c.Busy
+	}
+	return float64(busy) / (float64(s.Time) * float64(len(s.Cores)))
+}
+
+// Occupancy returns the fraction of core-time during which cores were held
+// (useful work + spinning). The paper's §5 responsiveness remark is about
+// occupancy exceeding utilization under polling runtimes.
+func (s Stats) Occupancy() float64 {
+	if s.Time == 0 || len(s.Cores) == 0 {
+		return 0
+	}
+	var occ Time
+	for _, c := range s.Cores {
+		occ += c.Busy + c.Spin
+	}
+	return float64(occ) / (float64(s.Time) * float64(len(s.Cores)))
+}
+
+// Run processes events until every virtual thread has finished. It returns an
+// error when the simulation deadlocks (live threads but no pending events).
+func (vm *VM) Run() (Stats, error) {
+	if vm.running {
+		return Stats{}, fmt.Errorf("vm: Run called twice")
+	}
+	vm.running = true
+	for vm.live > 0 {
+		if len(vm.events) == 0 {
+			return vm.stats(), fmt.Errorf("vm: deadlock at %v: %s", vm.now, vm.dumpThreads())
+		}
+		ev := heap.Pop(&vm.events).(event)
+		vm.now = ev.at
+		vm.nevents++
+		ev.fn()
+	}
+	return vm.stats(), nil
+}
+
+func (vm *VM) stats() Stats {
+	s := Stats{Time: vm.now, Events: vm.nevents, Threads: len(vm.threads)}
+	for _, c := range vm.cores {
+		s.Cores = append(s.Cores, CoreStats{Busy: c.Busy, Spin: c.Spin})
+	}
+	return s
+}
+
+func (vm *VM) dumpThreads() string {
+	var parts []string
+	for _, t := range vm.threads {
+		if !t.finished {
+			parts = append(parts, fmt.Sprintf("%s[%s]", t.Name, t.state))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// Go creates a virtual thread pinned to the given core, running fn. It may be
+// called before Run (root threads) or from another virtual thread
+// (pthread_create-style). The thread becomes runnable after the configured
+// thread-spawn latency.
+func (vm *VM) Go(name string, core int, fn func(*Thread)) *Thread {
+	if core < 0 || core >= len(vm.cores) {
+		core = 0
+	}
+	t := &Thread{
+		vm:      vm,
+		ID:      len(vm.threads),
+		Name:    name,
+		core:    vm.cores[core],
+		resume:  make(chan struct{}),
+		fn:      fn,
+		state:   "new",
+		blocked: true, // a new thread is woken by its start event
+	}
+	vm.threads = append(vm.threads, t)
+	vm.live++
+	go t.main()
+	vm.at(vm.now+vm.cfg.Cost.ThreadSpawn, func() { vm.makeReady(t) })
+	return t
+}
+
+// makeReady queues t on its core, granting the core immediately if free.
+// Must run in VM/virtual-thread context. A wake delivered while t is still
+// running is saved (futex-style) and consumed by t's next block. Primitives
+// wake a thread exactly once per grant, so a saved wake can never go stale.
+func (vm *VM) makeReady(t *Thread) {
+	if !t.blocked {
+		t.wakePending = true
+		return
+	}
+	t.blocked = false
+	c := t.core
+	if c.cur == nil {
+		c.cur = t
+		vm.resumeSoon(t)
+		return
+	}
+	c.runq = append(c.runq, t)
+	t.state = "ready"
+	// If the core is held by a parked spinner, boot it so the incoming
+	// thread is not starved: the spinner resumes, notices the queued peer,
+	// and downgrades to timesliced spinning (preemptive-OS behaviour).
+	if cur := c.cur; cur != nil && cur.parkedOn != nil {
+		ws := cur.parkedOn
+		cur.parkedOn = nil
+		ws.remove(cur)
+		booted := cur
+		vm.at(vm.now, func() { vm.transfer(booted) })
+	}
+}
+
+// resumeSoon schedules the token handoff to t at the current time.
+func (vm *VM) resumeSoon(t *Thread) {
+	vm.at(vm.now, func() { vm.transfer(t) })
+}
+
+// transfer hands the execution token to t and waits for it to yield. Only
+// ever invoked from the Run loop (event context).
+func (vm *VM) transfer(t *Thread) {
+	t.state = "running"
+	t.resume <- struct{}{}
+	<-vm.yielded
+}
+
+// releaseCore gives up t's core and dispatches the next queued thread, if
+// any, charging a context switch.
+func (vm *VM) releaseCore(t *Thread) {
+	c := t.core
+	if c.cur != t {
+		return
+	}
+	c.cur = nil
+	if len(c.runq) > 0 {
+		next := c.runq[0]
+		c.runq = c.runq[1:]
+		c.cur = next
+		vm.at(vm.now+vm.cfg.Cost.ContextSwitch, func() { vm.transfer(next) })
+	}
+}
+
+// Thread is a virtual thread of execution. All methods must be called from
+// the thread's own body function.
+type Thread struct {
+	vm   *VM
+	ID   int
+	Name string
+	core *Core
+
+	resume   chan struct{}
+	fn       func(*Thread)
+	state    string
+	finished bool
+
+	blocked     bool     // parked off-core, waiting for makeReady
+	wakePending bool     // a wake arrived while still running
+	parkedOn    *WaitSet // non-nil while parked in a spin loop (core held)
+
+	acc Time // accumulated small charges, folded into the next advance
+}
+
+// main is the real goroutine backing the virtual thread.
+func (t *Thread) main() {
+	<-t.resume // wait for first dispatch
+	t.fn(t)
+	t.flush()
+	t.finished = true
+	t.state = "done"
+	t.vm.live--
+	t.vm.releaseCore(t)
+	t.vm.yielded <- struct{}{}
+}
+
+// yield returns the token to the VM loop and blocks until redispatched.
+func (t *Thread) yield() {
+	t.vm.yielded <- struct{}{}
+	<-t.resume
+}
+
+// VM returns the owning machine.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Core returns the ID of the core the thread is pinned to.
+func (t *Thread) Core() int { return t.core.ID }
+
+// Socket returns the socket of the thread's core.
+func (t *Thread) Socket() int { return t.core.Socket }
+
+// Now returns current virtual time.
+func (t *Thread) Now() Time { return t.vm.now }
+
+// Charge accrues a small cost without an immediate context interaction. The
+// accumulated amount is folded into the next Compute, blocking operation, or
+// Flush. Use it for cheap bookkeeping costs (uncontended lock/unlock, queue
+// operations) to keep the event count low.
+func (t *Thread) Charge(d Time) {
+	if d > 0 {
+		t.acc += d
+	}
+}
+
+// flush converts accumulated charges into real virtual-time advance.
+func (t *Thread) flush() {
+	if t.acc > 0 {
+		d := t.acc
+		t.acc = 0
+		t.advance(d, false)
+	}
+}
+
+// Flush forces accumulated charges to take effect now. Needed before reading
+// shared state whose ordering matters.
+func (t *Thread) Flush() { t.flush() }
+
+// advance occupies the core for d nanoseconds. spin selects whether the time
+// counts as useful work or busy-waiting. The thread keeps core ownership.
+func (t *Thread) advance(d Time, spin bool) {
+	if d <= 0 {
+		return
+	}
+	t.state = "computing"
+	t.vm.at(t.vm.now+d, func() { t.vm.transfer(t) })
+	t.yield()
+	if spin {
+		t.core.Spin += d
+	} else {
+		t.core.Busy += d
+	}
+}
+
+// Compute models d nanoseconds of computation on the thread's core. When the
+// core is oversubscribed, the computation is timesliced at the machine
+// quantum, paying context switches, like a preemptive OS.
+func (t *Thread) Compute(d Time) {
+	d += t.acc
+	t.acc = 0
+	q := t.vm.cfg.Quantum
+	for d > 0 {
+		step := d
+		if len(t.core.runq) > 0 && step > q {
+			step = q
+		}
+		t.advance(step, false)
+		d -= step
+		if d > 0 && len(t.core.runq) > 0 {
+			t.preempt()
+		}
+	}
+}
+
+// preempt moves the thread to the back of its core's run queue and hands the
+// core to the next ready thread, blocking until the core is regained.
+func (t *Thread) preempt() {
+	c := t.core
+	if len(c.runq) == 0 {
+		return
+	}
+	next := c.runq[0]
+	c.runq = c.runq[1:]
+	c.runq = append(c.runq, t)
+	c.cur = next
+	t.state = "preempted"
+	t.vm.at(t.vm.now+t.vm.cfg.Cost.ContextSwitch, func() { t.vm.transfer(next) })
+	t.yield()
+}
+
+// Sleep blocks the thread (releasing its core) for d nanoseconds.
+func (t *Thread) Sleep(d Time) {
+	t.flush()
+	t.vm.at(t.vm.now+d, func() { t.vm.makeReady(t) })
+	t.block("sleep")
+}
+
+// block parks the thread off-core with the given state label, unless a wake
+// was saved while it was still running (which it then consumes).
+func (t *Thread) block(state string) {
+	t.flush()
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.blocked = true
+	t.state = "blocked:" + state
+	t.vm.releaseCore(t)
+	t.yield()
+}
+
+// wakeAt schedules t to become runnable at the given virtual time.
+func (vm *VM) wakeAt(t *Thread, at Time) {
+	vm.at(at, func() { vm.makeReady(t) })
+}
+
+// Go spawns a child virtual thread pinned to the given core. The caller
+// pays only the serial issue cost; the child's start latency overlaps with
+// further parent execution (clone() returns before the child is scheduled).
+func (t *Thread) Go(name string, core int, fn func(*Thread)) *Thread {
+	t.Charge(t.vm.cfg.Cost.ThreadSpawnIssue)
+	t.flush()
+	return t.vm.Go(name, core, fn)
+}
+
+// Yield voluntarily reschedules the thread behind any queued peers on its
+// core (sched_yield).
+func (t *Thread) Yield() {
+	t.flush()
+	if len(t.core.runq) > 0 {
+		t.preempt()
+	}
+}

@@ -1,0 +1,18 @@
+package machine
+
+import "testing"
+
+func TestPaperConfig(t *testing.T) {
+	cases := []struct{ cores, sockets int }{
+		{1, 1}, {8, 1}, {16, 2}, {24, 3}, {32, 4},
+	}
+	for _, c := range cases {
+		mc := Paper(c.cores)
+		if mc.Cores != c.cores || mc.Sockets != c.sockets {
+			t.Errorf("Paper(%d) = %+v, want %d sockets", c.cores, mc, c.sockets)
+		}
+	}
+	if Paper(0).Sockets < 1 {
+		t.Fatal("degenerate core count must keep one socket")
+	}
+}

@@ -1,0 +1,160 @@
+package ompss
+
+import (
+	"time"
+
+	"ompssgo/internal/core"
+)
+
+// Clause annotates a task at spawn time, mirroring the OmpSs pragma clause
+// vocabulary (input/output/inout plus cost, priority, label, if).
+type Clause func(*taskSpec)
+
+type taskSpec struct {
+	accesses []core.Access
+	cost     time.Duration
+	priority int
+	label    string
+	enabled  bool
+	final    bool
+}
+
+func buildSpec(clauses []Clause) taskSpec {
+	s := taskSpec{enabled: true}
+	for _, c := range clauses {
+		c(&s)
+	}
+	return s
+}
+
+// In declares read (input) dependences on the given keys. A key identifies a
+// datum by exact match — pass the same pointer the producing task declared.
+func In(keys ...any) Clause {
+	return func(s *taskSpec) {
+		for _, k := range keys {
+			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.In})
+		}
+	}
+}
+
+// Out declares write (output) dependences on the given keys.
+func Out(keys ...any) Clause {
+	return func(s *taskSpec) {
+		for _, k := range keys {
+			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Out})
+		}
+	}
+}
+
+// InOut declares read-write (inout) dependences on the given keys.
+func InOut(keys ...any) Clause {
+	return func(s *taskSpec) {
+		for _, k := range keys {
+			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.InOut})
+		}
+	}
+}
+
+// Concurrent declares dependences that may overlap with each other but are
+// ordered against ordinary readers and writers (the OmpSs concurrent
+// extension, for reductions guarded by their own synchronization).
+func Concurrent(keys ...any) Clause {
+	return func(s *taskSpec) {
+		for _, k := range keys {
+			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Concurrent})
+		}
+	}
+}
+
+// Commutative declares order-free but mutually exclusive updates (the OmpSs
+// commutative extension): commutative tasks on the same key may execute in
+// any order but never simultaneously — the runtime serializes their bodies
+// with a per-key lock — while ordinary readers and writers are ordered
+// against all of them. Tasks with several commutative keys acquire the locks
+// in declaration order; declare them consistently across tasks.
+func Commutative(keys ...any) Clause {
+	return func(s *taskSpec) {
+		for _, k := range keys {
+			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Commutative})
+		}
+	}
+}
+
+// InSized is In with a byte footprint for the simulated memory model.
+func InSized(key any, bytes int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.In, Bytes: bytes})
+	}
+}
+
+// OutSized is Out with a byte footprint for the simulated memory model.
+func OutSized(key any, bytes int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.Out, Bytes: bytes})
+	}
+}
+
+// InOutSized is InOut with a byte footprint for the simulated memory model.
+func InOutSized(key any, bytes int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.InOut, Bytes: bytes})
+	}
+}
+
+// InRegion declares a read dependence on the array section [lo, hi) of the
+// array identified by base — the OmpSs array-section clause
+// `input(a[lo;hi-lo])`. Sections of the same base conflict only where they
+// overlap, so tasks over disjoint blocks run in parallel without manual
+// per-block keys.
+func InRegion(base any, lo, hi int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{
+			Key: core.Region{Base: base, Lo: lo, Hi: hi}, Mode: core.In, Bytes: hi - lo,
+		})
+	}
+}
+
+// OutRegion declares a write dependence on an array section.
+func OutRegion(base any, lo, hi int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{
+			Key: core.Region{Base: base, Lo: lo, Hi: hi}, Mode: core.Out, Bytes: hi - lo,
+		})
+	}
+}
+
+// InOutRegion declares a read-write dependence on an array section.
+func InOutRegion(base any, lo, hi int64) Clause {
+	return func(s *taskSpec) {
+		s.accesses = append(s.accesses, core.Access{
+			Key: core.Region{Base: base, Lo: lo, Hi: hi}, Mode: core.InOut, Bytes: hi - lo,
+		})
+	}
+}
+
+// RegionKey builds the dependence key for an array section, for use with
+// TaskwaitOn (e.g. rt.TaskwaitOn(ompss.RegionKey(&a[0], 0, 64))).
+func RegionKey(base any, lo, hi int64) any {
+	return core.Region{Base: base, Lo: lo, Hi: hi}
+}
+
+// Cost declares the task's computational cost for the simulated machine
+// (native execution ignores it; the body's real work is the cost there).
+func Cost(d time.Duration) Clause { return func(s *taskSpec) { s.cost = d } }
+
+// Priority biases dispatch: ready tasks with higher priority are scheduled
+// before FIFO-ordered peers.
+func Priority(p int) Clause { return func(s *taskSpec) { s.priority = p } }
+
+// Label names the task for traces and DOT exports.
+func Label(l string) Clause { return func(s *taskSpec) { s.label = l } }
+
+// If controls deferral: If(false) executes the task undeferred in the
+// spawning thread (still honoring cost accounting), as in OmpSs. Use it to
+// collapse task granularity dynamically.
+func If(cond bool) Clause { return func(s *taskSpec) { s.enabled = s.enabled && cond } }
+
+// Final marks the task final when cond holds (`final` clause): the task and
+// every task spawned inside it (transitively) execute undeferred, cutting
+// off nesting overhead below a depth or size threshold.
+func Final(cond bool) Clause { return func(s *taskSpec) { s.final = s.final || cond } }

@@ -1,0 +1,109 @@
+package ompss
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ompssgo/machine"
+)
+
+func TestCommutativeMutualExclusion(t *testing.T) {
+	// Unsynchronized counter updates under Commutative must not race: the
+	// runtime's per-key lock serializes the bodies.
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	counter := 0
+	for i := 0; i < 200; i++ {
+		rt.Task(func(*TC) { counter++ }, Commutative(&counter))
+	}
+	rt.Taskwait()
+	if counter != 200 {
+		t.Fatalf("commutative counter = %d, want 200", counter)
+	}
+}
+
+func TestCommutativeOrdersAgainstReadersAndWriters(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	x := new(int)
+	rt.Task(func(*TC) { *x = 100 }, Out(x))
+	for i := 0; i < 8; i++ {
+		rt.Task(func(*TC) { *x++ }, Commutative(x))
+	}
+	got := new(int)
+	rt.Task(func(*TC) { *got = *x }, In(x), Out(got))
+	rt.Taskwait()
+	if *got != 108 {
+		t.Fatalf("reader after commutatives saw %d, want 108", *got)
+	}
+}
+
+func TestCommutativeSimOverlapsDistinctKeys(t *testing.T) {
+	// Commutative tasks on DIFFERENT keys must run in parallel; on the
+	// SAME key they serialize. Compare makespans.
+	run := func(sameKey bool) time.Duration {
+		st, err := RunSim(machine.Paper(8), func(rt *Runtime) {
+			keys := make([]int, 8)
+			for i := 0; i < 8; i++ {
+				k := &keys[0]
+				if !sameKey {
+					k = &keys[i]
+				}
+				rt.Task(func(tc *TC) { tc.Compute(time.Millisecond) },
+					Commutative(k), Cost(time.Microsecond))
+			}
+			rt.Taskwait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Makespan
+	}
+	same, distinct := run(true), run(false)
+	if float64(same)/float64(distinct) < 4 {
+		t.Fatalf("same-key commutatives should serialize: same=%v distinct=%v", same, distinct)
+	}
+}
+
+func TestTaskPanicResurfacesAtTaskwait(t *testing.T) {
+	rt := New(Workers(2))
+	var sibling int
+	x := new(int)
+	rt.Task(func(*TC) { panic("boom") }, Label("bad"), Out(x))
+	rt.Task(func(*TC) { sibling = 1 }, In(x)) // dependent of the panicker
+	defer func() {
+		r := recover()
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("expected *TaskPanic, got %v", r)
+		}
+		if tp.Label != "bad" || tp.Value != "boom" {
+			t.Fatalf("panic details: %+v", tp)
+		}
+		if sibling != 1 {
+			t.Fatal("dependent task should still run (graph must drain)")
+		}
+		var err error = tp
+		var asPanic *TaskPanic
+		if !errors.As(err, &asPanic) {
+			t.Fatal("TaskPanic should satisfy errors.As")
+		}
+	}()
+	rt.Taskwait()
+	t.Fatal("Taskwait should have panicked")
+}
+
+func TestTaskPanicSurfacesAsSimError(t *testing.T) {
+	_, err := RunSim(machine.Paper(4), func(rt *Runtime) {
+		rt.Task(func(*TC) { panic("sim-boom") }, Label("bad"))
+		// No explicit taskwait: the implicit shutdown drain captures it.
+	})
+	var tp *TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("RunSim error = %v, want *TaskPanic", err)
+	}
+	if tp.Value != "sim-boom" {
+		t.Fatalf("panic value %v", tp.Value)
+	}
+}

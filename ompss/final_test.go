@@ -1,0 +1,110 @@
+package ompss
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompssgo/machine"
+)
+
+func TestFinalCutsOffNesting(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	var leaves int32
+	rt.Task(func(tc *TC) {
+		if !tc.InFinal() {
+			t.Error("final task should report InFinal")
+		}
+		// Nested spawns inside a final task run inline, immediately.
+		for i := 0; i < 4; i++ {
+			tc.Task(func(tc2 *TC) {
+				if !tc2.InFinal() {
+					t.Error("final must be transitive")
+				}
+				atomic.AddInt32(&leaves, 1)
+			})
+		}
+		if atomic.LoadInt32(&leaves) != 4 {
+			t.Error("nested tasks in a final context must execute undeferred")
+		}
+	}, Final(true))
+	rt.Taskwait()
+	st := rt.Stats()
+	// Only the outer task entered the graph.
+	if st.Graph.Submitted != 1 {
+		t.Fatalf("graph tasks = %d, want 1", st.Graph.Submitted)
+	}
+}
+
+func TestFinalFalseIsInert(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	rt.Task(func(tc *TC) {
+		if tc.InFinal() {
+			t.Error("Final(false) should not mark the task final")
+		}
+	}, Final(false))
+	rt.Taskwait()
+}
+
+func TestFinalCostsChargedInSim(t *testing.T) {
+	st, err := RunSim(machine.Paper(4), func(rt *Runtime) {
+		rt.Task(func(tc *TC) {
+			for i := 0; i < 4; i++ {
+				tc.Task(func(*TC) {}, Cost(500*time.Microsecond))
+			}
+		}, Final(true), Cost(100*time.Microsecond))
+		rt.Taskwait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100µs + 4×500µs inline on one worker ≥ 2.1ms serial.
+	if st.Makespan < 2100*time.Microsecond {
+		t.Fatalf("final-inlined costs not charged: %v", st.Makespan)
+	}
+	if st.Tasks != 1 {
+		t.Fatalf("graph tasks = %d, want 1", st.Tasks)
+	}
+}
+
+// TestSimNativeEquivalenceProperty is the dual-backend contract on random
+// programs: the same dataflow program must compute identical results
+// natively and on the simulated machine.
+func TestSimNativeEquivalenceProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(trial*7 + 1)
+		rng := rand.New(rand.NewSource(seed))
+		const nvars = 5
+		type op struct{ dst, src, k int }
+		ops := make([]op, rng.Intn(40)+10)
+		for i := range ops {
+			ops[i] = op{rng.Intn(nvars), rng.Intn(nvars), rng.Intn(5)}
+		}
+		program := func(rt *Runtime) [nvars]int {
+			var vars [nvars]int
+			for i := range vars {
+				vars[i] = i + 1
+			}
+			for _, o := range ops {
+				o := o
+				rt.Task(func(*TC) { vars[o.dst] += vars[o.src]*o.k + 1 },
+					In(&vars[o.src]), InOut(&vars[o.dst]), Cost(10*time.Microsecond))
+			}
+			rt.Taskwait()
+			return vars
+		}
+		rt := New(Workers(3), Seed(seed))
+		native := program(rt)
+		rt.Shutdown()
+		var sim [nvars]int
+		if _, err := RunSim(machine.Paper(8), func(rt *Runtime) { sim = program(rt) }); err != nil {
+			t.Fatal(err)
+		}
+		if native != sim {
+			t.Fatalf("trial %d: native %v != sim %v", trial, native, sim)
+		}
+	}
+}

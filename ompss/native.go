@@ -1,0 +1,222 @@
+package ompss
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"ompssgo/internal/core"
+)
+
+// nativeBackend executes tasks on goroutine workers. With Workers(n), n−1
+// dedicated workers run lanes 0..n−2; the program's master thread owns lane
+// n−1 and helps execute tasks inside Taskwait/TaskwaitOn/Shutdown, matching
+// the OmpSs thread model (OMP_NUM_THREADS counts the master).
+//
+// All engine state is guarded by one scheduler lock; the engine itself
+// (internal/core) is a pure state machine shared with the simulated backend.
+type nativeBackend struct {
+	rt  *Runtime
+	cfg config
+
+	mu    sync.Mutex
+	cond  *sync.Cond // Blocking mode: idle workers and taskwaiters
+	graph *core.Graph
+	sched *core.Sched
+	stop  bool
+
+	wg    sync.WaitGroup
+	crit  critSet[sync.Mutex]
+	epoch time.Time
+
+	commMu sync.Mutex
+	comm   map[any]*sync.Mutex // per-key commutative locks
+
+	shutdownOnce sync.Once
+}
+
+func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
+	b := &nativeBackend{
+		rt:    rt,
+		cfg:   cfg,
+		graph: core.NewGraph(),
+		sched: core.NewSched(cfg.workers, cfg.locality, cfg.seed),
+		epoch: time.Now(),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *nativeBackend) masterLane() int { return b.cfg.workers - 1 }
+
+func (b *nativeBackend) start() {
+	for lane := 0; lane < b.cfg.workers-1; lane++ {
+		b.wg.Add(1)
+		go b.workerLoop(lane)
+	}
+}
+
+func (b *nativeBackend) workerLoop(lane int) {
+	defer b.wg.Done()
+	for {
+		b.mu.Lock()
+		t := b.sched.Pop(lane)
+		if t == nil {
+			if b.stop {
+				b.mu.Unlock()
+				return
+			}
+			if b.cfg.wait == Blocking {
+				b.cond.Wait()
+				b.mu.Unlock()
+				continue
+			}
+			b.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		b.graph.MarkRunning(t, lane)
+		b.mu.Unlock()
+		b.runTask(t, lane)
+	}
+}
+
+func (b *nativeBackend) runTask(t *core.Task, lane int) {
+	b.trace(TraceStart, t, lane)
+	t.Body()
+	b.mu.Lock()
+	ready := b.graph.Finish(t)
+	for _, r := range ready {
+		b.sched.PushReady(r, lane)
+	}
+	if b.cfg.wait == Blocking {
+		// Wake idle workers for the released tasks and any taskwaiter
+		// whose context may have drained.
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+	b.trace(TraceEnd, t, lane)
+}
+
+// helpOne lets the calling thread execute one ready task, reporting whether
+// it found any.
+func (b *nativeBackend) helpOne(lane int) bool {
+	b.mu.Lock()
+	t := b.sched.Pop(lane)
+	if t == nil {
+		b.mu.Unlock()
+		return false
+	}
+	b.graph.MarkRunning(t, lane)
+	b.mu.Unlock()
+	b.runTask(t, lane)
+	return true
+}
+
+func (b *nativeBackend) submit(from *TC, t *core.Task) {
+	b.mu.Lock()
+	if b.graph.Submit(t) {
+		b.sched.PushSubmit(t)
+		if b.cfg.wait == Blocking {
+			b.cond.Signal()
+		}
+	}
+	b.mu.Unlock()
+	b.trace(TraceSubmit, t, from.worker)
+}
+
+func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
+	for ctx.Pending() > 0 {
+		if b.helpOne(from.worker) {
+			continue
+		}
+		if b.cfg.wait == Blocking {
+			b.mu.Lock()
+			if ctx.Pending() > 0 && b.sched.Ready() == 0 {
+				b.cond.Wait()
+			}
+			b.mu.Unlock()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (b *nativeBackend) taskwaitOn(from *TC, keys []any) {
+	for _, k := range keys {
+		b.mu.Lock()
+		writers := b.graph.Writers(k)
+		b.mu.Unlock()
+		for _, lw := range writers {
+			if b.cfg.wait == Blocking {
+				<-lw.Done()
+				continue
+			}
+			for !lw.Finished() {
+				if !b.helpOne(from.worker) {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+}
+
+func (b *nativeBackend) critical(from *TC, name string, hold time.Duration, f func()) {
+	l := b.crit.get(name)
+	l.Lock()
+	f()
+	l.Unlock()
+	_ = hold // the real f supplies the real work natively
+}
+
+func (b *nativeBackend) commutative(from *TC, key any, f func()) {
+	b.commMu.Lock()
+	if b.comm == nil {
+		b.comm = make(map[any]*sync.Mutex)
+	}
+	l := b.comm[key]
+	if l == nil {
+		l = &sync.Mutex{}
+		b.comm[key] = l
+	}
+	b.commMu.Unlock()
+	l.Lock()
+	f()
+	l.Unlock()
+}
+
+func (b *nativeBackend) compute(*TC, time.Duration)  {} // native bodies do real work
+func (b *nativeBackend) touch(*TC, any, int64, bool) {} // native memory is real
+func (b *nativeBackend) lastWriter(key any) *core.Task {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.graph.LastWriter(key)
+}
+
+func (b *nativeBackend) shutdown(from *TC) {
+	b.shutdownOnce.Do(func() {
+		// Implicit end-of-program barrier: drain every context.
+		for b.graph.Unfinished() > 0 {
+			if !b.helpOne(from.worker) {
+				runtime.Gosched()
+			}
+		}
+		b.mu.Lock()
+		b.stop = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		b.wg.Wait()
+	})
+}
+
+func (b *nativeBackend) stats() RunStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
+}
+
+func (b *nativeBackend) trace(kind TraceKind, t *core.Task, lane int) {
+	if tr := b.cfg.tracer; tr != nil {
+		tr.record(kind, t, lane, time.Since(b.epoch))
+	}
+}

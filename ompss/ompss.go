@@ -1,0 +1,380 @@
+// Package ompss implements the OpenMP Superscalar (OmpSs) task-dataflow
+// programming model as a Go library.
+//
+// OmpSs extends OpenMP with the StarSs dependence clauses: functions are
+// annotated as tasks whose arguments carry input/output/inout directions;
+// calls add nodes to a task graph instead of executing immediately, and the
+// runtime resolves dependences and schedules ready tasks onto worker
+// threads. This package is a from-scratch reproduction of that model as
+// evaluated in Andersch, Chi & Juurlink, "Programming Parallel Embedded and
+// Consumer Applications in OpenMP Superscalar" (PPoPP 2012): the pragma
+//
+//	#pragma omp task input(*a) inout(*b) output(*c)
+//	work(a, b, c);
+//
+// becomes
+//
+//	rt.Task(func(tc *ompss.TC) { work(a, b, c) },
+//	        ompss.In(a), ompss.InOut(b), ompss.Out(c))
+//
+// Two execution backends share the same dependence tracker and scheduler
+// (internal/core):
+//
+//   - New creates a native runtime executing on goroutine workers.
+//   - RunSim executes a program on a simulated cc-NUMA machine
+//     (package machine), reproducing the paper's 1–32 core sweep on any
+//     host.
+//
+// As in OmpSs, the master thread participates in execution: with Workers(n),
+// n−1 dedicated workers are started and the program thread helps execute
+// tasks inside Taskwait, TaskwaitOn, and Shutdown. Polling wait mode (the
+// OmpSs default, paper §4/§5) busy-waits between tasks; Blocking parks idle
+// threads on a condition variable.
+package ompss
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ompssgo/internal/core"
+)
+
+// WaitMode selects how idle workers and waiters behave.
+type WaitMode int
+
+const (
+	// Polling busy-waits (the OmpSs runtime default): lowest release
+	// latency, but cores stay occupied even without work (paper §5).
+	Polling WaitMode = iota
+	// Blocking parks idle threads on a condition variable, paying an OS
+	// wake latency on release (the Pthreads-style default).
+	Blocking
+)
+
+func (m WaitMode) String() string {
+	if m == Blocking {
+		return "blocking"
+	}
+	return "polling"
+}
+
+// config collects runtime options.
+type config struct {
+	workers  int
+	wait     WaitMode
+	locality bool
+	seed     int64
+	tracer   *Tracer
+}
+
+// Option configures a Runtime.
+type Option func(*config)
+
+// Workers sets the total thread count (master + dedicated workers), like
+// OMP_NUM_THREADS. Defaults to 1 for New (callers size explicitly) and to
+// the machine's core count for RunSim.
+func Workers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Wait selects the idle-wait policy (default Polling, as in OmpSs).
+func Wait(m WaitMode) Option { return func(c *config) { c.wait = m } }
+
+// Locality toggles locality-aware scheduling: successors released by a
+// finishing task are placed at the head of the finishing worker's queue so
+// producer→consumer chains run back-to-back on one core (default true; the
+// paper's ray-rot analysis credits this policy).
+func Locality(on bool) Option { return func(c *config) { c.locality = on } }
+
+// Seed fixes the scheduler's steal-victim RNG.
+func Seed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// Trace attaches a Tracer that records task lifecycle events for the DOT
+// export and scheduling analysis.
+func Trace(tr *Tracer) Option { return func(c *config) { c.tracer = tr } }
+
+func buildConfig(opts []Option) config {
+	// workers == 0 means "unset": New defaults to 1, RunSim to the
+	// simulated machine's core count.
+	c := config{wait: Polling, locality: true, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// backend abstracts the native and simulated executors. All engine state
+// (graph, scheduler) lives behind it.
+type backend interface {
+	submit(from *TC, t *core.Task)
+	taskwait(from *TC, ctx *core.Context)
+	taskwaitOn(from *TC, keys []any)
+	critical(from *TC, name string, hold time.Duration, f func())
+	commutative(from *TC, key any, f func())
+	compute(from *TC, d time.Duration)
+	touch(from *TC, key any, bytes int64, write bool)
+	lastWriter(key any) *core.Task
+	shutdown(from *TC)
+	stats() RunStats
+}
+
+// TaskPanic is the error value rethrown by Taskwait/Shutdown after a task
+// body panicked: a panicking task poisons the runtime (its dependents still
+// release, so the graph drains), and the first panic resurfaces on the
+// waiting thread.
+type TaskPanic struct {
+	Label string // the task's Label clause, if any
+	Value any    // the original panic value
+}
+
+func (p *TaskPanic) Error() string {
+	if p.Label != "" {
+		return fmt.Sprintf("ompss: task %q panicked: %v", p.Label, p.Value)
+	}
+	return fmt.Sprintf("ompss: task panicked: %v", p.Value)
+}
+
+// Runtime is an OmpSs runtime instance. Create with New (native execution)
+// or receive one inside RunSim (simulated execution). Methods on Runtime act
+// on behalf of the program's master thread; inside task bodies, use the TC
+// methods instead.
+type Runtime struct {
+	be   backend
+	main *TC
+	cfg  config
+
+	panicMu   sync.Mutex
+	taskPanic *TaskPanic // first task panic; rethrown at the next wait
+	simMode   bool       // sim runs return the panic from RunSim instead of rethrowing
+}
+
+// recordPanic stores the first task panic (later ones are dropped — the
+// runtime is already poisoned).
+func (rt *Runtime) recordPanic(p *TaskPanic) {
+	rt.panicMu.Lock()
+	if rt.taskPanic == nil {
+		rt.taskPanic = p
+	}
+	rt.panicMu.Unlock()
+}
+
+// checkPanic rethrows a recorded task panic on the waiting thread. In
+// simulated runs the panic is reported as RunSim's error instead —
+// unwinding a virtual thread would tear the simulation down with it.
+func (rt *Runtime) checkPanic() {
+	if rt.simMode {
+		return
+	}
+	rt.panicMu.Lock()
+	p := rt.taskPanic
+	rt.panicMu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// RunStats reports engine activity counters.
+type RunStats struct {
+	Graph core.GraphStats
+	Sched core.SchedStats
+}
+
+// Task spawns a task from the master thread. The body runs once its
+// dependences (declared via In/Out/InOut clauses) are satisfied.
+func (rt *Runtime) Task(body func(*TC), clauses ...Clause) { rt.main.Task(body, clauses...) }
+
+// Taskwait blocks until all tasks spawned by the master thread (and not by
+// nested tasks) have finished. The master helps execute ready tasks while
+// waiting (polling mode), as the OmpSs master thread does.
+func (rt *Runtime) Taskwait() { rt.main.Taskwait() }
+
+// TaskwaitOn blocks until the current last writer of each key has finished —
+// the `#pragma omp taskwait on(...)` of Listing 1, used to let the EOF
+// condition of a pipelined loop depend on the read stage only.
+func (rt *Runtime) TaskwaitOn(keys ...any) { rt.main.TaskwaitOn(keys...) }
+
+// Critical runs f under the named global lock (`#pragma omp critical`).
+func (rt *Runtime) Critical(name string, f func()) { rt.main.Critical(name, f) }
+
+// TaskLoop spawns chunked loop tasks from the master thread (see
+// TC.TaskLoop).
+func (rt *Runtime) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) {
+	rt.main.TaskLoop(n, chunk, body, clauses...)
+}
+
+// Stats returns engine activity counters. Call after a Taskwait for a
+// consistent snapshot.
+func (rt *Runtime) Stats() RunStats { return rt.be.stats() }
+
+// Shutdown drains all outstanding tasks (the implicit end-of-program
+// barrier) and stops the workers. The native runtime requires it; RunSim
+// calls it automatically when the program returns. Idempotent. A recorded
+// task panic resurfaces here if no Taskwait rethrew it earlier.
+func (rt *Runtime) Shutdown() {
+	rt.be.shutdown(rt.main)
+	rt.checkPanic()
+}
+
+// New creates a native runtime executing on goroutines.
+func New(opts ...Option) *Runtime {
+	cfg := buildConfig(opts)
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	rt := &Runtime{cfg: cfg}
+	nb := newNativeBackend(rt, cfg)
+	rt.be = nb
+	rt.main = &TC{rt: rt, ctx: &core.Context{}, worker: nb.masterLane()}
+	nb.start()
+	return rt
+}
+
+// TC is the task context handed to task bodies and representing the master
+// thread on a Runtime. It identifies the executing worker and carries the
+// nesting scope for nested tasks and taskwait.
+type TC struct {
+	rt     *Runtime
+	ctx    *core.Context // children spawned from this scope
+	task   *core.Task    // nil for the master TC
+	worker int
+	final  bool // inside a final task: all nested tasks run undeferred
+}
+
+// InFinal reports whether this context executes inside a final task (every
+// nested task runs undeferred here).
+func (tc *TC) InFinal() bool { return tc.final }
+
+// Worker returns the lane (worker index) executing this context. The master
+// thread owns the highest lane.
+func (tc *TC) Worker() int { return tc.worker }
+
+// Runtime returns the owning runtime.
+func (tc *TC) Runtime() *Runtime { return tc.rt }
+
+// Task spawns a nested task whose completion is covered by this context's
+// Taskwait.
+func (tc *TC) Task(body func(*TC), clauses ...Clause) {
+	spec := buildSpec(clauses)
+	if !spec.enabled || tc.final {
+		// If(false) or inside a final task: undeferred execution in the
+		// spawning thread, as in OmpSs. Costs are charged to the current
+		// thread in simulation.
+		tc.rt.be.compute(tc, spec.cost)
+		for _, a := range spec.accesses {
+			tc.rt.be.touch(tc, a.Key, a.Bytes, a.Writes())
+		}
+		child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
+			worker: tc.worker, final: tc.final || spec.final}
+		body(child)
+		return
+	}
+	ct := &core.Task{
+		Label:    spec.label,
+		Priority: spec.priority,
+		CPUCost:  int64(spec.cost),
+		Accesses: spec.accesses,
+		Parent:   tc.ctx,
+	}
+	var commKeys []any
+	for _, a := range spec.accesses {
+		if a.Mode == core.Commutative {
+			if _, isRegion := a.Key.(core.Region); !isRegion {
+				commKeys = append(commKeys, a.Key)
+			}
+		}
+	}
+	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
+		task: ct, final: spec.final}
+	label := spec.label
+	ct.Body = func() {
+		child.worker = ct.Worker
+		defer func() {
+			if r := recover(); r != nil {
+				tc.rt.recordPanic(&TaskPanic{Label: label, Value: r})
+			}
+		}()
+		run := func() { body(child) }
+		// Commutative mutual exclusion: nest per-key locks around the
+		// body, innermost = last declared.
+		for i := len(commKeys) - 1; i >= 0; i-- {
+			k := commKeys[i]
+			inner := run
+			run = func() { tc.rt.be.commutative(child, k, inner) }
+		}
+		run()
+	}
+	tc.rt.be.submit(tc, ct)
+}
+
+// TaskLoop partitions the iteration space [0, n) into chunks of at most
+// `chunk` iterations and spawns one task per chunk — the OmpSs/OpenMP
+// taskloop construct. The clauses apply to every chunk task (use OutRegion
+// and friends with per-chunk ranges inside `clauses` builders when chunks
+// touch distinct data; for independent chunks no clauses are needed).
+// TaskLoop does not wait; pair with Taskwait.
+func (tc *TC) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		tc.Task(func(c *TC) { body(c, lo, hi) }, clauses...)
+	}
+}
+
+// Taskwait blocks until this context's direct children have finished,
+// helping to execute ready tasks meanwhile. If a task body panicked, the
+// panic resurfaces here as a *TaskPanic.
+func (tc *TC) Taskwait() {
+	tc.rt.be.taskwait(tc, tc.ctx)
+	tc.rt.checkPanic()
+}
+
+// TaskwaitOn blocks until the last writer task of each key has finished.
+func (tc *TC) TaskwaitOn(keys ...any) {
+	tc.rt.be.taskwaitOn(tc, keys)
+	tc.rt.checkPanic()
+}
+
+// Critical runs f under the named global lock.
+func (tc *TC) Critical(name string, f func()) { tc.rt.be.critical(tc, name, 0, f) }
+
+// CriticalCost runs f under the named lock, modeling `hold` of work inside
+// the critical section on the simulated machine (native execution ignores
+// the cost — the real f supplies the real work).
+func (tc *TC) CriticalCost(name string, hold time.Duration, f func()) {
+	tc.rt.be.critical(tc, name, hold, f)
+}
+
+// Compute charges d of computation to the executing thread on the simulated
+// machine. Native execution ignores it: the body's real work is the cost.
+// Use it for data-dependent costs that the Cost clause cannot express.
+func (tc *TC) Compute(d time.Duration) { tc.rt.be.compute(tc, d) }
+
+// Touch charges the simulated memory-system cost of streaming `bytes` of the
+// datum identified by key (warmth/NUMA-dependent). Native execution ignores
+// it.
+func (tc *TC) Touch(key any, bytes int64, write bool) { tc.rt.be.touch(tc, key, bytes, write) }
+
+// critSet is the named-lock table shared by both backends' critical support.
+type critSet[T any] struct {
+	mu sync.Mutex
+	m  map[string]*T
+}
+
+func (cs *critSet[T]) get(name string) *T {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.m == nil {
+		cs.m = make(map[string]*T)
+	}
+	l := cs.m[name]
+	if l == nil {
+		l = new(T)
+		cs.m[name] = l
+	}
+	return l
+}

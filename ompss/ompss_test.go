@@ -1,0 +1,308 @@
+package ompss
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNativeBasicTaskwait(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		rt := New(Workers(workers))
+		var ran int32
+		for i := 0; i < 20; i++ {
+			rt.Task(func(*TC) { atomic.AddInt32(&ran, 1) })
+		}
+		rt.Taskwait()
+		if got := atomic.LoadInt32(&ran); got != 20 {
+			t.Fatalf("workers=%d: ran %d tasks, want 20", workers, got)
+		}
+		rt.Shutdown()
+	}
+}
+
+func TestNativeDataflowOrdering(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	x := new(int)
+	y := new(int)
+	rt.Task(func(*TC) { *x = 21 }, Out(x))
+	rt.Task(func(*TC) { *y = *x * 2 }, In(x), Out(y))
+	rt.Task(func(*TC) { *y++ }, InOut(y))
+	rt.Taskwait()
+	if *y != 43 {
+		t.Fatalf("dataflow result = %d, want 43", *y)
+	}
+}
+
+func TestNativeChainThroughWorkers(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	acc := new(int)
+	for i := 1; i <= 50; i++ {
+		i := i
+		rt.Task(func(*TC) { *acc += i }, InOut(acc))
+	}
+	rt.Taskwait()
+	if *acc != 50*51/2 {
+		t.Fatalf("chain sum = %d, want %d", *acc, 50*51/2)
+	}
+}
+
+func TestNativeTaskwaitOn(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	slow := new(int)
+	fast := new(int)
+	rt.Task(func(*TC) { time.Sleep(5 * time.Millisecond); *slow = 1 }, Out(slow))
+	rt.Task(func(*TC) { *fast = 1 }, Out(fast))
+	rt.TaskwaitOn(fast)
+	if *fast != 1 {
+		t.Fatal("taskwait on(fast) returned before the fast task finished")
+	}
+	rt.TaskwaitOn(slow)
+	if *slow != 1 {
+		t.Fatal("taskwait on(slow) returned before the slow task finished")
+	}
+}
+
+func TestNativeTaskwaitOnUntracked(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	rt.TaskwaitOn(new(int)) // never written: must not hang
+}
+
+func TestNativeCriticalMutualExclusion(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	counter := 0
+	for i := 0; i < 100; i++ {
+		rt.Task(func(tc *TC) {
+			tc.Critical("ctr", func() { counter++ })
+		})
+	}
+	rt.Taskwait()
+	if counter != 100 {
+		t.Fatalf("critical counter = %d, want 100", counter)
+	}
+}
+
+func TestNativeNestedTasks(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	var leaves int32
+	rt.Task(func(tc *TC) {
+		for i := 0; i < 5; i++ {
+			tc.Task(func(*TC) { atomic.AddInt32(&leaves, 1) })
+		}
+		tc.Taskwait() // waits for the nested children only
+		if n := atomic.LoadInt32(&leaves); n != 5 {
+			t.Errorf("nested taskwait saw %d leaves, want 5", n)
+		}
+	})
+	rt.Taskwait()
+	if leaves != 5 {
+		t.Fatalf("leaves = %d, want 5", leaves)
+	}
+}
+
+func TestNativeIfFalseRunsInline(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	ran := false
+	x := new(int)
+	rt.Task(func(*TC) { ran = true; *x = 7 }, Out(x), If(false))
+	// Undeferred: already executed, before any taskwait.
+	if !ran || *x != 7 {
+		t.Fatal("If(false) task should execute inline at spawn")
+	}
+	st := rt.Stats()
+	if st.Graph.Inlined != 0 && st.Graph.Submitted != 0 {
+		t.Fatalf("inline task should not enter the graph: %+v", st.Graph)
+	}
+}
+
+func TestNativeBlockingMode(t *testing.T) {
+	rt := New(Workers(4), Wait(Blocking))
+	var sum int32
+	x := new(int)
+	rt.Task(func(*TC) { atomic.AddInt32(&sum, 1); *x = 1 }, Out(x))
+	for i := 0; i < 30; i++ {
+		rt.Task(func(*TC) { atomic.AddInt32(&sum, 1) }, In(x))
+	}
+	rt.Taskwait()
+	if sum != 31 {
+		t.Fatalf("blocking mode ran %d tasks, want 31", sum)
+	}
+	rt.Shutdown()
+}
+
+func TestNativeShutdownDrainsAndIsIdempotent(t *testing.T) {
+	rt := New(Workers(2))
+	var ran int32
+	for i := 0; i < 10; i++ {
+		rt.Task(func(*TC) { atomic.AddInt32(&ran, 1) })
+	}
+	rt.Shutdown() // implicit end-of-program barrier
+	rt.Shutdown()
+	if ran != 10 {
+		t.Fatalf("shutdown drained %d, want 10", ran)
+	}
+}
+
+func TestNativeStats(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	x := new(int)
+	rt.Task(func(*TC) { *x = 1 }, Out(x))
+	rt.Task(func(*TC) { _ = *x }, In(x))
+	rt.Taskwait()
+	st := rt.Stats()
+	if st.Graph.Submitted != 2 || st.Graph.Finished != 2 || st.Graph.Edges != 1 {
+		t.Fatalf("stats = %+v", st.Graph)
+	}
+}
+
+func TestNativePriorityAndLabelAccepted(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	done := false
+	rt.Task(func(*TC) { done = true }, Priority(3), Label("prio"), Cost(time.Microsecond))
+	rt.Taskwait()
+	if !done {
+		t.Fatal("priority task did not run")
+	}
+}
+
+func TestNativeConcurrentClause(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	hist := new([64]int64)
+	var idx int64 = -1
+	for i := 0; i < 32; i++ {
+		rt.Task(func(tc *TC) {
+			slot := atomic.AddInt64(&idx, 1)
+			hist[slot]++
+		}, Concurrent(hist))
+	}
+	sum := new(int64)
+	rt.Task(func(*TC) {
+		var s int64
+		for _, v := range hist {
+			s += v
+		}
+		*sum = s
+	}, In(hist), Out(sum))
+	rt.Taskwait()
+	if *sum != 32 {
+		t.Fatalf("reduction after concurrent tasks = %d, want 32", *sum)
+	}
+}
+
+// TestNativeSequentialEquivalenceProperty checks the model's core promise on
+// the public API: any program of tasks annotated with faithful dependence
+// clauses computes the same result as its sequential elision.
+func TestNativeSequentialEquivalenceProperty(t *testing.T) {
+	type op struct {
+		dst, src int
+		k        int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nvars = 4
+		nops := rng.Intn(30) + 5
+		ops := make([]op, nops)
+		for i := range ops {
+			ops[i] = op{dst: rng.Intn(nvars), src: rng.Intn(nvars), k: rng.Intn(7)}
+		}
+		run := func(parallel bool) [nvars]int {
+			var vars [nvars]int
+			ptrs := [nvars]*int{}
+			for i := range vars {
+				vars[i] = i + 1
+				ptrs[i] = &vars[i]
+			}
+			if parallel {
+				rt := New(Workers(3), Seed(seed))
+				for _, o := range ops {
+					o := o
+					rt.Task(func(*TC) { *ptrs[o.dst] += *ptrs[o.src] * o.k },
+						In(ptrs[o.src]), InOut(ptrs[o.dst]))
+				}
+				rt.Taskwait()
+				rt.Shutdown()
+			} else {
+				for _, o := range ops {
+					vars[o.dst] += vars[o.src] * o.k
+				}
+			}
+			return vars
+		}
+		return run(true) == run(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	tr := NewTracer()
+	rt := New(Workers(2), Trace(tr))
+	x := new(int)
+	rt.Task(func(*TC) { *x = 1 }, Out(x), Label("produce"))
+	rt.Task(func(*TC) { _ = *x }, In(x), Label("consume"))
+	rt.Taskwait()
+	rt.Shutdown()
+	sum := tr.Summary()
+	if sum.Tasks != 2 || sum.Edges != 1 {
+		t.Fatalf("trace summary = %+v", sum)
+	}
+	var starts, ends int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case TraceStart:
+			starts++
+		case TraceEnd:
+			ends++
+		}
+	}
+	if starts != 2 || ends != 2 {
+		t.Fatalf("starts=%d ends=%d, want 2,2", starts, ends)
+	}
+}
+
+func TestTracerDOT(t *testing.T) {
+	tr := NewTracer()
+	rt := New(Workers(2), Trace(tr))
+	x := new(int)
+	rt.Task(func(*TC) { *x = 1 }, Out(x), Label("A"))
+	rt.Task(func(*TC) { _ = *x }, In(x), Label("B"))
+	rt.Taskwait()
+	rt.Shutdown()
+	var buf testWriter
+	if err := tr.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph taskgraph", `label="A"`, `label="B"`, "->"} {
+		if !contains(s, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+type testWriter struct{ b []byte }
+
+func (w *testWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *testWriter) String() string              { return string(w.b) }
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

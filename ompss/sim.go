@@ -1,0 +1,350 @@
+package ompss
+
+import (
+	"fmt"
+	"time"
+
+	"ompssgo/internal/core"
+	"ompssgo/internal/vm"
+	"ompssgo/machine"
+)
+
+// RunSim executes an OmpSs program on the simulated cc-NUMA machine. The
+// program callback runs in the machine's master virtual thread; every task
+// body executes for real (results are bit-identical to native runs) while
+// virtual time advances according to declared Cost clauses, dependence
+// footprints, and runtime overheads (task spawn, dispatch, dependence edges,
+// idle waiting in the configured WaitMode).
+//
+// Workers defaults to the machine's core count. The master thread is pinned
+// to core 0; dedicated workers occupy the remaining cores (wrapping —
+// timesliced — if Workers exceeds Cores).
+func RunSim(mc machine.Config, program func(*Runtime), opts ...Option) (machine.Stats, error) {
+	cfg := buildConfig(opts)
+	if mc.Cores < 1 {
+		mc.Cores = 1
+	}
+	if cfg.workers < 1 {
+		cfg.workers = mc.Cores
+	}
+	v := vm.New(vm.Config{Cores: mc.Cores, Sockets: mc.Sockets, Seed: mc.Seed})
+	b := &simBackend{
+		cfg:         cfg,
+		v:           v,
+		graph:       core.NewGraph(),
+		sched:       core.NewSched(cfg.workers, cfg.locality, cfg.seed),
+		lanes:       make([]*vm.Thread, cfg.workers),
+		ctxWaiters:  make(map[*core.Context][]*vm.Thread),
+		taskWaiters: make(map[*core.Task][]*vm.Thread),
+	}
+	rt := &Runtime{be: b, cfg: cfg, simMode: true}
+	b.rt = rt
+
+	master := cfg.workers - 1
+	for lane := 0; lane < master; lane++ {
+		lane := lane
+		// Workers take cores 1..; the master keeps core 0.
+		coreID := 1 + lane
+		if mc.Cores > 0 {
+			coreID %= mc.Cores
+		}
+		v.Go(fmt.Sprintf("ompss-w%d", lane), coreID, func(vt *vm.Thread) {
+			b.workerLoop(vt, lane)
+		})
+	}
+	v.Go("ompss-main", 0, func(vt *vm.Thread) {
+		b.lanes[master] = vt
+		rt.main = &TC{rt: rt, ctx: &core.Context{}, worker: master}
+		program(rt)
+		b.shutdown(rt.main)
+	})
+
+	st, err := v.Run()
+	if err == nil {
+		// A task-body panic is captured by the wrapper (so the simulation
+		// drains cleanly) and surfaces here as the run's error.
+		rt.panicMu.Lock()
+		if rt.taskPanic != nil {
+			err = rt.taskPanic
+		}
+		rt.panicMu.Unlock()
+	}
+	return machine.Stats{
+		Makespan:    time.Duration(st.Time),
+		Utilization: st.Utilization(),
+		Occupancy:   st.Occupancy(),
+		Events:      st.Events,
+		Tasks:       b.graph.Stats().Finished,
+	}, err
+}
+
+// simBackend drives the shared engine from virtual threads on the simulated
+// machine. Execution is serialized by the discrete-event loop, so the engine
+// needs no locking here; costs are charged through the owning vm.Thread.
+type simBackend struct {
+	rt  *Runtime
+	cfg config
+	v   *vm.VM
+
+	graph *core.Graph
+	sched *core.Sched
+	lanes []*vm.Thread
+	stop  bool
+
+	ws          vm.WaitSet // Polling mode: idle workers and waiters
+	idle        []*vm.Thread
+	ctxWaiters  map[*core.Context][]*vm.Thread
+	taskWaiters map[*core.Task][]*vm.Thread
+
+	crit critSet[vm.Mutex]
+	comm map[any]*vm.Mutex // per-key commutative locks
+}
+
+func (b *simBackend) thread(from *TC) *vm.Thread { return b.lanes[from.worker] }
+
+// queueOp scales a scheduler-queue cost by the contention factor: the
+// central ready-queue lock serializes under many threads (a known
+// scalability limit of 2012-era task runtimes).
+func (b *simBackend) queueOp(base vm.Time) vm.Time {
+	cm := b.v.Cost()
+	return base + vm.Time(float64(base)*cm.QueueContention*float64(b.cfg.workers-1))
+}
+
+func (b *simBackend) workerLoop(vt *vm.Thread, lane int) {
+	b.lanes[lane] = vt
+	cm := b.v.Cost()
+	for {
+		t := b.sched.Pop(lane)
+		if t == nil {
+			if b.stop {
+				return
+			}
+			vt.Charge(cm.StealAttempt)
+			b.idleWait(vt)
+			continue
+		}
+		vt.Charge(b.queueOp(cm.TaskDispatch))
+		b.graph.MarkRunning(t, lane)
+		b.runTaskSim(vt, t, lane)
+	}
+}
+
+func (b *simBackend) idleWait(vt *vm.Thread) {
+	if b.cfg.wait == Polling {
+		vt.SpinUntil(&b.ws, func() bool { return b.sched.Ready() > 0 || b.stop })
+		return
+	}
+	b.idle = append(b.idle, vt)
+	vt.Block("ompss-idle")
+}
+
+// wakeIdle releases up to n blocked idle workers (Blocking mode) or all
+// polling waiters.
+func (b *simBackend) wakeIdle(n int) {
+	if b.cfg.wait == Polling {
+		b.ws.WakeAll(b.v)
+		return
+	}
+	cm := b.v.Cost()
+	for i := 0; i < n && len(b.idle) > 0; i++ {
+		t := b.idle[0]
+		b.idle = b.idle[1:]
+		b.v.WakeAt(t, b.v.Now()+cm.CondWake)
+	}
+}
+
+func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
+	cm := b.v.Cost()
+	b.trace(TraceStart, t, lane)
+	// Memory-system cost of the task's declared footprints, evaluated
+	// against where each datum was last produced (warmth/NUMA model).
+	var mem vm.Time
+	for _, a := range t.Accesses {
+		mem += vt.TouchCost(a.Key, a.Bytes, a.Writes())
+	}
+	t.Body() // real execution; may add Compute/Critical charges itself
+	vt.Compute(vm.Time(t.CPUCost) + mem)
+	vt.Charge(cm.TaskFinish)
+	vt.Flush()
+	ready := b.graph.Finish(t)
+	for _, r := range ready {
+		b.sched.PushReady(r, lane)
+	}
+	if len(ready) > 0 {
+		vt.Charge(cm.DepEdge * vm.Time(len(ready)))
+	}
+	b.afterFinish(t, len(ready))
+	b.trace(TraceEnd, t, lane)
+}
+
+// afterFinish wakes whoever may be unblocked by t's completion: idle workers
+// (released tasks), taskwaiters on a drained context, taskwait-on waiters.
+func (b *simBackend) afterFinish(t *core.Task, released int) {
+	if b.cfg.wait == Polling {
+		b.ws.WakeAll(b.v)
+		return
+	}
+	cm := b.v.Cost()
+	b.wakeIdle(released)
+	if b.graph.Unfinished() == 0 {
+		// End-of-work edge: wake everything parked (including a master
+		// parked in the shutdown drain), not just `released` workers.
+		b.wakeIdle(len(b.idle))
+	}
+	if t.Parent != nil && t.Parent.Pending() == 0 {
+		for _, w := range b.ctxWaiters[t.Parent] {
+			b.v.WakeAt(w, b.v.Now()+cm.CondWake)
+		}
+		delete(b.ctxWaiters, t.Parent)
+	}
+	for _, w := range b.taskWaiters[t] {
+		b.v.WakeAt(w, b.v.Now()+cm.CondWake)
+	}
+	delete(b.taskWaiters, t)
+}
+
+func (b *simBackend) submit(from *TC, t *core.Task) {
+	vt := b.thread(from)
+	cm := b.v.Cost()
+	vt.Charge(b.queueOp(cm.TaskSpawn) + cm.DepEdge*vm.Time(len(t.Accesses)))
+	vt.Flush()
+	if b.graph.Submit(t) {
+		b.sched.PushSubmit(t)
+		b.wakeIdle(1)
+	}
+	b.trace(TraceSubmit, t, from.worker)
+}
+
+func (b *simBackend) taskwait(from *TC, ctx *core.Context) {
+	vt := b.thread(from)
+	cm := b.v.Cost()
+	for ctx.Pending() > 0 {
+		if t := b.sched.Pop(from.worker); t != nil {
+			vt.Charge(b.queueOp(cm.TaskDispatch))
+			b.graph.MarkRunning(t, from.worker)
+			b.runTaskSim(vt, t, from.worker)
+			continue
+		}
+		if b.cfg.wait == Polling {
+			vt.SpinUntil(&b.ws, func() bool {
+				return b.sched.Ready() > 0 || ctx.Pending() == 0
+			})
+		} else {
+			b.ctxWaiters[ctx] = append(b.ctxWaiters[ctx], vt)
+			vt.Block("taskwait")
+		}
+	}
+}
+
+func (b *simBackend) taskwaitOn(from *TC, keys []any) {
+	vt := b.thread(from)
+	for _, k := range keys {
+		vt.Flush()
+		for _, lw := range b.graph.Writers(k) {
+			b.waitTask(vt, from, lw)
+		}
+	}
+}
+
+// waitTask blocks (or help-executes, in polling mode) until lw finishes.
+func (b *simBackend) waitTask(vt *vm.Thread, from *TC, lw *core.Task) {
+	cm := b.v.Cost()
+	for !lw.Finished() {
+		if b.cfg.wait == Polling {
+			if t := b.sched.Pop(from.worker); t != nil {
+				vt.Charge(b.queueOp(cm.TaskDispatch))
+				b.graph.MarkRunning(t, from.worker)
+				b.runTaskSim(vt, t, from.worker)
+				continue
+			}
+			vt.SpinUntil(&b.ws, func() bool {
+				return lw.Finished() || b.sched.Ready() > 0
+			})
+		} else {
+			b.taskWaiters[lw] = append(b.taskWaiters[lw], vt)
+			vt.Block("taskwait-on")
+		}
+	}
+}
+
+func (b *simBackend) critical(from *TC, name string, hold time.Duration, f func()) {
+	vt := b.thread(from)
+	l := b.crit.get(name)
+	vt.Lock(l)
+	f()
+	if hold > 0 {
+		vt.Compute(vm.Time(hold))
+	}
+	vt.Unlock(l)
+}
+
+func (b *simBackend) commutative(from *TC, key any, f func()) {
+	vt := b.thread(from)
+	if b.comm == nil {
+		b.comm = make(map[any]*vm.Mutex)
+	}
+	l := b.comm[key]
+	if l == nil {
+		l = &vm.Mutex{}
+		b.comm[key] = l
+	}
+	vt.Lock(l)
+	f()
+	vt.Unlock(l)
+}
+
+func (b *simBackend) compute(from *TC, d time.Duration) {
+	if d > 0 {
+		b.thread(from).Compute(vm.Time(d))
+	}
+}
+
+func (b *simBackend) touch(from *TC, key any, bytes int64, write bool) {
+	vt := b.thread(from)
+	vt.Compute(vt.TouchCost(key, bytes, write))
+}
+
+func (b *simBackend) lastWriter(key any) *core.Task { return b.graph.LastWriter(key) }
+
+func (b *simBackend) shutdown(from *TC) {
+	if b.stop {
+		return
+	}
+	vt := b.thread(from)
+	cm := b.v.Cost()
+	// Implicit end-of-program barrier across every context.
+	for b.graph.Unfinished() > 0 {
+		if t := b.sched.Pop(from.worker); t != nil {
+			vt.Charge(b.queueOp(cm.TaskDispatch))
+			b.graph.MarkRunning(t, from.worker)
+			b.runTaskSim(vt, t, from.worker)
+			continue
+		}
+		if b.cfg.wait == Polling {
+			vt.SpinUntil(&b.ws, func() bool {
+				return b.sched.Ready() > 0 || b.graph.Unfinished() == 0
+			})
+		} else {
+			// Reuse the taskwait machinery: park until any finish.
+			b.idle = append(b.idle, vt)
+			vt.Block("shutdown-drain")
+		}
+	}
+	b.stop = true
+	// Release every idle worker so the worker loops can observe stop.
+	if b.cfg.wait == Polling {
+		b.ws.WakeAll(b.v)
+	} else {
+		b.wakeIdle(len(b.idle))
+	}
+}
+
+func (b *simBackend) stats() RunStats {
+	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
+}
+
+func (b *simBackend) trace(kind TraceKind, t *core.Task, lane int) {
+	if tr := b.cfg.tracer; tr != nil {
+		tr.record(kind, t, lane, time.Duration(b.v.Now()))
+	}
+}

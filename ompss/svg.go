@@ -1,0 +1,130 @@
+package ompss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteSVG renders the trace as a Gantt-style schedule: one horizontal band
+// per worker lane, one rectangle per executed task, colored by task label.
+// It gives the same at-a-glance view of pipeline fill and load balance that
+// Paraver gave the paper's authors. Times are wall-clock for native runs
+// and virtual for simulated ones.
+func (tr *Tracer) WriteSVG(w io.Writer) error {
+	type bar struct {
+		lane       int
+		start, end time.Duration
+		label      string
+	}
+	labels := map[uint64]string{}
+	open := map[uint64]bar{}
+	var bars []bar
+	maxLane := 0
+	var span time.Duration
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case TraceSubmit:
+			labels[ev.Task] = ev.Label
+		case TraceStart:
+			open[ev.Task] = bar{lane: ev.Worker, start: ev.At, label: labels[ev.Task]}
+			if ev.Worker > maxLane {
+				maxLane = ev.Worker
+			}
+		case TraceEnd:
+			b, ok := open[ev.Task]
+			if !ok {
+				continue
+			}
+			delete(open, ev.Task)
+			b.end = ev.At
+			bars = append(bars, b)
+			if ev.At > span {
+				span = ev.At
+			}
+		}
+	}
+	if span == 0 {
+		span = 1
+	}
+
+	// Stable color per distinct label.
+	var names []string
+	seen := map[string]bool{}
+	for _, b := range bars {
+		if !seen[b.label] {
+			seen[b.label] = true
+			names = append(names, b.label)
+		}
+	}
+	sort.Strings(names)
+	palette := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+		"#76b7b2", "#edc948", "#9c755f", "#bab0ac", "#d37295"}
+	color := map[string]string{}
+	for i, n := range names {
+		color[n] = palette[i%len(palette)]
+	}
+
+	const (
+		width   = 1000
+		laneH   = 24
+		laneGap = 4
+		marginL = 60
+		marginT = 20
+	)
+	height := marginT + (maxLane+1)*(laneH+laneGap) + 30
+	scale := float64(width-marginL-10) / float64(span)
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		width, height); err != nil {
+		return err
+	}
+	for lane := 0; lane <= maxLane; lane++ {
+		y := marginT + lane*(laneH+laneGap)
+		fmt.Fprintf(w, `<text x="4" y="%d">lane %d</text>`+"\n", y+laneH-8, lane)
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4"/>`+"\n",
+			marginL, y, width-marginL-10, laneH)
+	}
+	for _, b := range bars {
+		x := marginL + int(float64(b.start)*scale)
+		bw := int(float64(b.end-b.start) * scale)
+		if bw < 1 {
+			bw = 1
+		}
+		y := marginT + b.lane*(laneH+laneGap)
+		fmt.Fprintf(w,
+			`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%v–%v]</title></rect>`+"\n",
+			x, y+2, bw, laneH-4, color[b.label], xmlEscape(b.label), b.start, b.end)
+	}
+	// Legend.
+	lx := marginL
+	ly := marginT + (maxLane+1)*(laneH+laneGap) + 14
+	for _, n := range names {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color[n])
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly, xmlEscape(n))
+		lx += 14*len(n) + 40
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,43 @@
+package ompss
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ompssgo/machine"
+)
+
+func TestWriteSVGSchedule(t *testing.T) {
+	tr := NewTracer()
+	_, err := RunSim(machine.Paper(4), func(rt *Runtime) {
+		x := new(int)
+		for i := 0; i < 6; i++ {
+			rt.Task(func(*TC) {}, Label("stageA"), Cost(100*time.Microsecond))
+			rt.Task(func(*TC) { *x++ }, InOut(x), Label("stageB"), Cost(50*time.Microsecond))
+		}
+		rt.Taskwait()
+	}, Trace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "lane 0", "stageA", "stageB", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<title>") != 12 {
+		t.Fatalf("task rectangles = %d, want 12", strings.Count(svg, "<title>"))
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}

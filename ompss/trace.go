@@ -1,0 +1,206 @@
+package ompss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ompssgo/internal/core"
+)
+
+// TraceKind labels a task lifecycle event.
+type TraceKind int
+
+const (
+	// TraceSubmit records task creation (with its dependence
+	// predecessors).
+	TraceSubmit TraceKind = iota
+	// TraceStart records dispatch onto a worker lane.
+	TraceStart
+	// TraceEnd records completion.
+	TraceEnd
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSubmit:
+		return "submit"
+	case TraceStart:
+		return "start"
+	case TraceEnd:
+		return "end"
+	}
+	return "?"
+}
+
+// TraceEvent is one recorded task lifecycle event. At is relative to the
+// runtime epoch: wall-clock for native runs, virtual time for simulated
+// runs.
+type TraceEvent struct {
+	Kind   TraceKind
+	Task   uint64
+	Label  string
+	Worker int
+	At     time.Duration
+	Preds  []uint64 // submit events only
+}
+
+// Tracer records task events for analysis and DOT export. Safe for
+// concurrent use. Attach with the Trace option.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (tr *Tracer) record(kind TraceKind, t *core.Task, worker int, at time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ev := TraceEvent{Kind: kind, Task: t.ID, Label: t.Label, Worker: worker, At: at}
+	if kind == TraceSubmit {
+		ev.Preds = append([]uint64(nil), t.Preds...)
+	}
+	tr.events = append(tr.events, ev)
+}
+
+// Events returns a copy of the recorded events in record order.
+func (tr *Tracer) Events() []TraceEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]TraceEvent(nil), tr.events...)
+}
+
+// Summary condenses a trace.
+type Summary struct {
+	Tasks         int
+	Edges         int
+	ByWorker      map[int]int // tasks executed per lane
+	Span          time.Duration
+	MaxConcurrent int // peak simultaneously running tasks
+}
+
+// Summary computes aggregate scheduling statistics from the trace.
+func (tr *Tracer) Summary() Summary {
+	evs := tr.Events()
+	s := Summary{ByWorker: make(map[int]int)}
+	running := 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case TraceSubmit:
+			s.Tasks++
+			s.Edges += len(ev.Preds)
+		case TraceStart:
+			s.ByWorker[ev.Worker]++
+			running++
+			if running > s.MaxConcurrent {
+				s.MaxConcurrent = running
+			}
+		case TraceEnd:
+			running--
+		}
+		if ev.At > s.Span {
+			s.Span = ev.At
+		}
+	}
+	return s
+}
+
+// WriteTimeline emits the trace as CSV — one row per executed task with its
+// lane and start/end times (µs since the runtime epoch; virtual time for
+// simulated runs) — a Paraver-style timeline for plotting schedules.
+func (tr *Tracer) WriteTimeline(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "task,label,lane,start_us,end_us"); err != nil {
+		return err
+	}
+	type open struct {
+		lane  int
+		start time.Duration
+		label string
+	}
+	labels := make(map[uint64]string)
+	running := make(map[uint64]open)
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case TraceSubmit:
+			labels[ev.Task] = ev.Label
+		case TraceStart:
+			running[ev.Task] = open{lane: ev.Worker, start: ev.At, label: labels[ev.Task]}
+		case TraceEnd:
+			o, ok := running[ev.Task]
+			if !ok {
+				continue
+			}
+			delete(running, ev.Task)
+			if _, err := fmt.Fprintf(w, "%d,%q,%d,%.3f,%.3f\n",
+				ev.Task, o.label, o.lane,
+				float64(o.start)/1e3, float64(ev.At)/1e3); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteDOT emits the recorded task graph in Graphviz DOT format: one node
+// per task (labelled, annotated with its executing lane) and one edge per
+// dependence. This is the tool-side equivalent of the paper's Listing 1
+// discussion — it makes the pipeline structure visible.
+func (tr *Tracer) WriteDOT(w io.Writer) error {
+	evs := tr.Events()
+	type node struct {
+		label  string
+		worker int
+		has    bool
+	}
+	nodes := make(map[uint64]*node)
+	order := []uint64{}
+	type edge struct{ from, to uint64 }
+	var edges []edge
+	for _, ev := range evs {
+		n := nodes[ev.Task]
+		if n == nil {
+			n = &node{worker: -1}
+			nodes[ev.Task] = n
+			order = append(order, ev.Task)
+		}
+		switch ev.Kind {
+		case TraceSubmit:
+			n.label = ev.Label
+			n.has = true
+			for _, p := range ev.Preds {
+				edges = append(edges, edge{p, ev.Task})
+			}
+		case TraceStart:
+			n.worker = ev.Worker
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	if _, err := fmt.Fprintln(w, "digraph taskgraph {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB; node [shape=box, fontsize=10];")
+	for _, id := range order {
+		n := nodes[id]
+		if !n.has {
+			continue
+		}
+		label := n.label
+		if label == "" {
+			label = fmt.Sprintf("task %d", id)
+		}
+		if n.worker >= 0 {
+			fmt.Fprintf(w, "  t%d [label=%q, tooltip=\"lane %d\"];\n", id, label, n.worker)
+		} else {
+			fmt.Fprintf(w, "  t%d [label=%q];\n", id, label)
+		}
+	}
+	for _, e := range edges {
+		fmt.Fprintf(w, "  t%d -> t%d;\n", e.from, e.to)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

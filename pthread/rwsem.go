@@ -1,0 +1,174 @@
+package pthread
+
+import (
+	"sync"
+
+	"ompssgo/internal/vm"
+)
+
+// RWLock is a writer-preferring reader-writer lock
+// (pthread_rwlock_t-style). Create with API.NewRWLock.
+type RWLock struct {
+	// native
+	n sync.RWMutex
+
+	// sim: state machine over the machine's mutex/cond primitives.
+	m        *vm.Mutex
+	rcond    *vm.Cond
+	wcond    *vm.Cond
+	readers  int
+	writer   bool
+	writersQ int
+}
+
+// NewRWLock creates a reader-writer lock for this environment.
+func (a *API) NewRWLock() *RWLock {
+	l := &RWLock{}
+	if a.sim != nil {
+		l.m = &vm.Mutex{}
+		l.rcond = &vm.Cond{}
+		l.wcond = &vm.Cond{}
+	}
+	return l
+}
+
+// RLock acquires l for reading; readers share, but queued writers are
+// preferred (no writer starvation).
+func (t *Thread) RLock(l *RWLock) {
+	if t.vt == nil {
+		l.n.RLock()
+		return
+	}
+	t.vt.Lock(l.m)
+	for l.writer || l.writersQ > 0 {
+		t.vt.CondWait(l.rcond, l.m)
+	}
+	l.readers++
+	t.vt.Unlock(l.m)
+}
+
+// RUnlock releases a read hold.
+func (t *Thread) RUnlock(l *RWLock) {
+	if t.vt == nil {
+		l.n.RUnlock()
+		return
+	}
+	t.vt.Lock(l.m)
+	l.readers--
+	if l.readers == 0 {
+		t.vt.CondSignal(l.wcond)
+	}
+	t.vt.Unlock(l.m)
+}
+
+// WLock acquires l exclusively.
+func (t *Thread) WLock(l *RWLock) {
+	if t.vt == nil {
+		l.n.Lock()
+		return
+	}
+	t.vt.Lock(l.m)
+	l.writersQ++
+	for l.writer || l.readers > 0 {
+		t.vt.CondWait(l.wcond, l.m)
+	}
+	l.writersQ--
+	l.writer = true
+	t.vt.Unlock(l.m)
+}
+
+// WUnlock releases the exclusive hold, preferring a queued writer.
+func (t *Thread) WUnlock(l *RWLock) {
+	if t.vt == nil {
+		l.n.Unlock()
+		return
+	}
+	t.vt.Lock(l.m)
+	l.writer = false
+	if l.writersQ > 0 {
+		t.vt.CondSignal(l.wcond)
+	} else {
+		t.vt.CondBroadcast(l.rcond)
+	}
+	t.vt.Unlock(l.m)
+}
+
+// Semaphore is a counting semaphore (sem_t-style). Create with
+// API.NewSemaphore.
+type Semaphore struct {
+	// native
+	mu sync.Mutex
+	cv *sync.Cond
+
+	// sim
+	m    *vm.Mutex
+	cond *vm.Cond
+
+	count int
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func (a *API) NewSemaphore(initial int) *Semaphore {
+	s := &Semaphore{count: initial}
+	if a.sim != nil {
+		s.m = &vm.Mutex{}
+		s.cond = &vm.Cond{}
+	} else {
+		s.cv = sync.NewCond(&s.mu)
+	}
+	return s
+}
+
+// Acquire decrements the semaphore, blocking while it is zero (sem_wait).
+func (t *Thread) Acquire(s *Semaphore) {
+	if t.vt == nil {
+		s.mu.Lock()
+		for s.count == 0 {
+			s.cv.Wait()
+		}
+		s.count--
+		s.mu.Unlock()
+		return
+	}
+	t.vt.Lock(s.m)
+	for s.count == 0 {
+		t.vt.CondWait(s.cond, s.m)
+	}
+	s.count--
+	t.vt.Unlock(s.m)
+}
+
+// TryAcquire decrements without blocking; reports success (sem_trywait).
+func (t *Thread) TryAcquire(s *Semaphore) bool {
+	if t.vt == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.count == 0 {
+			return false
+		}
+		s.count--
+		return true
+	}
+	t.vt.Lock(s.m)
+	ok := s.count > 0
+	if ok {
+		s.count--
+	}
+	t.vt.Unlock(s.m)
+	return ok
+}
+
+// Release increments the semaphore and wakes one waiter (sem_post).
+func (t *Thread) Release(s *Semaphore) {
+	if t.vt == nil {
+		s.mu.Lock()
+		s.count++
+		s.cv.Signal()
+		s.mu.Unlock()
+		return
+	}
+	t.vt.Lock(s.m)
+	s.count++
+	t.vt.CondSignal(s.cond)
+	t.vt.Unlock(s.m)
+}

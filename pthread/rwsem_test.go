@@ -1,0 +1,158 @@
+package pthread
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompssgo/machine"
+)
+
+func TestNativeRWLockSharedReads(t *testing.T) {
+	api := Native(4)
+	l := api.NewRWLock()
+	var data int64 = 42
+	var reads int64
+	api.Main().Parallel(func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.RLock(l)
+			if atomic.LoadInt64(&data)%2 != 0 {
+				t.Error("observed odd intermediate value under read lock")
+			}
+			atomic.AddInt64(&reads, 1)
+			th.RUnlock(l)
+			if th.ID() == 0 && i%10 == 0 {
+				th.WLock(l)
+				// Writers make two dependent updates; readers must never
+				// see the intermediate odd state.
+				atomic.AddInt64(&data, 1)
+				atomic.AddInt64(&data, 1)
+				th.WUnlock(l)
+			}
+		}
+	})
+	if reads != 400 {
+		t.Fatalf("reads = %d", reads)
+	}
+}
+
+func TestNativeSemaphoreBoundsConcurrency(t *testing.T) {
+	api := Native(8)
+	sem := api.NewSemaphore(3)
+	var inside, peak int64
+	api.Main().Parallel(func(th *Thread) {
+		for i := 0; i < 20; i++ {
+			th.Acquire(sem)
+			n := atomic.AddInt64(&inside, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			atomic.AddInt64(&inside, -1)
+			th.Release(sem)
+		}
+	})
+	if peak > 3 {
+		t.Fatalf("semaphore admitted %d concurrent holders, cap 3", peak)
+	}
+}
+
+func TestNativeTryAcquire(t *testing.T) {
+	api := Native(1)
+	sem := api.NewSemaphore(1)
+	main := api.Main()
+	if !main.TryAcquire(sem) {
+		t.Fatal("first try should succeed")
+	}
+	if main.TryAcquire(sem) {
+		t.Fatal("second try should fail")
+	}
+	main.Release(sem)
+	if !main.TryAcquire(sem) {
+		t.Fatal("try after release should succeed")
+	}
+}
+
+func TestSimRWLockReadersShareWritersExclude(t *testing.T) {
+	// 4 readers of 1ms each under a read lock overlap (≈1ms total); the
+	// same work under the write lock serializes (≈4ms).
+	run := func(exclusive bool) time.Duration {
+		st, err := RunSim(machine.Paper(4), 4, func(main *Thread) {
+			api := main.API()
+			l := api.NewRWLock()
+			main.Parallel(func(th *Thread) {
+				if exclusive {
+					th.WLock(l)
+					th.Compute(time.Millisecond)
+					th.WUnlock(l)
+				} else {
+					th.RLock(l)
+					th.Compute(time.Millisecond)
+					th.RUnlock(l)
+				}
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Makespan
+	}
+	shared, exclusive := run(false), run(true)
+	if float64(exclusive)/float64(shared) < 2.5 {
+		t.Fatalf("write lock should serialize: shared=%v exclusive=%v", shared, exclusive)
+	}
+}
+
+func TestSimSemaphorePipelineBound(t *testing.T) {
+	// A semaphore of 2 gates 8 one-millisecond jobs on 8 cores: makespan
+	// must reflect the concurrency cap (≈4ms), not full parallelism.
+	st, err := RunSim(machine.Paper(8), 8, func(main *Thread) {
+		api := main.API()
+		sem := api.NewSemaphore(2)
+		main.Parallel(func(th *Thread) {
+			th.Acquire(sem)
+			th.Compute(time.Millisecond)
+			th.Release(sem)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan < 3900*time.Microsecond {
+		t.Fatalf("semaphore cap not enforced: makespan %v", st.Makespan)
+	}
+}
+
+func TestSimRWLockWriterNotStarved(t *testing.T) {
+	// Readers hammer the lock; a writer must still get in (writer
+	// preference) and the run must terminate.
+	var writes int
+	_, err := RunSim(machine.Paper(4), 4, func(main *Thread) {
+		api := main.API()
+		l := api.NewRWLock()
+		main.Parallel(func(th *Thread) {
+			if th.ID() == 0 {
+				for w := 0; w < 5; w++ {
+					th.WLock(l)
+					writes++
+					th.Compute(100 * time.Microsecond)
+					th.WUnlock(l)
+				}
+				return
+			}
+			for i := 0; i < 30; i++ {
+				th.RLock(l)
+				th.Compute(50 * time.Microsecond)
+				th.RUnlock(l)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes != 5 {
+		t.Fatalf("writer completed %d/5 writes", writes)
+	}
+}
