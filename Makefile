@@ -1,0 +1,34 @@
+# Mirrors .github/workflows/ci.yml so contributors run exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build test race bench lint ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent executor packages (the CI `race` job).
+race:
+	$(GO) test -race ./ompss ./internal/core ./pthread
+
+# Run every benchmark for one iteration so benchmark code cannot rot
+# (the CI `bench-smoke` job). For real numbers, raise -benchtime.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Contended-throughput microbenchmark of the native executor, 3 iterations
+# per worker count — the before/after scaling gauge for runtime changes.
+bench-contention:
+	$(GO) test ./internal/bench -bench BenchmarkContendedThroughput -benchtime=3x -run='^$$'
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+ci: build lint test race bench

@@ -1,0 +1,3 @@
+module ompssgo
+
+go 1.22

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ompssgo/ompss"
+)
+
+// ContentionResult is one measurement of the native executor under
+// fine-grained contended load: many tiny tasks racing through submit, pop,
+// steal, and finish at once.
+type ContentionResult struct {
+	Workers  int
+	Tasks    int
+	Elapsed  time.Duration
+	Stats    ompss.RunStats
+	Checksum int64 // sum of all chain counters; must equal Tasks
+}
+
+// TasksPerSec returns the sustained task throughput.
+func (r ContentionResult) TasksPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tasks) / r.Elapsed.Seconds()
+}
+
+// spinWork burns roughly n loop iterations of CPU without touching shared
+// state, standing in for a fine-grained task body (the paper's §4 h264dec
+// macroblock scale).
+func spinWork(n int) int64 {
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += int64(i ^ (i >> 3))
+	}
+	return acc
+}
+
+var spinSink int64
+
+// MeasureContention drives `tasks` fine-grained tasks through a native
+// runtime with `workers` lanes at GOMAXPROCS=workers. The tasks form
+// `chains` independent InOut chains submitted round-robin from the master,
+// so dependence tracking, ready release, and work stealing all contend;
+// each body spins for `spin` iterations (~sub-microsecond granularity).
+// The per-chain counters give an end-to-end ordering check: every chain
+// must observe exactly tasks/chains increments.
+func MeasureContention(workers, chains, tasks, spin int) ContentionResult {
+	if chains < 1 {
+		chains = 1
+	}
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+
+	rt := ompss.New(ompss.Workers(workers))
+	defer rt.Shutdown()
+
+	// One dependence key and one counter per chain, padded to distinct
+	// cache lines so the measurement isolates runtime overhead, not
+	// counter false sharing.
+	type padded struct {
+		v int64
+		_ [56]byte
+	}
+	counters := make([]padded, chains)
+
+	start := time.Now()
+	for i := 0; i < tasks; i++ {
+		c := &counters[i%chains]
+		rt.Task(func(*ompss.TC) {
+			atomic.AddInt64(&spinSink, spinWork(spin)&1)
+			c.v++ // safe: InOut chain serializes tasks on this counter
+		}, ompss.InOut(c))
+	}
+	rt.Taskwait()
+	elapsed := time.Since(start)
+
+	var sum int64
+	for i := range counters {
+		sum += counters[i].v
+	}
+	return ContentionResult{
+		Workers:  workers,
+		Tasks:    tasks,
+		Elapsed:  elapsed,
+		Stats:    rt.Stats(),
+		Checksum: sum,
+	}
+}

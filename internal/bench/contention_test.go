@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMeasureContention checks the harness end to end: no task is lost and
+// every chain saw its full increment sequence.
+func TestMeasureContention(t *testing.T) {
+	res := MeasureContention(4, 8, 2000, 50)
+	if res.Checksum != int64(res.Tasks) {
+		t.Fatalf("lost updates: checksum=%d want %d", res.Checksum, res.Tasks)
+	}
+	g := res.Stats.Graph
+	if g.Submitted != g.Finished || g.Submitted != uint64(res.Tasks) {
+		t.Fatalf("graph imbalance: submitted=%d finished=%d tasks=%d",
+			g.Submitted, g.Finished, res.Tasks)
+	}
+}
+
+// BenchmarkContendedThroughput reports native-executor throughput for
+// fine-grained dependent tasks across the paper's GOMAXPROCS sweep. The
+// tasks/sec metric is the headline; steal and pop counters expose where the
+// scheduler found its work.
+func BenchmarkContendedThroughput(b *testing.B) {
+	const (
+		chains = 64
+		tasks  = 20000
+		spin   = 120
+	)
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last ContentionResult
+			for i := 0; i < b.N; i++ {
+				last = MeasureContention(w, chains, tasks, spin)
+				if last.Checksum != int64(last.Tasks) {
+					b.Fatalf("lost updates: %d != %d", last.Checksum, last.Tasks)
+				}
+			}
+			b.ReportMetric(last.TasksPerSec(), "tasks/s")
+			b.ReportMetric(float64(last.Stats.Sched.Steals), "steals")
+			b.ReportMetric(float64(last.Stats.Sched.StealTries), "steal-tries")
+			b.ReportMetric(float64(last.Stats.Sched.LocalPops), "local-pops")
+			b.ReportMetric(float64(last.Stats.Sched.GlobalPops), "global-pops")
+		})
+	}
+}

@@ -1,14 +1,19 @@
 package core
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // datum is the dependence record of one tracked object: the task that last
-// (program-order) writes it, the tasks that read it since that write, and
-// the commutative updaters since the last write.
+// (program-order) writes it, and the tasks that read it, commutatively
+// updated it, or concurrently updated it since that write.
 type datum struct {
-	lastWriter *Task
-	readers    []*Task
-	commuters  []*Task
+	lastWriter  *Task
+	readers     []*Task
+	commuters   []*Task
+	concurrents []*Task
 }
 
 // GraphStats counts dependence activity, for tests, tracing, and the
@@ -20,82 +25,171 @@ type GraphStats struct {
 	Inlined   uint64 // tasks executed inline (If(false) clause)
 }
 
-// Graph tracks dataflow dependences between tasks. All methods must be
-// called with the owning executor's exclusion in place (a scheduler lock
-// natively; event-serialization in the simulator).
+// gshard is one shard of the dependence tracker: the datum and array-region
+// records of every key hashing here, guarded by the shard mutex.
+type gshard struct {
+	mu      sync.Mutex
+	datums  map[any]*datum
+	regions map[any]*regionDatum // array-section dependences, by base
+	_       [40]byte             // keep shard locks off each other's cache lines
+}
+
+// Graph tracks dataflow dependences between tasks. It is safe for
+// concurrent use: per-datum records live in key-hashed shards with
+// per-shard locks, Submit two-phase-locks the (few) shards a task's
+// accesses hash to in ascending order, and Finish releases successors with
+// a per-task lock plus atomic predecessor counts — never touching the
+// shards. The simulator drives the same code serialized, where every lock
+// is uncontended.
 type Graph struct {
-	datums     map[any]*datum
-	regions    map[any]*regionDatum // array-section dependences, by base
-	nextID     uint64
-	unfinished int64 // atomic: submitted but not finished (all contexts)
-	stats      GraphStats
+	shards     [numShards]gshard
+	nextID     atomic.Uint64
+	unfinished atomic.Int64 // submitted but not finished (all contexts)
+
+	stSubmitted atomic.Uint64
+	stFinished  atomic.Uint64
+	stEdges     atomic.Uint64
+	stInlined   atomic.Uint64
 }
 
 // NewGraph returns an empty dependence graph.
 func NewGraph() *Graph {
-	return &Graph{datums: make(map[any]*datum)}
+	g := &Graph{}
+	for i := range g.shards {
+		g.shards[i].datums = make(map[any]*datum)
+	}
+	return g
 }
 
-// Stats returns a copy of the graph counters.
-func (g *Graph) Stats() GraphStats { return g.stats }
+// Stats returns a snapshot of the graph counters.
+func (g *Graph) Stats() GraphStats {
+	return GraphStats{
+		Submitted: g.stSubmitted.Load(),
+		Finished:  g.stFinished.Load(),
+		Edges:     g.stEdges.Load(),
+		Inlined:   g.stInlined.Load(),
+	}
+}
 
-// Unfinished returns the number of in-flight tasks across all contexts. Safe
-// without the engine lock.
-func (g *Graph) Unfinished() int64 { return atomic.LoadInt64(&g.unfinished) }
+// Unfinished returns the number of in-flight tasks across all contexts.
+func (g *Graph) Unfinished() int64 { return g.unfinished.Load() }
+
+// shardFor returns the shard index a dependence key hashes to; Region keys
+// shard by their base so all sections of one array share a shard.
+func shardFor(key any) uint32 {
+	if r, ok := key.(Region); ok {
+		return shardIndex(r.Base)
+	}
+	return shardIndex(key)
+}
 
 // Submit registers t's accesses, wiring dependence edges from unfinished
 // predecessors, and reports whether the task is immediately ready. The
 // caller must enqueue ready tasks itself (scheduling is the executor's
-// concern). The task's parent context, if any, is charged one pending child.
+// concern); a task whose last predecessor finishes mid-submission is
+// instead returned by that predecessor's Finish. The task's parent context,
+// if any, is charged one pending child.
 func (g *Graph) Submit(t *Task) (ready bool) {
-	g.nextID++
-	t.ID = g.nextID
+	t.ID = g.nextID.Add(1)
 	t.done = make(chan struct{})
-	t.state = stateCreated
-	g.stats.Submitted++
-	atomic.AddInt64(&g.unfinished, 1)
+	atomic.StoreInt32(&t.state, stateCreated)
+	// Submission guard: npred starts at 1 so concurrently finishing
+	// predecessors can never release t before its edges are fully wired.
+	atomic.StoreInt32(&t.npred, 1)
+	g.stSubmitted.Add(1)
+	g.unfinished.Add(1)
 	if t.Parent != nil {
 		t.Parent.add(1)
+	}
+
+	// Two-phase locking: take every shard this task's keys hash to, in
+	// ascending order. Holding them all for the whole wiring step makes
+	// the submission atomic against other submitters sharing any datum,
+	// so cross-datum edge direction stays consistent (no A→B on one datum
+	// and B→A on another — which could deadlock the graph).
+	var shardIdx [8]uint32
+	shards := shardIdx[:0]
+	for _, a := range t.Accesses {
+		shards = append(shards, shardFor(a.Key))
+	}
+	if len(shards) > 1 {
+		sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+		uniq := shards[:1]
+		for _, si := range shards[1:] {
+			if si != uniq[len(uniq)-1] {
+				uniq = append(uniq, si)
+			}
+		}
+		shards = uniq
+	}
+	for _, si := range shards {
+		g.shards[si].mu.Lock()
 	}
 
 	// Wire edges from unfinished predecessors, deduplicated so a task
 	// sharing several data with one predecessor counts it once.
 	seen := map[*Task]struct{}{t: {}}
 	addPred := func(p *Task) {
-		if p == nil || p.Finished() {
+		if p == nil {
 			return
 		}
 		if _, dup := seen[p]; dup {
 			return
 		}
 		seen[p] = struct{}{}
-		p.succs = append(p.succs, t)
-		t.npred++
+		// Charge npred BEFORE publishing the edge: once t is in p.succs, a
+		// concurrent Finish(p) may decrement at any moment, and the charge
+		// must already be there or the decrement would eat the submission
+		// guard and release t twice. The rollback can never hit zero — the
+		// guard itself still holds npred above the transient charge.
+		atomic.AddInt32(&t.npred, 1)
+		if !p.addSucc(t) {
+			atomic.AddInt32(&t.npred, -1)
+			return // p already finished: no edge
+		}
 		t.Preds = append(t.Preds, p.ID)
-		g.stats.Edges++
+		g.stEdges.Add(1)
 	}
 
 	for _, a := range t.Accesses {
+		sh := &g.shards[shardFor(a.Key)]
 		if r, ok := a.Key.(Region); ok {
-			g.submitRegion(t, a, r, addPred)
+			sh.submitRegion(t, a, r, addPred)
 			continue
 		}
-		d := g.datums[a.Key]
+		d := sh.datums[a.Key]
 		if d == nil {
 			d = &datum{}
-			g.datums[a.Key] = d
+			sh.datums[a.Key] = d
 		}
 		switch a.Mode {
-		case In, Concurrent:
+		case In:
 			addPred(d.lastWriter)
 			for _, c := range d.commuters {
 				addPred(c) // commutative updaters may write: RAW
 			}
+			for _, c := range d.concurrents {
+				addPred(c) // concurrent updaters write: RAW
+			}
 			d.readers = append(d.readers, t)
+		case Concurrent:
+			// Concurrent tasks overlap each other, but as updaters they
+			// order against every other access kind.
+			addPred(d.lastWriter)
+			for _, r := range d.readers {
+				addPred(r) // WAR against plain readers
+			}
+			for _, c := range d.commuters {
+				addPred(c)
+			}
+			d.concurrents = append(d.concurrents, t)
 		case Commutative:
 			addPred(d.lastWriter)
 			for _, r := range d.readers {
 				addPred(r) // WAR against plain readers
+			}
+			for _, c := range d.concurrents {
+				addPred(c)
 			}
 			d.commuters = append(d.commuters, t)
 		case Out, InOut:
@@ -106,15 +200,25 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 			for _, c := range d.commuters {
 				addPred(c)
 			}
+			for _, c := range d.concurrents {
+				addPred(c)
+			}
 			d.lastWriter = t
 			d.readers = nil
 			d.commuters = nil
+			d.concurrents = nil
 			if a.Mode == InOut {
 				d.readers = append(d.readers, t)
 			}
 		}
 	}
-	if t.npred == 0 {
+	for i := len(shards) - 1; i >= 0; i-- {
+		g.shards[shards[i]].mu.Unlock()
+	}
+
+	// Drop the submission guard. Whoever takes npred to zero — this
+	// decrement, or a predecessor's Finish racing it — owns the release.
+	if atomic.AddInt32(&t.npred, -1) == 0 {
 		atomic.StoreInt32(&t.state, stateReady)
 		return true
 	}
@@ -129,40 +233,51 @@ func (g *Graph) MarkRunning(t *Task, worker int) {
 
 // Finish completes t: closes its done channel, credits its parent context,
 // and returns the successors that became ready. The caller enqueues them.
+// Safe concurrently with Submits wiring edges from t — the per-task succ
+// lock decides each edge race, and the atomic npred decrement means exactly
+// one finisher (or the submitter) releases each successor.
 func (g *Graph) Finish(t *Task) (newlyReady []*Task) {
-	atomic.StoreInt32(&t.state, stateFinished)
+	succs := t.takeSuccsAndFinish()
 	close(t.done)
-	g.stats.Finished++
-	atomic.AddInt64(&g.unfinished, -1)
+	g.stFinished.Add(1)
+	g.unfinished.Add(-1)
 	if t.Parent != nil {
 		t.Parent.add(-1)
 	}
-	for _, s := range t.succs {
-		s.npred--
-		if s.npred == 0 {
+	for _, s := range succs {
+		if atomic.AddInt32(&s.npred, -1) == 0 {
 			atomic.StoreInt32(&s.state, stateReady)
 			newlyReady = append(newlyReady, s)
 		}
 	}
-	t.succs = nil
 	return newlyReady
 }
 
 // CountInlined records a task executed inline (If(false)); it never enters
 // the graph.
-func (g *Graph) CountInlined() { g.stats.Inlined++ }
+func (g *Graph) CountInlined() { g.stInlined.Add(1) }
 
 // LastWriter returns the unfinished task that is the current program-order
 // last writer of key, or nil when the datum is untracked or its writer
 // already finished. This is the `taskwait on` lookup.
 func (g *Graph) LastWriter(key any) *Task {
-	d := g.datums[key]
+	sh := &g.shards[shardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.datums[key]
 	if d == nil || d.lastWriter == nil || d.lastWriter.Finished() {
 		return nil
 	}
 	return d.lastWriter
 }
 
-// Forget drops the dependence record of key. Optional hygiene for
+// Forget drops the dependence records of key (both the exact-key datum and
+// any array-section records based at key). Optional hygiene for
 // long-running programs cycling through many distinct data objects.
-func (g *Graph) Forget(key any) { delete(g.datums, key) }
+func (g *Graph) Forget(key any) {
+	sh := &g.shards[shardIndex(key)]
+	sh.mu.Lock()
+	delete(sh.datums, key)
+	delete(sh.regions, key)
+	sh.mu.Unlock()
+}

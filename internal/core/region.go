@@ -84,29 +84,33 @@ func mergeSegs(all, add []*segment) []*segment {
 }
 
 // submitRegion wires dependence edges for one region access of t and
-// updates the segment records. Caller provides the shared edge-dedup set.
-func (g *Graph) submitRegion(t *Task, a Access, r Region, addPred func(*Task)) {
+// updates the segment records. Called with the shard lock held; the caller
+// provides the shared edge-dedup set.
+func (sh *gshard) submitRegion(t *Task, a Access, r Region, addPred func(*Task)) {
 	if r.Hi <= r.Lo {
 		return
 	}
-	rd := g.regions[r.Base]
+	rd := sh.regions[r.Base]
 	if rd == nil {
 		rd = &regionDatum{}
-		if g.regions == nil {
-			g.regions = make(map[any]*regionDatum)
+		if sh.regions == nil {
+			sh.regions = make(map[any]*regionDatum)
 		}
-		g.regions[r.Base] = rd
+		sh.regions[r.Base] = rd
 	}
 	covered := rd.split(r.Lo, r.Hi)
 	switch a.Mode {
-	case In, Concurrent:
+	case In:
 		for _, s := range covered {
 			addPred(s.lastWriter)
 			s.readers = append(s.readers, t)
 		}
-	case Out, InOut, Commutative:
-		// Commutative over a region conservatively serializes like InOut
-		// (region-level commutativity is not supported).
+	case Out, InOut, Commutative, Concurrent:
+		// Commutative and Concurrent over a region conservatively
+		// serialize like InOut (region-level commutativity/concurrent
+		// sets are not supported): updaters must still order against
+		// readers and writers, so treating them as writers is the safe
+		// over-approximation.
 		for _, s := range covered {
 			addPred(s.lastWriter)
 			for _, rt := range s.readers {
@@ -122,9 +126,13 @@ func (g *Graph) submitRegion(t *Task, a Access, r Region, addPred func(*Task)) {
 }
 
 // regionWriters returns the unfinished tasks that are last writers of any
-// segment overlapping r (the `taskwait on(a[lo:hi])` set).
+// segment overlapping r (the `taskwait on(a[lo:hi])` set). Takes the
+// owning shard's lock.
 func (g *Graph) regionWriters(r Region) []*Task {
-	rd := g.regions[r.Base]
+	sh := &g.shards[shardIndex(r.Base)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rd := sh.regions[r.Base]
 	if rd == nil {
 		return nil
 	}

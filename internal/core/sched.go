@@ -1,6 +1,9 @@
 package core
 
-import "math/rand"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SchedStats counts scheduler activity.
 type SchedStats struct {
@@ -10,45 +13,120 @@ type SchedStats struct {
 	StealTries uint64
 }
 
-// Sched is the ready-task scheduler: one LIFO deque per worker plus a global
-// FIFO spawn queue, with random-victim work stealing.
+// Sched is the ready-task scheduler: one Chase–Lev work-stealing deque per
+// worker plus a lock-free global FIFO spawn queue, with random-victim work
+// stealing.
 //
 // Policy knobs reproduce the mechanisms the paper's §4 analysis credits:
 //
 //   - Locality: a successor released by a finishing task is pushed to the
-//     head of the finisher's own deque, so producer→consumer chains run
+//     bottom of the finisher's own deque, so producer→consumer chains run
 //     back-to-back on one core (the ray-rot cache-locality effect). With
 //     Locality off, released tasks go to the global queue.
 //   - Freshly submitted tasks go to the global FIFO (breadth-first spawn,
 //     the Nanos++ default), keeping pipeline stages flowing in order.
 //
-// Like Graph, Sched performs no locking; the executor serializes access.
+// Concurrency model: every path is safe from any goroutine. Deque owner
+// operations are guarded by a per-lane TryLock (uncontended in the normal
+// one-thread-per-lane case; aliased lanes spill to the global queue instead
+// of blocking); steals and global-queue operations are lock-free; the rare
+// Priority>0 submissions go through a small mutex-ordered side queue. The
+// simulator drives the same scheduler from its serialized event loop, where
+// all the atomics are uncontended and behavior is deterministic per seed.
 type Sched struct {
 	workers  int
 	locality bool
-	local    [][]*Task
-	global   []*Task
-	rng      *rand.Rand
-	stats    SchedStats
-	ready    int // total queued tasks
+	lanes    []laneState // len workers+1: the extra lane absorbs stats/rng for out-of-range callers
+
+	global mpmcQueue
+
+	prioMu sync.Mutex
+	prio   []*Task // Priority>0 submissions, priority-ordered, FIFO within a level
+	prioN  atomic.Int64
+}
+
+// laneState is one worker's deque plus its private counters, padded so that
+// per-lane hot counters never share a cache line across lanes.
+type laneState struct {
+	deque wsDeque
+	owner sync.Mutex // serializes deque owner ops; TryLock only, never blocks
+
+	rng atomic.Uint64 // xorshift64* state; racy updates only cost randomness
+
+	localPops  atomic.Uint64
+	globalPops atomic.Uint64
+	steals     atomic.Uint64
+	stealTries atomic.Uint64
+
+	_ [64]byte
+}
+
+// nextRand steps the lane's xorshift64* state. Lost updates under lane
+// aliasing are harmless (victim choice only needs to be well spread).
+func (l *laneState) nextRand() uint64 {
+	x := l.rng.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	l.rng.Store(x)
+	return x * 0x2545f4914f6cdd1d
 }
 
 // NewSched creates a scheduler with one deque per worker (callers may index
 // workers 0..workers-1; by convention the main program uses the last index).
 func NewSched(workers int, locality bool, seed int64) *Sched {
-	return &Sched{
+	s := &Sched{
 		workers:  workers,
 		locality: locality,
-		local:    make([][]*Task, workers),
-		rng:      rand.New(rand.NewSource(seed)),
+		lanes:    make([]laneState, workers+1),
 	}
+	s.global.init()
+	for i := range s.lanes {
+		s.lanes[i].deque.init()
+		r := mix64(uint64(seed) ^ mix64(uint64(i)+1))
+		if r == 0 {
+			r = 0x9e3779b97f4a7c15
+		}
+		s.lanes[i].rng.Store(r)
+	}
+	return s
 }
 
-// Stats returns a copy of the scheduler counters.
-func (s *Sched) Stats() SchedStats { return s.stats }
+// lane returns the stats/rng lane for a caller, mapping out-of-range worker
+// indices to the shared overflow slot.
+func (s *Sched) lane(worker int) *laneState {
+	if worker >= 0 && worker < s.workers {
+		return &s.lanes[worker]
+	}
+	return &s.lanes[s.workers]
+}
 
-// Ready returns the number of queued ready tasks.
-func (s *Sched) Ready() int { return s.ready }
+// Stats returns a snapshot of the scheduler counters.
+func (s *Sched) Stats() SchedStats {
+	var st SchedStats
+	for i := range s.lanes {
+		l := &s.lanes[i]
+		st.LocalPops += l.localPops.Load()
+		st.GlobalPops += l.globalPops.Load()
+		st.Steals += l.steals.Load()
+		st.StealTries += l.stealTries.Load()
+	}
+	return st
+}
+
+// Ready returns the number of queued ready tasks: exact when the scheduler
+// is quiescent or serialized (the simulator), a close racy estimate under
+// native concurrency — callers only gate idle waiting on it and re-check.
+func (s *Sched) Ready() int {
+	n := int(s.prioN.Load()) + s.global.length()
+	for i := 0; i < s.workers; i++ {
+		n += s.lanes[i].deque.size()
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // Workers returns the number of deques.
 func (s *Sched) Workers() int { return s.workers }
@@ -56,66 +134,92 @@ func (s *Sched) Workers() int { return s.workers }
 // PushSubmit enqueues a task that was ready at submission. Priority tasks
 // jump the global FIFO.
 func (s *Sched) PushSubmit(t *Task) {
-	s.ready++
 	if t.Priority > 0 {
-		// Keep the global queue priority-ordered: insert after the last
+		s.prioMu.Lock()
+		// Keep the side queue priority-ordered: insert after the last
 		// task with priority >= t's (stable within a priority level).
 		i := 0
-		for i < len(s.global) && s.global[i].Priority >= t.Priority {
+		for i < len(s.prio) && s.prio[i].Priority >= t.Priority {
 			i++
 		}
-		s.global = append(s.global, nil)
-		copy(s.global[i+1:], s.global[i:])
-		s.global[i] = t
+		s.prio = append(s.prio, nil)
+		copy(s.prio[i+1:], s.prio[i:])
+		s.prio[i] = t
+		s.prioN.Add(1)
+		s.prioMu.Unlock()
 		return
 	}
-	s.global = append(s.global, t)
+	s.global.enqueue(t)
 }
 
 // PushReady enqueues a task released by a finishing task on `worker`. Under
-// the locality policy it lands on that worker's deque head so it is the next
-// task popped there.
+// the locality policy it lands on that worker's deque bottom so it is the
+// next task popped there.
 func (s *Sched) PushReady(t *Task, worker int) {
 	if !s.locality || worker < 0 || worker >= s.workers {
 		s.PushSubmit(t)
 		return
 	}
-	s.ready++
-	s.local[worker] = append([]*Task{t}, s.local[worker]...)
+	l := &s.lanes[worker]
+	if !l.owner.TryLock() {
+		// Another goroutine is aliasing this lane right now; spill to the
+		// global queue rather than block or corrupt the deque.
+		s.PushSubmit(t)
+		return
+	}
+	l.deque.pushBottom(t)
+	l.owner.Unlock()
 }
 
-// Pop returns the next task for `worker`: its own deque head (LIFO), then
-// the global FIFO, then a steal from a random victim's deque tail. Returns
-// nil when no work is available anywhere.
+// Pop returns the next task for `worker`: its own deque bottom (LIFO), then
+// the priority side queue, then the global FIFO, then a steal from a random
+// victim's deque top. Returns nil when no work is visible anywhere.
 func (s *Sched) Pop(worker int) *Task {
-	if worker >= 0 && worker < s.workers && len(s.local[worker]) > 0 {
-		t := s.local[worker][0]
-		s.local[worker] = s.local[worker][1:]
-		s.ready--
-		s.stats.LocalPops++
-		return t
+	ln := s.lane(worker)
+	if worker >= 0 && worker < s.workers {
+		l := &s.lanes[worker]
+		if l.owner.TryLock() {
+			t := l.deque.popBottom()
+			l.owner.Unlock()
+			if t != nil {
+				ln.localPops.Add(1)
+				return t
+			}
+		}
 	}
-	if len(s.global) > 0 {
-		t := s.global[0]
-		s.global = s.global[1:]
-		s.ready--
-		s.stats.GlobalPops++
+	if s.prioN.Load() > 0 {
+		var t *Task
+		s.prioMu.Lock()
+		if len(s.prio) > 0 {
+			t = s.prio[0]
+			s.prio = s.prio[1:]
+			s.prioN.Add(-1)
+		}
+		s.prioMu.Unlock()
+		if t != nil {
+			ln.globalPops.Add(1)
+			return t
+		}
+	}
+	if t := s.global.dequeue(); t != nil {
+		ln.globalPops.Add(1)
 		return t
 	}
 	// Steal: probe every other worker once, starting from a random victim.
 	if s.workers > 1 {
-		start := s.rng.Intn(s.workers)
+		start := int(ln.nextRand() % uint64(s.workers))
 		for i := 0; i < s.workers; i++ {
 			v := (start + i) % s.workers
 			if v == worker {
 				continue
 			}
-			s.stats.StealTries++
-			if n := len(s.local[v]); n > 0 {
-				t := s.local[v][n-1] // steal coldest (tail)
-				s.local[v] = s.local[v][:n-1]
-				s.ready--
-				s.stats.Steals++
+			ln.stealTries.Add(1)
+			t, retry := s.lanes[v].deque.steal()
+			for retry {
+				t, retry = s.lanes[v].deque.steal()
+			}
+			if t != nil {
+				ln.steals.Add(1)
 				return t
 			}
 		}

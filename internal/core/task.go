@@ -4,15 +4,36 @@
 // placement and work stealing, and the child-counting contexts behind
 // taskwait.
 //
-// The package is a pure state machine: it performs no synchronization and no
-// execution of its own. The native executor (package ompss) drives it from
-// goroutines under a scheduler lock; the simulated executor drives it from
-// discrete-event context where execution is already serialized. This is what
-// guarantees that both evaluation modes exercise literally the same
-// dependence and scheduling policies.
+// The engine performs no execution of its own, and it is safe for
+// concurrent use without any external lock. Its locking model is
+// decentralized so no single lock serializes the executor:
+//
+//   - Dependence records (Graph) live in key-hashed shards with per-shard
+//     mutexes. Submit two-phase-locks the shards of one task's accesses in
+//     ascending index order — deadlock-free, and atomic against concurrent
+//     submitters sharing any datum.
+//   - Task release is lock-free at the graph level: each task carries an
+//     atomic unfinished-predecessor count, pre-charged with a submission
+//     guard so a racing Finish can never release a half-wired task, and a
+//     tiny per-task lock arbitrates the "add successor vs. finish" race.
+//     Whoever decrements npred to zero owns the enqueue.
+//   - Ready tasks (Sched) sit in per-worker Chase–Lev lock-free deques
+//     (owner LIFO bottom, thieves steal the top) plus a Michael–Scott
+//     lock-free global FIFO for breadth-first submissions; statistics are
+//     per-lane padded atomics.
+//
+// The native executor (package ompss) drives this from goroutines with no
+// lock of its own; the simulated executor drives the same code from
+// discrete-event context where every lock is uncontended and scheduling
+// stays deterministic per seed. This is what guarantees that both
+// evaluation modes exercise literally the same dependence and scheduling
+// policies.
 package core
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Mode is the dependence mode of one task argument, mirroring the OmpSs
 // pragma clauses input/output/inout (plus the concurrent extension).
@@ -28,8 +49,9 @@ const (
 	// InOut declares the task reads and writes the datum.
 	InOut
 	// Concurrent declares the task updates the datum under its own
-	// synchronization: concurrent tasks may overlap each other, but are
-	// ordered against ordinary readers and writers like readers.
+	// synchronization: concurrent tasks may overlap each other, but as
+	// updaters they are ordered against ordinary readers, commutative
+	// updaters, and writers on both sides.
 	Concurrent
 	// Commutative declares the task updates the datum in an order-free
 	// but mutually exclusive way: commutative tasks on the same datum are
@@ -97,10 +119,36 @@ type Task struct {
 	// submission (for tracing and DOT export; kept after they finish).
 	Preds []uint64
 
-	npred int32   // unfinished predecessors
-	succs []*Task // tasks waiting on this one
-	state int32   // atomic taskState
-	done  chan struct{}
+	npred  int32      // atomic: unfinished predecessors (+1 submission guard while wiring)
+	succMu sync.Mutex // guards succs against the add-successor vs. finish race
+	succs  []*Task    // tasks waiting on this one
+	state  int32      // atomic taskState
+	done   chan struct{}
+}
+
+// addSucc links s as a successor of t unless t already finished (then no
+// edge is needed). Called by Graph.Submit with shard locks held; the
+// per-task lock is a leaf, so lock order is always shards → task.
+func (t *Task) addSucc(s *Task) bool {
+	t.succMu.Lock()
+	defer t.succMu.Unlock()
+	if atomic.LoadInt32(&t.state) == stateFinished {
+		return false
+	}
+	t.succs = append(t.succs, s)
+	return true
+}
+
+// takeSuccsAndFinish atomically marks t finished and detaches its successor
+// list: after it returns, addSucc refuses new edges, so Finish decrements
+// exactly the successors that were wired.
+func (t *Task) takeSuccsAndFinish() []*Task {
+	t.succMu.Lock()
+	atomic.StoreInt32(&t.state, stateFinished)
+	succs := t.succs
+	t.succs = nil
+	t.succMu.Unlock()
+	return succs
 }
 
 type taskState int32
@@ -120,12 +168,16 @@ func (t *Task) Done() <-chan struct{} { return t.done }
 // lock.
 func (t *Task) Finished() bool { return atomic.LoadInt32(&t.state) == stateFinished }
 
-// NPred returns the number of unfinished predecessors (engine lock required).
-func (t *Task) NPred() int { return int(t.npred) }
+// NPred returns the number of unfinished predecessors.
+func (t *Task) NPred() int { return int(atomic.LoadInt32(&t.npred)) }
 
-// Succs returns the current successor list (engine lock required; exposed for
-// tracing and tests).
-func (t *Task) Succs() []*Task { return t.succs }
+// Succs returns a snapshot of the successor list (exposed for tracing and
+// tests).
+func (t *Task) Succs() []*Task {
+	t.succMu.Lock()
+	defer t.succMu.Unlock()
+	return append([]*Task(nil), t.succs...)
+}
 
 // Context counts unfinished direct children of a spawning scope (the main
 // program, or a task that spawns nested tasks). Taskwait blocks until the

@@ -3,6 +3,7 @@ package ompss
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ompssgo/internal/core"
@@ -13,17 +14,22 @@ import (
 // n−1 and helps execute tasks inside Taskwait/TaskwaitOn/Shutdown, matching
 // the OmpSs thread model (OMP_NUM_THREADS counts the master).
 //
-// All engine state is guarded by one scheduler lock; the engine itself
-// (internal/core) is a pure state machine shared with the simulated backend.
+// There is no backend-level engine lock: the engine (internal/core, shared
+// with the simulated backend) is internally decentralized — per-worker
+// lock-free deques with work stealing, a sharded dependence tracker, and
+// atomic ready release — so submit, pop, steal, and finish from different
+// lanes proceed without serializing on each other. The only backend
+// synchronization is the Blocking-mode idle gate, a monitor that idle
+// workers and taskwaiters park on; Polling mode (the OmpSs default) never
+// touches it.
 type nativeBackend struct {
 	rt  *Runtime
 	cfg config
 
-	mu    sync.Mutex
-	cond  *sync.Cond // Blocking mode: idle workers and taskwaiters
 	graph *core.Graph
 	sched *core.Sched
-	stop  bool
+	stop  atomic.Bool
+	gate  idleGate // Blocking mode: idle workers and taskwaiters
 
 	wg    sync.WaitGroup
 	crit  critSet[sync.Mutex]
@@ -35,6 +41,64 @@ type nativeBackend struct {
 	shutdownOnce sync.Once
 }
 
+// idleGate parks Blocking-mode threads between work. The sequence number
+// makes sleeps race-free without holding any lock on the work path: a
+// would-be sleeper takes a ticket, re-checks for work, and sleeps only
+// while the sequence is unchanged; every wake bumps the sequence, so a wake
+// that lands between the ticket and the sleep turns the sleep into a no-op.
+type idleGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  atomic.Uint64 // atomic so ticket() stays off the mutex on the hot path
+}
+
+func (g *idleGate) init() { g.cond = sync.NewCond(&g.mu) }
+
+func (g *idleGate) ticket() uint64 { return g.seq.Load() }
+
+func (g *idleGate) wait(ticket uint64) {
+	g.mu.Lock()
+	for g.seq.Load() == ticket {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// wake bumps the sequence under the monitor lock and broadcasts. Broadcast
+// (not Signal) is deliberate: workers and taskwaiters share the condvar,
+// and a Signal could wake a waiter that cannot consume the event.
+func (g *idleGate) wake() {
+	g.mu.Lock()
+	g.seq.Add(1)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// spinner is the Polling-mode idle throttle: a thread that keeps missing
+// yields its slice for a while, then sleeps with linearly growing duration
+// (capped at 100µs). Without it, oversubscribed polling threads — 32 lanes
+// on a 2-core host — spin the cores bare and starve the lanes doing real
+// work; with it, release latency stays in the tens of microseconds, which
+// is the polling-vs-blocking gap the paper's §4 measures.
+type spinner struct{ misses int }
+
+const spinYields = 64
+
+func (s *spinner) hit() { s.misses = 0 }
+
+func (s *spinner) miss() {
+	s.misses++
+	if s.misses <= spinYields {
+		runtime.Gosched()
+		return
+	}
+	d := time.Duration(s.misses-spinYields) * time.Microsecond
+	if d > 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	time.Sleep(d)
+}
+
 func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 	b := &nativeBackend{
 		rt:    rt,
@@ -43,7 +107,7 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 		sched: core.NewSched(cfg.workers, cfg.locality, cfg.seed),
 		epoch: time.Now(),
 	}
-	b.cond = sync.NewCond(&b.mu)
+	b.gate.init()
 	return b
 }
 
@@ -58,25 +122,27 @@ func (b *nativeBackend) start() {
 
 func (b *nativeBackend) workerLoop(lane int) {
 	defer b.wg.Done()
+	blocking := b.cfg.wait == Blocking
+	var idle spinner
 	for {
-		b.mu.Lock()
+		var ticket uint64
+		if blocking {
+			ticket = b.gate.ticket()
+		}
 		t := b.sched.Pop(lane)
 		if t == nil {
-			if b.stop {
-				b.mu.Unlock()
+			if b.stop.Load() {
 				return
 			}
-			if b.cfg.wait == Blocking {
-				b.cond.Wait()
-				b.mu.Unlock()
-				continue
+			if blocking {
+				b.gate.wait(ticket)
+			} else {
+				idle.miss()
 			}
-			b.mu.Unlock()
-			runtime.Gosched()
 			continue
 		}
+		idle.hit()
 		b.graph.MarkRunning(t, lane)
-		b.mu.Unlock()
 		b.runTask(t, lane)
 	}
 }
@@ -84,7 +150,6 @@ func (b *nativeBackend) workerLoop(lane int) {
 func (b *nativeBackend) runTask(t *core.Task, lane int) {
 	b.trace(TraceStart, t, lane)
 	t.Body()
-	b.mu.Lock()
 	ready := b.graph.Finish(t)
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
@@ -92,69 +157,65 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 	if b.cfg.wait == Blocking {
 		// Wake idle workers for the released tasks and any taskwaiter
 		// whose context may have drained.
-		b.cond.Broadcast()
+		b.gate.wake()
 	}
-	b.mu.Unlock()
 	b.trace(TraceEnd, t, lane)
 }
 
 // helpOne lets the calling thread execute one ready task, reporting whether
 // it found any.
 func (b *nativeBackend) helpOne(lane int) bool {
-	b.mu.Lock()
 	t := b.sched.Pop(lane)
 	if t == nil {
-		b.mu.Unlock()
 		return false
 	}
 	b.graph.MarkRunning(t, lane)
-	b.mu.Unlock()
 	b.runTask(t, lane)
 	return true
 }
 
 func (b *nativeBackend) submit(from *TC, t *core.Task) {
-	b.mu.Lock()
 	if b.graph.Submit(t) {
 		b.sched.PushSubmit(t)
 		if b.cfg.wait == Blocking {
-			b.cond.Signal()
+			b.gate.wake()
 		}
 	}
-	b.mu.Unlock()
 	b.trace(TraceSubmit, t, from.worker)
 }
 
 func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
+	var idle spinner
 	for ctx.Pending() > 0 {
 		if b.helpOne(from.worker) {
+			idle.hit()
 			continue
 		}
 		if b.cfg.wait == Blocking {
-			b.mu.Lock()
+			ticket := b.gate.ticket()
 			if ctx.Pending() > 0 && b.sched.Ready() == 0 {
-				b.cond.Wait()
+				b.gate.wait(ticket)
 			}
-			b.mu.Unlock()
 		} else {
-			runtime.Gosched()
+			idle.miss()
 		}
 	}
 }
 
 func (b *nativeBackend) taskwaitOn(from *TC, keys []any) {
 	for _, k := range keys {
-		b.mu.Lock()
 		writers := b.graph.Writers(k)
-		b.mu.Unlock()
 		for _, lw := range writers {
 			if b.cfg.wait == Blocking {
 				<-lw.Done()
 				continue
 			}
+			var idle spinner
 			for !lw.Finished() {
-				if !b.helpOne(from.worker) {
-					runtime.Gosched()
+				if b.helpOne(from.worker) {
+					idle.hit()
+				} else {
+					idle.miss()
 				}
 			}
 		}
@@ -188,30 +249,29 @@ func (b *nativeBackend) commutative(from *TC, key any, f func()) {
 func (b *nativeBackend) compute(*TC, time.Duration)  {} // native bodies do real work
 func (b *nativeBackend) touch(*TC, any, int64, bool) {} // native memory is real
 func (b *nativeBackend) lastWriter(key any) *core.Task {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	return b.graph.LastWriter(key)
 }
 
 func (b *nativeBackend) shutdown(from *TC) {
 	b.shutdownOnce.Do(func() {
 		// Implicit end-of-program barrier: drain every context.
+		var idle spinner
 		for b.graph.Unfinished() > 0 {
-			if !b.helpOne(from.worker) {
-				runtime.Gosched()
+			if b.helpOne(from.worker) {
+				idle.hit()
+			} else {
+				idle.miss()
 			}
 		}
-		b.mu.Lock()
-		b.stop = true
-		b.cond.Broadcast()
-		b.mu.Unlock()
+		b.stop.Store(true)
+		if b.cfg.wait == Blocking {
+			b.gate.wake()
+		}
 		b.wg.Wait()
 	})
 }
 
 func (b *nativeBackend) stats() RunStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
 }
 

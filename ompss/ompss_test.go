@@ -156,8 +156,13 @@ func TestNativeStats(t *testing.T) {
 	rt := New(Workers(2))
 	defer rt.Shutdown()
 	x := new(int)
-	rt.Task(func(*TC) { *x = 1 }, Out(x))
+	// Hold the producer until the reader is submitted, so the RAW edge is
+	// deterministically wired (a fast worker could otherwise finish the
+	// producer before the reader's submission even looks for it).
+	gate := make(chan struct{})
+	rt.Task(func(*TC) { <-gate; *x = 1 }, Out(x))
 	rt.Task(func(*TC) { _ = *x }, In(x))
+	close(gate)
 	rt.Taskwait()
 	st := rt.Stats()
 	if st.Graph.Submitted != 2 || st.Graph.Finished != 2 || st.Graph.Edges != 1 {
@@ -251,8 +256,11 @@ func TestTracerRecordsLifecycle(t *testing.T) {
 	tr := NewTracer()
 	rt := New(Workers(2), Trace(tr))
 	x := new(int)
-	rt.Task(func(*TC) { *x = 1 }, Out(x), Label("produce"))
+	// Gate the producer so the consume edge is deterministically wired.
+	gate := make(chan struct{})
+	rt.Task(func(*TC) { <-gate; *x = 1 }, Out(x), Label("produce"))
 	rt.Task(func(*TC) { _ = *x }, In(x), Label("consume"))
+	close(gate)
 	rt.Taskwait()
 	rt.Shutdown()
 	sum := tr.Summary()
@@ -277,8 +285,11 @@ func TestTracerDOT(t *testing.T) {
 	tr := NewTracer()
 	rt := New(Workers(2), Trace(tr))
 	x := new(int)
-	rt.Task(func(*TC) { *x = 1 }, Out(x), Label("A"))
+	// Gate A so the A->B edge is deterministically wired.
+	gate := make(chan struct{})
+	rt.Task(func(*TC) { <-gate; *x = 1 }, Out(x), Label("A"))
 	rt.Task(func(*TC) { _ = *x }, In(x), Label("B"))
+	close(gate)
 	rt.Taskwait()
 	rt.Shutdown()
 	var buf testWriter
