@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint ci
+.PHONY: all build test race bench bench-contention bench-submit examples lint ci
 
 all: build test
 
@@ -26,9 +26,19 @@ bench:
 bench-contention:
 	$(GO) test ./internal/bench -bench BenchmarkContendedThroughput -benchtime=3x -run='^$$'
 
+# Submit-path allocation benchmark: registered *Datum handles vs the
+# any-key compatibility path (the CI bench-smoke job runs this with
+# -benchmem so handle-path regressions show up in the log).
+bench-submit:
+	$(GO) test ./internal/bench -run='^$$' -bench=BenchmarkSubmit -benchmem -benchtime=300000x
+
+# Run every example end-to-end (the CI examples-smoke job).
+examples:
+	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: build lint test race bench
+ci: build lint test race bench bench-submit examples

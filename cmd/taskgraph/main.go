@@ -52,14 +52,23 @@ func main() {
 }
 
 // pipeline spawns the Listing 1 shape: per iteration, read→parse→decode→
-// output tasks chained by stage contexts and renamed circular-buffer slots.
+// output tasks chained by stage contexts and renamed circular-buffer
+// slots. Contexts and slots are registered data handles — they recur every
+// iteration, so the clauses resolve with no key hashing at submit.
 func pipeline(rt *ompss.Runtime, iters int) {
 	const N = 3
-	rc, pc, ec, oc := new(int), new(int), new(int), new(int)
+	rc := rt.Register(new(int))
+	pc := rt.Register(new(int))
+	ec := rt.Register(new(int))
+	oc := rt.Register(new(int))
 	frames := make([]int, N)
+	slots := make([]*ompss.Datum, N)
+	for i := range slots {
+		slots[i] = rt.Register(&frames[i])
+	}
 	for k := 0; k < iters; k++ {
 		k := k
-		slot := &frames[k%N]
+		slot := slots[k%N]
 		rt.Task(func(*ompss.TC) {}, ompss.InOut(rc), ompss.Out(slot),
 			ompss.Label(fmt.Sprintf("read %d", k)))
 		rt.Task(func(*ompss.TC) {}, ompss.InOut(pc), ompss.InOut(slot),
@@ -104,12 +113,19 @@ func cholesky(rt *ompss.Runtime, nb int) {
 	rt.Taskwait()
 }
 
-// diamond spawns the four-task diamond.
+// diamond spawns the four-task diamond through the handle API: registered
+// datums for the three data, error-returning Go spawns, and a final
+// Handle.Err check.
 func diamond(rt *ompss.Runtime) {
 	x, y, z := new(int), new(int), new(int)
-	rt.Task(func(*ompss.TC) { *x = 1 }, ompss.Out(x), ompss.Label("top"))
-	rt.Task(func(*ompss.TC) { *y = *x }, ompss.In(x), ompss.Out(y), ompss.Label("left"))
-	rt.Task(func(*ompss.TC) { *z = *x }, ompss.In(x), ompss.Out(z), ompss.Label("right"))
-	rt.Task(func(*ompss.TC) { _ = *y + *z }, ompss.In(y), ompss.In(z), ompss.Label("bottom"))
+	dx, dy, dz := rt.Register(x), rt.Register(y), rt.Register(z)
+	rt.Go(func(*ompss.TC) error { *x = 1; return nil }, ompss.Out(dx), ompss.Label("top"))
+	rt.Go(func(*ompss.TC) error { *y = *x; return nil }, ompss.In(dx), ompss.Out(dy), ompss.Label("left"))
+	rt.Go(func(*ompss.TC) error { *z = *x; return nil }, ompss.In(dx), ompss.Out(dz), ompss.Label("right"))
+	bottom := rt.Go(func(*ompss.TC) error { _ = *y + *z; return nil },
+		ompss.In(dy), ompss.In(dz), ompss.Label("bottom"))
 	rt.Taskwait()
+	if err := bottom.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "taskgraph: diamond failed: %v\n", err)
+	}
 }

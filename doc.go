@@ -8,9 +8,10 @@
 // regenerates Table 1 and the §4/§5 mechanism analyses (internal/bench,
 // cmd/ompss-bench).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for measured-versus-published
-// results. The root package exists to carry the repository-level benchmark
-// suite (bench_test.go); the library entry points are packages ompss,
-// pthread, and machine.
+// See README.md for a tour and quickstart, DESIGN.md for the system
+// inventory (including the first-class handle API: registered *Datum
+// dependence keys, *Handle task futures, and context-aware waits), and
+// EXPERIMENTS.md for measured-versus-published results. The root package
+// exists to carry the repository-level benchmark suite (bench_test.go);
+// the library entry points are packages ompss, pthread, and machine.
 package ompssgo

@@ -64,27 +64,37 @@ func main() {
 	}
 }
 
-// factorize spawns the right-looking blocked Cholesky task graph.
+// factorize spawns the right-looking blocked Cholesky task graph. Every
+// matrix block is touched by O(nb) tasks, so the blocks are registered as
+// data handles once and all clauses go through them — the handle-API
+// equivalent of the compiler-resolved clause expressions of the paper.
 func factorize(rt *ompss.Runtime, m *linalg.Matrix, nb, bs int) {
 	cost := ompss.Cost(linalg.BlockOpCost(bs))
+	blk := make([][]*ompss.Datum, nb)
+	for i := range blk {
+		blk[i] = make([]*ompss.Datum, nb)
+		for j := range blk[i] {
+			blk[i][j] = rt.Register(m.Blocks[i][j])
+		}
+	}
 	for k := 0; k < nb; k++ {
 		k := k
 		rt.Task(func(*ompss.TC) { linalg.POTRF(m.Blocks[k][k]) },
-			ompss.InOut(m.Blocks[k][k]), cost, ompss.Label("potrf"))
+			ompss.InOut(blk[k][k]), cost, ompss.Label("potrf"))
 		for i := k + 1; i < nb; i++ {
 			i := i
 			rt.Task(func(*ompss.TC) { linalg.TRSM(m.Blocks[k][k], m.Blocks[i][k]) },
-				ompss.In(m.Blocks[k][k]), ompss.InOut(m.Blocks[i][k]), cost, ompss.Label("trsm"))
+				ompss.In(blk[k][k]), ompss.InOut(blk[i][k]), cost, ompss.Label("trsm"))
 		}
 		for i := k + 1; i < nb; i++ {
 			i := i
 			rt.Task(func(*ompss.TC) { linalg.SYRK(m.Blocks[i][k], m.Blocks[i][i]) },
-				ompss.In(m.Blocks[i][k]), ompss.InOut(m.Blocks[i][i]), cost, ompss.Label("syrk"))
+				ompss.In(blk[i][k]), ompss.InOut(blk[i][i]), cost, ompss.Label("syrk"))
 			for j := k + 1; j < i; j++ {
 				j := j
 				rt.Task(func(*ompss.TC) { linalg.GEMM(m.Blocks[i][k], m.Blocks[j][k], m.Blocks[i][j]) },
-					ompss.In(m.Blocks[i][k]), ompss.In(m.Blocks[j][k]),
-					ompss.InOut(m.Blocks[i][j]), cost, ompss.Label("gemm"))
+					ompss.In(blk[i][k]), ompss.In(blk[j][k]),
+					ompss.InOut(blk[i][j]), cost, ompss.Label("gemm"))
 			}
 		}
 	}

@@ -49,6 +49,14 @@ func main() {
 	rt := ompss.New(ompss.Workers(*workers))
 	defer rt.Shutdown()
 
+	// The iteration loop reuses the same keys every round: register the
+	// centroids and each partial once, and submit through the handles.
+	cent := rt.Register(&centroids[0])
+	partD := make([]*ompss.Datum, len(partials))
+	for i := range partials {
+		partD[i] = rt.Register(partials[i])
+	}
+
 	start := time.Now()
 	iters, moved := 0, -1
 	for it := 0; it < *maxIter; it++ {
@@ -59,10 +67,10 @@ func main() {
 			rt.Task(func(*ompss.TC) {
 				partials[c].Reset()
 				prob.AssignRange(centroids, assign, partials[c], r[0], r[1])
-			}, ompss.In(&centroids[0]), ompss.Out(partials[c]), ompss.Label("assign"))
+			}, ompss.In(cent), ompss.Out(partD[c]), ompss.Label("assign"))
 		}
-		deps := []ompss.Clause{ompss.InOut(&centroids[0]), ompss.Label("reduce")}
-		for _, pa := range partials {
+		deps := []ompss.Clause{ompss.InOut(cent), ompss.Label("reduce")}
+		for _, pa := range partD {
 			deps = append(deps, ompss.In(pa))
 		}
 		rt.Task(func(*ompss.TC) {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,8 +66,15 @@ func decode(rt *ompss.Runtime, p h264.Params, bs []byte) {
 	// Stage contexts (Listing 1's rc, nc, ec, oc — plus dc for the
 	// reconstruction stage; the paper's listing reuses *rc there, which
 	// would chain the read stage behind reconstruction and stall the
-	// pipeline, so we give reconstruction its own context).
-	rc, nc, ec, dc, oc := new(int), new(int), new(int), new(int), new(int)
+	// pipeline, so we give reconstruction its own context). The contexts
+	// and circular-buffer slots recur every iteration, so they are
+	// registered once as data handles — the pre-resolved analogue of the
+	// pragma's clause expressions.
+	rc := rt.Register(new(int))
+	nc := rt.Register(new(int))
+	ec := rt.Register(new(int))
+	dc := rt.Register(new(int))
+	oc := rt.Register(new(int))
 
 	// Circular buffers: frames, headers, entropy-decode buffers, pictures.
 	frm := make([][]byte, N)
@@ -74,8 +82,16 @@ func decode(rt *ompss.Runtime, p h264.Params, bs []byte) {
 	br := make([]*h264.BitReader, N)
 	eds := make([]*h264.FrameData, N)
 	pics := make([]*h264.Picture, N)
+	frmD := make([]*ompss.Datum, N)
+	hdrD := make([]*ompss.Datum, N)
+	edsD := make([]*ompss.Datum, N)
+	picD := make([]*ompss.Datum, N)
 	for i := range eds {
 		eds[i] = h264.NewFrameData(p)
+		frmD[i] = rt.Register(&frm[i])
+		hdrD[i] = rt.Register(&hdr[i])
+		edsD[i] = rt.Register(eds[i])
+		picD[i] = rt.Register(&pics[i])
 	}
 	pib := h264.NewPIB(2*N + 2)
 	dpb := h264.NewDPB(N+2, p)
@@ -88,30 +104,36 @@ func decode(rt *ompss.Runtime, p h264.Params, bs []byte) {
 		s := k % N
 		prev := (k - 1 + N) % N
 
-		rt.Task(func(tc *ompss.TC) {
+		// The read and decode stages can fail on a corrupt stream: Go makes
+		// the error the task's outcome, skipping the dependent stages and
+		// surfacing at the final TaskwaitCtx instead of panicking a worker.
+		rt.Go(func(tc *ompss.TC) error {
 			payload, ok, err := sr.Next()
-			if err != nil || !ok {
-				panic(err)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("stream ended early at frame %d", k)
 			}
 			frm[s] = payload
 			tc.Compute(h264.ReadFrameCost(len(payload)))
-		}, ompss.InOut(rc), ompss.Out(&frm[s]), ompss.Label("read"))
+			return nil
+		}, ompss.InOut(rc), ompss.Out(frmD[s]), ompss.Label("read"))
 
-		rt.Task(func(tc *ompss.TC) {
+		rt.Go(func(tc *ompss.TC) error {
 			h, r, err := h264.DecodeFrameHeader(frm[s])
 			if err != nil {
-				panic(err)
+				return err
 			}
 			hdr[s], br[s] = h, r
 			tc.Critical("pib", func() { pis[s] = pib.Fetch() })
-		}, ompss.InOut(nc), ompss.In(&frm[s]), ompss.Out(&hdr[s]),
+			return nil
+		}, ompss.InOut(nc), ompss.In(frmD[s]), ompss.Out(hdrD[s]),
 			ompss.Cost(h264.ParseCost()), ompss.Label("parse"))
 
-		rt.Task(func(*ompss.TC) {
-			if err := h264.EntropyDecodeFrame(p, br[s], hdr[s], eds[s]); err != nil {
-				panic(err)
-			}
-		}, ompss.InOut(ec), ompss.In(&hdr[s]), ompss.Out(eds[s]),
+		rt.Go(func(*ompss.TC) error {
+			return h264.EntropyDecodeFrame(p, br[s], hdr[s], eds[s])
+		}, ompss.InOut(ec), ompss.In(hdrD[s]), ompss.Out(edsD[s]),
 			ompss.Cost(h264.EDMBCost()*time.Duration(p.MBW()*p.MBH())), ompss.Label("entropy"))
 
 		rt.Task(func(tc *ompss.TC) {
@@ -121,7 +143,7 @@ func decode(rt *ompss.Runtime, p h264.Params, bs []byte) {
 				ref = pics[prev]
 			}
 			h264.ReconstructFrame(p, pics[s].Img, ref.Img, eds[s])
-		}, ompss.InOut(dc), ompss.In(eds[s]), ompss.Out(&pics[s]),
+		}, ompss.InOut(dc), ompss.In(edsD[s]), ompss.Out(picD[s]),
 			ompss.Cost(h264.ReconMBCost()*time.Duration(p.MBW()*p.MBH())), ompss.Label("reconstruct"))
 
 		rt.Task(func(tc *ompss.TC) {
@@ -134,13 +156,15 @@ func decode(rt *ompss.Runtime, p h264.Params, bs []byte) {
 				prevPic = pics[s]
 			})
 			tc.Critical("pib", func() { pib.Release(pis[s]) })
-		}, ompss.InOut(oc), ompss.In(&pics[s]),
+		}, ompss.InOut(oc), ompss.In(picD[s]),
 			ompss.Cost(h264.OutputFrameCost(p.W*p.H)), ompss.Label("output"))
 
 		// Listing 1's loop gate.
 		rt.TaskwaitOn(rc)
 	}
-	rt.Taskwait()
+	if err := rt.TaskwaitCtx(context.Background()); err != nil {
+		panic(err)
+	}
 	if prevPic != nil {
 		dpb.Release(prevPic)
 	}

@@ -1,14 +1,19 @@
-// Quickstart: the OmpSs programming model in one file.
+// Quickstart: the OmpSs programming model in one file, through the
+// first-class handle API.
 //
 // Run with: go run ./examples/quickstart
 //
-// It shows the three core ideas of the model evaluated in the paper:
-// declaring tasks with dataflow clauses instead of synchronizing by hand,
-// letting the runtime discover parallelism from the clauses, and using the
-// simulated 32-core machine to observe scaling without owning the hardware.
+// It shows the core ideas of the model evaluated in the paper — declaring
+// tasks with dataflow clauses instead of synchronizing by hand, and letting
+// the runtime discover parallelism from the clauses — plus the Go-native
+// surface this library adds on top: registered data handles (cheap,
+// pre-resolved dependence keys), error-returning task futures, and
+// context-aware waits.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,42 +25,65 @@ func main() {
 	// --- Native execution on goroutine workers. -------------------------
 	rt := ompss.New(ompss.Workers(4))
 
-	// Tasks declare how they touch data; the runtime orders them. These
-	// three form a chain through x, while the pair on a/b is independent.
+	// Register the data the tasks will exchange. A *Datum is a dependence
+	// key whose shard and record were resolved once, up front — the
+	// library analogue of the compiler-resolved clause expressions in
+	//
+	//	#pragma omp task input(*x) output(*y)
+	//
+	// (Raw pointers still work anywhere a key is expected; handles are
+	// the fast path, not a requirement.)
 	x, y := new(int), new(int)
-	a, b := new(int), new(int)
-	rt.Task(func(*ompss.TC) { *x = 40 }, ompss.Out(x), ompss.Label("produce"))
-	rt.Task(func(*ompss.TC) { *x += 2 }, ompss.InOut(x), ompss.Label("update"))
-	rt.Task(func(*ompss.TC) { *y = *x }, ompss.In(x), ompss.Out(y), ompss.Label("consume"))
-	rt.Task(func(*ompss.TC) { *a = 1 }, ompss.Out(a))
-	rt.Task(func(*ompss.TC) { *b = 2 }, ompss.Out(b))
+	dx, dy := rt.Register(x), rt.Register(y)
 
-	// taskwait is the task barrier: it also lets the calling thread help
-	// execute ready tasks, as the OmpSs master thread does.
+	// Tasks declare how they touch data; the runtime orders them. These
+	// three form a chain through x.
+	rt.Task(func(*ompss.TC) { *x = 40 }, ompss.Out(dx), ompss.Label("produce"))
+	rt.Task(func(*ompss.TC) { *x += 2 }, ompss.InOut(dx), ompss.Label("update"))
+	consume := rt.Task(func(*ompss.TC) { *y = *x }, ompss.In(dx), ompss.Out(dy),
+		ompss.Label("consume"))
+
+	// Taskwait is the task barrier: the calling thread helps execute ready
+	// tasks while waiting, as the OmpSs master thread does. Every spawn
+	// also returned a *Handle — a future with Done and Err.
 	rt.Taskwait()
-	fmt.Printf("native: y = %d, a+b = %d\n", *y, *a+*b)
+	fmt.Printf("native: y = %d (consume err = %v)\n", *y, consume.Err())
+
+	// Error-returning tasks: Go makes the body's error the task outcome.
+	// Under the default SkipDependents policy a failure skips the tasks
+	// depending on it (each wrapping the root cause), and the first
+	// failure of the batch surfaces at the context-aware barrier.
+	bad := rt.Go(func(*ompss.TC) error { return fmt.Errorf("no input frame") },
+		ompss.Out(dx), ompss.Label("bad-producer"))
+	dep := rt.Task(func(*ompss.TC) { *y = *x }, ompss.In(dx), ompss.Label("stranded"))
+	err := rt.TaskwaitCtx(context.Background())
+	fmt.Printf("native: barrier err = %v\n", err)
+	fmt.Printf("native: bad.Err = %v; dep skipped = %v\n",
+		bad.Err(), errors.Is(dep.Err(), ompss.ErrSkipped))
 
 	// taskwait on(...) waits only for the last writer of one datum — the
 	// idiom Listing 1 uses to gate a pipelined loop on its read stage.
-	done := new(int)
-	rt.Task(func(*ompss.TC) { time.Sleep(time.Millisecond); *done = 1 }, ompss.Out(done))
+	done := rt.Register(new(int))
+	rt.Task(func(*ompss.TC) { time.Sleep(time.Millisecond) }, ompss.Out(done))
 	rt.TaskwaitOn(done)
-	fmt.Printf("native: taskwait on saw done = %d\n", *done)
 	rt.Shutdown()
 
-	// --- The same program on the simulated 32-core cc-NUMA machine. -----
+	// --- The same model on the simulated 32-core cc-NUMA machine. -------
 	// Bodies still execute for real; Cost clauses drive virtual time.
+	// RunSimCtx is the context-aware variant: cancelling the context
+	// drains the simulated graph by skipping not-yet-started tasks.
 	for _, cores := range []int{1, 8, 32} {
-		st, err := ompss.RunSim(machine.Paper(cores), func(rt *ompss.Runtime) {
-			results := make([]int, 64)
-			for i := range results {
-				i := i
-				rt.Task(func(*ompss.TC) { results[i] = i * i },
-					ompss.OutSized(&results[i], 8),
-					ompss.Cost(500*time.Microsecond))
-			}
-			rt.Taskwait()
-		})
+		st, err := ompss.RunSimCtx(context.Background(), machine.Paper(cores),
+			func(rt *ompss.Runtime) {
+				results := make([]int, 64)
+				for i := range results {
+					i := i
+					rt.Task(func(*ompss.TC) { results[i] = i * i },
+						ompss.OutSized(&results[i], 8),
+						ompss.Cost(500*time.Microsecond))
+				}
+				rt.Taskwait()
+			})
 		if err != nil {
 			panic(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +42,12 @@ func main() {
 			ompss.OutSized(&im.Pix[3*lo**width], int64(3*(hi-lo)**width)),
 			ompss.Label(fmt.Sprintf("rows %d-%d", lo, hi)))
 	}
-	rt.Taskwait()
+	// The context-aware barrier reports task failures as an error instead
+	// of unwinding a worker.
+	if err := rt.TaskwaitCtx(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "raytrace: render failed: %v\n", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 	st := rt.Stats()
 	rt.Shutdown()

@@ -30,6 +30,16 @@ func main() {
 	hist := make([]int, 8)
 	base := &data[0]
 
+	// Each block section is touched by three stages: register one region
+	// handle per block (plus the histogram key) and submit through them.
+	// Raw InRegion/OutRegion clauses on the same base still interoperate —
+	// stage 3's overlap reads below use them directly.
+	blockD := make([]*ompss.Datum, n/bs)
+	for b := range blockD {
+		blockD[b] = rt.RegisterRegion(base, int64(b*bs), int64((b+1)*bs))
+	}
+	histD := rt.Register(&hist[0])
+
 	// Stage 1: taskloop fill, one section write per chunk.
 	rt.TaskLoop(n, bs, func(_ *ompss.TC, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -40,14 +50,14 @@ func main() {
 	// stage 2 must wait for them, so use an explicit barrier here.
 	rt.Taskwait()
 
-	// Stage 2: per-block scale, declared through array sections.
+	// Stage 2: per-block scale, declared through the region handles.
 	for b := 0; b < n/bs; b++ {
 		lo, hi := int64(b*bs), int64((b+1)*bs)
 		rt.Task(func(*ompss.TC) {
 			for i := lo; i < hi; i++ {
 				data[i] *= 1.5
 			}
-		}, ompss.InOutRegion(base, lo, hi))
+		}, ompss.InOut(blockD[b]))
 	}
 
 	// Stage 3: each block adds its left neighbour's last element — the
@@ -67,7 +77,7 @@ func main() {
 			for i := lo; i < hi; i++ {
 				data[i] += left
 			}
-		}, ompss.InRegion(base, rlo, lo+1), ompss.InOutRegion(base, lo, hi))
+		}, ompss.InRegion(base, rlo, lo+1), ompss.InOut(blockD[b]))
 	}
 
 	// Side channel: commutative histogram updates (order-free, mutually
@@ -78,7 +88,7 @@ func main() {
 			for i := lo; i < hi; i++ {
 				hist[int(data[i])%len(hist)]++
 			}
-		}, ompss.InRegion(base, lo, hi), ompss.Commutative(&hist[0]))
+		}, ompss.In(blockD[b]), ompss.Commutative(histD))
 	}
 
 	total := new(int)
@@ -86,7 +96,7 @@ func main() {
 		for _, v := range hist {
 			*total += v
 		}
-	}, ompss.In(&hist[0]), ompss.Out(total))
+	}, ompss.In(histD), ompss.Out(total))
 	rt.Taskwait()
 	st := rt.Stats()
 	rt.Shutdown()

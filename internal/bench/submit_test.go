@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+
+	"ompssgo/ompss"
+)
+
+// The submit-path microbenchmarks compare the two ways of naming a datum in
+// a dependence clause:
+//
+//   - AnyKey*: the compatibility path — an untyped key is hashed (through
+//     reflection) to its dependence shard and looked up in the shard map on
+//     every submission; non-pointer keys are additionally boxed into an
+//     interface, which allocates.
+//   - Datum*: the registered-handle fast path — Register resolved the shard
+//     and record once, so submission does neither, mirroring how the
+//     OmpSs compiler resolves clause expressions at build time.
+//
+// Run with -benchmem (CI's bench-smoke job does): the Datum variants must
+// allocate no more and run no slower per task than their AnyKey twins.
+
+const submitKeys = 64
+
+// benchSubmit drives b.N empty tasks through a master-only native runtime
+// (no concurrent workers, so the measurement isolates the submit path).
+// setup receives the runtime and returns the per-task clause chooser; the
+// graph is drained periodically so it stays bounded.
+func benchSubmit(b *testing.B, setup func(rt *ompss.Runtime) func(i int) ompss.Clause) {
+	rt := ompss.New(ompss.Workers(1))
+	defer rt.Shutdown()
+	clause := setup(rt)
+	body := func(*ompss.TC) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Task(body, clause(i))
+		if i%4096 == 4095 {
+			rt.Taskwait()
+		}
+	}
+	rt.Taskwait()
+}
+
+// BenchmarkSubmitAnyKeyPtr submits through raw pointer keys (the idiomatic
+// OmpSs by-reference datum): hashed and map-looked-up per submission.
+func BenchmarkSubmitAnyKeyPtr(b *testing.B) {
+	benchSubmit(b, func(*ompss.Runtime) func(i int) ompss.Clause {
+		keys := make([]*int64, submitKeys)
+		for i := range keys {
+			keys[i] = new(int64)
+		}
+		return func(i int) ompss.Clause { return ompss.InOut(keys[i%submitKeys]) }
+	})
+}
+
+// BenchmarkSubmitDatumPtr submits the same pointer-keyed chains through
+// registered handles, using the pre-built AsInOut clause (zero clause
+// construction per task).
+func BenchmarkSubmitDatumPtr(b *testing.B) {
+	benchSubmit(b, func(rt *ompss.Runtime) func(i int) ompss.Clause {
+		ds := make([]*ompss.Datum, submitKeys)
+		for i := range ds {
+			ds[i] = rt.Register(new(int64))
+		}
+		return func(i int) ompss.Clause { return ds[i%submitKeys].AsInOut() }
+	})
+}
+
+// BenchmarkSubmitAnyKeyInt submits through plain int keys: every submission
+// boxes the int into an interface (one allocation) before hashing it.
+func BenchmarkSubmitAnyKeyInt(b *testing.B) {
+	benchSubmit(b, func(*ompss.Runtime) func(i int) ompss.Clause {
+		return func(i int) ompss.Clause { return ompss.InOut(1000 + i%submitKeys) }
+	})
+}
+
+// BenchmarkSubmitDatumInt submits the same int-keyed chains through
+// registered handles: no boxing, no hashing, no clause construction.
+func BenchmarkSubmitDatumInt(b *testing.B) {
+	benchSubmit(b, func(rt *ompss.Runtime) func(i int) ompss.Clause {
+		ds := make([]*ompss.Datum, submitKeys)
+		for i := range ds {
+			ds[i] = rt.Register(1000 + i)
+		}
+		return func(i int) ompss.Clause { return ds[i%submitKeys].AsInOut() }
+	})
+}

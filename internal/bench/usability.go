@@ -38,8 +38,10 @@ var ompssConstructs = map[string]bool{
 	"In": true, "Out": true, "InOut": true, "Concurrent": true, "Commutative": true,
 	"InSized": true, "OutSized": true, "InOutSized": true,
 	"InRegion": true, "OutRegion": true, "InOutRegion": true,
-	"Taskwait": true, "TaskwaitOn": true, "Critical": true, "CriticalCost": true,
-	"Task": true, "TaskLoop": true,
+	"Taskwait": true, "TaskwaitOn": true, "TaskwaitCtx": true,
+	"Critical": true, "CriticalCost": true,
+	"Task": true, "TaskLoop": true, "Go": true,
+	"Register": true, "RegisterRegion": true,
 }
 
 // pthreadConstructs are the manual-threading constructs counted for

@@ -41,11 +41,12 @@ func (m *miniExec) runAll() {
 			continue
 		}
 		m.g.MarkRunning(t, w)
+		var err error
 		if t.Body != nil {
-			t.Body()
+			err = t.Body()
 		}
 		m.order = append(m.order, t)
-		for _, r := range m.g.Finish(t) {
+		for _, r := range m.g.Finish(t, err) {
 			m.s.PushReady(r, w)
 		}
 	}
@@ -93,11 +94,12 @@ func TestRAWChainSerializes(t *testing.T) {
 		tk := &Task{
 			Label:    fmt.Sprint(i),
 			Accesses: []Access{{Key: x, Mode: InOut}},
-			Body: func() {
+			Body: func() error {
 				if val != i {
 					t.Errorf("task %d saw val=%d", i, val)
 				}
 				val++
+				return nil
 			},
 		}
 		ts = append(ts, tk)
@@ -245,7 +247,7 @@ func TestPipelineCircularBuffer(t *testing.T) {
 			}
 			tk := &Task{
 				Label: fmt.Sprintf("s%d.i%d", s, k),
-				Body:  func() { exec[s] = append(exec[s], k) },
+				Body:  func() error { exec[s] = append(exec[s], k); return nil },
 			}
 			tk.Accesses = acc
 			all = append(all, tk)
@@ -424,7 +426,7 @@ func TestDataflowEquivalenceProperty(t *testing.T) {
 			tk.Accesses = spec.accesses
 			expected := spec.expect
 			accs := spec.accesses
-			tk.Body = func() {
+			tk.Body = func() error {
 				for _, a := range accs {
 					di := indexOf(keys, a.Key)
 					if a.Reads() && a.Mode != Concurrent {
@@ -439,6 +441,7 @@ func TestDataflowEquivalenceProperty(t *testing.T) {
 						*data[di] = writes[di]
 					}
 				}
+				return nil
 			}
 			m.submit(tk)
 		}

@@ -6,14 +6,19 @@ import (
 	"sync/atomic"
 )
 
-// datum is the dependence record of one tracked object: the task that last
+// drec is the dependence record of one tracked object: the task that last
 // (program-order) writes it, and the tasks that read it, commutatively
 // updated it, or concurrently updated it since that write.
-type datum struct {
+type drec struct {
 	lastWriter  *Task
 	readers     []*Task
 	commuters   []*Task
 	concurrents []*Task
+	// pinned marks records interned by Register: a registered Datum holds a
+	// direct pointer here, so Forget must reset the record in place instead
+	// of dropping it from the shard map (a fresh map record would diverge
+	// from the handle's).
+	pinned bool
 }
 
 // GraphStats counts dependence activity, for tests, tracing, and the
@@ -23,16 +28,47 @@ type GraphStats struct {
 	Finished  uint64
 	Edges     uint64 // dependence edges that actually delayed a task
 	Inlined   uint64 // tasks executed inline (If(false) clause)
+	Failed    uint64 // tasks finished with a non-nil error (incl. skipped)
+	Skipped   uint64 // tasks released without running (failure policy / cancel)
 }
 
 // gshard is one shard of the dependence tracker: the datum and array-region
 // records of every key hashing here, guarded by the shard mutex.
 type gshard struct {
 	mu      sync.Mutex
-	datums  map[any]*datum
+	datums  map[any]*drec
 	regions map[any]*regionDatum // array-section dependences, by base
 	_       [40]byte             // keep shard locks off each other's cache lines
 }
+
+// Datum is a pre-registered dependence key: the shard index and dependence
+// record are resolved once at registration, so submissions using the handle
+// skip the per-access interface hash and shard map lookup entirely. Obtain
+// one with Graph.Register (exact keys) or Graph.RegisterRegion (array
+// sections); handles are valid for the lifetime of the graph and safe for
+// concurrent use. Mixing handle-based and raw-key accesses to the same key
+// is safe — both resolve to the same record.
+type Datum struct {
+	// Key is the dependence key the handle stands for (a Region for
+	// region handles); it is what traces, TaskwaitOn, and the simulated
+	// memory model see.
+	Key    any
+	owner  *Graph // the graph whose records this handle caches
+	shard  uint32
+	rec    *drec        // exact-key record (nil for region handles)
+	rd     *regionDatum // region record (nil for exact-key handles)
+	region Region
+}
+
+// Owner returns the graph this handle was registered on.
+func (d *Datum) Owner() *Graph { return d.owner }
+
+// IsRegion reports whether the handle names an array section.
+func (d *Datum) IsRegion() bool { return d.rd != nil }
+
+// Region returns the array section a region handle stands for (zero Region
+// for exact-key handles).
+func (d *Datum) Region() Region { return d.region }
 
 // Graph tracks dataflow dependences between tasks. It is safe for
 // concurrent use: per-datum records live in key-hashed shards with
@@ -50,13 +86,15 @@ type Graph struct {
 	stFinished  atomic.Uint64
 	stEdges     atomic.Uint64
 	stInlined   atomic.Uint64
+	stFailed    atomic.Uint64
+	stSkipped   atomic.Uint64
 }
 
 // NewGraph returns an empty dependence graph.
 func NewGraph() *Graph {
 	g := &Graph{}
 	for i := range g.shards {
-		g.shards[i].datums = make(map[any]*datum)
+		g.shards[i].datums = make(map[any]*drec)
 	}
 	return g
 }
@@ -68,7 +106,51 @@ func (g *Graph) Stats() GraphStats {
 		Finished:  g.stFinished.Load(),
 		Edges:     g.stEdges.Load(),
 		Inlined:   g.stInlined.Load(),
+		Failed:    g.stFailed.Load(),
+		Skipped:   g.stSkipped.Load(),
 	}
+}
+
+// Register interns key's dependence record and returns a handle that caches
+// the shard index and record pointer, taking interface hashing and the map
+// lookup off the submit path for every later access through the handle.
+func (g *Graph) Register(key any) *Datum {
+	if r, ok := key.(Region); ok {
+		return g.RegisterRegion(r.Base, r.Lo, r.Hi)
+	}
+	si := shardIndex(key)
+	sh := &g.shards[si]
+	sh.mu.Lock()
+	d := sh.datums[key]
+	if d == nil {
+		d = &drec{}
+		sh.datums[key] = d
+	}
+	d.pinned = true
+	sh.mu.Unlock()
+	return &Datum{Key: key, owner: g, shard: si, rec: d}
+}
+
+// RegisterRegion interns the array-section record of base and returns a
+// handle for the section [lo, hi). All sections of one base share a record;
+// distinct handles over the same base still conflict only where their spans
+// overlap.
+func (g *Graph) RegisterRegion(base any, lo, hi int64) *Datum {
+	r := Region{Base: base, Lo: lo, Hi: hi}
+	si := shardIndex(base)
+	sh := &g.shards[si]
+	sh.mu.Lock()
+	rd := sh.regions[base]
+	if rd == nil {
+		rd = &regionDatum{}
+		if sh.regions == nil {
+			sh.regions = make(map[any]*regionDatum)
+		}
+		sh.regions[base] = rd
+	}
+	rd.pinned = true
+	sh.mu.Unlock()
+	return &Datum{Key: r, owner: g, shard: si, rd: rd, region: r}
 }
 
 // Unfinished returns the number of in-flight tasks across all contexts.
@@ -109,8 +191,12 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 	// and B→A on another — which could deadlock the graph).
 	var shardIdx [8]uint32
 	shards := shardIdx[:0]
-	for _, a := range t.Accesses {
-		shards = append(shards, shardFor(a.Key))
+	for i := range t.Accesses {
+		if d := t.Accesses[i].Datum; d != nil {
+			shards = append(shards, d.shard)
+		} else {
+			shards = append(shards, shardFor(t.Accesses[i].Key))
+		}
 	}
 	if len(shards) > 1 {
 		sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
@@ -127,16 +213,21 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 	}
 
 	// Wire edges from unfinished predecessors, deduplicated so a task
-	// sharing several data with one predecessor counts it once.
-	seen := map[*Task]struct{}{t: {}}
+	// sharing several data with one predecessor counts it once. The dedup
+	// set is a linear-scanned slice over a stack backing array: predecessor
+	// counts are small, and a per-submit map allocation is hot-path cost.
+	var seenArr [16]*Task
+	seen := seenArr[:0]
 	addPred := func(p *Task) {
-		if p == nil {
+		if p == nil || p == t {
 			return
 		}
-		if _, dup := seen[p]; dup {
-			return
+		for _, q := range seen {
+			if q == p {
+				return
+			}
 		}
-		seen[p] = struct{}{}
+		seen = append(seen, p)
 		// Charge npred BEFORE publishing the edge: once t is in p.succs, a
 		// concurrent Finish(p) may decrement at any moment, and the charge
 		// must already be there or the decrement would eat the submission
@@ -145,72 +236,47 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 		atomic.AddInt32(&t.npred, 1)
 		if !p.addSucc(t) {
 			atomic.AddInt32(&t.npred, -1)
-			return // p already finished: no edge
+			// p already finished: no edge to wait on, but its recorded
+			// failure still reaches t — otherwise skip-vs-run would depend
+			// on whether the predecessor finished a microsecond before or
+			// after this submission. (addSucc observed the finished state
+			// under p's succ lock, so p's outcome is visible here.)
+			if perr := p.Err(); perr != nil {
+				t.noteUpstream(perr)
+			}
+			return
 		}
 		t.Preds = append(t.Preds, p.ID)
 		g.stEdges.Add(1)
 	}
 
 	for _, a := range t.Accesses {
+		// Handle-backed accesses resolve to their pre-interned record with
+		// no interface hash or map lookup — this is the Datum fast path.
+		// A handle registered on a different graph (a cross-runtime mix-up)
+		// must not inject that graph's records here: its cached shard index
+		// is still valid (shardIndex is a pure function of the key), but
+		// the record pointers are not, so it falls through to the
+		// compatibility path below and resolves against this graph's maps.
+		if h := a.Datum; h != nil && h.owner == g {
+			if h.rd != nil {
+				h.rd.submit(t, a, h.region, addPred)
+			} else {
+				wireExact(h.rec, t, a.Mode, addPred)
+			}
+			continue
+		}
 		sh := &g.shards[shardFor(a.Key)]
 		if r, ok := a.Key.(Region); ok {
-			sh.submitRegion(t, a, r, addPred)
+			sh.regionRec(r.Base).submit(t, a, r, addPred)
 			continue
 		}
 		d := sh.datums[a.Key]
 		if d == nil {
-			d = &datum{}
+			d = &drec{}
 			sh.datums[a.Key] = d
 		}
-		switch a.Mode {
-		case In:
-			addPred(d.lastWriter)
-			for _, c := range d.commuters {
-				addPred(c) // commutative updaters may write: RAW
-			}
-			for _, c := range d.concurrents {
-				addPred(c) // concurrent updaters write: RAW
-			}
-			d.readers = append(d.readers, t)
-		case Concurrent:
-			// Concurrent tasks overlap each other, but as updaters they
-			// order against every other access kind.
-			addPred(d.lastWriter)
-			for _, r := range d.readers {
-				addPred(r) // WAR against plain readers
-			}
-			for _, c := range d.commuters {
-				addPred(c)
-			}
-			d.concurrents = append(d.concurrents, t)
-		case Commutative:
-			addPred(d.lastWriter)
-			for _, r := range d.readers {
-				addPred(r) // WAR against plain readers
-			}
-			for _, c := range d.concurrents {
-				addPred(c)
-			}
-			d.commuters = append(d.commuters, t)
-		case Out, InOut:
-			addPred(d.lastWriter)
-			for _, r := range d.readers {
-				addPred(r)
-			}
-			for _, c := range d.commuters {
-				addPred(c)
-			}
-			for _, c := range d.concurrents {
-				addPred(c)
-			}
-			d.lastWriter = t
-			d.readers = nil
-			d.commuters = nil
-			d.concurrents = nil
-			if a.Mode == InOut {
-				d.readers = append(d.readers, t)
-			}
-		}
+		wireExact(d, t, a.Mode, addPred)
 	}
 	for i := len(shards) - 1; i >= 0; i-- {
 		g.shards[shards[i]].mu.Unlock()
@@ -225,26 +291,95 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 	return false
 }
 
+// wireExact wires the dependence edges of one exact-key access against the
+// datum's record and updates it. Called with the owning shard lock held.
+func wireExact(d *drec, t *Task, mode Mode, addPred func(*Task)) {
+	switch mode {
+	case In:
+		addPred(d.lastWriter)
+		for _, c := range d.commuters {
+			addPred(c) // commutative updaters may write: RAW
+		}
+		for _, c := range d.concurrents {
+			addPred(c) // concurrent updaters write: RAW
+		}
+		d.readers = append(d.readers, t)
+	case Concurrent:
+		// Concurrent tasks overlap each other, but as updaters they
+		// order against every other access kind.
+		addPred(d.lastWriter)
+		for _, r := range d.readers {
+			addPred(r) // WAR against plain readers
+		}
+		for _, c := range d.commuters {
+			addPred(c)
+		}
+		d.concurrents = append(d.concurrents, t)
+	case Commutative:
+		addPred(d.lastWriter)
+		for _, r := range d.readers {
+			addPred(r) // WAR against plain readers
+		}
+		for _, c := range d.concurrents {
+			addPred(c)
+		}
+		d.commuters = append(d.commuters, t)
+	case Out, InOut:
+		addPred(d.lastWriter)
+		for _, r := range d.readers {
+			addPred(r)
+		}
+		for _, c := range d.commuters {
+			addPred(c)
+		}
+		for _, c := range d.concurrents {
+			addPred(c)
+		}
+		d.lastWriter = t
+		d.readers = nil
+		d.commuters = nil
+		d.concurrents = nil
+		if mode == InOut {
+			d.readers = append(d.readers, t)
+		}
+	}
+}
+
 // MarkRunning flags t as dispatched on the given worker.
 func (g *Graph) MarkRunning(t *Task, worker int) {
 	t.Worker = worker
 	atomic.StoreInt32(&t.state, stateRunning)
 }
 
-// Finish completes t: closes its done channel, credits its parent context,
-// and returns the successors that became ready. The caller enqueues them.
-// Safe concurrently with Submits wiring edges from t — the per-task succ
-// lock decides each edge race, and the atomic npred decrement means exactly
-// one finisher (or the submitter) releases each successor.
-func (g *Graph) Finish(t *Task) (newlyReady []*Task) {
+// Finish completes t with the given outcome: records the error, closes the
+// done channel, credits its parent context, propagates a non-nil error to
+// every wired successor (first error wins — the skip-release path the
+// executor's failure policy consults at dispatch), and returns the
+// successors that became ready. The caller enqueues them. Safe concurrently
+// with Submits wiring edges from t — the per-task succ lock decides each
+// edge race, and the atomic npred decrement means exactly one finisher (or
+// the submitter) releases each successor.
+func (g *Graph) Finish(t *Task, err error) (newlyReady []*Task) {
+	t.outcome = err
 	succs := t.takeSuccsAndFinish()
 	close(t.done)
 	g.stFinished.Add(1)
+	if err != nil {
+		g.stFailed.Add(1)
+		if t.Parent != nil {
+			t.Parent.NoteErr(err)
+		}
+	}
 	g.unfinished.Add(-1)
 	if t.Parent != nil {
 		t.Parent.add(-1)
 	}
 	for _, s := range succs {
+		if err != nil {
+			// Publish the failure before dropping the predecessor count, so
+			// whoever dispatches s observes it.
+			s.noteUpstream(err)
+		}
 		if atomic.AddInt32(&s.npred, -1) == 0 {
 			atomic.StoreInt32(&s.state, stateReady)
 			newlyReady = append(newlyReady, s)
@@ -256,6 +391,10 @@ func (g *Graph) Finish(t *Task) (newlyReady []*Task) {
 // CountInlined records a task executed inline (If(false)); it never enters
 // the graph.
 func (g *Graph) CountInlined() { g.stInlined.Add(1) }
+
+// CountSkipped records a task the executor released without running its
+// body (failure policy or cancellation).
+func (g *Graph) CountSkipped() { g.stSkipped.Add(1) }
 
 // LastWriter returns the unfinished task that is the current program-order
 // last writer of key, or nil when the datum is untracked or its writer
@@ -274,10 +413,25 @@ func (g *Graph) LastWriter(key any) *Task {
 // Forget drops the dependence records of key (both the exact-key datum and
 // any array-section records based at key). Optional hygiene for
 // long-running programs cycling through many distinct data objects.
+// Records interned by Register stay alive (handles keep pointing at them)
+// but are reset in place, so handle-based and raw-key accesses never
+// diverge onto different records.
 func (g *Graph) Forget(key any) {
 	sh := &g.shards[shardIndex(key)]
 	sh.mu.Lock()
-	delete(sh.datums, key)
-	delete(sh.regions, key)
+	if d := sh.datums[key]; d != nil {
+		if d.pinned {
+			*d = drec{pinned: true}
+		} else {
+			delete(sh.datums, key)
+		}
+	}
+	if rd := sh.regions[key]; rd != nil {
+		if rd.pinned {
+			rd.segs = nil
+		} else {
+			delete(sh.regions, key)
+		}
+	}
 	sh.mu.Unlock()
 }

@@ -27,6 +27,8 @@ type segment struct {
 // regionDatum tracks all segments of one array base.
 type regionDatum struct {
 	segs []*segment
+	// pinned marks records interned by RegisterRegion (see drec.pinned).
+	pinned bool
 }
 
 // split ensures segment boundaries exist at lo and hi, creating a fresh
@@ -83,20 +85,26 @@ func mergeSegs(all, add []*segment) []*segment {
 	return all
 }
 
-// submitRegion wires dependence edges for one region access of t and
-// updates the segment records. Called with the shard lock held; the caller
-// provides the shared edge-dedup set.
-func (sh *gshard) submitRegion(t *Task, a Access, r Region, addPred func(*Task)) {
-	if r.Hi <= r.Lo {
-		return
-	}
-	rd := sh.regions[r.Base]
+// regionRec returns (creating if needed) the region record of base. Called
+// with the shard lock held.
+func (sh *gshard) regionRec(base any) *regionDatum {
+	rd := sh.regions[base]
 	if rd == nil {
 		rd = &regionDatum{}
 		if sh.regions == nil {
 			sh.regions = make(map[any]*regionDatum)
 		}
-		sh.regions[r.Base] = rd
+		sh.regions[base] = rd
+	}
+	return rd
+}
+
+// submit wires dependence edges for one region access of t and updates the
+// segment records. Called with the owning shard lock held; the caller
+// provides the shared edge-dedup set.
+func (rd *regionDatum) submit(t *Task, a Access, r Region, addPred func(*Task)) {
+	if r.Hi <= r.Lo {
+		return
 	}
 	covered := rd.split(r.Lo, r.Hi)
 	switch a.Mode {

@@ -40,7 +40,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 	runOne := func(tk *Task, lane int) {
 		g.MarkRunning(tk, lane)
 		tk.Body()
-		for _, r := range g.Finish(tk) {
+		for _, r := range g.Finish(tk, nil) {
 			s.PushReady(r, lane)
 		}
 		finished.Add(1)
@@ -85,7 +85,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 					acc = append(acc, Access{Key: keys[di], Mode: modes[rng.Intn(len(modes))]})
 				}
 				tk := &Task{Accesses: acc}
-				tk.Body = func() { runCount[id].Add(1) }
+				tk.Body = func() error { runCount[id].Add(1); return nil }
 				if g.Submit(tk) {
 					s.PushSubmit(tk)
 				}
@@ -130,7 +130,7 @@ func TestSubmitVsFinishRace(t *testing.T) {
 		x := new(int)
 		var ran0, ran1 atomic.Int32
 		t0 := &Task{Accesses: []Access{{Key: x, Mode: Out}}}
-		t0.Body = func() { ran0.Add(1) }
+		t0.Body = func() error { ran0.Add(1); return nil }
 		if !g.Submit(t0) {
 			t.Fatal("t0 should be ready")
 		}
@@ -142,12 +142,12 @@ func TestSubmitVsFinishRace(t *testing.T) {
 			defer wg.Done()
 			g.MarkRunning(t0, 0)
 			t0.Body()
-			for _, r := range g.Finish(t0) {
+			for _, r := range g.Finish(t0, nil) {
 				s.PushReady(r, 0)
 			}
 		}()
 		t1 := &Task{Accesses: []Access{{Key: x, Mode: In}}}
-		t1.Body = func() { ran1.Add(1) }
+		t1.Body = func() error { ran1.Add(1); return nil }
 		ready := g.Submit(t1)
 		wg.Wait()
 
@@ -164,7 +164,7 @@ func TestSubmitVsFinishRace(t *testing.T) {
 		}
 		g.MarkRunning(t1, 1)
 		t1.Body()
-		g.Finish(t1)
+		g.Finish(t1, nil)
 		if s.Pop(1) != nil {
 			t.Fatalf("iter %d: t1 enqueued twice", i)
 		}

@@ -87,6 +87,11 @@ type Access struct {
 	Key   any
 	Mode  Mode
 	Bytes int64
+	// Datum, when non-nil, is a pre-registered handle for Key (see
+	// Graph.Register): Submit uses its cached shard index and record
+	// pointer instead of hashing Key. Key must still name the same datum —
+	// the clause layer fills both from the handle.
+	Datum *Datum
 }
 
 // Reads reports whether the access observes the datum's value.
@@ -99,9 +104,14 @@ func (a Access) Writes() bool { return a.Mode == Out || a.Mode == InOut }
 
 // Task is one node of the dataflow graph.
 type Task struct {
-	ID       uint64
-	Label    string
-	Body     func()
+	ID    uint64
+	Label string
+	// Body executes the task and returns its outcome. A nil return is
+	// success; a non-nil error is recorded on the task (see Err) and, under
+	// the executor's failure policy, propagates along dependence edges to
+	// successors. The executor layer wraps user bodies so panics surface
+	// here as errors rather than unwinding the worker.
+	Body     func() error
 	Accesses []Access
 	// Priority biases dispatch order: higher-priority ready tasks are
 	// popped before FIFO-ordered peers.
@@ -124,7 +134,58 @@ type Task struct {
 	succs  []*Task    // tasks waiting on this one
 	state  int32      // atomic taskState
 	done   chan struct{}
+
+	// outcome is the task's final error, written by Finish before the done
+	// channel closes (so any reader that observed Done/Finished sees it).
+	outcome error
+	// upstream is the first error that reached this task along a dependence
+	// edge from a failing predecessor, set by the predecessor's Finish
+	// before it drops this task's npred. The executor consults it at
+	// dispatch to decide whether to skip the body.
+	upstream atomic.Pointer[errBox]
+	// skipped records that the executor released this task without running
+	// its body (failure policy or cancellation).
+	skipped atomic.Bool
 }
+
+// errBox wraps an error for atomic first-wins publication.
+type errBox struct{ err error }
+
+// noteUpstream records err as a dependence-edge failure; only the first
+// error sticks.
+func (t *Task) noteUpstream(err error) {
+	if t.upstream.Load() != nil {
+		return
+	}
+	t.upstream.CompareAndSwap(nil, &errBox{err})
+}
+
+// Upstream returns the first error propagated to this task along a
+// dependence edge, or nil.
+func (t *Task) Upstream() error {
+	if b := t.upstream.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Err returns the task's outcome. It is nil until the task finishes; after
+// Done is closed (or Finished reports true) it is the error recorded by
+// Finish, nil on success.
+func (t *Task) Err() error {
+	if !t.Finished() {
+		return nil
+	}
+	return t.outcome
+}
+
+// MarkSkipped flags that the executor released this task without running
+// its body.
+func (t *Task) MarkSkipped() { t.skipped.Store(true) }
+
+// Skipped reports whether the executor released this task without running
+// its body.
+func (t *Task) Skipped() bool { return t.skipped.Load() }
 
 // addSucc links s as a successor of t unless t already finished (then no
 // edge is needed). Called by Graph.Submit with shard locks held; the
@@ -186,9 +247,40 @@ type Context struct {
 	pending int64
 	// Depth is 0 for the program's implicit task, +1 per nesting level.
 	Depth int
+
+	firstErr atomic.Pointer[errBox] // first failed direct child's error
 }
 
 // Pending returns the number of unfinished direct children.
 func (c *Context) Pending() int64 { return atomic.LoadInt64(&c.pending) }
 
 func (c *Context) add(n int64) { atomic.AddInt64(&c.pending, n) }
+
+// NoteErr records a direct-child failure of this scope; the first error
+// sticks. Graph.Finish calls it for deferred tasks; the executor layer
+// calls it for undeferred (inline) ones, which never enter the graph.
+func (c *Context) NoteErr(err error) {
+	if err == nil || c.firstErr.Load() != nil {
+		return
+	}
+	c.firstErr.CompareAndSwap(nil, &errBox{err})
+}
+
+// Err returns the first error of a direct child that finished unsuccessfully
+// in this scope (including skipped children), or nil. This is what taskwait
+// reports.
+func (c *Context) Err() error {
+	if b := c.firstErr.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// TakeErr returns the scope's recorded failure and clears it, so each
+// taskwait round reports the failures of its own batch of children.
+func (c *Context) TakeErr() error {
+	if b := c.firstErr.Swap(nil); b != nil {
+		return b.err
+	}
+	return nil
+}

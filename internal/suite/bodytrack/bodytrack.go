@@ -139,12 +139,19 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	f := kern.NewFilter(in.model)
 	ranges := blocks.Ranges(in.W.Particles, in.W.Chunk)
 	chunkCost := in.model.RangeCost(in.W.Chunk)
+	// The per-chunk weight keys recur every frame: register them once.
+	weights := make([]*ompss.Datum, len(ranges))
+	for i, r := range ranges {
+		weights[i] = rt.Register(&f.Weights[r[0]])
+	}
 	return in.track(f, func(obs *img.Gray) {
-		for _, r := range ranges {
+		// One handle per observation frame, shared by all chunk tasks.
+		obsD := rt.Register(&obs.Pix[0])
+		for i, r := range ranges {
 			r := r
 			rt.Task(func(*ompss.TC) { f.WeighRange(obs, r[0], r[1]) },
-				ompss.InSized(&obs.Pix[0], int64(len(obs.Pix))),
-				ompss.OutSized(&f.Weights[r[0]], int64(8*(r[1]-r[0]))),
+				ompss.InSized(obsD, int64(len(obs.Pix))),
+				ompss.OutSized(weights[i], int64(8*(r[1]-r[0]))),
 				ompss.Cost(chunkCost),
 				ompss.Label("weigh"))
 		}

@@ -20,6 +20,7 @@
 package h264dec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -334,22 +335,34 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	}
 	ng := (mbh + groupRows - 1) / groupRows
 
-	// Stage contexts (Listing 1's rc, nc, ec, oc).
-	rc, pc, ec, oc := new(int), new(int), new(int), new(int)
+	// Stage contexts (Listing 1's rc, nc, ec, oc) and the circular-buffer
+	// keys all recur every iteration (slot reuse is the whole point of the
+	// manual renaming), so the entire dependence working set is registered
+	// once up front and every stage submits through handles.
+	rc := rt.Register(new(int))
+	pc := rt.Register(new(int))
+	ec := rt.Register(new(int))
+	oc := rt.Register(new(int))
 
 	// Circular buffers (manual renaming).
 	payloads := make([][]byte, n)
 	hdrs := make([]h264.Header, n)
 	brs := make([]*h264.BitReader, n)
 	fds := make([]*h264.FrameData, n)
+	payloadD := make([]*ompss.Datum, n)
+	hdrD := make([]*ompss.Datum, n)
+	fdD := make([]*ompss.Datum, n)
 	for i := range fds {
 		fds[i] = h264.NewFrameData(p)
+		payloadD[i] = rt.Register(&payloads[i])
+		hdrD[i] = rt.Register(&hdrs[i])
+		fdD[i] = rt.Register(fds[i])
 	}
-	grpKeys := make([][]*int, n)
+	grpKeys := make([][]*ompss.Datum, n)
 	for s := range grpKeys {
-		grpKeys[s] = make([]*int, ng)
+		grpKeys[s] = make([]*ompss.Datum, ng)
 		for g := range grpKeys[s] {
-			grpKeys[s][g] = new(int)
+			grpKeys[s][g] = rt.Register(new(int))
 		}
 	}
 	// Slot-relayed plumbing: each stage hands the next stage the pooled
@@ -389,48 +402,57 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 		slot := k % n
 		prevSlot := (k - 1 + n) % n
 
-		// Read stage.
-		rt.Task(func(tc *ompss.TC) {
+		// Read stage. Error-returning spawn: a truncated stream becomes the
+		// task's outcome and skips the dependent stages instead of
+		// panicking the worker.
+		rt.Go(func(tc *ompss.TC) error {
 			payload, ok, err := sr.Next()
-			if err != nil || !ok {
-				panic(fmt.Sprintf("h264dec: read stage: %v", err))
+			if err != nil {
+				return fmt.Errorf("h264dec: read stage: %w", err)
+			}
+			if !ok {
+				return fmt.Errorf("h264dec: read stage: stream ended at frame %d of %d", k, nf)
 			}
 			payloads[slot] = payload
 			tc.Compute(h264.ReadFrameCost(len(payload)))
-		}, ompss.InOut(rc), ompss.Out(&payloads[slot]), ompss.Label("read"))
+			return nil
+		}, ompss.InOut(rc), ompss.Out(payloadD[slot]), ompss.Label("read"))
 
 		// Parse stage: header + PIB fetch under critical.
-		rt.Task(func(tc *ompss.TC) {
+		rt.Go(func(tc *ompss.TC) error {
 			hdr, br, err := h264.DecodeFrameHeader(payloads[slot])
 			if err != nil {
-				panic(err)
+				return err
 			}
 			hdrs[slot], brs[slot] = hdr, br
 			tc.Critical("pib", func() {
 				pi := pib.Fetch()
 				if pi == nil {
-					panic("h264dec: PIB exhausted")
+					err = fmt.Errorf("h264dec: PIB exhausted at frame %d", k)
+					return
 				}
 				pi.Hdr = hdr
 				pisParse[slot] = pi
 			})
-		}, ompss.InOut(pc), ompss.In(&payloads[slot]), ompss.Out(&hdrs[slot]),
+			return err
+		}, ompss.InOut(pc), ompss.In(payloadD[slot]), ompss.Out(hdrD[slot]),
 			ompss.Cost(h264.ParseCost()), ompss.Label("parse"))
 
 		// Entropy decode stage (serial chain via ec).
-		rt.Task(func(tc *ompss.TC) {
+		rt.Go(func(tc *ompss.TC) error {
 			if err := h264.EntropyDecodeFrame(p, brs[slot], hdrs[slot], fds[slot]); err != nil {
-				panic(err)
+				return err
 			}
 			pisED[slot] = pisParse[slot]
-		}, ompss.InOut(ec), ompss.In(&hdrs[slot]), ompss.OutSized(fds[slot], int64(edMBs)*1064),
+			return nil
+		}, ompss.InOut(ec), ompss.In(hdrD[slot]), ompss.OutSized(fdD[slot], int64(edMBs)*1064),
 			ompss.Cost(h264.EDMBCost()*time.Duration(edMBs)), ompss.Label("ed"))
 
 		// Reconstruction: ng row-group tasks forming the wavefront.
 		for g := 0; g < ng; g++ {
 			g := g
 			clauses := []ompss.Clause{
-				ompss.In(fds[slot]),
+				ompss.In(fdD[slot]),
 				ompss.OutSized(grpKeys[slot][g], frameBytes/int64(ng)),
 				ompss.Cost(groupCost(g)),
 				ompss.Label("recon"),
@@ -500,7 +522,12 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 		// the next iteration's EOF check.
 		rt.TaskwaitOn(rc)
 	}
-	rt.Taskwait()
+	// Context-aware barrier: a stage error (bad stream, exhausted pool)
+	// propagated through the graph by skipping the dependent stages; it
+	// surfaces here instead of unwinding a worker mid-pipeline.
+	if err := rt.TaskwaitCtx(context.Background()); err != nil {
+		panic(fmt.Sprintf("h264dec: pipeline failed: %v", err))
+	}
 	if lastPic != nil {
 		dpb.Release(lastPic) // the final frame's reference hold
 	}

@@ -142,7 +142,16 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	s := in.newState()
 	chunkCost := kern.RangeCost(in.W.Chunk, in.W.K, in.W.Dim)
-	centKey := &s.centroids[0]
+	// Every key here recurs each iteration (centroids in every chunk task,
+	// one partial per chunk, one point-range per chunk): register the whole
+	// working set once, then submit through handles only.
+	cent := rt.Register(&s.centroids[0])
+	partials := make([]*ompss.Datum, len(s.partials))
+	points := make([]*ompss.Datum, len(s.ranges))
+	for c, r := range s.ranges {
+		partials[c] = rt.Register(s.partials[c])
+		points[c] = rt.Register(&in.prob.Points[r[0]*in.W.Dim])
+	}
 	for it := 0; it < in.W.MaxIter; it++ {
 		for c := range s.ranges {
 			c := c
@@ -151,22 +160,18 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 				s.partials[c].Reset()
 				in.prob.AssignRange(s.centroids, s.assign, s.partials[c], r[0], r[1])
 			},
-				ompss.In(centKey),
-				ompss.InSized(&in.prob.Points[r[0]*in.W.Dim], int64(8*(r[1]-r[0])*in.W.Dim)),
-				ompss.OutSized(s.partials[c], int64(8*in.W.K*in.W.Dim)),
+				ompss.In(cent),
+				ompss.InSized(points[c], int64(8*(r[1]-r[0])*in.W.Dim)),
+				ompss.OutSized(partials[c], int64(8*in.W.K*in.W.Dim)),
 				ompss.Cost(chunkCost),
 				ompss.Label("assign"))
 		}
 		moved := -1
-		keys := make([]any, len(s.partials))
-		for i, pa := range s.partials {
-			keys[i] = pa
-		}
 		rt.Task(func(tc *ompss.TC) {
 			moved = in.reduce(s)
 			tc.Compute(kern.RangeCost(len(s.ranges)*in.W.K, 1, in.W.Dim))
-		}, append([]ompss.Clause{ompss.InOut(centKey), ompss.Label("reduce")},
-			insOf(keys)...)...)
+		}, append([]ompss.Clause{ompss.InOut(cent), ompss.Label("reduce")},
+			insOf(partials)...)...)
 		rt.Taskwait()
 		if moved == 0 {
 			break
@@ -175,10 +180,10 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	return in.result(s)
 }
 
-func insOf(keys []any) []ompss.Clause {
-	cs := make([]ompss.Clause, len(keys))
-	for i, k := range keys {
-		cs[i] = ompss.In(k)
+func insOf(ds []*ompss.Datum) []ompss.Clause {
+	cs := make([]ompss.Clause, len(ds))
+	for i, d := range ds {
+		cs[i] = ompss.In(d)
 	}
 	return cs
 }

@@ -134,15 +134,18 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	src, rot := in.newFrames()
 	for f := 0; f < in.W.Frames; f++ {
 		f := f
+		// One registered handle per source frame: the producing render and
+		// its Rots consumers all submit through it.
+		frame := rt.Register(&src[f].Pix[0])
 		rt.Task(func(*ompss.TC) { in.scenes[f].Render(src[f]) },
-			ompss.OutSized(&src[f].Pix[0], in.frameBytes()),
+			ompss.OutSized(frame, in.frameBytes()),
 			ompss.Cost(kcray.RowsCost(in.W.W*in.W.H, in.W.Spheres)),
 			ompss.Label("render"))
 		for j := 0; j < in.W.Rots; j++ {
 			j := j
 			i := f*in.W.Rots + j
 			rt.Task(func(*ompss.TC) { krot.Rotate(rot[i], src[f], in.angle(j)) },
-				ompss.InSized(&src[f].Pix[0], in.rotReadBytes()),
+				ompss.InSized(frame, in.rotReadBytes()),
 				ompss.OutSized(&rot[i].Pix[0], in.frameBytes()),
 				ompss.Cost(krot.RowsCost(in.W.W*in.W.H)),
 				ompss.Label("rotate"))

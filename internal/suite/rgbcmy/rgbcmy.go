@@ -86,16 +86,19 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	dst := kern.NewCMY(in.W.W, in.W.H)
 	bl := blocks.Ranges(in.W.H, in.W.RowBlock)
-	rowKeys := make([]*uint8, len(bl))
+	// The source and the per-block destination keys recur every iteration:
+	// register them once and submit through the handles.
+	src := rt.Register(&in.src.Pix[0])
+	rowKeys := make([]*ompss.Datum, len(bl))
 	for i, b := range bl {
-		rowKeys[i] = &dst.C.Pix[b[0]*in.W.W]
+		rowKeys[i] = rt.Register(&dst.C.Pix[b[0]*in.W.W])
 	}
 	for it := 0; it < in.W.Iters; it++ {
 		for i, b := range bl {
 			lo, hi := b[0], b[1]
 			rows := hi - lo
 			rt.Task(func(*ompss.TC) { kern.RGBToCMYRows(dst, in.src, lo, hi) },
-				ompss.In(&in.src.Pix[0]),
+				ompss.In(src),
 				ompss.Out(rowKeys[i]),
 				ompss.Cost(kern.RowsCost(rows*in.W.W)),
 				ompss.Label("rgbcmy"))

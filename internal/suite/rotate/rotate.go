@@ -66,14 +66,17 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 	return dst.Checksum()
 }
 
-// RunOmpSs rotates with one task per destination row block.
+// RunOmpSs rotates with one task per destination row block. The shared
+// source image is a registered data handle: every block task reads it, so
+// the handle takes the key hash and shard lookup off each submission.
 func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	dst := img.NewRGB(in.W.W, in.W.H)
+	src := rt.Register(&in.src.Pix[0])
 	for _, b := range blocks.Ranges(in.W.H, in.W.RowBlock) {
 		lo, hi := b[0], b[1]
 		rows := hi - lo
 		rt.Task(func(*ompss.TC) { kern.Rows(dst, in.src, in.W.Angle, lo, hi) },
-			ompss.InSized(&in.src.Pix[0], int64(3*rows*in.W.W)),
+			ompss.InSized(src, int64(3*rows*in.W.W)),
 			ompss.OutSized(&dst.Pix[3*lo*in.W.W], int64(3*rows*in.W.W)),
 			ompss.Cost(kern.RowsCost(rows*in.W.W)),
 			ompss.Label("rotate"))

@@ -107,12 +107,15 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	frameBytes := int64(3 * in.W.W * in.W.H)
 	for f := 0; f < in.W.Frames; f++ {
 		f := f
+		// The intermediate frame links producer to consumer: one handle
+		// serves both ends of the chain.
+		mid := rt.Register(&rot[f].Pix[0])
 		rt.Task(func(*ompss.TC) { krot.Rotate(rot[f], in.srcs[f], in.W.Angle) },
-			ompss.OutSized(&rot[f].Pix[0], frameBytes),
+			ompss.OutSized(mid, frameBytes),
 			ompss.Cost(krot.RowsCost(in.W.W*in.W.H)),
 			ompss.Label("rotate"))
 		rt.Task(func(*ompss.TC) { kcolor.RGBToCMYK(out[f], rot[f]) },
-			ompss.InSized(&rot[f].Pix[0], frameBytes),
+			ompss.InSized(mid, frameBytes),
 			ompss.OutSized(&out[f].C.Pix[0], int64(4*in.W.W*in.W.H)),
 			ompss.Cost(kcolor.RowsCost(in.W.W*in.W.H)),
 			ompss.Label("cmyk"))

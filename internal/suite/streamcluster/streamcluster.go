@@ -173,6 +173,17 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	p := in.problem()
 	s := p.NewState()
 	evalCost := kern.RangeEvalCost(in.W.EvalChunk, in.W.Dim)
+	// Point-chunk keys recur across candidates and stream windows: intern a
+	// handle per chunk start, on first use.
+	pointD := map[int]*ompss.Datum{}
+	pointsAt := func(at int) *ompss.Datum {
+		d := pointD[at]
+		if d == nil {
+			d = rt.Register(&p.Points[at*p.Dim])
+			pointD[at] = d
+		}
+		return d
+	}
 	for s.Limit < p.N {
 		s.AbsorbChunk()
 		rt.Task(func(tc *ompss.TC) {}, ompss.Cost(kern.RangeEvalCost(p.ChunkSize, in.W.Dim)),
@@ -187,7 +198,7 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 				parts[i] = s.NewGainPartial()
 				rt.Task(func(*ompss.TC) { s.EvalCandidateRange(c, parts[i], r[0], r[1]) },
 					ompss.OutSized(parts[i], int64(8*(1+len(parts[i].CloseSave)))),
-					ompss.InSized(&p.Points[r[0]*p.Dim], int64(8*(r[1]-r[0])*p.Dim)),
+					ompss.InSized(pointsAt(r[0]), int64(8*(r[1]-r[0])*p.Dim)),
 					ompss.Cost(evalCost),
 					ompss.Label("pgain"))
 			}

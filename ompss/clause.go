@@ -27,41 +27,60 @@ func buildSpec(clauses []Clause) taskSpec {
 	return s
 }
 
-// In declares read (input) dependences on the given keys. A key identifies a
-// datum by exact match — pass the same pointer the producing task declared.
+// access builds one core.Access from a dependence key, recognizing
+// registered *Datum handles: a handle contributes its pre-resolved shard
+// and record (the fast submit path); any other key is used verbatim (the
+// compatibility path — the runtime lazily interns its record at submit).
+func access(k any, m core.Mode, bytes int64) core.Access {
+	if d, ok := k.(*Datum); ok {
+		if bytes == 0 && d.c.IsRegion() {
+			bytes = d.c.Region().Len()
+		}
+		return core.Access{Key: d.c.Key, Mode: m, Bytes: bytes, Datum: d.c}
+	}
+	return core.Access{Key: k, Mode: m, Bytes: bytes}
+}
+
+// In declares read (input) dependences on the given keys. A key identifies
+// a datum by exact match — pass the same pointer the producing task
+// declared, or a registered *Datum handle for the allocation-free fast
+// path.
 func In(keys ...any) Clause {
 	return func(s *taskSpec) {
 		for _, k := range keys {
-			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.In})
+			s.accesses = append(s.accesses, access(k, core.In, 0))
 		}
 	}
 }
 
-// Out declares write (output) dependences on the given keys.
+// Out declares write (output) dependences on the given keys (raw keys or
+// *Datum handles).
 func Out(keys ...any) Clause {
 	return func(s *taskSpec) {
 		for _, k := range keys {
-			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Out})
+			s.accesses = append(s.accesses, access(k, core.Out, 0))
 		}
 	}
 }
 
-// InOut declares read-write (inout) dependences on the given keys.
+// InOut declares read-write (inout) dependences on the given keys (raw keys
+// or *Datum handles).
 func InOut(keys ...any) Clause {
 	return func(s *taskSpec) {
 		for _, k := range keys {
-			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.InOut})
+			s.accesses = append(s.accesses, access(k, core.InOut, 0))
 		}
 	}
 }
 
 // Concurrent declares dependences that may overlap with each other but are
 // ordered against ordinary readers and writers (the OmpSs concurrent
-// extension, for reductions guarded by their own synchronization).
+// extension, for reductions guarded by their own synchronization). Keys may
+// be raw keys or *Datum handles.
 func Concurrent(keys ...any) Clause {
 	return func(s *taskSpec) {
 		for _, k := range keys {
-			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Concurrent})
+			s.accesses = append(s.accesses, access(k, core.Concurrent, 0))
 		}
 	}
 }
@@ -70,12 +89,14 @@ func Concurrent(keys ...any) Clause {
 // commutative extension): commutative tasks on the same key may execute in
 // any order but never simultaneously — the runtime serializes their bodies
 // with a per-key lock — while ordinary readers and writers are ordered
-// against all of them. Tasks with several commutative keys acquire the locks
-// in declaration order; declare them consistently across tasks.
+// against all of them. Keys may be raw keys or *Datum handles. Declaration
+// order does not matter: the runtime acquires multi-key lock sets in a
+// globally consistent order, so tasks listing the same keys in different
+// orders cannot deadlock.
 func Commutative(keys ...any) Clause {
 	return func(s *taskSpec) {
 		for _, k := range keys {
-			s.accesses = append(s.accesses, core.Access{Key: k, Mode: core.Commutative})
+			s.accesses = append(s.accesses, access(k, core.Commutative, 0))
 		}
 	}
 }
@@ -83,21 +104,21 @@ func Commutative(keys ...any) Clause {
 // InSized is In with a byte footprint for the simulated memory model.
 func InSized(key any, bytes int64) Clause {
 	return func(s *taskSpec) {
-		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.In, Bytes: bytes})
+		s.accesses = append(s.accesses, access(key, core.In, bytes))
 	}
 }
 
 // OutSized is Out with a byte footprint for the simulated memory model.
 func OutSized(key any, bytes int64) Clause {
 	return func(s *taskSpec) {
-		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.Out, Bytes: bytes})
+		s.accesses = append(s.accesses, access(key, core.Out, bytes))
 	}
 }
 
 // InOutSized is InOut with a byte footprint for the simulated memory model.
 func InOutSized(key any, bytes int64) Clause {
 	return func(s *taskSpec) {
-		s.accesses = append(s.accesses, core.Access{Key: key, Mode: core.InOut, Bytes: bytes})
+		s.accesses = append(s.accesses, access(key, core.InOut, bytes))
 	}
 }
 

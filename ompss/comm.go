@@ -1,0 +1,57 @@
+package ompss
+
+import "sync"
+
+// commTable is the commutative per-key lock table shared by both backends
+// (the mutex type M is sync.Mutex natively, vm.Mutex in simulation). Each
+// key gets a lock with a rank assigned at first use; resolve returns a key
+// set's locks deduplicated and sorted by ascending rank. Acquiring
+// multi-key lock sets in rank order is the deadlock-freedom invariant:
+// tasks declaring the same keys in opposite clause orders still lock them
+// identically.
+type commTable[M any] struct {
+	mu  sync.Mutex // guards the map and rank counter, never held while bodies run
+	m   map[any]*commEntry[M]
+	seq uint64
+}
+
+// commEntry is one key's lock with its acquisition rank.
+type commEntry[M any] struct {
+	rank uint64
+	mu   M
+}
+
+// resolve returns the locks of keys (creating on first use), deduplicated
+// and sorted by rank. Safe from any goroutine.
+func (t *commTable[M]) resolve(keys []any) []*commEntry[M] {
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[any]*commEntry[M])
+	}
+	locks := make([]*commEntry[M], 0, len(keys))
+	for _, k := range keys {
+		e := t.m[k]
+		if e == nil {
+			t.seq++
+			e = &commEntry[M]{rank: t.seq}
+			t.m[k] = e
+		}
+		locks = append(locks, e)
+	}
+	t.mu.Unlock()
+	// Insertion sort: commutative key sets are 1-3 entries, not worth
+	// sort.Slice's reflection.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && locks[j].rank < locks[j-1].rank; j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	// Drop duplicate keys (the same lock listed twice would self-deadlock).
+	out := locks[:0]
+	for i, l := range locks {
+		if i == 0 || locks[i-1] != l {
+			out = append(out, l)
+		}
+	}
+	return out
+}

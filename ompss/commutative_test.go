@@ -66,32 +66,64 @@ func TestCommutativeSimOverlapsDistinctKeys(t *testing.T) {
 	}
 }
 
-func TestTaskPanicResurfacesAtTaskwait(t *testing.T) {
+func TestTaskPanicBecomesHandleError(t *testing.T) {
 	rt := New(Workers(2))
-	var sibling int
+	defer rt.Shutdown()
 	x := new(int)
-	rt.Task(func(*TC) { panic("boom") }, Label("bad"), Out(x))
-	rt.Task(func(*TC) { sibling = 1 }, In(x)) // dependent of the panicker
+	h := rt.Task(func(*TC) { panic("boom") }, Label("bad"), Out(x))
+	dep := rt.Task(func(*TC) {}, In(x)) // dependent of the panicker
+	rt.Taskwait()
+	var tp *TaskPanic
+	if err := h.Err(); !errors.As(err, &tp) {
+		t.Fatalf("Handle.Err = %v, want *TaskPanic", err)
+	}
+	if tp.Label != "bad" || tp.Value != "boom" {
+		t.Fatalf("panic details: %+v", tp)
+	}
+	// Default SkipDependents policy: the dependent is released without
+	// running, its error wraps the panic, and the graph drains.
+	if err := dep.Err(); !errors.Is(err, ErrSkipped) || !errors.As(err, &tp) {
+		t.Fatalf("dependent err = %v, want skip wrapping the panic", err)
+	}
+	if err := rt.Err(); !errors.As(err, &tp) {
+		t.Fatalf("Runtime.Err = %v, want the panic", err)
+	}
+}
+
+func TestUnobservedPanicResurfacesAtShutdown(t *testing.T) {
+	// The safety valve: a program that never consults the error surface
+	// still crashes loudly when a task panicked.
+	rt := New(Workers(2))
+	rt.Task(func(*TC) { panic("boom") }, Label("bad"))
+	rt.Taskwait()
 	defer func() {
-		r := recover()
-		tp, ok := r.(*TaskPanic)
-		if !ok {
-			t.Fatalf("expected *TaskPanic, got %v", r)
-		}
-		if tp.Label != "bad" || tp.Value != "boom" {
-			t.Fatalf("panic details: %+v", tp)
-		}
-		if sibling != 1 {
-			t.Fatal("dependent task should still run (graph must drain)")
-		}
-		var err error = tp
-		var asPanic *TaskPanic
-		if !errors.As(err, &asPanic) {
-			t.Fatal("TaskPanic should satisfy errors.As")
+		tp, ok := recover().(*TaskPanic)
+		if !ok || tp.Value != "boom" {
+			t.Fatalf("Shutdown should re-panic with *TaskPanic, got %v", tp)
 		}
 	}()
+	rt.Shutdown()
+	t.Fatal("Shutdown should have panicked")
+}
+
+func TestCommutativeOppositeOrderNoDeadlock(t *testing.T) {
+	// Regression: two tasks declaring the same two commutative keys in
+	// opposite clause orders used to acquire the per-key locks in
+	// declaration order — a classic ABBA deadlock under concurrency. The
+	// runtime now sorts acquisition by a stable per-key rank, so opposed
+	// declaration orders must run to completion.
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	x, y := new(int), new(int)
+	const iters = 300
+	for i := 0; i < iters; i++ {
+		rt.Task(func(*TC) { *x++; *y++ }, Commutative(x, y))
+		rt.Task(func(*TC) { *y++; *x++ }, Commutative(y, x))
+	}
 	rt.Taskwait()
-	t.Fatal("Taskwait should have panicked")
+	if *x != 2*iters || *y != 2*iters {
+		t.Fatalf("counters x=%d y=%d, want %d each", *x, *y, 2*iters)
+	}
 }
 
 func TestTaskPanicSurfacesAsSimError(t *testing.T) {

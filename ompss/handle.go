@@ -1,0 +1,189 @@
+package ompss
+
+import (
+	"errors"
+	"fmt"
+
+	"ompssgo/internal/core"
+)
+
+// Datum is a pre-registered data handle: the clause-expression analogue of
+// the paper's compiler-resolved dependence expressions. Registering a key
+// once (Runtime.Register / Runtime.RegisterRegion) resolves its dependence
+// shard and record up front, so every later In/Out/InOut/Concurrent/
+// Commutative clause built from the handle skips interface hashing and the
+// shard map lookup on the submit hot path. Pass a *Datum anywhere a
+// dependence key is accepted — the clause constructors and TaskwaitOn
+// recognize it. Raw any-key clauses remain supported as a compatibility
+// layer and resolve to the same records, so handle-based and key-based
+// accesses to one datum stay mutually ordered.
+type Datum struct {
+	c *core.Datum
+	// Cached clause closures: one closure and one access value per mode,
+	// built at registration, so d.AsIn() etc. add zero allocations to a
+	// submission (the package-level In(d) constructors allocate a variadic
+	// slice and a fresh closure per call).
+	asIn, asOut, asInOut Clause
+}
+
+// Key returns the underlying dependence key (a region key — see RegionKey —
+// for region handles).
+func (d *Datum) Key() any { return d.c.Key }
+
+// IsRegion reports whether the handle names an array section.
+func (d *Datum) IsRegion() bool { return d.c.IsRegion() }
+
+// AsIn returns the handle's pre-built In clause (see In). The clause is
+// constructed once at registration: using it adds no per-submit work.
+func (d *Datum) AsIn() Clause { return d.asIn }
+
+// AsOut returns the handle's pre-built Out clause (see Out).
+func (d *Datum) AsOut() Clause { return d.asOut }
+
+// AsInOut returns the handle's pre-built InOut clause (see InOut).
+func (d *Datum) AsInOut() Clause { return d.asInOut }
+
+// newDatum wraps a core handle and pre-builds its clause closures.
+func newDatum(c *core.Datum) *Datum {
+	d := &Datum{c: c}
+	var bytes int64
+	if c.IsRegion() {
+		bytes = c.Region().Len()
+	}
+	accIn := core.Access{Key: c.Key, Mode: core.In, Bytes: bytes, Datum: c}
+	accOut := core.Access{Key: c.Key, Mode: core.Out, Bytes: bytes, Datum: c}
+	accInOut := core.Access{Key: c.Key, Mode: core.InOut, Bytes: bytes, Datum: c}
+	d.asIn = func(s *taskSpec) { s.accesses = append(s.accesses, accIn) }
+	d.asOut = func(s *taskSpec) { s.accesses = append(s.accesses, accOut) }
+	d.asInOut = func(s *taskSpec) { s.accesses = append(s.accesses, accInOut) }
+	return d
+}
+
+// Register interns key's dependence record and returns a reusable handle.
+// Handles are bound to this runtime, valid for its lifetime, and safe for
+// concurrent use from any task. Registering an existing handle is the
+// identity on its own runtime; a handle from another runtime is
+// re-registered here by its underlying key (clauses likewise treat a
+// foreign handle as its key, so cross-runtime handle use degrades to the
+// compatibility path instead of corrupting records).
+func (rt *Runtime) Register(key any) *Datum {
+	if d, ok := key.(*Datum); ok {
+		if d.c.Owner() == rt.be.deps() {
+			return d
+		}
+		key = d.c.Key
+	}
+	return newDatum(rt.be.deps().Register(key))
+}
+
+// RegisterRegion interns an array-section handle for [lo, hi) of the array
+// identified by base (the handle equivalent of InRegion and friends).
+// Distinct handles over one base conflict only where their spans overlap.
+func (rt *Runtime) RegisterRegion(base any, lo, hi int64) *Datum {
+	return newDatum(rt.be.deps().RegisterRegion(base, lo, hi))
+}
+
+// Handle is the future returned by Task, Go, and TaskLoop: a first-class
+// completion and outcome token for one spawned task.
+//
+// Done is closed when the task finishes — successfully, with an error, or
+// skipped. Err is nil until then; afterwards it reports the task's outcome:
+// nil on success, the body's returned error, a *TaskPanic if the body
+// panicked, or a *SkipError if the runtime released the task without
+// running it (failure policy or cancellation).
+type Handle struct {
+	rt *Runtime
+	t  *core.Task // nil for undeferred (inline) tasks
+	// inline outcome of an undeferred task (If(false)/final): the task
+	// already ran synchronously when the Handle was returned.
+	inlineErr error
+}
+
+// closedChan is the pre-closed Done channel of inline-executed tasks.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Done returns a channel closed when the task has finished (for inline
+// tasks it is closed already). Select on it together with a context's Done
+// for per-task timeouts.
+func (h *Handle) Done() <-chan struct{} {
+	if h.t == nil {
+		return closedChan
+	}
+	return h.t.Done()
+}
+
+// Err returns the task's outcome: nil while the task is still in flight or
+// when it succeeded; otherwise the error described on Handle. Calling Err
+// counts as observing the runtime's failures (see Shutdown).
+func (h *Handle) Err() error {
+	if h.rt != nil {
+		h.rt.observed.Store(true)
+	}
+	if h.t == nil {
+		return h.inlineErr
+	}
+	return h.t.Err()
+}
+
+// Task returns the handle's graph task ID (0 for inline tasks), for
+// correlating with traces and DOT exports.
+func (h *Handle) TaskID() uint64 {
+	if h.t == nil {
+		return 0
+	}
+	return h.t.ID
+}
+
+// ErrorPolicy selects what happens to the dependents of a failed task.
+type ErrorPolicy int
+
+const (
+	// SkipDependents (the default) releases the dependents of a failed
+	// task without running their bodies: each finishes with a *SkipError
+	// wrapping the upstream failure, and the error keeps propagating along
+	// dependence edges until the graph drains.
+	SkipDependents ErrorPolicy = iota
+	// RunThrough runs dependents of failed tasks anyway: a task that
+	// succeeds stops the propagation. Use it when tasks can tolerate — or
+	// want to observe — missing predecessor results.
+	RunThrough
+)
+
+func (p ErrorPolicy) String() string {
+	if p == RunThrough {
+		return "run-through"
+	}
+	return "skip-dependents"
+}
+
+// OnError selects the failure-propagation policy (default SkipDependents).
+func OnError(p ErrorPolicy) Option { return func(c *config) { c.policy = p } }
+
+// ErrSkipped is the sentinel matched (via errors.Is) by every *SkipError.
+var ErrSkipped = errors.New("ompss: task skipped")
+
+// SkipError is the outcome of a task the runtime released without running:
+// its cause is the upstream task failure (SkipDependents policy) or the
+// cancellation error (TaskwaitCtx / RunSimCtx). Causes chain, so the root
+// failure of a skipped subgraph is reachable through errors.As/Unwrap.
+type SkipError struct {
+	Label string // the skipped task's Label clause, if any
+	Cause error  // the upstream failure or cancellation that induced the skip
+}
+
+func (e *SkipError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("ompss: task %q skipped: %v", e.Label, e.Cause)
+	}
+	return fmt.Sprintf("ompss: task skipped: %v", e.Cause)
+}
+
+// Unwrap exposes the inducing failure.
+func (e *SkipError) Unwrap() error { return e.Cause }
+
+// Is matches ErrSkipped.
+func (e *SkipError) Is(target error) bool { return target == ErrSkipped }

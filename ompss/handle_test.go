@@ -1,0 +1,485 @@
+package ompss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompssgo/machine"
+)
+
+// --- Datum handles -----------------------------------------------------------
+
+func TestDatumChainOrdering(t *testing.T) {
+	// A RAW chain declared purely through registered handles must
+	// serialize exactly like raw keys.
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	x := rt.Register(new(int))
+	val := 0
+	for i := 0; i < 50; i++ {
+		i := i
+		rt.Task(func(*TC) {
+			if val != i {
+				t.Errorf("task %d saw val=%d", i, val)
+			}
+			val++
+		}, InOut(x))
+	}
+	rt.Taskwait()
+	if val != 50 {
+		t.Fatalf("val=%d, want 50", val)
+	}
+}
+
+func TestDatumAndRawKeyInterop(t *testing.T) {
+	// The compatibility layer: a handle and its raw key must resolve to
+	// the same dependence record, so mixed declarations stay ordered.
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	key := new(int)
+	d := rt.Register(key)
+	order := make([]int, 0, 3)
+	rt.Task(func(*TC) { order = append(order, 1) }, Out(d))     // handle writer
+	rt.Task(func(*TC) { order = append(order, 2) }, InOut(key)) // raw-key updater
+	rt.Task(func(*TC) { order = append(order, 3) }, In(d))      // handle reader
+	rt.Taskwait()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("mixed handle/raw-key order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestRegisterIsIdempotent(t *testing.T) {
+	rt := New(Workers(1))
+	defer rt.Shutdown()
+	key := new(int)
+	a, b := rt.Register(key), rt.Register(key)
+	ran := 0
+	rt.Task(func(*TC) { ran++ }, Out(a))
+	w2 := rt.Task(func(*TC) { ran++ }, Out(b))
+	rt.Taskwait()
+	if ran != 2 {
+		t.Fatalf("ran=%d", ran)
+	}
+	if w2.Err() != nil {
+		t.Fatal(w2.Err())
+	}
+	// Registering a handle returns it unchanged.
+	if rt.Register(a) != a {
+		t.Fatal("Register(*Datum) should be identity")
+	}
+}
+
+func TestRegionDatum(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	data := make([]int, 100)
+	base := &data[0]
+	left := rt.RegisterRegion(base, 0, 50)
+	right := rt.RegisterRegion(base, 50, 100)
+	whole := rt.RegisterRegion(base, 0, 100)
+	rt.Task(func(*TC) {
+		for i := 0; i < 50; i++ {
+			data[i] = 1
+		}
+	}, Out(left))
+	rt.Task(func(*TC) {
+		for i := 50; i < 100; i++ {
+			data[i] = 2
+		}
+	}, Out(right))
+	sum := 0
+	rt.Task(func(*TC) {
+		for _, v := range data {
+			sum += v
+		}
+	}, In(whole))
+	rt.Taskwait()
+	if sum != 150 {
+		t.Fatalf("sum=%d, want 150", sum)
+	}
+	if !left.IsRegion() || left.Key() == nil {
+		t.Fatal("region handle should report IsRegion and carry a key")
+	}
+	// Region handles interop with raw region clauses on the same base.
+	got := 0
+	rt.Task(func(*TC) { data[0] = 9 }, OutRegion(base, 0, 10))
+	rt.Task(func(*TC) { got = data[0] }, In(left))
+	rt.Taskwait()
+	if got != 9 {
+		t.Fatalf("raw-region/handle interop saw %d, want 9", got)
+	}
+}
+
+func TestCrossRuntimeHandleFallsBackToKey(t *testing.T) {
+	// A handle registered on one runtime used in clauses on another must
+	// degrade to the key-based compatibility path (same records as raw
+	// keys on the second runtime), not inject the first runtime's records.
+	rt1 := New(Workers(1))
+	defer rt1.Shutdown()
+	rt2 := New(Workers(2))
+	defer rt2.Shutdown()
+	key := new(int)
+	foreign := rt1.Register(key)
+	order := make([]int, 0, 2)
+	rt2.Task(func(*TC) { order = append(order, 1) }, Out(foreign)) // foreign handle
+	rt2.Task(func(*TC) { order = append(order, 2) }, In(key))      // raw key
+	rt2.Taskwait()
+	if fmt.Sprint(order) != "[1 2]" {
+		t.Fatalf("foreign handle did not order against raw key: %v", order)
+	}
+	// Re-registering a foreign handle binds it to this runtime.
+	local := rt2.Register(foreign)
+	if local == foreign {
+		t.Fatal("foreign handle should be re-registered, not passed through")
+	}
+	if rt2.Register(local) != local {
+		t.Fatal("same-runtime re-registration should be identity")
+	}
+}
+
+func TestTaskwaitOnDatum(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	d := rt.Register(new(int))
+	done := false
+	rt.Task(func(*TC) { time.Sleep(time.Millisecond); done = true }, Out(d))
+	rt.TaskwaitOn(d)
+	if !done {
+		t.Fatal("TaskwaitOn(datum) returned before the writer finished")
+	}
+	rt.Taskwait()
+}
+
+// --- Handles and error propagation ------------------------------------------
+
+func TestGoErrorOnHandle(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	boom := errors.New("boom")
+	h := rt.Go(func(*TC) error { return boom })
+	ok := rt.Go(func(*TC) error { return nil })
+	rt.Taskwait()
+	if !errors.Is(h.Err(), boom) {
+		t.Fatalf("Handle.Err = %v, want boom", h.Err())
+	}
+	if ok.Err() != nil {
+		t.Fatalf("successful task Err = %v", ok.Err())
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done should be closed after Taskwait")
+	}
+}
+
+func TestDiamondErrorPropagation(t *testing.T) {
+	// top fails; under SkipDependents both arms and the join are skipped,
+	// each wrapping the root cause.
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	x, y, z := new(int), new(int), new(int)
+	boom := errors.New("boom")
+	var armRan, joinRan atomic.Int32
+	top := rt.Go(func(*TC) error { return boom }, Label("top"), Out(x))
+	l := rt.Task(func(*TC) { armRan.Add(1) }, Label("l"), In(x), Out(y))
+	r := rt.Task(func(*TC) { armRan.Add(1) }, Label("r"), In(x), Out(z))
+	join := rt.Task(func(*TC) { joinRan.Add(1) }, Label("join"), In(y), In(z))
+	rt.Taskwait()
+	if !errors.Is(top.Err(), boom) {
+		t.Fatalf("top err = %v", top.Err())
+	}
+	for name, h := range map[string]*Handle{"l": l, "r": r, "join": join} {
+		err := h.Err()
+		if !errors.Is(err, ErrSkipped) {
+			t.Fatalf("%s err = %v, want skipped", name, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s err = %v, should unwrap to the root cause", name, err)
+		}
+	}
+	if armRan.Load() != 0 || joinRan.Load() != 0 {
+		t.Fatalf("skipped bodies ran: arms=%d join=%d", armRan.Load(), joinRan.Load())
+	}
+	st := rt.Stats()
+	if st.Graph.Skipped != 3 || st.Graph.Failed != 4 {
+		t.Fatalf("stats: skipped=%d failed=%d, want 3/4", st.Graph.Skipped, st.Graph.Failed)
+	}
+}
+
+func TestRunThroughPolicy(t *testing.T) {
+	// Under RunThrough, dependents of a failed task still run; a
+	// succeeding dependent stops the propagation.
+	rt := New(Workers(4), OnError(RunThrough))
+	defer rt.Shutdown()
+	x, y := new(int), new(int)
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	rt.Go(func(*TC) error { return boom }, Out(x))
+	mid := rt.Task(func(*TC) { ran.Add(1) }, In(x), Out(y))
+	leaf := rt.Task(func(*TC) { ran.Add(1) }, In(y))
+	rt.Taskwait()
+	if ran.Load() != 2 {
+		t.Fatalf("RunThrough should run dependents, ran=%d", ran.Load())
+	}
+	if mid.Err() != nil || leaf.Err() != nil {
+		t.Fatalf("successful dependents carry errors: %v / %v", mid.Err(), leaf.Err())
+	}
+	if !errors.Is(rt.Err(), boom) {
+		t.Fatalf("Runtime.Err = %v", rt.Err())
+	}
+}
+
+func TestTaskwaitCtxReportsFirstChildError(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	boom := errors.New("boom")
+	rt.Go(func(*TC) error { return boom })
+	rt.Task(func(*TC) {})
+	if err := rt.TaskwaitCtx(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("TaskwaitCtx = %v, want boom", err)
+	}
+	// A second wait over a clean scope reports nil.
+	rt.Task(func(*TC) {})
+	if err := rt.TaskwaitCtx(context.Background()); err != nil {
+		t.Fatalf("TaskwaitCtx after clean round = %v", err)
+	}
+}
+
+func TestCancellationDrainsBySkipping(t *testing.T) {
+	// A long chain behind a slow head: cancelling mid-graph must skip the
+	// not-yet-started tail, drain, and report the context error. Runs
+	// under -race in CI (cancellation arrives from a timer goroutine).
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	x := new(int)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var tailRan atomic.Int32
+	head := rt.Task(func(*TC) {
+		close(started)
+		<-release
+	}, Out(x))
+	var tail []*Handle
+	for i := 0; i < 32; i++ {
+		tail = append(tail, rt.Task(func(*TC) { tailRan.Add(1) }, InOut(x)))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+		// Wait until the cancellation actually reached the runtime (it
+		// arrives via context.AfterFunc on a separate goroutine) before
+		// letting the head finish and release the tail.
+		for rt.cancelCause() == nil {
+			time.Sleep(50 * time.Microsecond)
+		}
+		release <- struct{}{}
+	}()
+	err := rt.TaskwaitCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TaskwaitCtx = %v, want context.Canceled", err)
+	}
+	if head.Err() != nil {
+		t.Fatalf("head had started before the cancel; err = %v", head.Err())
+	}
+	if tailRan.Load() != 0 {
+		t.Fatalf("cancelled tail ran %d bodies", tailRan.Load())
+	}
+	for _, h := range tail {
+		if err := h.Err(); !errors.Is(err, ErrSkipped) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("tail err = %v, want skip wrapping context.Canceled", err)
+		}
+	}
+	// The runtime stays cancelled: later spawns are skipped too.
+	late := rt.Task(func(*TC) { tailRan.Add(1) })
+	rt.Taskwait()
+	if err := late.Err(); !errors.Is(err, ErrSkipped) {
+		t.Fatalf("post-cancel spawn err = %v, want skipped", err)
+	}
+}
+
+func TestCommutativePanicReleasesLocks(t *testing.T) {
+	// Regression: a panic inside a commutative body must not leak the
+	// per-key locks (they are released via defer), or every later
+	// commutative task on the key would deadlock.
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	x, y := new(int), new(int)
+	bad := rt.Task(func(*TC) { panic("boom") }, Commutative(x, y))
+	after := rt.Task(func(*TC) { *x++ }, Commutative(x, y))
+	rt.Taskwait()
+	var tp *TaskPanic
+	if !errors.As(bad.Err(), &tp) {
+		t.Fatalf("bad err = %v", bad.Err())
+	}
+	if after.Err() != nil || *x != 1 {
+		t.Fatalf("commutative task after panic: err=%v x=%d", after.Err(), *x)
+	}
+}
+
+func TestFinishedPredecessorErrorStillSkips(t *testing.T) {
+	// Regression: a dependent submitted after its failing predecessor
+	// already finished must still inherit the failure — skip-vs-run must
+	// not depend on the submit/finish race.
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	boom := errors.New("boom")
+	x := rt.Register(new(int))
+	h := rt.Go(func(*TC) error { return boom }, Out(x))
+	<-h.Done() // predecessor fully finished before the dependent submits
+	ran := false
+	dep := rt.Task(func(*TC) { ran = true }, In(x))
+	rt.Taskwait()
+	if err := dep.Err(); !errors.Is(err, ErrSkipped) || !errors.Is(err, boom) {
+		t.Fatalf("dep err = %v, want skip wrapping boom", err)
+	}
+	if ran {
+		t.Fatal("dependent of an already-failed producer ran its body")
+	}
+}
+
+func TestInlineErrorReportedByTaskwaitCtx(t *testing.T) {
+	rt := New(Workers(1))
+	defer rt.Shutdown()
+	boom := errors.New("boom")
+	rt.Go(func(*TC) error { return boom }, If(false))
+	if err := rt.TaskwaitCtx(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("TaskwaitCtx = %v, want inline error", err)
+	}
+}
+
+func TestTaskwaitClosesErrorRound(t *testing.T) {
+	// A plain Taskwait consumes the scope's failures too: a later
+	// TaskwaitCtx must not report a stale error from the earlier round.
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	rt.Go(func(*TC) error { return errors.New("round one") })
+	rt.Taskwait()
+	rt.Task(func(*TC) {})
+	if err := rt.TaskwaitCtx(context.Background()); err != nil {
+		t.Fatalf("stale scope error leaked across Taskwait: %v", err)
+	}
+}
+
+func TestInlineTaskHandle(t *testing.T) {
+	rt := New(Workers(1))
+	defer rt.Shutdown()
+	boom := errors.New("boom")
+	ran := false
+	h := rt.Go(func(*TC) error { ran = true; return boom }, If(false))
+	if !ran {
+		t.Fatal("If(false) task must run undeferred")
+	}
+	if !errors.Is(h.Err(), boom) {
+		t.Fatalf("inline handle err = %v", h.Err())
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("inline handle Done must be pre-closed")
+	}
+	if h.TaskID() != 0 {
+		t.Fatal("inline tasks carry no graph ID")
+	}
+}
+
+func TestTaskLoopHandles(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	var n atomic.Int32
+	hs := rt.TaskLoop(100, 32, func(_ *TC, lo, hi int) { n.Add(int32(hi - lo)) })
+	if len(hs) != 4 {
+		t.Fatalf("len(handles)=%d, want 4", len(hs))
+	}
+	rt.Taskwait()
+	for _, h := range hs {
+		if h.Err() != nil {
+			t.Fatal(h.Err())
+		}
+	}
+	if n.Load() != 100 {
+		t.Fatalf("n=%d", n.Load())
+	}
+}
+
+// --- Simulated backend -------------------------------------------------------
+
+func TestSimGoErrorSurfacesAsRunError(t *testing.T) {
+	boom := errors.New("boom")
+	var dep *Handle
+	_, err := RunSim(machine.Paper(4), func(rt *Runtime) {
+		x := rt.Register(new(int))
+		// Cost keeps the failing task in flight (in virtual time) until
+		// the dependent is submitted, exercising the live-edge propagation
+		// path (an already-finished predecessor would propagate through
+		// its recorded outcome instead).
+		rt.Go(func(*TC) error { return boom }, Out(x), Label("bad"), Cost(time.Millisecond))
+		dep = rt.Task(func(*TC) {}, In(x))
+		rt.Taskwait()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunSim err = %v, want boom", err)
+	}
+	if depErr := dep.Err(); !errors.Is(depErr, ErrSkipped) || !errors.Is(depErr, boom) {
+		t.Fatalf("sim dependent err = %v", depErr)
+	}
+}
+
+func TestSimDatumMatchesRawKeys(t *testing.T) {
+	// The same program via handles and via raw keys must produce the same
+	// makespan: the fast path changes bookkeeping, not policy.
+	prog := func(useDatum bool) time.Duration {
+		st, err := RunSim(machine.Paper(8), func(rt *Runtime) {
+			keys := make([]int, 8)
+			for i := 0; i < 8; i++ {
+				var k any = &keys[i]
+				if useDatum {
+					k = rt.Register(&keys[i])
+				}
+				for j := 0; j < 4; j++ {
+					rt.Task(func(*TC) {}, InOut(k), Cost(100*time.Microsecond))
+				}
+			}
+			rt.Taskwait()
+		})
+		if err != nil {
+			panic(err)
+		}
+		return st.Makespan
+	}
+	if a, b := prog(true), prog(false); a != b {
+		// Deterministic per seed: any divergence means the datum path
+		// changed scheduling behavior.
+		t.Fatalf("datum vs raw-key makespan differ: %v vs %v", a, b)
+	}
+}
+
+func TestRunSimCtxCancellation(t *testing.T) {
+	// Cancel a simulated run mid-flight from a real timer: the graph
+	// drains by skipping and the run reports the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	_, err := RunSimCtx(ctx, machine.Paper(2), func(rt *Runtime) {
+		x := rt.Register(new(int))
+		for i := 0; i < 200; i++ {
+			i := i
+			rt.Task(func(*TC) {
+				executed.Add(1)
+				if i == 3 {
+					cancel() // fires while the graph is mid-flight
+				}
+			}, InOut(x), Cost(time.Millisecond))
+		}
+		rt.Taskwait()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSimCtx err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= 200 || n < 4 {
+		t.Fatalf("executed %d bodies; cancellation should skip most of the chain", n)
+	}
+}

@@ -34,9 +34,7 @@ type nativeBackend struct {
 	wg    sync.WaitGroup
 	crit  critSet[sync.Mutex]
 	epoch time.Time
-
-	commMu sync.Mutex
-	comm   map[any]*sync.Mutex // per-key commutative locks
+	comm  commTable[sync.Mutex] // per-key commutative locks, rank-ordered
 
 	shutdownOnce sync.Once
 }
@@ -149,8 +147,19 @@ func (b *nativeBackend) workerLoop(lane int) {
 
 func (b *nativeBackend) runTask(t *core.Task, lane int) {
 	b.trace(TraceStart, t, lane)
-	t.Body()
-	ready := b.graph.Finish(t)
+	var err error
+	if skip := b.rt.skipReason(t); skip != nil {
+		// Skip-release: the task finishes without running, its dependents
+		// still release (and inherit the error under SkipDependents), so
+		// the graph always drains.
+		t.MarkSkipped()
+		b.graph.CountSkipped()
+		err = skip
+	} else {
+		err = t.Body()
+	}
+	b.rt.noteErr(err)
+	ready := b.graph.Finish(t, err)
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
 	}
@@ -230,26 +239,34 @@ func (b *nativeBackend) critical(from *TC, name string, hold time.Duration, f fu
 	_ = hold // the real f supplies the real work natively
 }
 
-func (b *nativeBackend) commutative(from *TC, key any, f func()) {
-	b.commMu.Lock()
-	if b.comm == nil {
-		b.comm = make(map[any]*sync.Mutex)
+// commutative runs f holding the per-key locks of every listed key,
+// acquired in ascending rank order (see commTable), released in reverse.
+func (b *nativeBackend) commutative(from *TC, keys []any, f func()) {
+	locks := b.comm.resolve(keys)
+	for _, l := range locks {
+		l.mu.Lock()
 	}
-	l := b.comm[key]
-	if l == nil {
-		l = &sync.Mutex{}
-		b.comm[key] = l
-	}
-	b.commMu.Unlock()
-	l.Lock()
+	// Deferred so a panicking body (recovered into a task error above us)
+	// cannot leak the locks and deadlock later commutative tasks.
+	defer func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].mu.Unlock()
+		}
+	}()
 	f()
-	l.Unlock()
 }
 
 func (b *nativeBackend) compute(*TC, time.Duration)  {} // native bodies do real work
 func (b *nativeBackend) touch(*TC, any, int64, bool) {} // native memory is real
-func (b *nativeBackend) lastWriter(key any) *core.Task {
-	return b.graph.LastWriter(key)
+func (b *nativeBackend) deps() *core.Graph           { return b.graph }
+
+// cancelWake nudges Blocking-mode parked threads so they re-check for work
+// after a cancellation put the runtime into skip mode. Safe from any
+// goroutine (context.AfterFunc fires on a timer goroutine).
+func (b *nativeBackend) cancelWake() {
+	if b.cfg.wait == Blocking {
+		b.gate.wake()
+	}
 }
 
 func (b *nativeBackend) shutdown(from *TC) {

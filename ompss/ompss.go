@@ -21,9 +21,28 @@
 // (internal/core):
 //
 //   - New creates a native runtime executing on goroutine workers.
-//   - RunSim executes a program on a simulated cc-NUMA machine
+//   - RunSim / RunSimCtx execute a program on a simulated cc-NUMA machine
 //     (package machine), reproducing the paper's 1–32 core sweep on any
 //     host.
+//
+// On top of the pragma-shaped clause surface, the API is built around two
+// first-class types:
+//
+//   - *Datum, a registered data handle (Runtime.Register /
+//     Runtime.RegisterRegion): the datum's dependence shard and record are
+//     resolved once, so clauses built from the handle skip interface
+//     hashing and map lookups on the submit hot path — the library
+//     analogue of the compiler-resolved clause expressions of OmpSs.
+//     Raw any-typed keys remain fully supported and resolve to the same
+//     records.
+//   - *Handle, the future returned by Task, Go, and TaskLoop: Done is
+//     closed at completion and Err reports the outcome. Go spawns
+//     error-returning bodies; a failure (returned error or wrapped panic,
+//     see TaskPanic) propagates along dependence edges under the runtime's
+//     ErrorPolicy (OnError): SkipDependents releases dependents without
+//     running them, RunThrough runs them anyway. TaskwaitCtx and RunSimCtx
+//     add context-aware waiting — cancellation drains the graph by
+//     skipping every task that has not started.
 //
 // As in OmpSs, the master thread participates in execution: with Workers(n),
 // n−1 dedicated workers are started and the program thread helps execute
@@ -33,8 +52,11 @@
 package ompss
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ompssgo/internal/core"
@@ -66,6 +88,7 @@ type config struct {
 	locality bool
 	seed     int64
 	tracer   *Tracer
+	policy   ErrorPolicy
 }
 
 // Option configures a Runtime.
@@ -109,18 +132,24 @@ type backend interface {
 	taskwait(from *TC, ctx *core.Context)
 	taskwaitOn(from *TC, keys []any)
 	critical(from *TC, name string, hold time.Duration, f func())
-	commutative(from *TC, key any, f func())
+	commutative(from *TC, keys []any, f func())
 	compute(from *TC, d time.Duration)
 	touch(from *TC, key any, bytes int64, write bool)
-	lastWriter(key any) *core.Task
+	deps() *core.Graph
+	// cancelWake nudges parked threads after a cancellation so they can
+	// observe the skip-everything state. Must be safe from any goroutine.
+	cancelWake()
 	shutdown(from *TC)
 	stats() RunStats
 }
 
-// TaskPanic is the error value rethrown by Taskwait/Shutdown after a task
-// body panicked: a panicking task poisons the runtime (its dependents still
-// release, so the graph drains), and the first panic resurfaces on the
-// waiting thread.
+// TaskPanic is the error a panicking task body is wrapped into: instead of
+// unwinding a worker (the old panic-poisoning behavior), the panic becomes
+// the task's outcome, observable through Handle.Err, TaskwaitCtx, and
+// Runtime.Err, and propagating to dependents like any other task error. As
+// a safety valve, a native Shutdown re-panics with the first *TaskPanic if
+// no error-returning API ever observed the runtime's failures — a program
+// that ignores the error surface still crashes loudly.
 type TaskPanic struct {
 	Label string // the task's Label clause, if any
 	Value any    // the original panic value
@@ -133,6 +162,9 @@ func (p *TaskPanic) Error() string {
 	return fmt.Sprintf("ompss: task panicked: %v", p.Value)
 }
 
+// errRef boxes an error for atomic first-wins publication.
+type errRef struct{ err error }
+
 // Runtime is an OmpSs runtime instance. Create with New (native execution)
 // or receive one inside RunSim (simulated execution). Methods on Runtime act
 // on behalf of the program's master thread; inside task bodies, use the TC
@@ -142,34 +174,73 @@ type Runtime struct {
 	main *TC
 	cfg  config
 
-	panicMu   sync.Mutex
-	taskPanic *TaskPanic // first task panic; rethrown at the next wait
-	simMode   bool       // sim runs return the panic from RunSim instead of rethrowing
+	firstErr  atomic.Pointer[errRef] // first task failure (any kind)
+	firstPan  atomic.Pointer[errRef] // first *TaskPanic, for the Shutdown valve
+	cancelled atomic.Pointer[errRef] // cancellation cause; non-nil => skip-everything
+	observed  atomic.Bool            // some error-returning API was consulted
+	simMode   bool                   // sim runs surface failures via RunSim's error
 }
 
-// recordPanic stores the first task panic (later ones are dropped — the
-// runtime is already poisoned).
-func (rt *Runtime) recordPanic(p *TaskPanic) {
-	rt.panicMu.Lock()
-	if rt.taskPanic == nil {
-		rt.taskPanic = p
-	}
-	rt.panicMu.Unlock()
-}
-
-// checkPanic rethrows a recorded task panic on the waiting thread. In
-// simulated runs the panic is reported as RunSim's error instead —
-// unwinding a virtual thread would tear the simulation down with it.
-func (rt *Runtime) checkPanic() {
-	if rt.simMode {
+// noteErr records a task failure: the first error (and first panic) sticks.
+func (rt *Runtime) noteErr(err error) {
+	if err == nil {
 		return
 	}
-	rt.panicMu.Lock()
-	p := rt.taskPanic
-	rt.panicMu.Unlock()
-	if p != nil {
-		panic(p)
+	if rt.firstErr.Load() == nil {
+		rt.firstErr.CompareAndSwap(nil, &errRef{err})
 	}
+	var tp *TaskPanic
+	if errors.As(err, &tp) && rt.firstPan.Load() == nil {
+		rt.firstPan.CompareAndSwap(nil, &errRef{tp})
+	}
+}
+
+// Err returns the first task failure recorded on this runtime (nil when
+// every finished task succeeded so far). Calling it marks the runtime's
+// failures as observed, disarming the Shutdown panic valve.
+func (rt *Runtime) Err() error {
+	rt.observed.Store(true)
+	if r := rt.firstErr.Load(); r != nil {
+		return r.err
+	}
+	return nil
+}
+
+// cancelWith puts the runtime into cancellation drain: every task that has
+// not started yet — including tasks submitted later — is released without
+// running, finishing with a *SkipError wrapping cause. Idempotent; the
+// first cause wins.
+func (rt *Runtime) cancelWith(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	if rt.cancelled.Load() == nil {
+		rt.cancelled.CompareAndSwap(nil, &errRef{cause})
+	}
+	rt.be.cancelWake()
+}
+
+// cancelCause returns the cancellation cause, or nil when not cancelled.
+func (rt *Runtime) cancelCause() error {
+	if r := rt.cancelled.Load(); r != nil {
+		return r.err
+	}
+	return nil
+}
+
+// skipReason decides, at dispatch, whether t must be released without
+// running: always after a cancellation, and under SkipDependents when an
+// upstream failure reached it. Returns the error to finish the task with.
+func (rt *Runtime) skipReason(t *core.Task) error {
+	if ce := rt.cancelCause(); ce != nil {
+		return &SkipError{Label: t.Label, Cause: ce}
+	}
+	if rt.cfg.policy == SkipDependents {
+		if ue := t.Upstream(); ue != nil {
+			return &SkipError{Label: t.Label, Cause: ue}
+		}
+	}
+	return nil
 }
 
 // RunStats reports engine activity counters.
@@ -178,14 +249,33 @@ type RunStats struct {
 	Sched core.SchedStats
 }
 
-// Task spawns a task from the master thread. The body runs once its
-// dependences (declared via In/Out/InOut clauses) are satisfied.
-func (rt *Runtime) Task(body func(*TC), clauses ...Clause) { rt.main.Task(body, clauses...) }
+// Task spawns a task from the master thread and returns its Handle. The
+// body runs once its dependences (declared via In/Out/InOut clauses) are
+// satisfied.
+func (rt *Runtime) Task(body func(*TC), clauses ...Clause) *Handle {
+	return rt.main.Task(body, clauses...)
+}
+
+// Go spawns an error-returning task from the master thread: the body's
+// returned error becomes the task's outcome (Handle.Err) and propagates to
+// dependents under the runtime's ErrorPolicy.
+func (rt *Runtime) Go(body func(*TC) error, clauses ...Clause) *Handle {
+	return rt.main.Go(body, clauses...)
+}
 
 // Taskwait blocks until all tasks spawned by the master thread (and not by
 // nested tasks) have finished. The master helps execute ready tasks while
-// waiting (polling mode), as the OmpSs master thread does.
+// waiting (polling mode), as the OmpSs master thread does. Use TaskwaitCtx
+// to also observe failures or bound the wait by a context.
 func (rt *Runtime) Taskwait() { rt.main.Taskwait() }
+
+// TaskwaitCtx is Taskwait with a completion story: it blocks until all
+// tasks spawned by the master thread have finished, or until ctx is
+// cancelled — cancellation drains the graph by skipping every task that
+// has not started yet. It returns ctx's error after a cancellation,
+// otherwise the first failure among the awaited children (nil when all
+// succeeded).
+func (rt *Runtime) TaskwaitCtx(ctx context.Context) error { return rt.main.TaskwaitCtx(ctx) }
 
 // TaskwaitOn blocks until the current last writer of each key has finished —
 // the `#pragma omp taskwait on(...)` of Listing 1, used to let the EOF
@@ -196,9 +286,9 @@ func (rt *Runtime) TaskwaitOn(keys ...any) { rt.main.TaskwaitOn(keys...) }
 func (rt *Runtime) Critical(name string, f func()) { rt.main.Critical(name, f) }
 
 // TaskLoop spawns chunked loop tasks from the master thread (see
-// TC.TaskLoop).
-func (rt *Runtime) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) {
-	rt.main.TaskLoop(n, chunk, body, clauses...)
+// TC.TaskLoop) and returns their Handles in chunk order.
+func (rt *Runtime) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) []*Handle {
+	return rt.main.TaskLoop(n, chunk, body, clauses...)
 }
 
 // Stats returns engine activity counters. Call after a Taskwait for a
@@ -207,11 +297,19 @@ func (rt *Runtime) Stats() RunStats { return rt.be.stats() }
 
 // Shutdown drains all outstanding tasks (the implicit end-of-program
 // barrier) and stops the workers. The native runtime requires it; RunSim
-// calls it automatically when the program returns. Idempotent. A recorded
-// task panic resurfaces here if no Taskwait rethrew it earlier.
+// calls it automatically when the program returns. Idempotent.
+//
+// Safety valve: if some task body panicked and no error-returning API
+// (Handle.Err, Runtime.Err, TaskwaitCtx) was ever consulted, the first
+// *TaskPanic re-panics here, so programs that ignore the error surface
+// still fail loudly instead of silently dropping a panic.
 func (rt *Runtime) Shutdown() {
 	rt.be.shutdown(rt.main)
-	rt.checkPanic()
+	if !rt.simMode && !rt.observed.Load() {
+		if r := rt.firstPan.Load(); r != nil {
+			panic(r.err)
+		}
+	}
 }
 
 // New creates a native runtime executing on goroutines.
@@ -251,21 +349,45 @@ func (tc *TC) Worker() int { return tc.worker }
 func (tc *TC) Runtime() *Runtime { return tc.rt }
 
 // Task spawns a nested task whose completion is covered by this context's
-// Taskwait.
-func (tc *TC) Task(body func(*TC), clauses ...Clause) {
+// Taskwait, returning its Handle.
+func (tc *TC) Task(body func(*TC), clauses ...Clause) *Handle {
+	return tc.spawn(func(c *TC) error { body(c); return nil }, clauses)
+}
+
+// Go spawns an error-returning nested task: the body's returned error
+// becomes the task's outcome (Handle.Err) and propagates to dependents
+// under the runtime's ErrorPolicy.
+func (tc *TC) Go(body func(*TC) error, clauses ...Clause) *Handle {
+	return tc.spawn(body, clauses)
+}
+
+// spawn is the common deferred/undeferred spawn path behind Task and Go.
+func (tc *TC) spawn(body func(*TC) error, clauses []Clause) *Handle {
 	spec := buildSpec(clauses)
 	if !spec.enabled || tc.final {
 		// If(false) or inside a final task: undeferred execution in the
 		// spawning thread, as in OmpSs. Costs are charged to the current
-		// thread in simulation.
+		// thread in simulation. A panic propagates synchronously to the
+		// spawner (the body runs on its stack); a returned error is
+		// recorded like any task failure.
+		if ce := tc.rt.cancelCause(); ce != nil {
+			err := &SkipError{Label: spec.label, Cause: ce}
+			tc.rt.noteErr(err)
+			tc.ctx.NoteErr(err)
+			return &Handle{rt: tc.rt, inlineErr: err}
+		}
 		tc.rt.be.compute(tc, spec.cost)
 		for _, a := range spec.accesses {
 			tc.rt.be.touch(tc, a.Key, a.Bytes, a.Writes())
 		}
 		child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
 			worker: tc.worker, final: tc.final || spec.final}
-		body(child)
-		return
+		err := tc.runInline(child, body, spec.accesses)
+		tc.rt.noteErr(err)
+		// Inline tasks never enter the graph, so record the failure on the
+		// spawning scope here — TaskwaitCtx reports it like any child's.
+		tc.ctx.NoteErr(err)
+		return &Handle{rt: tc.rt, inlineErr: err}
 	}
 	ct := &core.Task{
 		Label:    spec.label,
@@ -274,35 +396,54 @@ func (tc *TC) Task(body func(*TC), clauses ...Clause) {
 		Accesses: spec.accesses,
 		Parent:   tc.ctx,
 	}
-	var commKeys []any
-	for _, a := range spec.accesses {
-		if a.Mode == core.Commutative {
-			if _, isRegion := a.Key.(core.Region); !isRegion {
-				commKeys = append(commKeys, a.Key)
-			}
-		}
-	}
 	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
 		task: ct, final: spec.final}
 	label := spec.label
-	ct.Body = func() {
+	commKeys := commutativeKeys(spec.accesses)
+	ct.Body = func() (err error) {
 		child.worker = ct.Worker
 		defer func() {
 			if r := recover(); r != nil {
-				tc.rt.recordPanic(&TaskPanic{Label: label, Value: r})
+				err = &TaskPanic{Label: label, Value: r}
 			}
 		}()
-		run := func() { body(child) }
-		// Commutative mutual exclusion: nest per-key locks around the
-		// body, innermost = last declared.
-		for i := len(commKeys) - 1; i >= 0; i-- {
-			k := commKeys[i]
-			inner := run
-			run = func() { tc.rt.be.commutative(child, k, inner) }
+		if len(commKeys) > 0 {
+			// Commutative mutual exclusion: the backend acquires the
+			// per-key locks in a globally consistent order (see the
+			// backend's commutative), so tasks declaring the same keys in
+			// different clause orders cannot deadlock.
+			tc.rt.be.commutative(child, commKeys, func() { err = body(child) })
+			return err
 		}
-		run()
+		return body(child)
 	}
 	tc.rt.be.submit(tc, ct)
+	return &Handle{rt: tc.rt, t: ct}
+}
+
+// runInline executes an undeferred body, honoring commutative mutual
+// exclusion against deferred tasks on the same keys.
+func (tc *TC) runInline(child *TC, body func(*TC) error, accesses []core.Access) error {
+	if commKeys := commutativeKeys(accesses); len(commKeys) > 0 {
+		var err error
+		tc.rt.be.commutative(child, commKeys, func() { err = body(child) })
+		return err
+	}
+	return body(child)
+}
+
+// commutativeKeys collects the exact-key Commutative accesses of a spec
+// (region commutativity is handled by the dependence system itself).
+func commutativeKeys(accesses []core.Access) []any {
+	var keys []any
+	for _, a := range accesses {
+		if a.Mode == core.Commutative {
+			if _, isRegion := a.Key.(core.Region); !isRegion {
+				keys = append(keys, a.Key)
+			}
+		}
+	}
+	return keys
 }
 
 // TaskLoop partitions the iteration space [0, n) into chunks of at most
@@ -310,33 +451,71 @@ func (tc *TC) Task(body func(*TC), clauses ...Clause) {
 // taskloop construct. The clauses apply to every chunk task (use OutRegion
 // and friends with per-chunk ranges inside `clauses` builders when chunks
 // touch distinct data; for independent chunks no clauses are needed).
-// TaskLoop does not wait; pair with Taskwait.
-func (tc *TC) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) {
+// TaskLoop does not wait; pair with Taskwait. It returns the chunk tasks'
+// Handles in chunk order.
+func (tc *TC) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) []*Handle {
 	if chunk < 1 {
 		chunk = 1
 	}
+	var hs []*Handle
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		lo, hi := lo, hi
-		tc.Task(func(c *TC) { body(c, lo, hi) }, clauses...)
+		hs = append(hs, tc.Task(func(c *TC) { body(c, lo, hi) }, clauses...))
 	}
+	return hs
 }
 
 // Taskwait blocks until this context's direct children have finished,
-// helping to execute ready tasks meanwhile. If a task body panicked, the
-// panic resurfaces here as a *TaskPanic.
+// helping to execute ready tasks meanwhile. Failures do not resurface
+// here — consult TaskwaitCtx, Handle.Err, or Runtime.Err. Like
+// TaskwaitCtx, it closes the round: failures of the awaited children are
+// not re-reported by a later wait over this scope.
 func (tc *TC) Taskwait() {
 	tc.rt.be.taskwait(tc, tc.ctx)
-	tc.rt.checkPanic()
+	tc.ctx.TakeErr()
+}
+
+// TaskwaitCtx blocks until this context's direct children have finished or
+// ctx is cancelled. Cancellation drains the graph by skipping every task
+// that has not started yet (runtime-wide — a cancelled runtime skips all
+// later submissions too); the wait still returns only after the children
+// drained, so no awaited task is left in flight. It returns ctx's error
+// after a cancellation, otherwise the first failure among this context's
+// children (nil when all succeeded).
+func (tc *TC) TaskwaitCtx(ctx context.Context) error {
+	rt := tc.rt
+	rt.observed.Store(true)
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { rt.cancelWith(context.Cause(ctx)) })
+		defer stop()
+	}
+	rt.be.taskwait(tc, tc.ctx)
+	// Report-and-clear: a later taskwait over the same scope reports only
+	// its own round's failures, whatever this round returns.
+	scopeErr := tc.ctx.TakeErr()
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return scopeErr
 }
 
 // TaskwaitOn blocks until the last writer task of each key has finished.
+// Keys may be raw dependence keys, region keys (RegionKey), or registered
+// *Datum handles.
 func (tc *TC) TaskwaitOn(keys ...any) {
-	tc.rt.be.taskwaitOn(tc, keys)
-	tc.rt.checkPanic()
+	resolved := make([]any, len(keys))
+	for i, k := range keys {
+		if d, ok := k.(*Datum); ok {
+			resolved[i] = d.c.Key
+		} else {
+			resolved[i] = k
+		}
+	}
+	tc.rt.be.taskwaitOn(tc, resolved)
 }
 
 // Critical runs f under the named global lock.

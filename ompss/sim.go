@@ -1,6 +1,7 @@
 package ompss
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,16 @@ import (
 // to core 0; dedicated workers occupy the remaining cores (wrapping —
 // timesliced — if Workers exceeds Cores).
 func RunSim(mc machine.Config, program func(*Runtime), opts ...Option) (machine.Stats, error) {
+	return RunSimCtx(context.Background(), mc, program, opts...)
+}
+
+// RunSimCtx is RunSim bounded by a context: when ctx is cancelled, the
+// simulated runtime drains its graph by skipping every task that has not
+// started yet (each finishes with a *SkipError wrapping the cancellation
+// cause) and the run returns ctx's error. Cancellation is observed at
+// scheduling points — task dispatch, submission, and waits — since the
+// simulation itself executes on the calling goroutine.
+func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), opts ...Option) (machine.Stats, error) {
 	cfg := buildConfig(opts)
 	if mc.Cores < 1 {
 		mc.Cores = 1
@@ -31,6 +42,7 @@ func RunSim(mc machine.Config, program func(*Runtime), opts ...Option) (machine.
 	b := &simBackend{
 		cfg:         cfg,
 		v:           v,
+		cctx:        ctx,
 		graph:       core.NewGraph(),
 		sched:       core.NewSched(cfg.workers, cfg.locality, cfg.seed),
 		lanes:       make([]*vm.Thread, cfg.workers),
@@ -61,13 +73,14 @@ func RunSim(mc machine.Config, program func(*Runtime), opts ...Option) (machine.
 
 	st, err := v.Run()
 	if err == nil {
-		// A task-body panic is captured by the wrapper (so the simulation
-		// drains cleanly) and surfaces here as the run's error.
-		rt.panicMu.Lock()
-		if rt.taskPanic != nil {
-			err = rt.taskPanic
+		// Task failures are captured as errors (so the simulation drains
+		// cleanly) and surface here as the run's error: the cancellation
+		// cause if the context fired, else the first task failure.
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		} else if r := rt.firstErr.Load(); r != nil {
+			err = r.err
 		}
-		rt.panicMu.Unlock()
 	}
 	return machine.Stats{
 		Makespan:    time.Duration(st.Time),
@@ -82,9 +95,10 @@ func RunSim(mc machine.Config, program func(*Runtime), opts ...Option) (machine.
 // machine. Execution is serialized by the discrete-event loop, so the engine
 // needs no locking here; costs are charged through the owning vm.Thread.
 type simBackend struct {
-	rt  *Runtime
-	cfg config
-	v   *vm.VM
+	rt   *Runtime
+	cfg  config
+	v    *vm.VM
+	cctx context.Context // RunSimCtx's context, polled at scheduling points
 
 	graph *core.Graph
 	sched *core.Sched
@@ -97,10 +111,18 @@ type simBackend struct {
 	taskWaiters map[*core.Task][]*vm.Thread
 
 	crit critSet[vm.Mutex]
-	comm map[any]*vm.Mutex // per-key commutative locks
+	comm commTable[vm.Mutex] // per-key commutative locks, rank-ordered
 }
 
 func (b *simBackend) thread(from *TC) *vm.Thread { return b.lanes[from.worker] }
+
+// pollCtx checks the run's context at a scheduling point and switches the
+// runtime into cancellation drain when it fired.
+func (b *simBackend) pollCtx() {
+	if b.cctx != nil && b.cctx.Err() != nil && b.rt.cancelCause() == nil {
+		b.rt.cancelWith(context.Cause(b.cctx))
+	}
+}
 
 // queueOp scales a scheduler-queue cost by the contention factor: the
 // central ready-queue lock serializes under many threads (a known
@@ -114,6 +136,7 @@ func (b *simBackend) workerLoop(vt *vm.Thread, lane int) {
 	b.lanes[lane] = vt
 	cm := b.v.Cost()
 	for {
+		b.pollCtx()
 		t := b.sched.Pop(lane)
 		if t == nil {
 			if b.stop {
@@ -156,17 +179,28 @@ func (b *simBackend) wakeIdle(n int) {
 func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	cm := b.v.Cost()
 	b.trace(TraceStart, t, lane)
-	// Memory-system cost of the task's declared footprints, evaluated
-	// against where each datum was last produced (warmth/NUMA model).
-	var mem vm.Time
-	for _, a := range t.Accesses {
-		mem += vt.TouchCost(a.Key, a.Bytes, a.Writes())
+	b.pollCtx()
+	var err error
+	if skip := b.rt.skipReason(t); skip != nil {
+		// Skip-release: no body, no modeled compute or memory traffic —
+		// a cancelled graph drains in (almost) zero virtual time.
+		t.MarkSkipped()
+		b.graph.CountSkipped()
+		err = skip
+	} else {
+		// Memory-system cost of the task's declared footprints, evaluated
+		// against where each datum was last produced (warmth/NUMA model).
+		var mem vm.Time
+		for _, a := range t.Accesses {
+			mem += vt.TouchCost(a.Key, a.Bytes, a.Writes())
+		}
+		err = t.Body() // real execution; may add Compute/Critical charges itself
+		vt.Compute(vm.Time(t.CPUCost) + mem)
 	}
-	t.Body() // real execution; may add Compute/Critical charges itself
-	vt.Compute(vm.Time(t.CPUCost) + mem)
+	b.rt.noteErr(err)
 	vt.Charge(cm.TaskFinish)
 	vt.Flush()
-	ready := b.graph.Finish(t)
+	ready := b.graph.Finish(t, err)
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
 	}
@@ -204,6 +238,7 @@ func (b *simBackend) afterFinish(t *core.Task, released int) {
 }
 
 func (b *simBackend) submit(from *TC, t *core.Task) {
+	b.pollCtx()
 	vt := b.thread(from)
 	cm := b.v.Cost()
 	vt.Charge(b.queueOp(cm.TaskSpawn) + cm.DepEdge*vm.Time(len(t.Accesses)))
@@ -219,6 +254,7 @@ func (b *simBackend) taskwait(from *TC, ctx *core.Context) {
 	vt := b.thread(from)
 	cm := b.v.Cost()
 	for ctx.Pending() > 0 {
+		b.pollCtx()
 		if t := b.sched.Pop(from.worker); t != nil {
 			vt.Charge(b.queueOp(cm.TaskDispatch))
 			b.graph.MarkRunning(t, from.worker)
@@ -278,19 +314,24 @@ func (b *simBackend) critical(from *TC, name string, hold time.Duration, f func(
 	vt.Unlock(l)
 }
 
-func (b *simBackend) commutative(from *TC, key any, f func()) {
+// commutative runs f holding the per-key locks of every listed key in
+// ascending rank order (see commTable for the deadlock-freedom argument).
+// The simulator is serialized, but virtual threads still block on
+// vm.Mutex, so the same ordering discipline applies.
+func (b *simBackend) commutative(from *TC, keys []any, f func()) {
 	vt := b.thread(from)
-	if b.comm == nil {
-		b.comm = make(map[any]*vm.Mutex)
+	held := b.comm.resolve(keys)
+	for _, l := range held {
+		vt.Lock(&l.mu)
 	}
-	l := b.comm[key]
-	if l == nil {
-		l = &vm.Mutex{}
-		b.comm[key] = l
-	}
-	vt.Lock(l)
+	// Deferred so a panicking body (recovered into a task error above us)
+	// cannot leak the locks and deadlock later commutative tasks.
+	defer func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			vt.Unlock(&held[i].mu)
+		}
+	}()
 	f()
-	vt.Unlock(l)
 }
 
 func (b *simBackend) compute(from *TC, d time.Duration) {
@@ -304,7 +345,12 @@ func (b *simBackend) touch(from *TC, key any, bytes int64, write bool) {
 	vt.Compute(vt.TouchCost(key, bytes, write))
 }
 
-func (b *simBackend) lastWriter(key any) *core.Task { return b.graph.LastWriter(key) }
+func (b *simBackend) deps() *core.Graph { return b.graph }
+
+// cancelWake is a no-op for the simulator: the cancellation flag is polled
+// at scheduling points on the simulation's own goroutine, and waking vm
+// threads from a foreign goroutine would race the event loop.
+func (b *simBackend) cancelWake() {}
 
 func (b *simBackend) shutdown(from *TC) {
 	if b.stop {
