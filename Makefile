@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit examples lint ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native alloc-budget examples lint ci
 
 all: build test
 
@@ -32,6 +32,18 @@ bench-contention:
 bench-submit:
 	$(GO) test ./internal/bench -run='^$$' -bench=BenchmarkSubmit -benchmem -benchtime=300000x
 
+# Allocation regression guard: fails when any submit benchmark exceeds the
+# allocs/op ceiling in internal/bench/testdata/alloc_budget.json (the CI
+# bench-smoke job runs this).
+alloc-budget:
+	$(GO) test ./internal/bench -run='^TestSubmitAllocBudget$$' -count=1 -v
+
+# Wall-clock native scheduling harness: runs the suite's small instances on
+# real goroutines under policy on/off and writes BENCH_native.json (see
+# EXPERIMENTS.md for the recorded trajectory).
+bench-native:
+	$(GO) run ./cmd/ompss-bench -native -o BENCH_native.json
+
 # Run every example end-to-end (the CI examples-smoke job).
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
@@ -41,4 +53,4 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: build lint test race bench bench-submit examples
+ci: build lint test race bench bench-submit alloc-budget examples

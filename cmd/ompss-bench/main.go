@@ -8,9 +8,19 @@
 //	ompss-bench -ablation granularity §4 h264dec task-granularity dilemma
 //	ompss-bench -ablation occupancy  §5 polling-runtime core occupancy
 //	ompss-bench -bench c-ray -cores 16   one cell, verbose
+//	ompss-bench -native -o BENCH_native.json   wall-clock native runs
 //
 // -small switches to the reduced test workloads; -cores overrides the core
 // list (comma-separated).
+//
+// -native leaves the simulator entirely: it runs the suite's small
+// instances on real goroutine workers (wall-clock timing, results verified
+// against the sequential reference) under the scheduling policy switched on
+// and off, plus the contended-throughput affinity ablation, and writes the
+// measurements to the JSON file named by -o. -cores then selects the native
+// worker counts, -iters the repetitions per cell, and -small the reduced
+// workloads (smoke scale: policy effects need the default workloads to rise
+// above host noise); -bench restricts the run to one benchmark.
 package main
 
 import (
@@ -32,7 +42,10 @@ func main() {
 		ablation  = flag.String("ablation", "", "run a mechanism ablation: barrier|locality|granularity|occupancy")
 		oneBench  = flag.String("bench", "", "measure a single benchmark")
 		usability = flag.Bool("usability", false, "report per-variant implementation effort (§2 usability)")
-		coresFlag = flag.String("cores", "", "comma-separated core counts (default 1,8,16,24,32)")
+		native    = flag.Bool("native", false, "measure wall-clock native execution and write BENCH_native.json")
+		out       = flag.String("o", "BENCH_native.json", "output file for -native measurements")
+		iters     = flag.Int("iters", 3, "repetitions per -native cell")
+		coresFlag = flag.String("cores", "", "comma-separated core counts (default 1,8,16,24,32; for -native: 1,2,NumCPU)")
 		small     = flag.Bool("small", false, "use the reduced test workloads")
 		quiet     = flag.Bool("q", false, "suppress per-cell progress")
 	)
@@ -42,16 +55,17 @@ func main() {
 	if *small {
 		scale = suite.Small
 	}
-	cores := bench.PaperCores
+	var cores []int
 	if *coresFlag != "" {
-		cores = nil
 		for _, tok := range strings.Split(*coresFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || n < 1 {
-				fatalf("bad -cores value %q", tok)
+				fatalf("bad -cores value %q: want a positive integer", tok)
 			}
 			cores = append(cores, n)
 		}
+	} else if !*native {
+		cores = bench.PaperCores
 	}
 	var progress io.Writer
 	if !*quiet {
@@ -59,6 +73,31 @@ func main() {
 	}
 
 	switch {
+	case *native:
+		var names []string
+		if *oneBench != "" {
+			if _, err := suite.New(*oneBench, suite.Small); err != nil {
+				fatalf("%v\nvalid benchmarks: %s", err, strings.Join(suite.Names(), ", "))
+			}
+			names = []string{*oneBench}
+		}
+		rep, err := bench.RunNative(names, cores, *iters, scale, progress)
+		if err != nil {
+			fatalf("native: %v", err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("native: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatalf("native: write %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("native: close %s: %v", *out, err)
+		}
+		fmt.Printf("native wall-clock measurements (%s, %d CPUs) -> %s\n",
+			rep.GOARCH, rep.NumCPU, *out)
+		rep.WriteTable(os.Stdout)
 	case *usability:
 		rows, err := bench.MeasureUsability("internal/suite")
 		if err != nil {
@@ -92,7 +131,7 @@ func main() {
 	case *oneBench != "":
 		in, err := suite.New(*oneBench, scale)
 		if err != nil {
-			fatalf("%v", err)
+			fatalf("%v\nvalid benchmarks: %s", err, strings.Join(suite.Names(), ", "))
 		}
 		fmt.Printf("%-13s %5s %14s %14s %8s\n", "benchmark", "cores", "pthreads", "ompss", "factor")
 		for _, p := range cores {

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestSubmitAllocBudget is the allocation regression guard for the submit
+// hot path: it runs each submit microbenchmark through testing.Benchmark
+// and fails when allocs/op exceeds the checked-in ceiling in
+// testdata/alloc_budget.json. Allocation counts on this path are
+// deterministic (no GOMAXPROCS or timing dependence at Workers(1)), so the
+// ceilings are exact: a one-allocation regression fails loudly in CI's
+// bench-smoke job instead of drowning in a benchmark log. When an
+// optimization lowers a count, ratchet the budget file down with it.
+func TestSubmitAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped in -short")
+	}
+	raw, err := os.ReadFile("testdata/alloc_budget.json")
+	if err != nil {
+		t.Fatalf("read alloc budget: %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("parse alloc budget: %v", err)
+	}
+	entries := map[string]int64{}
+	for name, v := range file {
+		if name == "_comment" {
+			continue
+		}
+		f, ok := v.(float64)
+		if !ok {
+			t.Fatalf("budget %s: want a number, got %T", name, v)
+		}
+		entries[name] = int64(f)
+	}
+	benchmarks := map[string]func(*testing.B){
+		"BenchmarkSubmitAnyKeyPtr":  BenchmarkSubmitAnyKeyPtr,
+		"BenchmarkSubmitDatumPtr":   BenchmarkSubmitDatumPtr,
+		"BenchmarkSubmitAnyKeyInt":  BenchmarkSubmitAnyKeyInt,
+		"BenchmarkSubmitDatumInt":   BenchmarkSubmitDatumInt,
+		"BenchmarkSubmitBatchDatum": BenchmarkSubmitBatchDatum,
+	}
+	for name, fn := range benchmarks {
+		budget, ok := entries[name]
+		if !ok {
+			t.Errorf("%s: no budget in testdata/alloc_budget.json — add one", name)
+			continue
+		}
+		res := testing.Benchmark(fn)
+		if got := res.AllocsPerOp(); got > budget {
+			t.Errorf("%s: %d allocs/op exceeds budget %d (testdata/alloc_budget.json) — "+
+				"either fix the regression or justify raising the budget",
+				name, got, budget)
+		} else {
+			t.Logf("%s: %d allocs/op (budget %d)", name, got, budget)
+		}
+	}
+	// Every budgeted benchmark must still exist, so a rename cannot
+	// silently drop coverage.
+	for name := range entries {
+		if _, ok := benchmarks[name]; !ok {
+			t.Errorf("budget entry %s has no matching benchmark — remove or rename it", name)
+		}
+	}
+}

@@ -47,14 +47,28 @@ var spinSink int64
 // each body spins for `spin` iterations (~sub-microsecond granularity).
 // The per-chain counters give an end-to-end ordering check: every chain
 // must observe exactly tasks/chains increments.
-func MeasureContention(workers, chains, tasks, spin int) ContentionResult {
+//
+// opts configure the runtime under test (scheduling-policy ablations:
+// Locality, AffinitySched, Domains); Workers is set by the harness.
+func MeasureContention(workers, chains, tasks, spin int, opts ...ompss.Option) ContentionResult {
+	return measureContention(workers, chains, tasks, spin, false, opts)
+}
+
+// MeasureContentionAffinity is MeasureContention with every chain pinned to
+// its counter's home lane via registered handles and Affinity clauses — the
+// contended-throughput probe of affinity-aware scheduling.
+func MeasureContentionAffinity(workers, chains, tasks, spin int, opts ...ompss.Option) ContentionResult {
+	return measureContention(workers, chains, tasks, spin, true, opts)
+}
+
+func measureContention(workers, chains, tasks, spin int, affinity bool, opts []ompss.Option) ContentionResult {
 	if chains < 1 {
 		chains = 1
 	}
 	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
 
-	rt := ompss.New(ompss.Workers(workers))
+	rt := ompss.New(append([]ompss.Option{ompss.Workers(workers)}, opts...)...)
 	defer rt.Shutdown()
 
 	// One dependence key and one counter per chain, padded to distinct
@@ -64,15 +78,36 @@ func MeasureContention(workers, chains, tasks, spin int) ContentionResult {
 		v int64
 		_ [56]byte
 	}
+	// Every variant — affinity or not — submits through registered handles,
+	// so the ablation isolates placement policy from submit-path hashing.
+	// Note this changed at PR 3: the PR-1 trajectory numbers in CHANGES.md
+	// were measured through any-key clauses and are not directly comparable.
 	counters := make([]padded, chains)
+	ds := make([]*ompss.Datum, chains)
+	var hints []ompss.Clause
+	for i := range ds {
+		ds[i] = rt.Register(&counters[i])
+	}
+	if affinity {
+		hints = make([]ompss.Clause, chains)
+		for i := range hints {
+			hints[i] = ompss.Affinity(ds[i])
+		}
+	}
 
 	start := time.Now()
 	for i := 0; i < tasks; i++ {
 		c := &counters[i%chains]
-		rt.Task(func(*ompss.TC) {
+		d := ds[i%chains]
+		body := func(*ompss.TC) {
 			atomic.AddInt64(&spinSink, spinWork(spin)&1)
 			c.v++ // safe: InOut chain serializes tasks on this counter
-		}, ompss.InOut(c))
+		}
+		if affinity {
+			rt.Task(body, d.AsInOut(), hints[i%chains])
+		} else {
+			rt.Task(body, d.AsInOut())
+		}
 	}
 	rt.Taskwait()
 	elapsed := time.Since(start)

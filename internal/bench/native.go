@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ompssgo/internal/suite"
+	"ompssgo/ompss"
+)
+
+// The native harness is the wall-clock counterpart of the simulated Table 1
+// pipeline: it runs the suite's small instances on real goroutines under
+// the scheduling policy switched on and off, checks every result against
+// the sequential reference, and serializes the measurements as
+// BENCH_native.json — the repo's native performance trajectory. A second
+// section measures the contended-throughput microbenchmark with and
+// without affinity pinning, isolating the scheduler's contribution from
+// benchmark-specific effects.
+
+// NativePolicies are the runtime configurations the harness ablates. The
+// "sched-off" baseline disables both placement policies, so every ready
+// task funnels through the global FIFO and random stealing — the
+// configuration the paper's §4 compares the locality scheduler against.
+var NativePolicies = []struct {
+	Name string
+	Opts []ompss.Option
+}{
+	{"sched-on", nil}, // locality + affinity, the default
+	{"locality-only", []ompss.Option{ompss.AffinitySched(false)}},
+	{"affinity-only", []ompss.Option{ompss.Locality(false)}},
+	{"sched-off", []ompss.Option{ompss.Locality(false), ompss.AffinitySched(false)}},
+}
+
+// NativeCell is one wall-clock measurement: a benchmark × worker count ×
+// policy, aggregated over Runs repetitions.
+type NativeCell struct {
+	Bench   string `json:"bench"`
+	Workers int    `json:"workers"`
+	Policy  string `json:"policy"`
+	Runs    int    `json:"runs"`
+	// BestNS is the fastest repetition (the conventional wall-clock figure:
+	// least-noise estimate of the achievable time); MeanNS averages all.
+	BestNS int64 `json:"best_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	// Scheduler activity of the last repetition, for diagnosing placement.
+	LocalPops    uint64 `json:"local_pops"`
+	PrioPops     uint64 `json:"prio_pops"`
+	AffinityPops uint64 `json:"affinity_pops"`
+	GlobalPops   uint64 `json:"global_pops"`
+	Steals       uint64 `json:"steals"`
+	DomainSteals uint64 `json:"domain_steals"`
+}
+
+// NativeContentionCell is one contended-throughput measurement.
+type NativeContentionCell struct {
+	Variant     string  `json:"variant"` // fifo | locality | locality+affinity
+	Workers     int     `json:"workers"`
+	Tasks       int     `json:"tasks"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	Steals      uint64  `json:"steals"`
+	LocalPops   uint64  `json:"local_pops"`
+	AffPops     uint64  `json:"affinity_pops"`
+}
+
+// NativeReport is the BENCH_native.json document.
+type NativeReport struct {
+	Schema     string                 `json:"schema"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	Scale      string                 `json:"scale"`
+	Cells      []NativeCell           `json:"cells"`
+	Contention []NativeContentionCell `json:"contention"`
+}
+
+// RunNative measures the named benchmarks (suite.Names() when names is
+// empty) at each worker count under every policy, plus the contention
+// ablation, repeating each cell iters times. Results are verified against
+// the sequential reference; a mismatch aborts the run. progress, if
+// non-nil, receives one line per cell.
+//
+// Scale note: the Small instances finish in a few milliseconds and are
+// mostly useful as a smoke pipeline; policy effects only rise above host
+// noise at suite.Default (tens to hundreds of ms per run — what
+// EXPERIMENTS.md records).
+func RunNative(names []string, workers []int, iters int, scale suite.Scale, progress io.Writer) (*NativeReport, error) {
+	if len(names) == 0 {
+		names = suite.Names()
+	}
+	if len(workers) == 0 {
+		workers = defaultNativeWorkers()
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	scaleName := "default"
+	if scale == suite.Small {
+		scaleName = "small"
+	}
+	rep := &NativeReport{
+		Schema:    "ompssgo/bench-native/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scale:     scaleName,
+	}
+	for _, name := range names {
+		ref, err := suite.New(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		want := ref.RunSeq()
+		for _, w := range workers {
+			// Policies are interleaved round-robin across repetitions (every
+			// policy runs once per round) so slow phases of a noisy host hit
+			// every configuration roughly equally, instead of one policy's
+			// whole block eating a neighbor's burst.
+			cells := make([]NativeCell, len(NativePolicies))
+			for pi, pol := range NativePolicies {
+				cells[pi] = NativeCell{Bench: name, Workers: w, Policy: pol.Name, Runs: iters}
+			}
+			var totals = make([]time.Duration, len(NativePolicies))
+			for it := 0; it < iters; it++ {
+				for pi, pol := range NativePolicies {
+					elapsed, err := measureNativeOnce(name, w, pol.Opts, scale, want, &cells[pi])
+					if err != nil {
+						return nil, err
+					}
+					totals[pi] += elapsed
+				}
+			}
+			for pi := range cells {
+				cells[pi].MeanNS = totals[pi].Nanoseconds() / int64(iters)
+				rep.Cells = append(rep.Cells, cells[pi])
+				if progress != nil {
+					fmt.Fprintf(progress, "# %-13s w=%-2d %-13s best=%-12v steals=%d local=%d aff=%d\n",
+						name, w, cells[pi].Policy, time.Duration(cells[pi].BestNS),
+						cells[pi].Steals, cells[pi].LocalPops, cells[pi].AffinityPops)
+				}
+			}
+		}
+	}
+	rep.Contention = runNativeContention(workers, iters, progress)
+	return rep, nil
+}
+
+func defaultNativeWorkers() []int {
+	n := runtime.NumCPU()
+	ws := []int{1}
+	if n >= 2 {
+		ws = append(ws, 2)
+	}
+	if n > 2 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// measureNativeOnce runs one repetition of a cell, folding the timing and
+// the run's scheduler counters into cell, and returns the elapsed time.
+func measureNativeOnce(name string, workers int, opts []ompss.Option, scale suite.Scale, want uint64, cell *NativeCell) (time.Duration, error) {
+	// A fresh instance per repetition: warm-cache carryover between
+	// repetitions would flatter whichever policy runs second.
+	in, err := suite.New(name, scale)
+	if err != nil {
+		return 0, err
+	}
+	rt := ompss.New(append([]ompss.Option{ompss.Workers(workers)}, opts...)...)
+	start := time.Now()
+	got := in.RunOmpSs(rt)
+	elapsed := time.Since(start)
+	st := rt.Stats()
+	rt.Shutdown()
+	if got != want {
+		return 0, fmt.Errorf("%s/%s/w%d: checksum %#x, sequential reference %#x",
+			name, cell.Policy, workers, got, want)
+	}
+	if cell.BestNS == 0 || elapsed.Nanoseconds() < cell.BestNS {
+		cell.BestNS = elapsed.Nanoseconds()
+	}
+	cell.LocalPops = st.Sched.LocalPops
+	cell.PrioPops = st.Sched.PrioPops
+	cell.AffinityPops = st.Sched.AffinityPops
+	cell.GlobalPops = st.Sched.GlobalPops
+	cell.Steals = st.Sched.Steals
+	cell.DomainSteals = st.Sched.DomainSteals
+	return elapsed, nil
+}
+
+// runNativeContention measures the fine-grained chained-task throughput
+// probe in three configurations of increasing policy: no placement policy,
+// locality chaining, and locality plus affinity pinning.
+func runNativeContention(workers []int, iters int, progress io.Writer) []NativeContentionCell {
+	w := workers[len(workers)-1]
+	if w < 2 && runtime.NumCPU() >= 2 {
+		w = 2
+	}
+	const spin = 200
+	chains := 4 * w
+	tasks := 30000
+	variants := []struct {
+		name     string
+		affinity bool
+		opts     []ompss.Option
+	}{
+		{"fifo", false, []ompss.Option{ompss.Locality(false), ompss.AffinitySched(false)}},
+		{"locality", false, nil},
+		{"locality+affinity", true, nil},
+	}
+	out := make([]NativeContentionCell, len(variants))
+	for i, v := range variants {
+		out[i] = NativeContentionCell{Variant: v.name, Workers: w, Tasks: tasks}
+	}
+	// Variants interleave round-robin, as in the benchmark cells, so host
+	// noise spreads across all of them.
+	for it := 0; it < iters; it++ {
+		for i, v := range variants {
+			var res ContentionResult
+			if v.affinity {
+				res = MeasureContentionAffinity(w, chains, tasks, spin, v.opts...)
+			} else {
+				res = MeasureContention(w, chains, tasks, spin, v.opts...)
+			}
+			if tps := res.TasksPerSec(); tps > out[i].TasksPerSec {
+				out[i].TasksPerSec = tps
+				out[i].Steals = res.Stats.Sched.Steals
+				out[i].LocalPops = res.Stats.Sched.LocalPops
+				out[i].AffPops = res.Stats.Sched.AffinityPops
+			}
+		}
+	}
+	if progress != nil {
+		for _, c := range out {
+			fmt.Fprintf(progress, "# contention %-18s w=%d  %.0f tasks/s  steals=%d local=%d aff=%d\n",
+				c.Variant, c.Workers, c.TasksPerSec, c.Steals, c.LocalPops, c.AffPops)
+		}
+	}
+	return out
+}
+
+// WriteJSON serializes the report (stable field order, trailing newline).
+func (r *NativeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the benchmark cells as an aligned per-policy speedup
+// table (sched-on time over sched-off time per benchmark × worker count).
+func (r *NativeReport) WriteTable(w io.Writer) {
+	type key struct {
+		bench   string
+		workers int
+	}
+	on := map[key]NativeCell{}
+	off := map[key]NativeCell{}
+	var order []key
+	for _, c := range r.Cells {
+		k := key{c.Bench, c.Workers}
+		switch c.Policy {
+		case "sched-on":
+			if _, seen := on[k]; !seen {
+				order = append(order, k)
+			}
+			on[k] = c
+		case "sched-off":
+			off[k] = c
+		}
+	}
+	fmt.Fprintf(w, "%-14s%8s%14s%14s%10s\n", "benchmark", "workers", "sched-on", "sched-off", "factor")
+	for _, k := range order {
+		a, b := on[k], off[k]
+		factor := 0.0
+		if a.BestNS > 0 {
+			factor = float64(b.BestNS) / float64(a.BestNS)
+		}
+		fmt.Fprintf(w, "%-14s%8d%14v%14v%10.2f\n",
+			k.bench, k.workers, time.Duration(a.BestNS), time.Duration(b.BestNS), factor)
+	}
+	for _, c := range r.Contention {
+		fmt.Fprintf(w, "contention %-18s w=%d  %12.0f tasks/s\n", c.Variant, c.Workers, c.TasksPerSec)
+	}
+}

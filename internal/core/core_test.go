@@ -21,7 +21,7 @@ type miniExec struct {
 func newMiniExec(workers int, locality bool, seed int64) *miniExec {
 	return &miniExec{
 		g:       NewGraph(),
-		s:       NewSched(workers, locality, seed),
+		s:       NewSched(workers, Policy{Locality: locality, Affinity: true}, seed),
 		rng:     rand.New(rand.NewSource(seed)),
 		workers: workers,
 	}
@@ -290,7 +290,7 @@ func TestLastWriter(t *testing.T) {
 }
 
 func TestPriorityJumpsGlobalQueue(t *testing.T) {
-	s := NewSched(1, false, 1)
+	s := NewSched(1, Policy{}, 1)
 	lo := &Task{Label: "lo"}
 	hi := &Task{Label: "hi", Priority: 5}
 	mid := &Task{Label: "mid", Priority: 2}
@@ -307,7 +307,7 @@ func TestPriorityJumpsGlobalQueue(t *testing.T) {
 }
 
 func TestLocalityPlacement(t *testing.T) {
-	s := NewSched(2, true, 1)
+	s := NewSched(2, Policy{Locality: true, Affinity: true}, 1)
 	a, b := &Task{Label: "a"}, &Task{Label: "b"}
 	s.PushSubmit(a)   // global
 	s.PushReady(b, 1) // released on worker 1
@@ -320,7 +320,7 @@ func TestLocalityPlacement(t *testing.T) {
 }
 
 func TestNoLocalityGoesGlobal(t *testing.T) {
-	s := NewSched(2, false, 1)
+	s := NewSched(2, Policy{}, 1)
 	a, b := &Task{Label: "a"}, &Task{Label: "b"}
 	s.PushSubmit(a)
 	s.PushReady(b, 1)
@@ -331,7 +331,7 @@ func TestNoLocalityGoesGlobal(t *testing.T) {
 }
 
 func TestStealFromVictimTail(t *testing.T) {
-	s := NewSched(2, true, 1)
+	s := NewSched(2, Policy{Locality: true, Affinity: true}, 1)
 	a, b := &Task{Label: "hot"}, &Task{Label: "cold"}
 	// Worker 0's deque: hot at head, cold at tail.
 	s.PushReady(b, 0)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -62,6 +61,10 @@ type Datum struct {
 
 // Owner returns the graph this handle was registered on.
 func (d *Datum) Owner() *Graph { return d.owner }
+
+// Shard returns the dependence shard the handle's key hashes to (its
+// affinity home, see Policy.HomeLane).
+func (d *Datum) Shard() uint32 { return d.shard }
 
 // IsRegion reports whether the handle names an array section.
 func (d *Datum) IsRegion() bool { return d.rd != nil }
@@ -172,8 +175,78 @@ func shardFor(key any) uint32 {
 // instead returned by that predecessor's Finish. The task's parent context,
 // if any, is charged one pending child.
 func (g *Graph) Submit(t *Task) (ready bool) {
+	g.initTask(t)
+
+	// Two-phase locking: take every shard this task's keys hash to, in
+	// ascending order. Holding them all for the whole wiring step makes
+	// the submission atomic against other submitters sharing any datum,
+	// so cross-datum edge direction stays consistent (no A→B on one datum
+	// and B→A on another — which could deadlock the graph).
+	var shardIdx [8]uint32
+	shards := dedupeShards(collectShards(shardIdx[:0], t))
+	for _, si := range shards {
+		g.shards[si].mu.Lock()
+	}
+	g.wireTask(t)
+	for i := len(shards) - 1; i >= 0; i-- {
+		g.shards[shards[i]].mu.Unlock()
+	}
+
+	// Drop the submission guard. Whoever takes npred to zero — this
+	// decrement, or a predecessor's Finish racing it — owns the release.
+	if atomic.AddInt32(&t.npred, -1) == 0 {
+		atomic.StoreInt32(&t.state, stateReady)
+		return true
+	}
+	return false
+}
+
+// SubmitBatch registers a slice of tasks as one atomic submission: the union
+// of every task's shards is locked once (ascending order, as in Submit) and
+// the tasks are wired in slice order under that single acquisition, so
+// intra-batch dependences resolve exactly as if the tasks had been submitted
+// one by one, while the per-task lock/unlock cost is amortized across the
+// batch. It returns the tasks that are immediately ready; the caller
+// enqueues them (a task whose last predecessor finishes mid-batch is instead
+// returned by that predecessor's Finish).
+func (g *Graph) SubmitBatch(ts []*Task) (ready []*Task) {
+	if len(ts) == 0 {
+		return nil
+	}
+	for _, t := range ts {
+		g.initTask(t)
+	}
+	var shardIdx [16]uint32
+	shards := shardIdx[:0]
+	for _, t := range ts {
+		shards = collectShards(shards, t)
+	}
+	shards = dedupeShards(shards)
+	for _, si := range shards {
+		g.shards[si].mu.Lock()
+	}
+	for _, t := range ts {
+		g.wireTask(t)
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		g.shards[shards[i]].mu.Unlock()
+	}
+	for _, t := range ts {
+		if atomic.AddInt32(&t.npred, -1) == 0 {
+			atomic.StoreInt32(&t.state, stateReady)
+			ready = append(ready, t)
+		}
+	}
+	return ready
+}
+
+// initTask assigns t its ID and completion channel and charges the graph and
+// parent-context counters, leaving npred at 1 (the submission guard).
+func (g *Graph) initTask(t *Task) {
 	t.ID = g.nextID.Add(1)
-	t.done = make(chan struct{})
+	if t.done == nil {
+		t.done = make(chan struct{})
+	}
 	atomic.StoreInt32(&t.state, stateCreated)
 	// Submission guard: npred starts at 1 so concurrently finishing
 	// predecessors can never release t before its edges are fully wired.
@@ -183,39 +256,53 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 	if t.Parent != nil {
 		t.Parent.add(1)
 	}
+}
 
-	// Two-phase locking: take every shard this task's keys hash to, in
-	// ascending order. Holding them all for the whole wiring step makes
-	// the submission atomic against other submitters sharing any datum,
-	// so cross-datum edge direction stays consistent (no A→B on one datum
-	// and B→A on another — which could deadlock the graph).
-	var shardIdx [8]uint32
-	shards := shardIdx[:0]
+// collectShards appends the shard index of each of t's accesses to dst.
+func collectShards(dst []uint32, t *Task) []uint32 {
 	for i := range t.Accesses {
 		if d := t.Accesses[i].Datum; d != nil {
-			shards = append(shards, d.shard)
+			dst = append(dst, d.shard)
 		} else {
-			shards = append(shards, shardFor(t.Accesses[i].Key))
+			dst = append(dst, shardFor(t.Accesses[i].Key))
 		}
 	}
-	if len(shards) > 1 {
-		sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
-		uniq := shards[:1]
-		for _, si := range shards[1:] {
-			if si != uniq[len(uniq)-1] {
-				uniq = append(uniq, si)
-			}
-		}
-		shards = uniq
-	}
-	for _, si := range shards {
-		g.shards[si].mu.Lock()
-	}
+	return dst
+}
 
-	// Wire edges from unfinished predecessors, deduplicated so a task
-	// sharing several data with one predecessor counts it once. The dedup
-	// set is a linear-scanned slice over a stack backing array: predecessor
-	// counts are small, and a per-submit map allocation is hot-path cost.
+// dedupeShards returns the distinct shard indices in ascending order (the
+// lock order), rewriting the input in place. Shard indices fit a uint64
+// bitmap (see the compile-time guard), so this is one linear pass plus a
+// bounded sweep — allocation-free on the submit hot path and O(n) for
+// arbitrarily large batches.
+func dedupeShards(shards []uint32) []uint32 {
+	if len(shards) < 2 {
+		return shards
+	}
+	var mask uint64
+	for _, si := range shards {
+		mask |= 1 << si
+	}
+	out := shards[:0]
+	for si := uint32(0); si < numShards; si++ {
+		if mask&(1<<si) != 0 {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// The bitmap in dedupeShards requires numShards <= 64.
+var _ [64 - numShards]struct{}
+
+// wireTask wires t's dependence edges from unfinished predecessors. Called
+// with every shard t's accesses hash to already locked.
+//
+// Edges are deduplicated so a task sharing several data with one predecessor
+// counts it once. The dedup set is a linear-scanned slice over a stack
+// backing array: predecessor counts are small, and a per-submit map
+// allocation is hot-path cost.
+func (g *Graph) wireTask(t *Task) {
 	var seenArr [16]*Task
 	seen := seenArr[:0]
 	addPred := func(p *Task) {
@@ -278,17 +365,6 @@ func (g *Graph) Submit(t *Task) (ready bool) {
 		}
 		wireExact(d, t, a.Mode, addPred)
 	}
-	for i := len(shards) - 1; i >= 0; i-- {
-		g.shards[shards[i]].mu.Unlock()
-	}
-
-	// Drop the submission guard. Whoever takes npred to zero — this
-	// decrement, or a predecessor's Finish racing it — owns the release.
-	if atomic.AddInt32(&t.npred, -1) == 0 {
-		atomic.StoreInt32(&t.state, stateReady)
-		return true
-	}
-	return false
 }
 
 // wireExact wires the dependence edges of one exact-key access against the

@@ -7,36 +7,43 @@ import (
 
 // SchedStats counts scheduler activity.
 type SchedStats struct {
-	LocalPops  uint64
-	GlobalPops uint64
-	Steals     uint64
-	StealTries uint64
+	LocalPops    uint64 // own-deque pops (locality chains)
+	PrioPops     uint64 // own high-priority lane pops
+	AffinityPops uint64 // own-mailbox pops (affinity-homed tasks)
+	GlobalPops   uint64 // global FIFO + priority side-queue pops
+	Steals       uint64 // successful steals, any distance
+	DomainSteals uint64 // steals from a same-domain victim
+	StealTries   uint64 // victim probes (successful or not)
 }
 
-// Sched is the ready-task scheduler: one Chase–Lev work-stealing deque per
-// worker plus a lock-free global FIFO spawn queue, with random-victim work
-// stealing.
+// Sched is the ready-task scheduler: per worker, a Chase–Lev work-stealing
+// deque, a high-priority LIFO lane, and an affinity mailbox; globally, a
+// lock-free FIFO spawn queue plus a priority-ordered side queue. Placement
+// and victim selection are decided by the shared Policy (policy.go), so the
+// native executor and the simulator exercise identical scheduling code.
 //
-// Policy knobs reproduce the mechanisms the paper's §4 analysis credits:
+// Dispatch order for a worker (Pop):
 //
-//   - Locality: a successor released by a finishing task is pushed to the
-//     bottom of the finisher's own deque, so producer→consumer chains run
-//     back-to-back on one core (the ray-rot cache-locality effect). With
-//     Locality off, released tasks go to the global queue.
-//   - Freshly submitted tasks go to the global FIFO (breadth-first spawn,
-//     the Nanos++ default), keeping pipeline stages flowing in order.
+//  1. own high-priority lane (LIFO — priority successors released here)
+//  2. own deque bottom (LIFO — locality chains)
+//  3. priority-ordered global side queue (priority submissions)
+//  4. own mailbox (FIFO — affinity-hinted tasks homed on this lane)
+//  5. global FIFO (breadth-first spawn order, the Nanos++ default)
+//  6. steal, probing victims in the Policy's domain order; per victim the
+//     priority lane is tried first, then the mailbox, then the deque top.
 //
 // Concurrency model: every path is safe from any goroutine. Deque owner
 // operations are guarded by a per-lane TryLock (uncontended in the normal
 // one-thread-per-lane case; aliased lanes spill to the global queue instead
-// of blocking); steals and global-queue operations are lock-free; the rare
-// Priority>0 submissions go through a small mutex-ordered side queue. The
-// simulator drives the same scheduler from its serialized event loop, where
-// all the atomics are uncontended and behavior is deterministic per seed.
+// of blocking); steals, mailbox and global-queue operations are lock-free;
+// the rare Priority>0 submissions go through a small mutex-ordered side
+// queue. The simulator drives the same scheduler from its serialized event
+// loop, where all the atomics are uncontended and behavior is deterministic
+// per seed.
 type Sched struct {
-	workers  int
-	locality bool
-	lanes    []laneState // len workers+1: the extra lane absorbs stats/rng for out-of-range callers
+	workers int
+	pol     Policy
+	lanes   []laneState // len workers+1: the extra lane absorbs stats/rng for out-of-range callers
 
 	global mpmcQueue
 
@@ -45,18 +52,23 @@ type Sched struct {
 	prioN  atomic.Int64
 }
 
-// laneState is one worker's deque plus its private counters, padded so that
+// laneState is one worker's queues plus its private counters, padded so that
 // per-lane hot counters never share a cache line across lanes.
 type laneState struct {
-	deque wsDeque
-	owner sync.Mutex // serializes deque owner ops; TryLock only, never blocks
+	deque    wsDeque    // locality chains: owner LIFO, stolen from the top
+	prioLane wsDeque    // high-priority successors: owner LIFO, stealable
+	mailbox  mpmcQueue  // affinity-homed submissions: FIFO, drainable by thieves
+	owner    sync.Mutex // serializes owner ops on both deques; TryLock only, never blocks
 
 	rng atomic.Uint64 // xorshift64* state; racy updates only cost randomness
 
-	localPops  atomic.Uint64
-	globalPops atomic.Uint64
-	steals     atomic.Uint64
-	stealTries atomic.Uint64
+	localPops    atomic.Uint64
+	prioPops     atomic.Uint64
+	affinityPops atomic.Uint64
+	globalPops   atomic.Uint64
+	steals       atomic.Uint64
+	domainSteals atomic.Uint64
+	stealTries   atomic.Uint64
 
 	_ [64]byte
 }
@@ -72,17 +84,20 @@ func (l *laneState) nextRand() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// NewSched creates a scheduler with one deque per worker (callers may index
-// workers 0..workers-1; by convention the main program uses the last index).
-func NewSched(workers int, locality bool, seed int64) *Sched {
+// NewSched creates a scheduler with one lane per worker (callers may index
+// workers 0..workers-1; by convention the main program uses the last index)
+// governed by the given placement/stealing policy.
+func NewSched(workers int, pol Policy, seed int64) *Sched {
 	s := &Sched{
-		workers:  workers,
-		locality: locality,
-		lanes:    make([]laneState, workers+1),
+		workers: workers,
+		pol:     pol,
+		lanes:   make([]laneState, workers+1),
 	}
 	s.global.init()
 	for i := range s.lanes {
 		s.lanes[i].deque.init()
+		s.lanes[i].prioLane.init()
+		s.lanes[i].mailbox.init()
 		r := mix64(uint64(seed) ^ mix64(uint64(i)+1))
 		if r == 0 {
 			r = 0x9e3779b97f4a7c15
@@ -91,6 +106,9 @@ func NewSched(workers int, locality bool, seed int64) *Sched {
 	}
 	return s
 }
+
+// Policy returns the scheduler's placement/stealing policy.
+func (s *Sched) Policy() Policy { return s.pol }
 
 // lane returns the stats/rng lane for a caller, mapping out-of-range worker
 // indices to the shared overflow slot.
@@ -107,8 +125,11 @@ func (s *Sched) Stats() SchedStats {
 	for i := range s.lanes {
 		l := &s.lanes[i]
 		st.LocalPops += l.localPops.Load()
+		st.PrioPops += l.prioPops.Load()
+		st.AffinityPops += l.affinityPops.Load()
 		st.GlobalPops += l.globalPops.Load()
 		st.Steals += l.steals.Load()
+		st.DomainSteals += l.domainSteals.Load()
 		st.StealTries += l.stealTries.Load()
 	}
 	return st
@@ -120,7 +141,7 @@ func (s *Sched) Stats() SchedStats {
 func (s *Sched) Ready() int {
 	n := int(s.prioN.Load()) + s.global.length()
 	for i := 0; i < s.workers; i++ {
-		n += s.lanes[i].deque.size()
+		n += s.lanes[i].deque.size() + s.lanes[i].prioLane.size() + s.lanes[i].mailbox.length()
 	}
 	if n < 0 {
 		return 0
@@ -128,39 +149,83 @@ func (s *Sched) Ready() int {
 	return n
 }
 
-// Workers returns the number of deques.
+// Workers returns the number of lanes.
 func (s *Sched) Workers() int { return s.workers }
 
 // PushSubmit enqueues a task that was ready at submission. Priority tasks
-// jump the global FIFO.
+// jump to the priority-ordered side queue; affinity-hinted tasks are mailed
+// to their home lane (when the policy honors hints); everything else joins
+// the global FIFO in breadth-first spawn order.
 func (s *Sched) PushSubmit(t *Task) {
 	if t.Priority > 0 {
-		s.prioMu.Lock()
-		// Keep the side queue priority-ordered: insert after the last
-		// task with priority >= t's (stable within a priority level).
-		i := 0
-		for i < len(s.prio) && s.prio[i].Priority >= t.Priority {
-			i++
-		}
-		s.prio = append(s.prio, nil)
-		copy(s.prio[i+1:], s.prio[i:])
-		s.prio[i] = t
-		s.prioN.Add(1)
-		s.prioMu.Unlock()
+		s.pushPrioGlobal(t)
+		return
+	}
+	if shard, ok := t.AffinityShard(); ok && s.pol.Affinity && s.workers > 0 {
+		s.lanes[s.pol.HomeLane(shard, s.workers)].mailbox.enqueue(t)
 		return
 	}
 	s.global.enqueue(t)
 }
 
-// PushReady enqueues a task released by a finishing task on `worker`. Under
-// the locality policy it lands on that worker's deque bottom so it is the
-// next task popped there.
+// PushSubmitBatch enqueues a slice of submission-ready tasks, splitting off
+// priority and affinity placements and appending the FIFO remainder to the
+// global queue as one linked chain (a single tail CAS for the whole batch).
+func (s *Sched) PushSubmitBatch(ts []*Task) {
+	var fifo []*Task
+	for _, t := range ts {
+		if t.Priority > 0 {
+			s.pushPrioGlobal(t)
+			continue
+		}
+		if shard, ok := t.AffinityShard(); ok && s.pol.Affinity && s.workers > 0 {
+			s.lanes[s.pol.HomeLane(shard, s.workers)].mailbox.enqueue(t)
+			continue
+		}
+		fifo = append(fifo, t)
+	}
+	s.global.enqueueBatch(fifo)
+}
+
+// pushPrioGlobal inserts t into the priority-ordered side queue, stable
+// within a priority level.
+func (s *Sched) pushPrioGlobal(t *Task) {
+	s.prioMu.Lock()
+	i := 0
+	for i < len(s.prio) && s.prio[i].Priority >= t.Priority {
+		i++
+	}
+	s.prio = append(s.prio, nil)
+	copy(s.prio[i+1:], s.prio[i:])
+	s.prio[i] = t
+	s.prioN.Add(1)
+	s.prioMu.Unlock()
+}
+
+// PushReady enqueues a task released by a finishing task on `worker`.
+// Priority successors land on that worker's high-priority lane; under the
+// locality policy, ordinary successors land on its deque bottom so they are
+// the next task popped there; affinity hints on released tasks re-route to
+// the home mailbox when locality is off.
 func (s *Sched) PushReady(t *Task, worker int) {
-	if !s.locality || worker < 0 || worker >= s.workers {
+	if worker < 0 || worker >= s.workers {
 		s.PushSubmit(t)
 		return
 	}
 	l := &s.lanes[worker]
+	if t.Priority > 0 {
+		if l.owner.TryLock() {
+			l.prioLane.pushBottom(t)
+			l.owner.Unlock()
+			return
+		}
+		s.pushPrioGlobal(t)
+		return
+	}
+	if !s.pol.Locality {
+		s.PushSubmit(t)
+		return
+	}
 	if !l.owner.TryLock() {
 		// Another goroutine is aliasing this lane right now; spill to the
 		// global queue rather than block or corrupt the deque.
@@ -171,18 +236,24 @@ func (s *Sched) PushReady(t *Task, worker int) {
 	l.owner.Unlock()
 }
 
-// Pop returns the next task for `worker`: its own deque bottom (LIFO), then
-// the priority side queue, then the global FIFO, then a steal from a random
-// victim's deque top. Returns nil when no work is visible anywhere.
+// Pop returns the next task for `worker` following the dispatch order in the
+// type comment. Returns nil when no work is visible anywhere.
 func (s *Sched) Pop(worker int) *Task {
 	ln := s.lane(worker)
 	if worker >= 0 && worker < s.workers {
 		l := &s.lanes[worker]
 		if l.owner.TryLock() {
-			t := l.deque.popBottom()
+			t := l.prioLane.popBottom()
+			if t == nil {
+				t = l.deque.popBottom()
+				if t != nil {
+					ln.localPops.Add(1)
+				}
+			} else {
+				ln.prioPops.Add(1)
+			}
 			l.owner.Unlock()
 			if t != nil {
-				ln.localPops.Add(1)
 				return t
 			}
 		}
@@ -201,28 +272,61 @@ func (s *Sched) Pop(worker int) *Task {
 			return t
 		}
 	}
+	if worker >= 0 && worker < s.workers {
+		if t := s.lanes[worker].mailbox.dequeue(); t != nil {
+			ln.affinityPops.Add(1)
+			return t
+		}
+	}
 	if t := s.global.dequeue(); t != nil {
 		ln.globalPops.Add(1)
 		return t
 	}
-	// Steal: probe every other worker once, starting from a random victim.
-	if s.workers > 1 {
-		start := int(ln.nextRand() % uint64(s.workers))
-		for i := 0; i < s.workers; i++ {
-			v := (start + i) % s.workers
-			if v == worker {
-				continue
+	// Steal: probe every other worker once, in the policy's domain order
+	// (same-domain victims first), iterated arithmetically so the idle spin
+	// path allocates nothing at any worker count. Per victim: priority
+	// lane, mailbox, deque.
+	if s.workers > 0 {
+		rnd := ln.nextRand()
+		// Out-of-range callers (overflow lane) have no home domain: their
+		// steals are never counted as domain-local.
+		inRange := worker >= 0 && worker < s.workers
+		homeDomain := s.pol.DomainOf(worker, s.workers)
+		for i := 0; ; i++ {
+			v := s.pol.Victim(i, worker, s.workers, rnd)
+			if v < 0 {
+				break
 			}
 			ln.stealTries.Add(1)
-			t, retry := s.lanes[v].deque.steal()
-			for retry {
-				t, retry = s.lanes[v].deque.steal()
-			}
-			if t != nil {
+			if t := s.stealFrom(v); t != nil {
 				ln.steals.Add(1)
+				if inRange && s.pol.DomainOf(v, s.workers) == homeDomain {
+					ln.domainSteals.Add(1)
+				}
 				return t
 			}
 		}
 	}
 	return nil
+}
+
+// stealFrom takes one task from victim lane v: its priority lane first, then
+// its mailbox, then the top (oldest task) of its deque.
+func (s *Sched) stealFrom(v int) *Task {
+	l := &s.lanes[v]
+	t, retry := l.prioLane.steal()
+	for retry {
+		t, retry = l.prioLane.steal()
+	}
+	if t != nil {
+		return t
+	}
+	if t := l.mailbox.dequeue(); t != nil {
+		return t
+	}
+	t, retry = l.deque.steal()
+	for retry {
+		t, retry = l.deque.steal()
+	}
+	return t
 }

@@ -10,6 +10,11 @@ import (
 // datums) while the array of mutexes stays a few cache lines.
 const numShards = 64
 
+// ShardOf maps any dependence key to its shard index — the basis of
+// affinity placement (Policy.HomeLane). Region keys shard by their base, so
+// all sections of one array share a home.
+func ShardOf(key any) uint32 { return shardFor(key) }
+
 // shardIndex maps a dependence key to its shard. Equal keys must always map
 // to the same shard, so hashing goes through the key's value, not its
 // interface box: pointers (the normal OmpSs by-reference key) hash their

@@ -25,7 +25,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 	total := nSubmitters * perSub
 
 	g := NewGraph()
-	s := NewSched(nWorkers, true, 42)
+	s := NewSched(nWorkers, DefaultPolicy(), 42)
 
 	keys := make([]any, nData)
 	for i := range keys {
@@ -125,7 +125,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 func TestSubmitVsFinishRace(t *testing.T) {
 	const iters = 3000
 	g := NewGraph()
-	s := NewSched(2, true, 7)
+	s := NewSched(2, DefaultPolicy(), 7)
 	for i := 0; i < iters; i++ {
 		x := new(int)
 		var ran0, ran1 atomic.Int32

@@ -116,6 +116,10 @@ type Task struct {
 	// Priority biases dispatch order: higher-priority ready tasks are
 	// popped before FIFO-ordered peers.
 	Priority int
+	// affinity is the task's placement hint, encoded as home shard + 1 so
+	// the zero value (struct-literal construction) means "no hint". Set via
+	// SetAffinity; the scheduler reads it through AffinityShard.
+	affinity uint32
 	// CPUCost is the simulated execution cost hint in nanoseconds; the
 	// native executor ignores it.
 	CPUCost int64
@@ -146,6 +150,18 @@ type Task struct {
 	// skipped records that the executor released this task without running
 	// its body (failure policy or cancellation).
 	skipped atomic.Bool
+}
+
+// SetAffinity hints that the task should execute near the data of the given
+// dependence shard (see Policy.HomeLane). Call before submission.
+func (t *Task) SetAffinity(shard uint32) { t.affinity = shard + 1 }
+
+// AffinityShard returns the task's affinity hint and whether one was set.
+func (t *Task) AffinityShard() (uint32, bool) {
+	if t.affinity == 0 {
+		return 0, false
+	}
+	return t.affinity - 1, true
 }
 
 // errBox wraps an error for atomic first-wins publication.
@@ -224,6 +240,16 @@ const (
 // Done returns a channel closed when the task finishes. Used by native
 // TaskwaitOn waiters.
 func (t *Task) Done() <-chan struct{} { return t.done }
+
+// EnsureDone pre-creates the completion channel, so an executor layer can
+// hand out a live future for a task before it is submitted (batch
+// submission defers Graph.Submit, which otherwise creates the channel).
+// Call from the constructing goroutine only, before the task is published.
+func (t *Task) EnsureDone() {
+	if t.done == nil {
+		t.done = make(chan struct{})
+	}
+}
 
 // Finished reports whether the task has completed. Safe without the engine
 // lock.

@@ -1,0 +1,118 @@
+package suite
+
+import (
+	"runtime"
+	"testing"
+
+	"ompssgo/ompss"
+	"ompssgo/pthread"
+)
+
+// goldenSmall pins the result checksum of every benchmark's Small instance,
+// computed once from the sequential reference (see TestGoldenMatchesSeq).
+// TestAllVariantsComputeIdenticalResults already checks that all variants
+// agree with RunSeq *at runtime*; the golden table additionally detects the
+// failure mode where a change corrupts the sequential reference itself (or
+// corrupts data identically in every variant) — then all variants still
+// agree with each other and only a checked-in constant fails loudly.
+//
+// The kernels do float64 math, so the constants are pinned per architecture
+// family: Go evaluates IEEE-754 operations exactly, but architectures with
+// fused multiply-add may contract expressions differently. The values below
+// were produced on amd64 (the CI architecture); other GOARCHes skip.
+var goldenSmall = map[string]uint64{
+	"c-ray":         0x2c647efd82d4094b,
+	"rotate":        0x4fb014c39194b520,
+	"rgbcmy":        0x94dfc188964046a9,
+	"md5":           0xb4e80f66c7abd17e,
+	"kmeans":        0x0b04afdfd2e34e5e,
+	"ray-rot":       0x61c999bff6540303,
+	"rot-cc":        0x3bb7fa02b0196635,
+	"streamcluster": 0xcc7aa802860fbd1f,
+	"bodytrack":     0x4304430f170721cd,
+	"h264dec":       0x7609aac59dfab851,
+}
+
+func skipUnlessGoldenArch(t *testing.T) {
+	t.Helper()
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden checksums are pinned for amd64; GOARCH=%s may contract FP differently", runtime.GOARCH)
+	}
+}
+
+// TestGoldenMatchesSeq checks the sequential reference of every benchmark
+// against its checked-in checksum.
+func TestGoldenMatchesSeq(t *testing.T) {
+	skipUnlessGoldenArch(t)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			in, err := New(name, Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := goldenSmall[name]
+			if !ok {
+				t.Fatalf("no golden checksum recorded for %q — add it", name)
+			}
+			if got := in.RunSeq(); got != want {
+				t.Errorf("sequential %s = %#016x, golden %#016x", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSurvivesSchedulingPolicies runs every benchmark's OmpSs variant
+// natively under each scheduling-policy configuration and checks the result
+// against the golden checksum: a policy change that corrupts data — not
+// just reorders it — fails against a constant, not against a possibly
+// equally-corrupted reference rerun.
+func TestGoldenSurvivesSchedulingPolicies(t *testing.T) {
+	skipUnlessGoldenArch(t)
+	policies := []struct {
+		name string
+		opts []ompss.Option
+	}{
+		{"default", nil},
+		{"fifo", []ompss.Option{ompss.Locality(false), ompss.AffinitySched(false)}},
+		{"domains2", []ompss.Option{ompss.Domains(2)}},
+		{"blocking-affinity", []ompss.Option{ompss.Wait(ompss.Blocking), ompss.Domains(2)}},
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want := goldenSmall[name]
+			for _, pol := range policies {
+				in, err := New(name, Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt := ompss.New(append([]ompss.Option{ompss.Workers(3)}, pol.opts...)...)
+				got := in.RunOmpSs(rt)
+				rt.Shutdown()
+				if got != want {
+					t.Errorf("ompss/%s %s = %#016x, golden %#016x", pol.name, name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenPthreads pins the Pthreads variant against the same table, so
+// the manual-threading baseline cannot silently drift either.
+func TestGoldenPthreads(t *testing.T) {
+	skipUnlessGoldenArch(t)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			in, err := New(name, Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			api := pthread.Native(3)
+			if got := in.RunPthreads(api.Main()); got != goldenSmall[name] {
+				t.Errorf("pthreads %s = %#016x, golden %#016x", name, got, goldenSmall[name])
+			}
+		})
+	}
+}

@@ -365,6 +365,19 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 			grpKeys[s][g] = rt.Register(new(int))
 		}
 	}
+	// Slot-recycle gates: the output stage of frame k writes slotFree[slot],
+	// and the reconstruction head of frame k+n — the task that fetches a
+	// picture from the DPB — reads it. Without this edge nothing orders DPB
+	// fetches against DPB releases (outputs), so a legal schedule that runs
+	// every reconstruction before any output fetches nf pictures from an
+	// n+2-deep pool: the small instances usually got lucky, the default
+	// instance deadlocked the pipeline. With the gate, at most n frames are
+	// fetched and not yet output, and the pool bound n+2 (outputs' holds
+	// plus the previous frame's reference hold) is deterministic.
+	slotFreeD := make([]*ompss.Datum, n)
+	for i := range slotFreeD {
+		slotFreeD[i] = rt.Register(new(int))
+	}
 	// Slot-relayed plumbing: each stage hands the next stage the pooled
 	// resources it claimed, staying clear of slot-reuse races (the relay is
 	// protected by the same WAR dependences that protect the payload data).
@@ -376,12 +389,14 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 	doneRefs := make([]*h264.Picture, n)
 	donePis := make([]*h264.PicInfo, n)
 
-	// The parse stage can run up to ~2N iterations ahead of the output
-	// stage (reads are throttled by parses, parses by entropy decodes,
-	// entropy decodes by reconstruction — but nothing ties parse directly
-	// to output), so the PicInfo pool must cover that depth. Pictures are
-	// bounded by the reconstruction↔output WAR on the group keys.
-	pib := h264.NewPIB(2*n + 2)
+	// The parse stage can run ahead of the output stage by up to ~3N
+	// iterations in the worst legal schedule: parses are throttled (via the
+	// header-slot WAR) by entropy decodes N frames back, those (via the
+	// frame-data WAR) by reconstructions another N back, and those (via the
+	// slot-recycle gate) by outputs another N back. The PicInfo pool must
+	// cover that whole depth — a PicInfo is fetched at parse and released
+	// at output. Pictures are bounded by the slot-recycle gate directly.
+	pib := h264.NewPIB(3*n + 2)
 	dpb := h264.NewDPB(n+2, p)
 	sr := h264.NewStreamReader(in.bs, in.off)
 	sums := make([]uint64, nf)
@@ -457,7 +472,11 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 				ompss.Cost(groupCost(g)),
 				ompss.Label("recon"),
 			}
-			if g > 0 {
+			if g == 0 {
+				// DPB backpressure: wait for the output that recycles this
+				// slot's previous picture (see slotFreeD above).
+				clauses = append(clauses, ompss.In(slotFreeD[slot]))
+			} else {
 				clauses = append(clauses, ompss.In(grpKeys[slot][g-1]))
 			}
 			if k > 0 {
@@ -515,7 +534,7 @@ func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
 			if k == nf-1 {
 				lastPic = pic
 			}
-		}, ompss.InOut(oc), ompss.In(grpKeys[slot][ng-1]),
+		}, ompss.InOut(oc), ompss.In(grpKeys[slot][ng-1]), ompss.Out(slotFreeD[slot]),
 			ompss.Cost(h264.OutputFrameCost(p.W*p.H)), ompss.Label("output"))
 
 		// Listing 1's loop gate: the read stage must have completed before

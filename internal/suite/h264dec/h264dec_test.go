@@ -2,6 +2,7 @@ package h264dec
 
 import (
 	"testing"
+	"time"
 
 	"ompssgo/internal/h264"
 	"ompssgo/internal/img"
@@ -77,5 +78,44 @@ func TestNameAndClass(t *testing.T) {
 	in := New(Small())
 	if in.Name() != "h264dec" || in.Class() != "application" {
 		t.Fatalf("identity: %s/%s", in.Name(), in.Class())
+	}
+}
+
+// TestNativePipelineBounded pins the DPB/PIB backpressure fix: before the
+// slot-recycle gate (output k -> reconstruction head of frame k+NBuf), a
+// legal native schedule could run reconstructions arbitrarily far ahead of
+// outputs, exhaust the n+2-deep DPB, and — because the exhaustion panic
+// fired inside Critical("dpb") — leak the critical lock and hang the
+// pipeline forever. The default workload at Workers(2) reproduced this
+// within a few runs. The test repeats that exact configuration across the
+// scheduling policies with a deadline, so a reintroduced unbounded fetch
+// fails loudly instead of hanging CI.
+func TestNativePipelineBounded(t *testing.T) {
+	want := New(Default()).RunSeq()
+	policies := [][]ompss.Option{
+		nil,
+		{ompss.Locality(false), ompss.AffinitySched(false)},
+		{ompss.AffinitySched(false)},
+		{ompss.Wait(ompss.Blocking)},
+	}
+	for pi, opts := range policies {
+		for it := 0; it < 3; it++ {
+			done := make(chan uint64, 1)
+			go func() {
+				in := New(Default())
+				rt := ompss.New(append([]ompss.Option{ompss.Workers(2)}, opts...)...)
+				got := in.RunOmpSs(rt)
+				rt.Shutdown()
+				done <- got
+			}()
+			select {
+			case got := <-done:
+				if got != want {
+					t.Fatalf("policy %d run %d: checksum %#x, want %#x", pi, it, got, want)
+				}
+			case <-time.After(120 * time.Second):
+				t.Fatalf("policy %d run %d: pipeline hung (DPB/PIB backpressure regression)", pi, it)
+			}
+		}
 	}
 }

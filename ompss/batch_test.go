@@ -1,0 +1,158 @@
+package ompss_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ompssgo/machine"
+	"ompssgo/ompss"
+)
+
+var errBatchBoom = errors.New("boom")
+
+// TestBatchChainNative checks that intra-batch dependences resolve in spawn
+// order on the native runtime: an InOut chain submitted as one batch still
+// executes strictly sequentially.
+func TestBatchChainNative(t *testing.T) {
+	rt := ompss.New(ompss.Workers(4))
+	defer rt.Shutdown()
+	x := rt.Register(new(int))
+	var order [8]int32
+	var next atomic.Int32
+	b := rt.Batch()
+	for i := 0; i < len(order); i++ {
+		i := i
+		b.Task(func(*ompss.TC) { order[i] = next.Add(1) }, x.AsInOut())
+	}
+	if b.Len() != len(order) {
+		t.Fatalf("batch length = %d, want %d", b.Len(), len(order))
+	}
+	hs := b.Submit()
+	if len(hs) != len(order) {
+		t.Fatalf("handles = %d, want %d", len(hs), len(order))
+	}
+	rt.Taskwait()
+	for i, v := range order {
+		if int(v) != i+1 {
+			t.Fatalf("chain order %v, want sequential", order)
+		}
+	}
+	for _, h := range hs {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatal("handle not completed after taskwait")
+		}
+		if h.Err() != nil {
+			t.Fatalf("unexpected task error: %v", h.Err())
+		}
+	}
+}
+
+// TestBatchHandleLiveBeforeSubmit checks the future handed out before the
+// flush is live: waiting on it from another goroutine unblocks once the
+// batch is submitted and the task runs.
+func TestBatchHandleLiveBeforeSubmit(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+	b := rt.Batch()
+	h := b.Task(func(*ompss.TC) {})
+	waited := make(chan struct{})
+	go func() {
+		<-h.Done()
+		close(waited)
+	}()
+	if h.TaskID() != 0 {
+		t.Fatal("unsubmitted batch task should not have a graph ID yet")
+	}
+	b.Submit()
+	rt.Taskwait()
+	<-waited
+}
+
+// TestBatchMixedPlacements exercises priority, affinity, and plain tasks in
+// one batch on both backends.
+func TestBatchMixedPlacements(t *testing.T) {
+	var ran atomic.Int32
+	program := func(rt *ompss.Runtime) {
+		d := rt.Register(new(int))
+		hs := rt.SubmitBatch(func(b *ompss.Batch) {
+			b.Task(func(*ompss.TC) { ran.Add(1) })
+			b.Task(func(*ompss.TC) { ran.Add(1) }, ompss.Priority(2))
+			b.Task(func(*ompss.TC) { ran.Add(1) }, ompss.Affinity(d))
+			b.Task(func(*ompss.TC) { ran.Add(1) }, d.AsInOut(), ompss.Affinity(d), ompss.Priority(1))
+		})
+		if len(hs) != 4 {
+			panic("want 4 handles")
+		}
+		rt.Taskwait()
+	}
+
+	ran.Store(0)
+	rt := ompss.New(ompss.Workers(3), ompss.Domains(2))
+	program(rt)
+	rt.Shutdown()
+	if ran.Load() != 4 {
+		t.Fatalf("native ran %d tasks, want 4", ran.Load())
+	}
+
+	ran.Store(0)
+	if _, err := ompss.RunSim(machine.Paper(4), program); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sim ran %d tasks, want 4", ran.Load())
+	}
+}
+
+// TestBatchInlineTasksRunImmediately checks If(false) tasks inside a batch
+// keep OmpSs's undeferred semantics: they run at spawn, not at flush.
+func TestBatchInlineTasksRunImmediately(t *testing.T) {
+	rt := ompss.New()
+	defer rt.Shutdown()
+	b := rt.Batch()
+	ran := false
+	h := b.Task(func(*ompss.TC) { ran = true }, ompss.If(false))
+	if !ran {
+		t.Fatal("If(false) task must run inline at spawn even inside a batch")
+	}
+	if b.Len() != 0 {
+		t.Fatal("inline task must not be accumulated")
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("inline handle must be pre-completed")
+	}
+}
+
+// TestBatchErrorPropagation checks failure propagation across an intra-batch
+// dependence edge under the default SkipDependents policy.
+func TestBatchErrorPropagation(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+	d := rt.Register(new(int))
+	var hs []*ompss.Handle
+	b := rt.Batch()
+	hs = append(hs, b.Go(func(*ompss.TC) error { return errBatchBoom }, d.AsOut()))
+	hs = append(hs, b.Go(func(*ompss.TC) error { return nil }, d.AsIn()))
+	b.Submit()
+	rt.Taskwait()
+	if hs[0].Err() != errBatchBoom {
+		t.Fatalf("producer error = %v, want boom", hs[0].Err())
+	}
+	if err := hs[1].Err(); !errors.Is(err, ompss.ErrSkipped) {
+		t.Fatalf("consumer error = %v, want a skip wrapping the producer failure", err)
+	}
+}
+
+// TestSubmitBatchEmptyIsNoop ensures flushing an empty batch is safe.
+func TestSubmitBatchEmptyIsNoop(t *testing.T) {
+	rt := ompss.New()
+	defer rt.Shutdown()
+	if hs := rt.Batch().Submit(); hs != nil {
+		t.Fatalf("empty flush returned %d handles", len(hs))
+	}
+	rt.Taskwait()
+}

@@ -11,12 +11,14 @@ import (
 type Clause func(*taskSpec)
 
 type taskSpec struct {
-	accesses []core.Access
-	cost     time.Duration
-	priority int
-	label    string
-	enabled  bool
-	final    bool
+	accesses    []core.Access
+	cost        time.Duration
+	priority    int
+	label       string
+	enabled     bool
+	final       bool
+	affinity    uint32 // home shard of the Affinity hint
+	hasAffinity bool
 }
 
 func buildSpec(clauses []Clause) taskSpec {
@@ -164,8 +166,30 @@ func RegionKey(base any, lo, hi int64) any {
 func Cost(d time.Duration) Clause { return func(s *taskSpec) { s.cost = d } }
 
 // Priority biases dispatch: ready tasks with higher priority are scheduled
-// before FIFO-ordered peers.
+// before FIFO-ordered peers. On the native runtime, priority tasks released
+// by a finishing task land on that worker's high-priority LIFO lane and are
+// popped before everything else on the lane; priority tasks that are ready
+// at submission jump the global FIFO through a priority-ordered side queue.
 func Priority(p int) Clause { return func(s *taskSpec) { s.priority = p } }
+
+// Affinity hints that the task should execute near the home of the given
+// datum: the task is submitted to the mailbox of the lane its dependence
+// shard maps to (see the AffinitySched option), so work lands where its
+// data lives and domain-ordered stealing drains it with near workers first.
+// The key may be a registered *Datum handle (preferred — the home shard is
+// already cached) or any raw dependence key. A later Affinity clause
+// overrides an earlier one. The hint never affects correctness, only
+// placement; it is ignored when AffinitySched(false) is set.
+func Affinity(key any) Clause {
+	return func(s *taskSpec) {
+		if d, ok := key.(*Datum); ok {
+			s.affinity = d.c.Shard()
+		} else {
+			s.affinity = core.ShardOf(key)
+		}
+		s.hasAffinity = true
+	}
+}
 
 // Label names the task for traces and DOT exports.
 func Label(l string) Clause { return func(s *taskSpec) { s.label = l } }

@@ -102,7 +102,7 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 		rt:    rt,
 		cfg:   cfg,
 		graph: core.NewGraph(),
-		sched: core.NewSched(cfg.workers, cfg.locality, cfg.seed),
+		sched: core.NewSched(cfg.workers, cfg.schedPolicy(), cfg.seed),
 		epoch: time.Now(),
 	}
 	b.gate.init()
@@ -193,6 +193,19 @@ func (b *nativeBackend) submit(from *TC, t *core.Task) {
 	b.trace(TraceSubmit, t, from.worker)
 }
 
+func (b *nativeBackend) submitBatch(from *TC, ts []*core.Task) {
+	ready := b.graph.SubmitBatch(ts)
+	if len(ready) > 0 {
+		b.sched.PushSubmitBatch(ready)
+		if b.cfg.wait == Blocking {
+			b.gate.wake()
+		}
+	}
+	for _, t := range ts {
+		b.trace(TraceSubmit, t, from.worker)
+	}
+}
+
 func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
 	var idle spinner
 	for ctx.Pending() > 0 {
@@ -234,8 +247,11 @@ func (b *nativeBackend) taskwaitOn(from *TC, keys []any) {
 func (b *nativeBackend) critical(from *TC, name string, hold time.Duration, f func()) {
 	l := b.crit.get(name)
 	l.Lock()
+	// Deferred so a panicking body (recovered into a task error above us)
+	// cannot leak the named lock and deadlock every later Critical user —
+	// the same discipline commutative uses.
+	defer l.Unlock()
 	f()
-	l.Unlock()
 	_ = hold // the real f supplies the real work natively
 }
 

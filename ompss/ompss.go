@@ -86,9 +86,18 @@ type config struct {
 	workers  int
 	wait     WaitMode
 	locality bool
+	affinity bool
+	domains  int
 	seed     int64
 	tracer   *Tracer
 	policy   ErrorPolicy
+}
+
+// schedPolicy assembles the core scheduling policy both backends hand to
+// their Sched — the single point where runtime options become placement and
+// victim-selection behavior (internal/core/policy.go).
+func (c config) schedPolicy() core.Policy {
+	return core.Policy{Locality: c.locality, Affinity: c.affinity, Domains: c.domains}
 }
 
 // Option configures a Runtime.
@@ -108,6 +117,18 @@ func Wait(m WaitMode) Option { return func(c *config) { c.wait = m } }
 // paper's ray-rot analysis credits this policy).
 func Locality(on bool) Option { return func(c *config) { c.locality = on } }
 
+// AffinitySched toggles honoring Affinity clause hints (default true): on,
+// a hinted task is submitted to the mailbox of its datum's home lane; off,
+// hints are ignored and hinted tasks join the global FIFO like any other.
+func AffinitySched(on bool) Option { return func(c *config) { c.affinity = on } }
+
+// Domains splits the workers into n contiguous steal domains (modeling
+// sockets): an idle worker probes every victim in its own domain before
+// crossing into another, so affinity- and locality-placed work is drained
+// by near workers first and only leaves its domain as a last resort.
+// Values < 2 (the default) mean flat random-victim stealing.
+func Domains(n int) Option { return func(c *config) { c.domains = n } }
+
 // Seed fixes the scheduler's steal-victim RNG.
 func Seed(s int64) Option { return func(c *config) { c.seed = s } }
 
@@ -118,7 +139,7 @@ func Trace(tr *Tracer) Option { return func(c *config) { c.tracer = tr } }
 func buildConfig(opts []Option) config {
 	// workers == 0 means "unset": New defaults to 1, RunSim to the
 	// simulated machine's core count.
-	c := config{wait: Polling, locality: true, seed: 1}
+	c := config{wait: Polling, locality: true, affinity: true, seed: 1}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -129,6 +150,7 @@ func buildConfig(opts []Option) config {
 // (graph, scheduler) lives behind it.
 type backend interface {
 	submit(from *TC, t *core.Task)
+	submitBatch(from *TC, ts []*core.Task)
 	taskwait(from *TC, ctx *core.Context)
 	taskwaitOn(from *TC, keys []any)
 	critical(from *TC, name string, hold time.Duration, f func())
@@ -365,36 +387,51 @@ func (tc *TC) Go(body func(*TC) error, clauses ...Clause) *Handle {
 func (tc *TC) spawn(body func(*TC) error, clauses []Clause) *Handle {
 	spec := buildSpec(clauses)
 	if !spec.enabled || tc.final {
-		// If(false) or inside a final task: undeferred execution in the
-		// spawning thread, as in OmpSs. Costs are charged to the current
-		// thread in simulation. A panic propagates synchronously to the
-		// spawner (the body runs on its stack); a returned error is
-		// recorded like any task failure.
-		if ce := tc.rt.cancelCause(); ce != nil {
-			err := &SkipError{Label: spec.label, Cause: ce}
-			tc.rt.noteErr(err)
-			tc.ctx.NoteErr(err)
-			return &Handle{rt: tc.rt, inlineErr: err}
-		}
-		tc.rt.be.compute(tc, spec.cost)
-		for _, a := range spec.accesses {
-			tc.rt.be.touch(tc, a.Key, a.Bytes, a.Writes())
-		}
-		child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
-			worker: tc.worker, final: tc.final || spec.final}
-		err := tc.runInline(child, body, spec.accesses)
+		return tc.spawnInline(&spec, body)
+	}
+	ct := tc.buildDeferred(&spec, body)
+	tc.rt.be.submit(tc, ct)
+	return &Handle{rt: tc.rt, t: ct}
+}
+
+// spawnInline executes an If(false)/final task undeferred in the spawning
+// thread, as in OmpSs. Costs are charged to the current thread in
+// simulation. A panic propagates synchronously to the spawner (the body
+// runs on its stack); a returned error is recorded like any task failure.
+func (tc *TC) spawnInline(spec *taskSpec, body func(*TC) error) *Handle {
+	if ce := tc.rt.cancelCause(); ce != nil {
+		err := &SkipError{Label: spec.label, Cause: ce}
 		tc.rt.noteErr(err)
-		// Inline tasks never enter the graph, so record the failure on the
-		// spawning scope here — TaskwaitCtx reports it like any child's.
 		tc.ctx.NoteErr(err)
 		return &Handle{rt: tc.rt, inlineErr: err}
 	}
+	tc.rt.be.compute(tc, spec.cost)
+	for _, a := range spec.accesses {
+		tc.rt.be.touch(tc, a.Key, a.Bytes, a.Writes())
+	}
+	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
+		worker: tc.worker, final: tc.final || spec.final}
+	err := tc.runInline(child, body, spec.accesses)
+	tc.rt.noteErr(err)
+	// Inline tasks never enter the graph, so record the failure on the
+	// spawning scope here — TaskwaitCtx reports it like any child's.
+	tc.ctx.NoteErr(err)
+	return &Handle{rt: tc.rt, inlineErr: err}
+}
+
+// buildDeferred constructs the core task of a deferred spawn — everything
+// but the submission, so Batch can accumulate tasks and submit them in one
+// atomic batch.
+func (tc *TC) buildDeferred(spec *taskSpec, body func(*TC) error) *core.Task {
 	ct := &core.Task{
 		Label:    spec.label,
 		Priority: spec.priority,
 		CPUCost:  int64(spec.cost),
 		Accesses: spec.accesses,
 		Parent:   tc.ctx,
+	}
+	if spec.hasAffinity {
+		ct.SetAffinity(spec.affinity)
 	}
 	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
 		task: ct, final: spec.final}
@@ -417,8 +454,7 @@ func (tc *TC) spawn(body func(*TC) error, clauses []Clause) *Handle {
 		}
 		return body(child)
 	}
-	tc.rt.be.submit(tc, ct)
-	return &Handle{rt: tc.rt, t: ct}
+	return ct
 }
 
 // runInline executes an undeferred body, honoring commutative mutual

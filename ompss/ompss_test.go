@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"ompssgo/machine"
 )
 
 func TestNativeBasicTaskwait(t *testing.T) {
@@ -86,6 +88,45 @@ func TestNativeCriticalMutualExclusion(t *testing.T) {
 	rt.Taskwait()
 	if counter != 100 {
 		t.Fatalf("critical counter = %d, want 100", counter)
+	}
+}
+
+// TestCriticalPanicReleasesLock pins the fix for the h264dec pipeline hang:
+// a body that panics inside a named critical section becomes a *TaskPanic,
+// and the critical lock must be released on the way out — a later task
+// entering the same section must proceed, not deadlock. Covers both
+// backends.
+func TestCriticalPanicReleasesLock(t *testing.T) {
+	run := func(rt *Runtime) (sawSecond bool) {
+		d := rt.Register(new(int))
+		h := rt.Go(func(tc *TC) error {
+			tc.Critical("leaky", func() { panic("boom inside critical") })
+			return nil
+		}, d.AsInOut())
+		rt.Task(func(tc *TC) {
+			tc.Critical("leaky", func() { sawSecond = true })
+		}, d.AsInOut())
+		rt.Taskwait()
+		if err := h.Err(); err == nil {
+			t.Error("panicking critical body should surface as the task's error")
+		}
+		return sawSecond
+	}
+	rt := New(Workers(2), OnError(RunThrough))
+	if !run(rt) {
+		t.Fatal("native: second critical section never ran — lock leaked by the panic")
+	}
+	rt.Shutdown()
+
+	var simSecond bool
+	_, err := RunSim(machine.Paper(2), func(rt *Runtime) {
+		simSecond = run(rt)
+	}, OnError(RunThrough))
+	if err == nil {
+		t.Error("sim should report the task panic")
+	}
+	if !simSecond {
+		t.Fatal("sim: second critical section never ran — lock leaked by the panic")
 	}
 }
 

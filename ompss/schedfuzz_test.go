@@ -1,0 +1,383 @@
+package ompss_test
+
+// Schedule fuzzing: seeded random task DAGs run under both backends across
+// many schedules (worker counts, wait modes, policy knobs, RNG seeds),
+// asserting — inside the task bodies — that the runtime established
+// happens-before for every In/Out and commutative pair, and — after the
+// drain — that the final state is identical across every schedule and equal
+// to the sequential model.
+//
+// The happens-before checks are deliberately made of PLAIN (non-atomic)
+// loads and stores: under `go test -race` (CI's race job runs this package)
+// any dependence edge the scheduler fails to enforce surfaces as a data
+// race on the value cells, in addition to the value assertions failing.
+// Failures shrink: the harness re-generates the same seeded program at
+// shrinking prefix lengths and reports the smallest still-failing prefix.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ompssgo/machine"
+	"ompssgo/ompss"
+)
+
+// fuzz access modes.
+const (
+	fzIn = iota
+	fzOut
+	fzInOut
+	fzCommutative
+)
+
+type fuzzAccess struct {
+	key  int
+	mode int
+	// expectVal is the value the task must observe in vals[key]: the write
+	// index of its program-order last writer (checked for every mode — all
+	// four are ordered after the last writer).
+	expectVal int64
+	// expectComm is the commutative-increment count the task must observe
+	// in comms[key]; -1 for commutative accesses (unordered among
+	// themselves, so the intermediate count is schedule-dependent).
+	expectComm int64
+	// writeVal is the value a writer stores into vals[key]; 0 for readers.
+	writeVal int64
+}
+
+type fuzzTask struct {
+	accesses []fuzzAccess
+	priority int
+	affinity int // key index to pin near, or -1
+}
+
+// fuzzProg is one generated program: groups are submitted in order, each
+// group either a single Task call or one batch flushed immediately, so
+// program order equals generation order.
+type fuzzProg struct {
+	seed      int64
+	nKeys     int
+	groups    [][]fuzzTask
+	finalVal  []int64 // model: last write index per key
+	finalComm []int64 // model: commutative task count per key
+	nTasks    int
+}
+
+// genProg deterministically generates the program for a seed, truncated to
+// at most maxGroups groups (the shrink lever).
+func genProg(seed int64, maxGroups int) *fuzzProg {
+	rng := rand.New(rand.NewSource(seed))
+	p := &fuzzProg{
+		seed:  seed,
+		nKeys: 3 + rng.Intn(5),
+	}
+	lastVal := make([]int64, p.nKeys)
+	commCnt := make([]int64, p.nKeys)
+	widx := make([]int64, p.nKeys)
+	nGroups := 12 + rng.Intn(14)
+	if nGroups > maxGroups {
+		nGroups = maxGroups
+	}
+	for g := 0; g < nGroups; g++ {
+		size := 1
+		if rng.Intn(3) == 0 { // every third group is a batch
+			size = 2 + rng.Intn(3)
+		}
+		var group []fuzzTask
+		for i := 0; i < size; i++ {
+			t := fuzzTask{affinity: -1}
+			if rng.Intn(4) == 0 {
+				t.priority = 1 + rng.Intn(3)
+			}
+			if rng.Intn(3) == 0 {
+				t.affinity = rng.Intn(p.nKeys)
+			}
+			nAcc := 1 + rng.Intn(3)
+			used := map[int]bool{}
+			for a := 0; a < nAcc; a++ {
+				k := rng.Intn(p.nKeys)
+				if used[k] {
+					continue
+				}
+				used[k] = true
+				acc := fuzzAccess{key: k, mode: rng.Intn(4), expectVal: lastVal[k]}
+				switch acc.mode {
+				case fzIn:
+					acc.expectComm = commCnt[k]
+				case fzOut, fzInOut:
+					acc.expectComm = commCnt[k]
+					widx[k]++
+					acc.writeVal = widx[k]
+					lastVal[k] = widx[k]
+				case fzCommutative:
+					acc.expectComm = -1
+					commCnt[k]++
+				}
+				t.accesses = append(t.accesses, acc)
+			}
+			group = append(group, t)
+			p.nTasks++
+		}
+		p.groups = append(p.groups, group)
+	}
+	p.finalVal = lastVal
+	p.finalComm = commCnt
+	return p
+}
+
+// fuzzCells is the shared state one schedule runs against. Padding keeps
+// each cell on its own cache line so the only cross-task interactions are
+// the intended ones.
+type fuzzCells struct {
+	vals  []paddedCell
+	comms []paddedCell
+
+	mu         sync.Mutex
+	violations []string
+}
+
+type paddedCell struct {
+	v int64
+	_ [56]byte
+}
+
+func newFuzzCells(nKeys int) *fuzzCells {
+	return &fuzzCells{vals: make([]paddedCell, nKeys), comms: make([]paddedCell, nKeys)}
+}
+
+func (c *fuzzCells) violate(format string, args ...any) {
+	c.mu.Lock()
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// body builds the task body for one fuzz task: every access checks the
+// happens-before expectations with plain loads, then applies its plain
+// writes. taskIdx only labels violations.
+func (c *fuzzCells) body(t fuzzTask, taskIdx int) func(*ompss.TC) {
+	return func(*ompss.TC) {
+		for _, a := range t.accesses {
+			if got := c.vals[a.key].v; got != a.expectVal {
+				c.violate("task %d key %d (%d): saw write %d, program order requires %d",
+					taskIdx, a.key, a.mode, got, a.expectVal)
+			}
+			if a.expectComm >= 0 {
+				if got := c.comms[a.key].v; got != a.expectComm {
+					c.violate("task %d key %d (%d): saw %d commutative updates, program order requires %d",
+						taskIdx, a.key, a.mode, got, a.expectComm)
+				}
+			}
+			switch a.mode {
+			case fzOut, fzInOut:
+				c.vals[a.key].v = a.writeVal
+			case fzCommutative:
+				c.comms[a.key].v++ // mutual exclusion is the runtime's job
+			}
+		}
+	}
+}
+
+// run executes the program once inside an already-running runtime and
+// returns the observed violations plus the final cell state.
+func (c *fuzzCells) run(p *fuzzProg, rt *ompss.Runtime) {
+	keys := make([]*ompss.Datum, p.nKeys)
+	for k := range keys {
+		keys[k] = rt.Register(&c.vals[k])
+	}
+	clausesFor := func(t fuzzTask) []ompss.Clause {
+		var cl []ompss.Clause
+		for _, a := range t.accesses {
+			switch a.mode {
+			case fzIn:
+				cl = append(cl, ompss.In(keys[a.key]))
+			case fzOut:
+				cl = append(cl, ompss.Out(keys[a.key]))
+			case fzInOut:
+				cl = append(cl, ompss.InOut(keys[a.key]))
+			case fzCommutative:
+				cl = append(cl, ompss.Commutative(keys[a.key]))
+			}
+		}
+		if t.priority > 0 {
+			cl = append(cl, ompss.Priority(t.priority))
+		}
+		if t.affinity >= 0 {
+			cl = append(cl, ompss.Affinity(keys[t.affinity]))
+		}
+		return cl
+	}
+	idx := 0
+	for _, group := range p.groups {
+		if len(group) == 1 {
+			rt.Task(c.body(group[0], idx), clausesFor(group[0])...)
+			idx++
+			continue
+		}
+		b := rt.Batch()
+		for _, t := range group {
+			b.Task(c.body(t, idx), clausesFor(t)...)
+			idx++
+		}
+		b.Submit()
+	}
+	rt.Taskwait()
+}
+
+// checkFinal appends violations if the drained state differs from the model.
+func (c *fuzzCells) checkFinal(p *fuzzProg) {
+	for k := 0; k < p.nKeys; k++ {
+		if c.vals[k].v != p.finalVal[k] {
+			c.violate("final vals[%d] = %d, model %d", k, c.vals[k].v, p.finalVal[k])
+		}
+		if c.comms[k].v != p.finalComm[k] {
+			c.violate("final comms[%d] = %d, model %d", k, c.comms[k].v, p.finalComm[k])
+		}
+	}
+}
+
+// fuzzSchedule is one schedule configuration.
+type fuzzSchedule struct {
+	name   string
+	native bool
+	cores  int // sim cores
+	opts   []ompss.Option
+}
+
+// fuzzSchedules enumerates the 50-schedule battery: 40 native configurations
+// sweeping workers × wait mode × locality × affinity × domains × RNG seed,
+// plus 10 deterministic simulator schedules.
+func fuzzSchedules() []fuzzSchedule {
+	var out []fuzzSchedule
+	for i := 0; i < 40; i++ {
+		workers := 1 + i%4
+		wait := ompss.Polling
+		if i%2 == 1 {
+			wait = ompss.Blocking
+		}
+		opts := []ompss.Option{
+			ompss.Workers(workers),
+			ompss.Wait(wait),
+			ompss.Locality(i/2%2 == 0),
+			ompss.AffinitySched(i/4%2 == 0),
+			ompss.Domains(1 + i%3),
+			ompss.Seed(int64(1000 + i)),
+		}
+		out = append(out, fuzzSchedule{
+			name:   fmt.Sprintf("native/w%d-%s-loc%v-aff%v-d%d", workers, wait, i/2%2 == 0, i/4%2 == 0, 1+i%3),
+			native: true,
+			opts:   opts,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		cores := []int{1, 2, 4, 8}[i%4]
+		out = append(out, fuzzSchedule{
+			name:  fmt.Sprintf("sim/c%d-seed%d", cores, i),
+			cores: cores,
+			opts: []ompss.Option{
+				ompss.Locality(i%2 == 0),
+				ompss.AffinitySched(i%3 != 0),
+				ompss.Domains(1 + i%2),
+				ompss.Seed(int64(77 + i)),
+			},
+		})
+	}
+	return out
+}
+
+// runSchedule executes the program under one schedule and returns any
+// violations (happens-before or final-state).
+func runSchedule(p *fuzzProg, sc fuzzSchedule) []string {
+	cells := newFuzzCells(p.nKeys)
+	if sc.native {
+		rt := ompss.New(sc.opts...)
+		cells.run(p, rt)
+		rt.Shutdown()
+	} else {
+		if _, err := ompss.RunSim(machine.Paper(sc.cores), func(rt *ompss.Runtime) {
+			cells.run(p, rt)
+		}, sc.opts...); err != nil {
+			cells.violate("sim error: %v", err)
+		}
+	}
+	cells.checkFinal(p)
+	cells.mu.Lock()
+	defer cells.mu.Unlock()
+	return cells.violations
+}
+
+// shrink searches for the smallest group-prefix of seed's program that still
+// fails under sc, rerunning each candidate a few times to ride out
+// schedule-dependent failures. Returns the prefix length and a sample
+// violation.
+func shrink(seed int64, sc fuzzSchedule, fullGroups int) (int, string) {
+	fails := func(m int) (bool, string) {
+		p := genProg(seed, m)
+		for try := 0; try < 5; try++ {
+			if v := runSchedule(p, sc); len(v) > 0 {
+				return true, v[0]
+			}
+		}
+		return false, ""
+	}
+	best, sample := fullGroups, ""
+	for m := 1; m <= fullGroups; m++ {
+		if bad, v := fails(m); bad {
+			best, sample = m, v
+			break
+		}
+	}
+	return best, sample
+}
+
+// TestScheduleFuzz is the schedule-fuzz battery (see the file comment).
+func TestScheduleFuzz(t *testing.T) {
+	seeds := []int64{1, 20260726, 0x5eed}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p := genProg(seed, 1<<30)
+			if p.nTasks == 0 {
+				t.Fatal("degenerate program")
+			}
+			for _, sc := range fuzzSchedules() {
+				violations := runSchedule(p, sc)
+				if len(violations) == 0 {
+					continue
+				}
+				m, sample := shrink(seed, sc, len(p.groups))
+				if sample == "" {
+					sample = violations[0]
+				}
+				t.Fatalf("schedule %s: %d violations; first: %s\n"+
+					"shrunk reproducer: genProg(%d, %d) under the same schedule (%s)",
+					sc.name, len(violations), violations[0], seed, m, sample)
+			}
+		})
+	}
+}
+
+// TestScheduleFuzzModelSelfCheck pins the generator: the model must be a
+// pure function of the seed, and a prefix of the program must carry the
+// same expectations as the full program's first groups (the property the
+// shrinker relies on).
+func TestScheduleFuzzModelSelfCheck(t *testing.T) {
+	a := genProg(42, 1<<30)
+	b := genProg(42, 1<<30)
+	if fmt.Sprintf("%+v", a.groups) != fmt.Sprintf("%+v", b.groups) {
+		t.Fatal("generator is not deterministic per seed")
+	}
+	pre := genProg(42, 3)
+	if len(pre.groups) != 3 {
+		t.Fatalf("prefix has %d groups, want 3", len(pre.groups))
+	}
+	for g := range pre.groups {
+		if fmt.Sprintf("%+v", pre.groups[g]) != fmt.Sprintf("%+v", a.groups[g]) {
+			t.Fatalf("group %d differs between prefix and full program", g)
+		}
+	}
+}

@@ -44,7 +44,7 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 		v:           v,
 		cctx:        ctx,
 		graph:       core.NewGraph(),
-		sched:       core.NewSched(cfg.workers, cfg.locality, cfg.seed),
+		sched:       core.NewSched(cfg.workers, cfg.schedPolicy(), cfg.seed),
 		lanes:       make([]*vm.Thread, cfg.workers),
 		ctxWaiters:  make(map[*core.Context][]*vm.Thread),
 		taskWaiters: make(map[*core.Task][]*vm.Thread),
@@ -250,6 +250,27 @@ func (b *simBackend) submit(from *TC, t *core.Task) {
 	b.trace(TraceSubmit, t, from.worker)
 }
 
+func (b *simBackend) submitBatch(from *TC, ts []*core.Task) {
+	b.pollCtx()
+	vt := b.thread(from)
+	cm := b.v.Cost()
+	// One contended queue acquisition for the whole batch — the modeled
+	// counterpart of SubmitBatch's amortized shard locking — plus the
+	// per-task dependence-edge work, which batching cannot amortize.
+	charge := b.queueOp(cm.TaskSpawn)
+	for _, t := range ts {
+		charge += cm.DepEdge * vm.Time(len(t.Accesses))
+	}
+	vt.Charge(charge)
+	vt.Flush()
+	ready := b.graph.SubmitBatch(ts)
+	b.sched.PushSubmitBatch(ready)
+	b.wakeIdle(len(ready))
+	for _, t := range ts {
+		b.trace(TraceSubmit, t, from.worker)
+	}
+}
+
 func (b *simBackend) taskwait(from *TC, ctx *core.Context) {
 	vt := b.thread(from)
 	cm := b.v.Cost()
@@ -307,11 +328,13 @@ func (b *simBackend) critical(from *TC, name string, hold time.Duration, f func(
 	vt := b.thread(from)
 	l := b.crit.get(name)
 	vt.Lock(l)
+	// Deferred so a panicking body cannot leak the named lock (see the
+	// native backend's critical).
+	defer vt.Unlock(l)
 	f()
 	if hold > 0 {
 		vt.Compute(vm.Time(hold))
 	}
-	vt.Unlock(l)
 }
 
 // commutative runs f holding the per-key locks of every listed key in
