@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native alloc-budget examples lint ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint ci
 
 all: build test
 
@@ -10,11 +10,11 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detector pass over the concurrent executor packages (the CI `race` job).
 race:
-	$(GO) test -race ./ompss ./internal/core ./pthread
+	$(GO) test -race -shuffle=on ./ompss ./internal/core ./pthread
 
 # Run every benchmark for one iteration so benchmark code cannot rot
 # (the CI `bench-smoke` job). For real numbers, raise -benchtime.
@@ -44,13 +44,29 @@ alloc-budget:
 bench-native:
 	$(GO) run ./cmd/ompss-bench -native -o BENCH_native.json
 
+# Perf-trajectory gate (the CI `bench-trend` job): measure the small
+# workloads fresh and compare the policy and rename factors against the
+# committed small-scale baseline with a ±30% regression-only tolerance on
+# each section's mean factor (per-cell outliers are warnings).
+bench-trend:
+	$(GO) run ./cmd/ompss-bench -native -small -iters 3 -o /tmp/BENCH_native_fresh.json
+	$(GO) run ./cmd/ompss-bench -trend -baseline BENCH_native_small.json -candidate /tmp/BENCH_native_fresh.json -tol 0.30
+
 # Run every example end-to-end (the CI examples-smoke job).
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
 
+# Mirrors the CI `lint` job (plus the verify job's vet/gofmt steps) so
+# local and CI checks stay in lockstep. staticcheck and govulncheck are
+# installed on demand by CI; locally they are skipped with a hint when not
+# on PATH.
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else \
+		echo "lint: staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@latest); skipping" >&2; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else \
+		echo "lint: govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest); skipping" >&2; fi
 
-ci: build lint test race bench bench-submit alloc-budget examples
+ci: build lint test race bench bench-submit alloc-budget bench-trend examples

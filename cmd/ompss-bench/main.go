@@ -9,6 +9,9 @@
 //	ompss-bench -ablation occupancy  §5 polling-runtime core occupancy
 //	ompss-bench -bench c-ray -cores 16   one cell, verbose
 //	ompss-bench -native -o BENCH_native.json   wall-clock native runs
+//	ompss-bench -trend -candidate fresh.json   perf-trajectory gate: compare
+//	    a fresh -native report's policy and rename factors against the
+//	    committed baseline (±tol, regressions only; CI's bench-trend step)
 //
 // -small switches to the reduced test workloads; -cores overrides the core
 // list (comma-separated).
@@ -43,6 +46,10 @@ func main() {
 		oneBench  = flag.String("bench", "", "measure a single benchmark")
 		usability = flag.Bool("usability", false, "report per-variant implementation effort (§2 usability)")
 		native    = flag.Bool("native", false, "measure wall-clock native execution and write BENCH_native.json")
+		trend     = flag.Bool("trend", false, "perf-trajectory gate: compare -candidate against -baseline")
+		baseline  = flag.String("baseline", "BENCH_native.json", "baseline report for -trend")
+		candidate = flag.String("candidate", "", "candidate report for -trend")
+		tol       = flag.Float64("tol", 0.30, "relative factor tolerance for -trend (0.30 = candidate factors may fall 30% below baseline)")
 		out       = flag.String("o", "BENCH_native.json", "output file for -native measurements")
 		iters     = flag.Int("iters", 3, "repetitions per -native cell")
 		coresFlag = flag.String("cores", "", "comma-separated core counts (default 1,8,16,24,32; for -native: 1,2,NumCPU)")
@@ -73,6 +80,31 @@ func main() {
 	}
 
 	switch {
+	case *trend:
+		if *candidate == "" {
+			fatalf("-trend needs -candidate (a freshly measured BENCH_native.json)")
+		}
+		base, err := bench.LoadNativeReport(*baseline)
+		if err != nil {
+			fatalf("trend: baseline: %v", err)
+		}
+		cand, err := bench.LoadNativeReport(*candidate)
+		if err != nil {
+			fatalf("trend: candidate: %v", err)
+		}
+		res := bench.CompareTrend(base, cand, *tol)
+		fmt.Printf("trend: compared %d factor pairs (%s -> %s, tolerance %.0f%%)\n",
+			res.Compared, *baseline, *candidate, *tol*100)
+		for _, w := range res.Warnings {
+			fmt.Printf("trend warning: %s\n", w)
+		}
+		if !res.OK() {
+			for _, r := range res.Regressions {
+				fmt.Fprintf(os.Stderr, "trend REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("trend: OK — performance trajectory holds")
 	case *native:
 		var names []string
 		if *oneBench != "" {

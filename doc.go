@@ -10,7 +10,9 @@
 //
 // See README.md for a tour and quickstart, DESIGN.md for the system
 // inventory (including the first-class handle API: registered *Datum
-// dependence keys, *Handle task futures, and context-aware waits), and
+// dependence keys, *Handle task futures, context-aware waits, and
+// dependence renaming — per-datum version chains that eliminate WAR/WAW
+// stalls, ompss.WithRenaming), and
 // EXPERIMENTS.md for measured-versus-published results. The root package
 // exists to carry the repository-level benchmark suite (bench_test.go);
 // the library entry points are packages ompss, pthread, and machine.

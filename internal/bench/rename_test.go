@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRenameChainCorrectness runs the WAR-chain microbenchmark in both
+// modes at a few worker counts: MeasureRenameChain verifies every reader's
+// observed instance and the written-back canonical value internally, so a
+// renaming bug fails here deterministically (the speedup itself is
+// recorded by the -native harness and gated by the CI bench-trend step,
+// not asserted in a unit test that shares a noisy host).
+func TestRenameChainCorrectness(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, renaming := range []bool{false, true} {
+			res, err := MeasureRenameChain(workers, 3, 30, 500, renaming)
+			if err != nil {
+				t.Fatalf("w=%d renaming=%v: %v", workers, renaming, err)
+			}
+			if renaming && workers > 1 && res.Stats.Graph.Renamed == 0 {
+				t.Errorf("w=%d: no renames fired", workers)
+			}
+			if !renaming && res.Stats.Graph.Renamed != 0 {
+				t.Errorf("w=%d: %d renames with the knob off", workers, res.Stats.Graph.Renamed)
+			}
+		}
+	}
+}
+
+// BenchmarkRenameChain keeps the microbenchmark compiling and runnable
+// under the CI bench-smoke job (1 iteration); real numbers come from the
+// -native harness.
+func BenchmarkRenameChain(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		renaming bool
+	}{{"renaming-off", false}, {"renaming-on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MeasureRenameChain(2, 3, 50, 2000, mode.renaming); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

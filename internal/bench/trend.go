@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The bench-trend gate: CI regenerates a native report on the runner and
+// compares it against a committed baseline, so a change that erodes the
+// scheduler's or the renamer's measured advantage fails the PR instead of
+// landing silently. Absolute wall-clock times are not comparable across
+// hosts, so the gate compares the *relative* factors each section exists
+// to demonstrate — sched-on over sched-off per benchmark cell, renaming-on
+// over renaming-off per worker count — and only in the regression
+// direction: a candidate may beat the baseline freely.
+//
+// CI runners are noisy neighbors, and a single small-workload cell can
+// swing well past any honest tolerance, so the hard gate applies to each
+// section's MEAN factor over the cells present in both reports; individual
+// cells outside tolerance are reported as warnings. Reports taken at
+// different workload scales are not comparable at all (small-instance
+// factors are overhead-dominated) and are refused outright — which is why
+// the repo commits BENCH_native_small.json for the CI gate alongside the
+// default-scale BENCH_native.json trajectory record.
+
+// LoadNativeReport reads a BENCH_native.json document.
+func LoadNativeReport(path string) (*NativeReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep NativeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// policyFactors extracts sched-off/sched-on best-time ratios per
+// (bench, workers) cell pair.
+func policyFactors(r *NativeReport) map[string]float64 {
+	type key struct {
+		bench   string
+		workers int
+	}
+	on := map[key]int64{}
+	off := map[key]int64{}
+	for _, c := range r.Cells {
+		k := key{c.Bench, c.Workers}
+		switch c.Policy {
+		case "sched-on":
+			on[k] = c.BestNS
+		case "sched-off":
+			off[k] = c.BestNS
+		}
+	}
+	out := map[string]float64{}
+	for k, a := range on {
+		if b, ok := off[k]; ok && a > 0 {
+			out[fmt.Sprintf("policy %s w=%d", k.bench, k.workers)] = float64(b) / float64(a)
+		}
+	}
+	return out
+}
+
+// renameFactors extracts renaming-off/renaming-on ratios per worker count.
+func renameFactors(r *NativeReport) map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range r.Rename {
+		if c.OnNS > 0 && c.OffNS > 0 {
+			out[fmt.Sprintf("rename-chain w=%d", c.Workers)] = float64(c.OffNS) / float64(c.OnNS)
+		}
+	}
+	return out
+}
+
+// TrendResult is the outcome of one baseline/candidate comparison.
+type TrendResult struct {
+	// Regressions fail the gate: a section's mean factor fell more than
+	// the tolerance below the baseline's, a section vanished, the scales
+	// differ, or nothing was comparable.
+	Regressions []string
+	// Warnings are individual cells outside tolerance; noisy hosts produce
+	// these legitimately, so they inform without failing.
+	Warnings []string
+	// Compared counts the factor pairs present in both reports.
+	Compared int
+}
+
+// OK reports whether the performance trajectory holds.
+func (t TrendResult) OK() bool { return len(t.Regressions) == 0 }
+
+// CompareTrend diffs a candidate report against the baseline with the
+// given relative tolerance (0.30 = a mean factor may fall up to 30% below
+// the baseline's before the gate fails).
+func CompareTrend(baseline, candidate *NativeReport, tol float64) TrendResult {
+	var res TrendResult
+	if baseline.Scale != candidate.Scale {
+		res.Regressions = append(res.Regressions, fmt.Sprintf(
+			"scale mismatch: baseline %q vs candidate %q — factors at different workload scales are not comparable (gate against the committed report of the matching scale)",
+			baseline.Scale, candidate.Scale))
+		return res
+	}
+	sections := []struct {
+		name       string
+		base, cand map[string]float64
+	}{
+		{"policy", policyFactors(baseline), policyFactors(candidate)},
+		{"rename", renameFactors(baseline), renameFactors(candidate)},
+	}
+	for _, sec := range sections {
+		if len(sec.base) == 0 {
+			continue
+		}
+		if len(sec.cand) == 0 {
+			res.Regressions = append(res.Regressions, fmt.Sprintf(
+				"candidate has no %s factors while the baseline has %d — the measurement pipeline rotted", sec.name, len(sec.base)))
+			continue
+		}
+		var keys, missing []string
+		for k := range sec.base {
+			if _, ok := sec.cand[k]; ok {
+				keys = append(keys, k)
+			} else {
+				missing = append(missing, k)
+			}
+		}
+		// Worker counts legitimately differ across hosts, so a few missing
+		// cells are only warnings — but losing over half the baseline's
+		// cells means the pipeline (not the host) changed.
+		sort.Strings(missing)
+		for _, k := range missing {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("%s: baseline cell missing from candidate", k))
+		}
+		if len(keys)*2 < len(sec.base) {
+			res.Regressions = append(res.Regressions, fmt.Sprintf(
+				"%s section: only %d of the baseline's %d cells are present in the candidate",
+				sec.name, len(keys), len(sec.base)))
+			continue
+		}
+		sort.Strings(keys)
+		var baseSum, candSum float64
+		for _, k := range keys {
+			bf, cf := sec.base[k], sec.cand[k]
+			baseSum += bf
+			candSum += cf
+			res.Compared++
+			if cf < bf*(1-tol) {
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"%s: factor %.3f is >%.0f%% below baseline %.3f", k, cf, tol*100, bf))
+			}
+		}
+		baseMean := baseSum / float64(len(keys))
+		candMean := candSum / float64(len(keys))
+		if candMean < baseMean*(1-tol) {
+			res.Regressions = append(res.Regressions, fmt.Sprintf(
+				"%s section: mean factor %.3f fell below %.3f (baseline mean %.3f over %d cells, tolerance %.0f%%)",
+				sec.name, candMean, baseMean*(1-tol), baseMean, len(keys), tol*100))
+		}
+	}
+	if res.Compared == 0 {
+		res.Regressions = append(res.Regressions, "no comparable cells between baseline and candidate")
+	}
+	return res
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func trendReport(policyOn, policyOff, renameOn, renameOff int64) *NativeReport {
+	return &NativeReport{
+		Schema: "ompssgo/bench-native/v2",
+		Scale:  "small",
+		Cells: []NativeCell{
+			{Bench: "ray-rot", Workers: 2, Policy: "sched-on", BestNS: policyOn},
+			{Bench: "ray-rot", Workers: 2, Policy: "sched-off", BestNS: policyOff},
+		},
+		Rename: []NativeRenameCell{
+			{Workers: 2, OnNS: renameOn, OffNS: renameOff},
+		},
+	}
+}
+
+func TestCompareTrendHolds(t *testing.T) {
+	base := trendReport(100, 120, 100, 180)
+	// Same factors, different absolute times (a faster host): must pass.
+	cand := trendReport(50, 60, 50, 90)
+	res := CompareTrend(base, cand, 0.30)
+	if !res.OK() {
+		t.Fatalf("unexpected regressions: %v", res.Regressions)
+	}
+	if res.Compared != 2 {
+		t.Fatalf("compared = %d, want 2", res.Compared)
+	}
+	if len(res.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", res.Warnings)
+	}
+}
+
+func TestCompareTrendCatchesRegression(t *testing.T) {
+	base := trendReport(100, 120, 100, 180) // rename factor 1.8
+	cand := trendReport(100, 120, 100, 110) // rename factor 1.1 < 1.8*0.7
+	res := CompareTrend(base, cand, 0.30)
+	if res.OK() {
+		t.Fatal("rename-factor collapse not flagged")
+	}
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "rename section") {
+		t.Fatalf("want one rename-section regression, got %v", res.Regressions)
+	}
+}
+
+func TestCompareTrendSingleCellIsWarningWhenMeanHolds(t *testing.T) {
+	base := trendReport(100, 120, 100, 180)
+	cand := trendReport(100, 120, 100, 180)
+	// One extra policy cell collapses; the section mean (over two cells)
+	// stays within tolerance — warn, don't fail.
+	base.Cells = append(base.Cells,
+		NativeCell{Bench: "md5", Workers: 2, Policy: "sched-on", BestNS: 100},
+		NativeCell{Bench: "md5", Workers: 2, Policy: "sched-off", BestNS: 110})
+	cand.Cells = append(cand.Cells,
+		NativeCell{Bench: "md5", Workers: 2, Policy: "sched-on", BestNS: 100},
+		NativeCell{Bench: "md5", Workers: 2, Policy: "sched-off", BestNS: 70})
+	res := CompareTrend(base, cand, 0.30)
+	if !res.OK() {
+		t.Fatalf("mean holds but gate failed: %v", res.Regressions)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "policy md5 w=2") {
+		t.Fatalf("want one per-cell warning, got %v", res.Warnings)
+	}
+}
+
+func TestCompareTrendImprovementPasses(t *testing.T) {
+	base := trendReport(100, 110, 100, 140)
+	cand := trendReport(100, 150, 100, 300) // better factors everywhere
+	if res := CompareTrend(base, cand, 0.30); !res.OK() {
+		t.Fatalf("improvements flagged as regressions: %v", res.Regressions)
+	}
+}
+
+func TestCompareTrendMissingSection(t *testing.T) {
+	base := trendReport(100, 120, 100, 180)
+	cand := trendReport(100, 120, 100, 180)
+	cand.Rename = nil // the measurement pipeline rotted
+	res := CompareTrend(base, cand, 0.30)
+	if res.OK() || !strings.Contains(res.Regressions[0], "no rename factors") {
+		t.Fatalf("want a missing-section regression, got %v", res.Regressions)
+	}
+}
+
+func TestCompareTrendScaleMismatchRefused(t *testing.T) {
+	base := trendReport(100, 120, 100, 180)
+	cand := trendReport(100, 120, 100, 180)
+	cand.Scale = "default"
+	res := CompareTrend(base, cand, 0.30)
+	if res.OK() || !strings.Contains(res.Regressions[0], "scale mismatch") {
+		t.Fatalf("cross-scale comparison must be refused, got %v", res.Regressions)
+	}
+}
+
+func TestCompareTrendDisjointCells(t *testing.T) {
+	base := trendReport(100, 120, 100, 180)
+	cand := trendReport(100, 120, 100, 180)
+	for i := range cand.Cells {
+		cand.Cells[i].Workers = 16 // a host the baseline never measured
+	}
+	cand.Rename[0].Workers = 16
+	res := CompareTrend(base, cand, 0.30)
+	if res.Compared != 0 || res.OK() {
+		t.Fatalf("fully disjoint reports must flag no-comparable-cells, got compared=%d regs=%v",
+			res.Compared, res.Regressions)
+	}
+}

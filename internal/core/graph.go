@@ -18,6 +18,13 @@ type drec struct {
 	// of dropping it from the shard map (a fresh map record would diverge
 	// from the handle's).
 	pinned bool
+	// chain, when non-nil, makes the record renameable (see rename.go): the
+	// accessor lists above are then unused — the chain's current version
+	// carries them — and every access routes through wireChained. noRename
+	// records an opt-out issued before any chain existed, so it survives
+	// regardless of which handle later enables renaming.
+	chain    *verChain
+	noRename bool
 }
 
 // GraphStats counts dependence activity, for tests, tracing, and the
@@ -29,6 +36,13 @@ type GraphStats struct {
 	Inlined   uint64 // tasks executed inline (If(false) clause)
 	Failed    uint64 // tasks finished with a non-nil error (incl. skipped)
 	Skipped   uint64 // tasks released without running (failure policy / cancel)
+	// Renaming activity (see rename.go): writes that got a fresh instance
+	// instead of WAR/WAW edges, writes that stalled only because the
+	// in-flight version cap was full, and instances copied back onto
+	// canonical storage at chain drain.
+	Renamed         uint64
+	RenameFallbacks uint64
+	Writebacks      uint64
 }
 
 // gshard is one shard of the dependence tracker: the datum and array-region
@@ -57,6 +71,10 @@ type Datum struct {
 	rec    *drec        // exact-key record (nil for region handles)
 	rd     *regionDatum // region record (nil for exact-key handles)
 	region Region
+	// chain is the handle's version chain once EnableRenaming ran (set
+	// under the shard lock; also reachable through rec.chain / the region
+	// record's span-chain table, which is what the submit path consults).
+	chain *verChain
 }
 
 // Owner returns the graph this handle was registered on.
@@ -85,17 +103,25 @@ type Graph struct {
 	nextID     atomic.Uint64
 	unfinished atomic.Int64 // submitted but not finished (all contexts)
 
-	stSubmitted atomic.Uint64
-	stFinished  atomic.Uint64
-	stEdges     atomic.Uint64
-	stInlined   atomic.Uint64
-	stFailed    atomic.Uint64
-	stSkipped   atomic.Uint64
+	// Renaming policy (ConfigureRenaming): written once before the first
+	// submission, read under shard locks afterwards.
+	renameOn  bool
+	renameCap int
+
+	stSubmitted       atomic.Uint64
+	stFinished        atomic.Uint64
+	stEdges           atomic.Uint64
+	stInlined         atomic.Uint64
+	stFailed          atomic.Uint64
+	stSkipped         atomic.Uint64
+	stRenamed         atomic.Uint64
+	stRenameFallbacks atomic.Uint64
+	stWritebacks      atomic.Uint64
 }
 
 // NewGraph returns an empty dependence graph.
 func NewGraph() *Graph {
-	g := &Graph{}
+	g := &Graph{renameCap: DefaultMaxVersions}
 	for i := range g.shards {
 		g.shards[i].datums = make(map[any]*drec)
 	}
@@ -105,12 +131,15 @@ func NewGraph() *Graph {
 // Stats returns a snapshot of the graph counters.
 func (g *Graph) Stats() GraphStats {
 	return GraphStats{
-		Submitted: g.stSubmitted.Load(),
-		Finished:  g.stFinished.Load(),
-		Edges:     g.stEdges.Load(),
-		Inlined:   g.stInlined.Load(),
-		Failed:    g.stFailed.Load(),
-		Skipped:   g.stSkipped.Load(),
+		Submitted:       g.stSubmitted.Load(),
+		Finished:        g.stFinished.Load(),
+		Edges:           g.stEdges.Load(),
+		Inlined:         g.stInlined.Load(),
+		Failed:          g.stFailed.Load(),
+		Skipped:         g.stSkipped.Load(),
+		Renamed:         g.stRenamed.Load(),
+		RenameFallbacks: g.stRenameFallbacks.Load(),
+		Writebacks:      g.stWritebacks.Load(),
 	}
 }
 
@@ -347,15 +376,15 @@ func (g *Graph) wireTask(t *Task) {
 		// compatibility path below and resolves against this graph's maps.
 		if h := a.Datum; h != nil && h.owner == g {
 			if h.rd != nil {
-				h.rd.submit(t, a, h.region, addPred)
+				h.rd.submit(g, t, a, h.region, addPred)
 			} else {
-				wireExact(h.rec, t, a.Mode, addPred)
+				g.wireRecord(h.rec, t, a.Mode, addPred)
 			}
 			continue
 		}
 		sh := &g.shards[shardFor(a.Key)]
 		if r, ok := a.Key.(Region); ok {
-			sh.regionRec(r.Base).submit(t, a, r, addPred)
+			sh.regionRec(r.Base).submit(g, t, a, r, addPred)
 			continue
 		}
 		d := sh.datums[a.Key]
@@ -363,8 +392,19 @@ func (g *Graph) wireTask(t *Task) {
 			d = &drec{}
 			sh.datums[a.Key] = d
 		}
-		wireExact(d, t, a.Mode, addPred)
+		g.wireRecord(d, t, a.Mode, addPred)
 	}
+}
+
+// wireRecord wires one exact-key access: renameable records route through
+// the version chain (rename.go), plain records through wireExact. Called
+// with the owning shard lock held.
+func (g *Graph) wireRecord(d *drec, t *Task, mode Mode, addPred func(*Task)) {
+	if d.chain != nil {
+		g.wireChained(d.chain, t, mode, addPred)
+		return
+	}
+	wireExact(d, t, mode, addPred)
 }
 
 // wireExact wires the dependence edges of one exact-key access against the
@@ -437,6 +477,14 @@ func (g *Graph) MarkRunning(t *Task, worker int) {
 // the submitter) releases each successor.
 func (g *Graph) Finish(t *Task, err error) (newlyReady []*Task) {
 	t.outcome = err
+	// Release version bindings (and run any resulting writeback) BEFORE
+	// successors and counters drop: a dependent released below — or a
+	// taskwaiter that observes the counters — must also observe the
+	// written-back canonical value. Never holds the succ lock, so the
+	// shard → task lock order of Submit is preserved.
+	if t.bindings != nil {
+		g.releaseBindings(t, err)
+	}
 	succs := t.takeSuccsAndFinish()
 	close(t.done)
 	g.stFinished.Add(1)
@@ -480,10 +528,17 @@ func (g *Graph) LastWriter(key any) *Task {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	d := sh.datums[key]
-	if d == nil || d.lastWriter == nil || d.lastWriter.Finished() {
+	if d == nil {
 		return nil
 	}
-	return d.lastWriter
+	lw := d.lastWriter
+	if d.chain != nil {
+		lw = d.chain.cur.lastWriter
+	}
+	if lw == nil || lw.Finished() {
+		return nil
+	}
+	return lw
 }
 
 // Forget drops the dependence records of key (both the exact-key datum and
@@ -496,9 +551,15 @@ func (g *Graph) Forget(key any) {
 	sh := &g.shards[shardIndex(key)]
 	sh.mu.Lock()
 	if d := sh.datums[key]; d != nil {
-		if d.pinned {
+		switch {
+		case d.chain != nil:
+			// Chained records keep their chain (handles point at it); only
+			// the accessor history is dropped. Call when the datum is idle —
+			// live renamed instances are discarded without writeback.
+			d.chain.collapse()
+		case d.pinned:
 			*d = drec{pinned: true}
-		} else {
+		default:
 			delete(sh.datums, key)
 		}
 	}

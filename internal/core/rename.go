@@ -1,0 +1,526 @@
+package core
+
+// Dependence renaming (data versioning), the StarSs/OmpSs mechanism that
+// removes false dependences: a writer blocked only by WAR/WAW edges gets a
+// fresh private instance of the datum instead of stalling — pending readers
+// keep the old instance, the writer proceeds immediately on the new one,
+// and the latest instance is copied back to the datum's canonical storage
+// once every in-flight accessor has drained.
+//
+// The runtime cannot redirect the memory a task body captures, so renaming
+// is opt-in per datum: EnableRenaming supplies the canonical payload, an
+// allocator for fresh instances, and a payload copier, and bodies resolve
+// the instance bound to their access through Datum.PayloadFor (surfaced as
+// TC.Data in the public API). Accesses to a datum that never enabled
+// renaming are untouched — zero cost on that path.
+//
+// All chain state is guarded by the owning dependence shard's mutex:
+// version binding happens inside Submit's wiring step (shard already
+// locked), and release happens at Finish, which takes the shard lock per
+// binding — never while holding a task's succ lock, so the shard → task
+// lock order of Submit is preserved. Both backends drive this same code,
+// so native and simulated runs observe identical rename decisions for
+// identical submission interleavings.
+
+// version is one instance of a renameable datum: a payload plus the
+// dependence record of the tasks accessing exactly this instance. refs
+// counts submitted-but-unfinished accessors; the lists hold the same tasks
+// (they are never pruned before the version drains, and addPred skips
+// finished entries).
+type version struct {
+	payload     any
+	lastWriter  *Task
+	readers     []*Task
+	commuters   []*Task
+	concurrents []*Task
+	refs        int32
+	// poisoned records that the version's program-order last writer
+	// finished with an error (including skip-release): its payload is
+	// undefined and must never be written back to canonical storage.
+	poisoned bool
+}
+
+// anyUnfinished reports whether any accessor of the version other than
+// `self` is still in flight — the "would this access stall?" probe behind
+// the rename decision (a task never stalls on its own earlier access, so
+// self is excluded, matching addPred's self-skip).
+func (v *version) anyUnfinished(self *Task) bool {
+	if w := v.lastWriter; w != nil && w != self && !w.Finished() {
+		return true
+	}
+	return anyUnfinishedIn(v.readers, self) || anyUnfinishedIn(v.commuters, self) ||
+		anyUnfinishedIn(v.concurrents, self)
+}
+
+func (v *version) anyUnfinishedReader(self *Task) bool { return anyUnfinishedIn(v.readers, self) }
+
+func anyUnfinishedIn(ts []*Task, self *Task) bool {
+	for _, t := range ts {
+		if t != self && !t.Finished() {
+			return true
+		}
+	}
+	return false
+}
+
+// addAccessors feeds every accessor of the version to addPred — the
+// conservative "order after everything live on this instance" edge set used
+// when a non-chain access overlaps a renamed region, or when a write falls
+// back to canonical under the in-flight cap.
+func (v *version) addAccessors(addPred func(*Task)) {
+	addPred(v.lastWriter)
+	for _, t := range v.readers {
+		addPred(t)
+	}
+	for _, t := range v.commuters {
+		addPred(t)
+	}
+	for _, t := range v.concurrents {
+		addPred(t)
+	}
+}
+
+// verChain is the per-datum version chain: the canonical instance (the
+// user's own storage, version 0) plus the renamed instances currently in
+// flight. Guarded by the owning shard's mutex.
+type verChain struct {
+	shard     uint32
+	canonical *version
+	cur       *version   // instance new accesses bind to (== canonical when no rename is live)
+	renamed   []*version // live renamed instances, creation order (cur is the last)
+	alloc     func() any
+	copyFn    func(dst, src any)
+	pool      []any // reclaimed payloads, reused before calling alloc
+	noRename  bool  // Datum.NoRename, or a region chain sealed by mixed-discipline access
+}
+
+// newVersion takes a payload from the pool (or allocates one) and appends a
+// fresh live version. Pooled payloads carry stale bytes; that is sound
+// because an Out writer overwrites the instance by contract and an InOut
+// writer's copy-in overwrites it with its predecessor's value first.
+func (ch *verChain) newVersion() *version {
+	var p any
+	if n := len(ch.pool); n > 0 {
+		p = ch.pool[n-1]
+		ch.pool[n-1] = nil
+		ch.pool = ch.pool[:n-1]
+	} else {
+		p = ch.alloc()
+	}
+	v := &version{payload: p}
+	ch.renamed = append(ch.renamed, v)
+	return v
+}
+
+// verBinding records that one task access observes (read) and/or produces
+// (write) a specific instance of a chained datum. Bindings are appended at
+// wiring time under the shard lock and released by Finish. needCopy marks a
+// renamed InOut: the previous instance's value is copied into the new one
+// lazily, on the body's first PayloadFor call (copied is touched only by
+// the running body's goroutine).
+type verBinding struct {
+	chain    *verChain
+	read     *version
+	write    *version
+	needCopy bool
+	copied   bool
+}
+
+// Renaming configures dependence renaming on a graph. Set once, before any
+// submission (both backends do this at construction).
+type Renaming struct {
+	Enabled bool
+	// MaxVersions bounds the live renamed instances per datum; a write that
+	// would exceed it stalls on its WAR/WAW edges instead (counted as a
+	// rename fallback). <= 0 selects DefaultMaxVersions.
+	MaxVersions int
+}
+
+// DefaultMaxVersions is the default per-datum in-flight renamed-instance
+// cap: enough to keep several rounds of a reader/writer pipeline in flight,
+// small enough that a runaway submitter cannot hold unbounded payload
+// copies live.
+const DefaultMaxVersions = 8
+
+// ConfigureRenaming installs the graph's renaming policy. Call before any
+// task is submitted.
+func (g *Graph) ConfigureRenaming(r Renaming) {
+	if r.MaxVersions <= 0 {
+		r.MaxVersions = DefaultMaxVersions
+	}
+	g.renameOn = r.Enabled
+	g.renameCap = r.MaxVersions
+}
+
+// RenamingEnabled reports whether the graph breaks WAR/WAW edges on
+// renameable datums.
+func (g *Graph) RenamingEnabled() bool { return g.renameOn }
+
+// EnableRenaming makes the handle's datum renameable: canonical is the
+// instance behind the registered key (nil defaults to the key itself, the
+// usual pointer-keyed case), alloc produces a fresh private instance, and
+// cp copies one instance's value onto another (used for InOut copy-in and
+// for the final writeback onto canonical). Task bodies must then access the
+// datum through its bound instance (Datum.PayloadFor / TC.Data); renaming
+// never fires for datums that skip this call. For region handles the chain
+// is granular to the handle's exact span (a tile): renaming stays active
+// only while every access overlapping the span uses that span — an
+// overlapping raw-key or foreign-span access seals the chain and the
+// tracker falls back to ordinary conservative edges.
+func (d *Datum) EnableRenaming(canonical any, alloc func() any, cp func(dst, src any)) *Datum {
+	if canonical == nil {
+		canonical = d.Key
+	}
+	g := d.owner
+	sh := &g.shards[d.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d.chain != nil { // idempotent
+		return d
+	}
+	// Another handle over the same record (or the same region span) may
+	// have chained it already — adopt that chain, so all handles of one
+	// datum agree on the instance set.
+	if d.rd != nil {
+		if sc := d.rd.chainAt(d.region.Lo, d.region.Hi); sc != nil {
+			d.chain = sc.ch
+			return d
+		}
+	} else if d.rec.chain != nil {
+		d.chain = d.rec.chain
+		return d
+	}
+	// A NoRename issued before any chain existed is recorded on the
+	// record/region itself, so the opt-out survives no matter which handle
+	// later enables renaming.
+	earlyOptOut := d.rec != nil && d.rec.noRename ||
+		d.rd != nil && d.rd.spanNoRename(d.region.Lo, d.region.Hi)
+	ch := &verChain{shard: d.shard, alloc: alloc, copyFn: cp, noRename: earlyOptOut}
+	ch.canonical = &version{payload: canonical}
+	ch.cur = ch.canonical
+	if d.rd != nil {
+		// A chain overlapping an existing chain's span can never rename
+		// soundly (the two would bypass each other's segment records), so
+		// overlap seals both.
+		for _, sc := range d.rd.chains {
+			if sc.lo < d.region.Hi && d.region.Lo < sc.hi {
+				sc.ch.noRename = true
+				ch.noRename = true
+			}
+		}
+		d.rd.chains = append(d.rd.chains, &spanChain{lo: d.region.Lo, hi: d.region.Hi, ch: ch})
+	} else {
+		// Adopt the record's existing accessors as the canonical instance's:
+		// from here on the chain's current version carries the lists.
+		ch.canonical.lastWriter = d.rec.lastWriter
+		ch.canonical.readers = d.rec.readers
+		ch.canonical.commuters = d.rec.commuters
+		ch.canonical.concurrents = d.rec.concurrents
+		d.rec.lastWriter = nil
+		d.rec.readers = nil
+		d.rec.commuters = nil
+		d.rec.concurrents = nil
+		d.rec.chain = ch
+	}
+	d.chain = ch
+	return d
+}
+
+// NoRename opts the datum out of renaming (a chain keeps tracking
+// accessors so PayloadFor still resolves, but writes always stall on their
+// WAR/WAW edges and write the current instance in place). Idempotent; safe
+// before or after EnableRenaming, from any handle of the datum — the
+// opt-out sticks to the record (or the region span), not to the handle.
+func (d *Datum) NoRename() *Datum {
+	g := d.owner
+	sh := &g.shards[d.shard]
+	sh.mu.Lock()
+	ch := d.chain
+	if ch == nil {
+		if d.rd != nil {
+			if sc := d.rd.chainAt(d.region.Lo, d.region.Hi); sc != nil {
+				ch = sc.ch
+			}
+		} else if d.rec.chain != nil {
+			ch = d.rec.chain
+		}
+	}
+	if ch != nil {
+		ch.noRename = true
+	} else if d.rd != nil {
+		d.rd.noRenameSpans = append(d.rd.noRenameSpans, [2]int64{d.region.Lo, d.region.Hi})
+	} else {
+		d.rec.noRename = true
+	}
+	sh.mu.Unlock()
+	return d
+}
+
+// Renameable reports whether the datum currently has an active (enabled,
+// unsealed) version chain.
+func (d *Datum) Renameable() bool {
+	sh := &d.owner.shards[d.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return d.chain != nil && !d.chain.noRename
+}
+
+// PayloadFor resolves the instance of this datum that task t is bound to:
+// the version its access was wired against (its private output instance
+// for a renamed write — copied from the predecessor instance first for
+// InOut), or the chain's canonical payload when t is nil (master thread) or
+// carries no binding. For a datum without a chain it returns the key
+// itself, so pointer-keyed code degrades to the raw pointer. Call from the
+// bound task's own body only (the InOut copy-in is not synchronized against
+// other callers).
+func (d *Datum) PayloadFor(t *Task) any {
+	ch := d.chain
+	if ch == nil {
+		return d.Key
+	}
+	if t != nil {
+		var read *version
+		for i := range t.bindings {
+			b := &t.bindings[i]
+			if b.chain != ch {
+				continue
+			}
+			if b.write != nil {
+				if b.needCopy && !b.copied {
+					ch.copyFn(b.write.payload, b.read.payload)
+					b.copied = true
+				}
+				return b.write.payload
+			}
+			if read == nil {
+				read = b.read
+			}
+		}
+		if read != nil {
+			return read.payload
+		}
+	}
+	return ch.canonical.payload
+}
+
+// shouldRename decides, under the shard lock, whether a write-mode access
+// to a chained datum gets a fresh instance: only when the write would
+// otherwise stall on a WAR/WAW edge (an unfinished reader for InOut — its
+// RAW on the last writer is true and stays either way — or any unfinished
+// accessor for Out), renaming is on, the chain is active, and the in-flight
+// cap has room. The fallback path is always sound: the write joins the
+// current instance with ordinary conservative edges.
+func (g *Graph) shouldRename(ch *verChain, t *Task, mode Mode) bool {
+	if !g.renameOn || ch.noRename || ch.alloc == nil {
+		return false
+	}
+	var conflict bool
+	switch mode {
+	case Out:
+		conflict = ch.cur.anyUnfinished(t)
+	case InOut:
+		conflict = ch.cur.anyUnfinishedReader(t)
+	}
+	if !conflict {
+		return false
+	}
+	if len(ch.renamed) >= g.renameCap {
+		g.stRenameFallbacks.Add(1)
+		return false
+	}
+	return true
+}
+
+// wireChained wires one access of t against a chained datum's current
+// version, renaming write-mode accesses when shouldRename approves. Called
+// with the owning shard lock held. Commutative/Concurrent updaters mutate
+// the current instance in place and keep their ordinary edge semantics.
+func (g *Graph) wireChained(ch *verChain, t *Task, mode Mode, addPred func(*Task)) {
+	cur := ch.cur
+	switch mode {
+	case In:
+		addPred(cur.lastWriter)
+		for _, c := range cur.commuters {
+			addPred(c)
+		}
+		for _, c := range cur.concurrents {
+			addPred(c)
+		}
+		cur.readers = append(cur.readers, t)
+		t.bindRead(ch, cur)
+	case Concurrent:
+		addPred(cur.lastWriter)
+		for _, r := range cur.readers {
+			addPred(r)
+		}
+		for _, c := range cur.commuters {
+			addPred(c)
+		}
+		cur.concurrents = append(cur.concurrents, t)
+		t.bindRead(ch, cur)
+	case Commutative:
+		addPred(cur.lastWriter)
+		for _, r := range cur.readers {
+			addPred(r)
+		}
+		for _, c := range cur.concurrents {
+			addPred(c)
+		}
+		cur.commuters = append(cur.commuters, t)
+		t.bindRead(ch, cur)
+	case Out, InOut:
+		if g.shouldRename(ch, t, mode) {
+			nv := ch.newVersion()
+			if mode == InOut {
+				// The RAW on the previous instance's producers is true and
+				// stays; only the WAR edges on its readers are broken — they
+				// keep reading the old instance while this task writes the
+				// new one (seeded by copy-in at first PayloadFor).
+				addPred(cur.lastWriter)
+				for _, c := range cur.commuters {
+					addPred(c)
+				}
+				for _, c := range cur.concurrents {
+					addPred(c)
+				}
+				nv.readers = append(nv.readers, t)
+				t.bindRename(ch, cur, nv, true)
+			} else {
+				t.bindRename(ch, nil, nv, false)
+			}
+			nv.lastWriter = t
+			ch.cur = nv
+			g.stRenamed.Add(1)
+			return
+		}
+		addPred(cur.lastWriter)
+		for _, r := range cur.readers {
+			addPred(r)
+		}
+		for _, c := range cur.commuters {
+			addPred(c)
+		}
+		for _, c := range cur.concurrents {
+			addPred(c)
+		}
+		cur.lastWriter = t
+		cur.readers = nil
+		cur.commuters = nil
+		cur.concurrents = nil
+		if mode == InOut {
+			cur.readers = append(cur.readers, t)
+		}
+		t.bindWrite(ch, cur)
+	}
+}
+
+// releaseBindings drops t's holds on every instance it was bound to,
+// recording the writer's outcome, reclaiming drained superseded instances,
+// and — when the whole chain has drained with a renamed instance current —
+// copying that instance back onto the canonical storage. Called by Finish
+// BEFORE successors are released and counters dropped, so a dependent (or a
+// taskwaiter) that observes t finished also observes the writeback.
+func (g *Graph) releaseBindings(t *Task, err error) {
+	for i := range t.bindings {
+		b := &t.bindings[i]
+		if b.chain == nil {
+			continue // released below with an earlier same-chain binding
+		}
+		sh := &g.shards[b.chain.shard]
+		sh.mu.Lock()
+		// Release every binding of this chain under one lock acquisition
+		// and sweep once (a task normally binds a chain once; a renamed
+		// InOut or a duplicate declaration binds it twice).
+		for j := i; j < len(t.bindings); j++ {
+			bj := &t.bindings[j]
+			if bj.chain != b.chain {
+				continue
+			}
+			if bj.write != nil && bj.write.lastWriter == t {
+				// Program order's last writer of the instance decides
+				// whether its payload is defined. Writers on one instance
+				// are mutually ordered (WAW edges are kept within a
+				// version), so the last writer finishes last and its
+				// verdict sticks.
+				bj.write.poisoned = err != nil
+			}
+			if bj.read != nil {
+				bj.read.refs--
+			}
+			if bj.write != nil && bj.write != bj.read {
+				bj.write.refs--
+			}
+			if j > i {
+				bj.chain = nil
+			}
+		}
+		g.sweepChain(b.chain)
+		sh.mu.Unlock()
+	}
+	t.bindings = nil
+}
+
+// sweepChain publishes and reclaims the drained prefix of the version
+// list. Called with the owning shard lock held.
+//
+// Writeback is incremental: once the canonical instance and the oldest k
+// renamed instances have fully drained, the newest *successfully written*
+// instance among those k is copied onto the canonical storage — program
+// order's last good value so far — and the whole prefix returns its
+// payloads to the pool. Reclaiming only prefixes (never a drained
+// instance whose older sibling is still live) is what preserves the last
+// successful value when a later writer fails: its poisoned instance is
+// skipped and the canonical keeps the newest good predecessor, not the
+// pre-chain value. Memory stays bounded by the rename cap either way.
+// The canonical-refs guard also makes the copy race-free: nothing bound
+// to the canonical instance is still running when it is overwritten.
+func (g *Graph) sweepChain(ch *verChain) {
+	if ch.canonical.refs != 0 || len(ch.renamed) == 0 {
+		return
+	}
+	n := 0
+	for n < len(ch.renamed) && ch.renamed[n].refs == 0 {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	var best *version
+	for _, v := range ch.renamed[:n] {
+		if !v.poisoned {
+			best = v
+		}
+	}
+	if best != nil {
+		ch.copyFn(ch.canonical.payload, best.payload)
+		g.stWritebacks.Add(1)
+	}
+	for _, v := range ch.renamed[:n] {
+		ch.pool = append(ch.pool, v.payload)
+		v.payload = nil
+	}
+	ch.renamed = append(ch.renamed[:0], ch.renamed[n:]...)
+	if len(ch.renamed) == 0 {
+		// cur is always the newest instance, so an empty list means it
+		// drained too: collapse back onto the canonical instance.
+		ch.collapse()
+	}
+}
+
+// collapse resets the chain to its idle state — the canonical instance is
+// current and carries no accessor history. Called with the owning shard
+// lock held, after (or instead of, see Forget) any writeback.
+func (ch *verChain) collapse() {
+	ch.canonical.lastWriter = nil
+	ch.canonical.readers = nil
+	ch.canonical.commuters = nil
+	ch.canonical.concurrents = nil
+	ch.cur = ch.canonical
+	for _, v := range ch.renamed {
+		if v.payload != nil {
+			ch.pool = append(ch.pool, v.payload)
+			v.payload = nil
+		}
+	}
+	ch.renamed = nil
+}

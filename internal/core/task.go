@@ -133,6 +133,12 @@ type Task struct {
 	// submission (for tracing and DOT export; kept after they finish).
 	Preds []uint64
 
+	// bindings records the datum instances this task's accesses were wired
+	// against (renameable datums only — see rename.go). Appended under the
+	// owning shard lock during Submit, read by the body via PayloadFor,
+	// released by Finish.
+	bindings []verBinding
+
 	npred  int32      // atomic: unfinished predecessors (+1 submission guard while wiring)
 	succMu sync.Mutex // guards succs against the add-successor vs. finish race
 	succs  []*Task    // tasks waiting on this one
@@ -162,6 +168,32 @@ func (t *Task) AffinityShard() (uint32, bool) {
 		return 0, false
 	}
 	return t.affinity - 1, true
+}
+
+// bindRead records that the task observes version v of the chain. Called
+// under the owning shard lock.
+func (t *Task) bindRead(ch *verChain, v *version) {
+	v.refs++
+	t.bindings = append(t.bindings, verBinding{chain: ch, read: v})
+}
+
+// bindWrite records that the task writes version v in place (a non-renamed
+// write: the instance it reads, if any, is the same one). Called under the
+// owning shard lock.
+func (t *Task) bindWrite(ch *verChain, v *version) {
+	v.refs++
+	t.bindings = append(t.bindings, verBinding{chain: ch, write: v})
+}
+
+// bindRename records a renamed write: the task produces nv; for InOut,
+// prev is the instance whose value seeds nv (copy-in) and the task holds a
+// read ref on it. Called under the owning shard lock.
+func (t *Task) bindRename(ch *verChain, prev, nv *version, needCopy bool) {
+	nv.refs++
+	if prev != nil {
+		prev.refs++
+	}
+	t.bindings = append(t.bindings, verBinding{chain: ch, read: prev, write: nv, needCopy: needCopy})
 }
 
 // errBox wraps an error for atomic first-wins publication.

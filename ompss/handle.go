@@ -83,6 +83,40 @@ func (rt *Runtime) RegisterRegion(base any, lo, hi int64) *Datum {
 	return newDatum(rt.be.deps().RegisterRegion(base, lo, hi))
 }
 
+// EnableRenaming makes the datum renameable (see the WithRenaming option):
+// canonical is the storage behind the registered key (nil defaults to the
+// key itself — the usual pointer-keyed case), alloc produces a fresh
+// private instance, and cp copies one instance's value onto another
+// (renamed-InOut copy-in and the final writeback use it). Task bodies must
+// then access the datum through TC.Data. Call before submitting tasks that
+// use the handle; returns d for chaining:
+//
+//	d := rt.Register(&tile).EnableRenaming(nil,
+//		func() any { return new(Tile) },
+//		func(dst, src any) { *dst.(*Tile) = *src.(*Tile) })
+//
+// For a region handle the chain is granular to the handle's exact span (a
+// tile): renaming stays active only while every access overlapping the
+// span uses exactly that span; a raw-key or foreign-span overlap seals the
+// chain and the tracker falls back to ordinary conservative edges.
+func (d *Datum) EnableRenaming(canonical any, alloc func() any, cp func(dst, src any)) *Datum {
+	d.c.EnableRenaming(canonical, alloc, cp)
+	return d
+}
+
+// NoRename opts this datum out of renaming even when the runtime enables
+// it (WithRenaming): writes stall on their WAR/WAW edges and update the
+// current instance in place, as without renaming. Idempotent, usable
+// before or after EnableRenaming; returns d for chaining.
+func (d *Datum) NoRename() *Datum {
+	d.c.NoRename()
+	return d
+}
+
+// Renameable reports whether the datum currently has an active (enabled
+// and not opted-out or sealed) version chain.
+func (d *Datum) Renameable() bool { return d.c.Renameable() }
+
 // Handle is the future returned by Task, Go, and TaskLoop: a first-class
 // completion and outcome token for one spawned task.
 //

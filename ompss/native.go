@@ -105,6 +105,7 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 		sched: core.NewSched(cfg.workers, cfg.schedPolicy(), cfg.seed),
 		epoch: time.Now(),
 	}
+	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
 	b.gate.init()
 	return b
 }

@@ -83,14 +83,16 @@ func (m WaitMode) String() string {
 
 // config collects runtime options.
 type config struct {
-	workers  int
-	wait     WaitMode
-	locality bool
-	affinity bool
-	domains  int
-	seed     int64
-	tracer   *Tracer
-	policy   ErrorPolicy
+	workers   int
+	wait      WaitMode
+	locality  bool
+	affinity  bool
+	domains   int
+	seed      int64
+	tracer    *Tracer
+	policy    ErrorPolicy
+	renaming  bool
+	renameCap int
 }
 
 // schedPolicy assembles the core scheduling policy both backends hand to
@@ -131,6 +133,31 @@ func Domains(n int) Option { return func(c *config) { c.domains = n } }
 
 // Seed fixes the scheduler's steal-victim RNG.
 func Seed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// WithRenaming toggles dependence renaming (data versioning), the
+// StarSs/OmpSs mechanism that eliminates WAR/WAW stalls: a writer on a
+// renameable datum (Datum.EnableRenaming) whose only obstacles are earlier
+// readers — or, for output-only writes, an unfinished earlier writer — gets
+// a fresh private instance instead of waiting; the readers keep the old
+// instance, and the latest instance is copied back onto the canonical
+// storage when everything in flight has drained. Default off. Renaming
+// never fires for datums that did not call EnableRenaming, and both
+// backends share the single decision path in the dependence tracker, so
+// native and simulated runs stay value-identical with the knob on or off.
+//
+// Failure propagation (OnError) follows the edges that remain: a renamed
+// writer does not consume the earlier tasks' output, so it no longer
+// inherits their failures through the broken WAR/WAW edges — under
+// SkipDependents it runs (and publishes) even when a program-order
+// predecessor it never depended on fails. A renamed InOut keeps its true
+// RAW edge and still inherits the previous writer's failure.
+func WithRenaming(on bool) Option { return func(c *config) { c.renaming = on } }
+
+// RenameCap bounds the live renamed instances per datum (default
+// core.DefaultMaxVersions): a write that would exceed the cap stalls on
+// its WAR/WAW edges instead, keeping the memory held by in-flight copies
+// proportional to the cap, not to the submission depth.
+func RenameCap(n int) Option { return func(c *config) { c.renameCap = n } }
 
 // Trace attaches a Tracer that records task lifecycle events for the DOT
 // export and scheduling analysis.
@@ -573,6 +600,20 @@ func (tc *TC) Compute(d time.Duration) { tc.rt.be.compute(tc, d) }
 // datum identified by key (warmth/NUMA-dependent). Native execution ignores
 // it.
 func (tc *TC) Touch(key any, bytes int64, write bool) { tc.rt.be.touch(tc, key, bytes, write) }
+
+// Data resolves the instance of a renameable datum this task is bound to:
+// the version current when the task was submitted (readers), or the task's
+// private output instance (a renamed writer — seeded with its
+// predecessor's value first when the access is InOut). Task bodies MUST go
+// through Data for every datum that called EnableRenaming; for any other
+// datum it returns the registered key itself, so pointer-keyed bodies can
+// use it unconditionally:
+//
+//	buf := tc.Data(d).(*Tile)
+//
+// On the master TC (outside any task) it returns the canonical instance —
+// current only after a Taskwait/TaskwaitOn drained the datum's accessors.
+func (tc *TC) Data(d *Datum) any { return d.c.PayloadFor(tc.task) }
 
 // critSet is the named-lock table shared by both backends' critical support.
 type critSet[T any] struct {

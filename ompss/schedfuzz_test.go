@@ -361,6 +361,160 @@ func TestScheduleFuzz(t *testing.T) {
 	}
 }
 
+// bodyVersioned is the rename-aware task body: accesses resolve their
+// bound instance through tc.Data, so the same program is value-correct
+// whether or not the runtime renames. Two checks are dropped relative to
+// body, because renaming legitimately invalidates them: an Out writer
+// starts on a fresh private instance (there is no prior value for it to
+// observe), and commutative-counter expectations order across instances
+// (readers of an old instance are deliberately unordered against updaters
+// of a newer one). The final-state check in checkFinal — canonical values
+// after writeback against the sequential model — covers both modes.
+func (c *fuzzCells) bodyVersioned(t fuzzTask, taskIdx int, keys []*ompss.Datum) func(*ompss.TC) {
+	return func(tc *ompss.TC) {
+		for _, a := range t.accesses {
+			cell := tc.Data(keys[a.key]).(*paddedCell)
+			switch a.mode {
+			case fzIn, fzInOut, fzCommutative:
+				if got := cell.v; got != a.expectVal {
+					c.violate("task %d key %d (%d): saw write %d, program order requires %d",
+						taskIdx, a.key, a.mode, got, a.expectVal)
+				}
+			}
+			switch a.mode {
+			case fzOut, fzInOut:
+				cell.v = a.writeVal
+			case fzCommutative:
+				c.comms[a.key].v++ // mutual exclusion is the runtime's job
+			}
+		}
+	}
+}
+
+// runVersioned is run with every key registered as a renameable datum and
+// the rename-aware bodies; identical programs run under WithRenaming on
+// and off through this path and must drain to identical final state.
+func (c *fuzzCells) runVersioned(p *fuzzProg, rt *ompss.Runtime) {
+	keys := make([]*ompss.Datum, p.nKeys)
+	for k := range keys {
+		keys[k] = rt.Register(&c.vals[k]).EnableRenaming(nil,
+			func() any { return new(paddedCell) },
+			func(dst, src any) { dst.(*paddedCell).v = src.(*paddedCell).v })
+	}
+	clausesFor := func(t fuzzTask) []ompss.Clause {
+		var cl []ompss.Clause
+		for _, a := range t.accesses {
+			switch a.mode {
+			case fzIn:
+				cl = append(cl, ompss.In(keys[a.key]))
+			case fzOut:
+				cl = append(cl, ompss.Out(keys[a.key]))
+			case fzInOut:
+				cl = append(cl, ompss.InOut(keys[a.key]))
+			case fzCommutative:
+				cl = append(cl, ompss.Commutative(keys[a.key]))
+			}
+		}
+		if t.priority > 0 {
+			cl = append(cl, ompss.Priority(t.priority))
+		}
+		if t.affinity >= 0 {
+			cl = append(cl, ompss.Affinity(keys[t.affinity]))
+		}
+		return cl
+	}
+	idx := 0
+	for _, group := range p.groups {
+		if len(group) == 1 {
+			rt.Task(c.bodyVersioned(group[0], idx, keys), clausesFor(group[0])...)
+			idx++
+			continue
+		}
+		b := rt.Batch()
+		for _, t := range group {
+			b.Task(c.bodyVersioned(t, idx, keys), clausesFor(t)...)
+			idx++
+		}
+		b.Submit()
+	}
+	rt.Taskwait()
+}
+
+// runRenameSchedule executes the versioned program under one schedule with
+// the renaming knob set, returning violations plus the drained state and
+// rename activity.
+func runRenameSchedule(p *fuzzProg, sc fuzzSchedule, renaming bool) (violations []string, finals []int64, renamed uint64) {
+	cells := newFuzzCells(p.nKeys)
+	opts := append(append([]ompss.Option{}, sc.opts...), ompss.WithRenaming(renaming))
+	if sc.native {
+		rt := ompss.New(opts...)
+		cells.runVersioned(p, rt)
+		renamed = rt.Stats().Graph.Renamed
+		rt.Shutdown()
+	} else {
+		if _, err := ompss.RunSim(machine.Paper(sc.cores), func(rt *ompss.Runtime) {
+			cells.runVersioned(p, rt)
+			renamed = rt.Stats().Graph.Renamed
+		}, opts...); err != nil {
+			cells.violate("sim error: %v", err)
+		}
+	}
+	cells.checkFinal(p)
+	for k := 0; k < p.nKeys; k++ {
+		finals = append(finals, cells.vals[k].v, cells.comms[k].v)
+	}
+	cells.mu.Lock()
+	defer cells.mu.Unlock()
+	return cells.violations, finals, renamed
+}
+
+// TestScheduleFuzzRenaming runs the fuzz DAGs through the versioned bodies
+// with dependence renaming on and off and requires both to drain to the
+// model's final state (hence to identical state): renaming may only break
+// anti-dependences, never values. The renamed counter is checked non-zero
+// across the battery so the axis cannot silently degrade to a no-op.
+func TestScheduleFuzzRenaming(t *testing.T) {
+	seeds := []int64{1, 0x5eed}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	// A subset of the battery: renaming decisions live in the shared
+	// dependence tracker, so sweeping every scheduler knob again buys
+	// nothing — worker counts, wait modes, and both backends do.
+	var schedules []fuzzSchedule
+	for _, sc := range fuzzSchedules() {
+		if sc.native && sc.name[len(sc.name)-2:] == "d1" {
+			schedules = append(schedules, sc)
+		}
+	}
+	schedules = append(schedules, fuzzSchedule{name: "sim/c4", cores: 4},
+		fuzzSchedule{name: "sim/c8-loc", cores: 8, opts: []ompss.Option{ompss.Locality(false)}})
+	var totalRenamed uint64
+	for _, seed := range seeds {
+		p := genProg(seed, 1<<30)
+		for _, sc := range schedules {
+			vOn, fOn, renamed := runRenameSchedule(p, sc, true)
+			if len(vOn) > 0 {
+				t.Fatalf("seed %d schedule %s renaming=on: %d violations; first: %s",
+					seed, sc.name, len(vOn), vOn[0])
+			}
+			vOff, fOff, _ := runRenameSchedule(p, sc, false)
+			if len(vOff) > 0 {
+				t.Fatalf("seed %d schedule %s renaming=off: %d violations; first: %s",
+					seed, sc.name, len(vOff), vOff[0])
+			}
+			if fmt.Sprint(fOn) != fmt.Sprint(fOff) {
+				t.Fatalf("seed %d schedule %s: final state diverges on/off: %v vs %v",
+					seed, sc.name, fOn, fOff)
+			}
+			totalRenamed += renamed
+		}
+	}
+	if totalRenamed == 0 {
+		t.Fatal("no rename fired across the whole battery — the axis is dead")
+	}
+}
+
 // TestScheduleFuzzModelSelfCheck pins the generator: the model must be a
 // pure function of the seed, and a prefix of the program must carry the
 // same expectations as the full program's first groups (the property the

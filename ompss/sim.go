@@ -51,6 +51,7 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 	}
 	rt := &Runtime{be: b, cfg: cfg, simMode: true}
 	b.rt = rt
+	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
 
 	master := cfg.workers - 1
 	for lane := 0; lane < master; lane++ {
