@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace ci
 
 all: build test
 
@@ -51,6 +51,19 @@ bench-native:
 bench-trend:
 	$(GO) run ./cmd/ompss-bench -native -small -iters 3 -o /tmp/BENCH_native_fresh.json
 	$(GO) run ./cmd/ompss-bench -trend -baseline BENCH_native_small.json -candidate /tmp/BENCH_native_fresh.json -tol 0.30
+
+# Profile one suite app with the observability recorder attached: record a
+# raw trace, print the analyzer report (parallelism profile, critical path,
+# per-worker utilization, steal matrix), and export Chrome trace-event JSON
+# — open trace.chrome.json in chrome://tracing or ui.perfetto.dev. The CI
+# bench-smoke job runs the same pipeline and uploads the Chrome trace as an
+# artifact. Override: make trace TRACE_BENCH=c-ray TRACE_WORKERS=4
+TRACE_BENCH ?= h264dec
+TRACE_WORKERS ?= 2
+trace:
+	$(GO) run ./cmd/ompss-trace record -bench $(TRACE_BENCH) -workers $(TRACE_WORKERS) -o trace.raw.json
+	$(GO) run ./cmd/ompss-trace analyze trace.raw.json
+	$(GO) run ./cmd/ompss-trace export -format chrome -o trace.chrome.json trace.raw.json
 
 # Run every example end-to-end (the CI examples-smoke job).
 examples:

@@ -23,7 +23,10 @@
 // measurements to the JSON file named by -o. -cores then selects the native
 // worker counts, -iters the repetitions per cell, and -small the reduced
 // workloads (smoke scale: policy effects need the default workloads to rise
-// above host noise); -bench restricts the run to one benchmark.
+// above host noise); -bench restricts the run to one benchmark. -trace FILE
+// additionally runs one instrumented repetition (recorder attached, outside
+// the measured cells) and exports it as Chrome trace-event JSON — see
+// cmd/ompss-trace for the full record/analyze/export pipeline.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"strings"
 
 	"ompssgo/internal/bench"
+	"ompssgo/internal/obs"
 	"ompssgo/internal/suite"
 )
 
@@ -51,6 +55,7 @@ func main() {
 		candidate = flag.String("candidate", "", "candidate report for -trend")
 		tol       = flag.Float64("tol", 0.30, "relative factor tolerance for -trend (0.30 = candidate factors may fall 30% below baseline)")
 		out       = flag.String("o", "BENCH_native.json", "output file for -native measurements")
+		traceOut  = flag.String("trace", "", "with -native: export a Chrome trace of one instrumented run to this file")
 		iters     = flag.Int("iters", 3, "repetitions per -native cell")
 		coresFlag = flag.String("cores", "", "comma-separated core counts (default 1,8,16,24,32; for -native: 1,2,NumCPU)")
 		small     = flag.Bool("small", false, "use the reduced test workloads")
@@ -130,6 +135,38 @@ func main() {
 		fmt.Printf("native wall-clock measurements (%s, %d CPUs) -> %s\n",
 			rep.GOARCH, rep.NumCPU, *out)
 		rep.WriteTable(os.Stdout)
+		if *traceOut != "" {
+			// One extra instrumented repetition (outside the measured
+			// cells): the -bench selection if given, else the first suite
+			// app, at the largest requested worker count (harness default
+			// when -cores was not given).
+			name := suite.Names()[0]
+			if *oneBench != "" {
+				name = *oneBench
+			}
+			w := 0
+			for _, c := range cores {
+				if c > w {
+					w = c
+				}
+			}
+			tr, err := bench.RecordNativeTrace(name, w, scale)
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			if err := obs.WriteChromeTrace(f, tr); err != nil {
+				fatalf("trace: write %s: %v", *traceOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("trace: close %s: %v", *traceOut, err)
+			}
+			fmt.Printf("chrome trace of %s (w=%d, %d events, %d dropped) -> %s\n",
+				name, tr.Workers, len(tr.Events), tr.TotalDropped(), *traceOut)
+		}
 	case *usability:
 		rows, err := bench.MeasureUsability("internal/suite")
 		if err != nil {

@@ -1,0 +1,184 @@
+// Command ompss-trace records, analyzes, and exports observability traces
+// of the runtime (internal/obs) — the repo's answer to the Extrae/Paraver
+// tooling the OmpSs ecosystem ships, and the instrument behind the paper's
+// "where did the time go" analyses.
+//
+//	ompss-trace record -bench h264dec -workers 4 -o h264.trace.json
+//	    run a suite app natively with a recorder attached, save the raw trace
+//	ompss-trace record -bench c-ray -sim -cores 16 -o cray.trace.json
+//	    ... on the simulated machine (deterministic virtual-time trace)
+//	ompss-trace analyze h264.trace.json
+//	    parallelism profile, critical path + slack, per-worker utilization,
+//	    steal matrix, top tasks by exclusive time
+//	ompss-trace export -format chrome -o h264.chrome.json h264.trace.json
+//	    Chrome trace-event JSON: load in chrome://tracing or ui.perfetto.dev
+//	ompss-trace export -format paraver -o h264.csv h264.trace.json
+//	    Paraver-flavored CSV timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ompssgo/internal/obs"
+	"ompssgo/internal/suite"
+	"ompssgo/machine"
+	"ompssgo/ompss"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "export":
+		err = export(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ompss-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ompss-trace record  -bench <name> [-workers N] [-small] [-sim] [-cores N] [-cap N] [-o FILE]
+  ompss-trace analyze [-top N] FILE
+  ompss-trace export  -format chrome|paraver [-o FILE] FILE`)
+}
+
+// record runs one suite benchmark with a recorder attached and saves the
+// raw trace.
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		benchName = fs.String("bench", "", "suite benchmark to record (required)")
+		workers   = fs.Int("workers", 2, "native worker count (OMP_NUM_THREADS equivalent)")
+		small     = fs.Bool("small", false, "use the reduced test workload")
+		sim       = fs.Bool("sim", false, "record on the simulated machine (virtual-time trace)")
+		cores     = fs.Int("cores", 8, "simulated core count (with -sim)")
+		capacity  = fs.Int("cap", obs.DefaultCapacity, "per-worker ring capacity in events")
+		out       = fs.String("o", "trace.json", "output file for the raw trace")
+	)
+	fs.Parse(args)
+	if *benchName == "" {
+		return fmt.Errorf("record needs -bench\nvalid benchmarks: %s", strings.Join(suite.Names(), ", "))
+	}
+	scale := suite.Default
+	if *small {
+		scale = suite.Small
+	}
+	in, err := suite.New(*benchName, scale)
+	if err != nil {
+		return fmt.Errorf("%v\nvalid benchmarks: %s", err, strings.Join(suite.Names(), ", "))
+	}
+	want := in.RunSeq()
+	rec := obs.NewRecorder(obs.Capacity(*capacity))
+	var got uint64
+	if *sim {
+		// A fresh instance: RunSeq warmed caches and, more importantly,
+		// some suite apps reuse buffers between runs.
+		in, _ = suite.New(*benchName, scale)
+		if _, err := ompss.RunSim(machine.Paper(*cores), func(rt *ompss.Runtime) {
+			got = in.RunOmpSs(rt)
+		}, ompss.Observe(rec)); err != nil {
+			return fmt.Errorf("sim run: %v", err)
+		}
+	} else {
+		in, _ = suite.New(*benchName, scale)
+		rt := ompss.New(ompss.Workers(*workers), ompss.Observe(rec))
+		got = in.RunOmpSs(rt)
+		rt.Shutdown()
+	}
+	if got != want {
+		return fmt.Errorf("%s: checksum %#x, sequential reference %#x", *benchName, got, want)
+	}
+	tr := rec.Snapshot()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %v", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s (%s): %d events, %d dropped -> %s\n",
+		*benchName, tr.Backend, len(tr.Events), tr.TotalDropped(), *out)
+	return nil
+}
+
+func loadTrace(fs *flag.FlagSet) (*obs.Trace, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("want exactly one trace file argument")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
+// analyze prints the paper-style reports for a saved trace.
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	top := fs.Int("top", 10, "entries to show in the critical-path and top-task lists")
+	fs.Parse(args)
+	tr, err := loadTrace(fs)
+	if err != nil {
+		return err
+	}
+	return obs.Analyze(tr).WriteReport(os.Stdout, *top)
+}
+
+// export converts a saved trace to a viewer format.
+func export(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var (
+		format = fs.String("format", "chrome", "output format: chrome|paraver")
+		out    = fs.String("o", "", "output file (default: stdout)")
+	)
+	fs.Parse(args)
+	tr, err := loadTrace(fs)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "" {
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		err = obs.WriteChromeTrace(w, tr)
+	case "paraver":
+		err = obs.WriteParaverCSV(w, tr)
+	default:
+		err = fmt.Errorf("unknown format %q (want chrome or paraver)", *format)
+	}
+	if f != nil {
+		// Close errors matter: they are where a full filesystem surfaces.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -14,16 +14,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ompssgo/internal/kernels/linalg"
+	"ompssgo/internal/obs"
 	"ompssgo/ompss"
 )
 
+// demoNames lists the valid -demo values, for help and typo messages.
+var demoNames = []string{"pipeline", "cholesky", "diamond"}
+
 func main() {
 	var (
-		demo = flag.String("demo", "pipeline", "graph to emit: pipeline|cholesky|diamond")
-		n    = flag.Int("n", 6, "pipeline iterations")
-		nb   = flag.Int("nb", 3, "cholesky blocks per dimension")
+		demo  = flag.String("demo", "pipeline", "graph to emit: "+strings.Join(demoNames, "|"))
+		n     = flag.Int("n", 6, "pipeline iterations")
+		nb    = flag.Int("nb", 3, "cholesky blocks per dimension")
+		trace = flag.String("trace", "", "also export a Chrome trace (chrome://tracing / Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -38,7 +44,8 @@ func main() {
 	case "diamond":
 		diamond(rt)
 	default:
-		fmt.Fprintf(os.Stderr, "taskgraph: unknown demo %q\n", *demo)
+		fmt.Fprintf(os.Stderr, "taskgraph: unknown demo %q\nvalid demos: %s\n",
+			*demo, strings.Join(demoNames, ", "))
 		os.Exit(1)
 	}
 	rt.Shutdown()
@@ -46,9 +53,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "taskgraph: %v\n", err)
 		os.Exit(1)
 	}
+	if *trace != "" {
+		if err := exportChrome(tr, *trace); err != nil {
+			fmt.Fprintf(os.Stderr, "taskgraph: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "taskgraph: Chrome trace -> %s\n", *trace)
+	}
 	sum := tr.Summary()
 	fmt.Fprintf(os.Stderr, "taskgraph: %d tasks, %d edges, max concurrency %d\n",
 		sum.Tasks, sum.Edges, sum.MaxConcurrent)
+}
+
+// exportChrome writes the demo run's full observability stream as Chrome
+// trace-event JSON.
+func exportChrome(tr *ompss.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr.Recorder().Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // pipeline spawns the Listing 1 shape: per iteration, read→parse→decode→

@@ -43,6 +43,12 @@ func TestSubmitAllocBudget(t *testing.T) {
 		"BenchmarkSubmitAnyKeyInt":  BenchmarkSubmitAnyKeyInt,
 		"BenchmarkSubmitDatumInt":   BenchmarkSubmitDatumInt,
 		"BenchmarkSubmitBatchDatum": BenchmarkSubmitBatchDatum,
+		// Observability ceilings: the raw record path must stay at 0
+		// allocs/op, and a recorder-attached submit must cost no more
+		// allocations than a detached one (same ceiling as
+		// BenchmarkSubmitDatumPtr).
+		"BenchmarkObsRecord":              BenchmarkObsRecord,
+		"BenchmarkSubmitDatumPtrObserved": BenchmarkSubmitDatumPtrObserved,
 	}
 	for name, fn := range benchmarks {
 		budget, ok := entries[name]

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"ompssgo/internal/obs"
 	"ompssgo/internal/suite"
 	"ompssgo/ompss"
 )
@@ -325,6 +326,39 @@ func runNativeContention(workers []int, iters int, progress io.Writer) []NativeC
 		}
 	}
 	return out
+}
+
+// RecordNativeTrace runs one instrumented native repetition of a suite
+// benchmark (default policy) with an observability recorder attached and
+// returns the merged trace — the ompss-bench -trace leg. workers <= 0
+// selects the largest worker count of the harness default (the same list
+// RunNative measures with no -cores). The result is verified against the
+// sequential reference. The instrumented run is separate from the
+// measured cells, so attaching a recorder never touches the numbers in
+// the report.
+func RecordNativeTrace(name string, workers int, scale suite.Scale) (*obs.Trace, error) {
+	if workers <= 0 {
+		ws := defaultNativeWorkers()
+		workers = ws[len(ws)-1]
+	}
+	ref, err := suite.New(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	want := ref.RunSeq()
+	in, err := suite.New(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.NewRecorder()
+	rt := ompss.New(ompss.Workers(workers), ompss.Observe(rec))
+	got := in.RunOmpSs(rt)
+	rt.Shutdown()
+	if got != want {
+		return nil, fmt.Errorf("%s/trace/w%d: checksum %#x, sequential reference %#x",
+			name, workers, got, want)
+	}
+	return rec.Snapshot(), nil
 }
 
 // WriteJSON serializes the report (stable field order, trailing newline).

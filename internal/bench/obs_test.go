@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ompssgo/internal/obs"
+	"ompssgo/ompss"
+)
+
+// Observability overhead microbenchmarks. Two contracts are enforced
+// through testdata/alloc_budget.json:
+//
+//   - BenchmarkObsRecord: the raw record path is 0 allocs/op steady-state
+//     (rings preallocated at Attach, events fixed-size, wraparound
+//     included).
+//   - BenchmarkSubmitDatumPtrObserved: attaching a recorder adds ZERO
+//     allocations to the submit hot path — its ceiling equals
+//     BenchmarkSubmitDatumPtr's.
+//
+// BenchmarkContendedThroughputTraced is the trace-on leg of the contended
+// throughput probe: compare its tasks/s against BenchmarkContendedThroughput
+// at the same worker count for the recorder-attached overhead
+// (EXPERIMENTS.md records the ≤5% measurement at w=2).
+
+// BenchmarkObsRecord measures one event emission into an attached
+// recorder, ring wraparound included (capacity far below b.N).
+func BenchmarkObsRecord(b *testing.B) {
+	rec := obs.NewRecorder(obs.Capacity(1 << 12))
+	var t int64
+	rec.Attach(1, "bench", false, func() int64 { t++; return t })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Emit(0, obs.EvStart, uint64(i), 0)
+	}
+}
+
+// BenchmarkSubmitDatumPtrObserved is BenchmarkSubmitDatumPtr with a
+// recorder attached: the full submit-path event set (submit, edge, ready,
+// start, end) rides along on every task.
+func BenchmarkSubmitDatumPtrObserved(b *testing.B) {
+	rec := obs.NewRecorder()
+	rt := ompss.New(ompss.Workers(1), ompss.Observe(rec))
+	defer rt.Shutdown()
+	ds := make([]*ompss.Datum, submitKeys)
+	for i := range ds {
+		ds[i] = rt.Register(new(int64))
+	}
+	body := func(*ompss.TC) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Task(body, ds[i%submitKeys].AsInOut())
+		if i%4096 == 4095 {
+			rt.Taskwait()
+		}
+	}
+	rt.Taskwait()
+}
+
+// BenchmarkContendedThroughputTraced is the recorder-attached leg of the
+// contended-throughput probe (same shape as BenchmarkContendedThroughput;
+// a fresh recorder per repetition, as a profiling run would attach one).
+func BenchmarkContendedThroughputTraced(b *testing.B) {
+	const (
+		chains = 64
+		tasks  = 20000
+		spin   = 120
+	)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last ContentionResult
+			for i := 0; i < b.N; i++ {
+				rec := obs.NewRecorder()
+				last = MeasureContention(w, chains, tasks, spin, ompss.Observe(rec))
+				if last.Checksum != int64(last.Tasks) {
+					b.Fatalf("lost updates: %d != %d", last.Checksum, last.Tasks)
+				}
+				tr := rec.Snapshot()
+				if got := len(tr.Events) + int(tr.TotalDropped()); got < tasks {
+					b.Fatalf("trace accounts for %d events, want >= %d tasks", got, tasks)
+				}
+			}
+			b.ReportMetric(last.TasksPerSec(), "tasks/s")
+		})
+	}
+}

@@ -108,6 +108,10 @@ type Graph struct {
 	renameOn  bool
 	renameCap int
 
+	// probe, when non-nil, receives rename/writeback events (SetProbe;
+	// written once before the first submission).
+	probe Probe
+
 	stSubmitted       atomic.Uint64
 	stFinished        atomic.Uint64
 	stEdges           atomic.Uint64

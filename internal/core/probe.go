@@ -1,0 +1,29 @@
+package core
+
+// Probe receives engine-level observability callbacks — the events only
+// the scheduler and dependence tracker can see (steals, rename decisions,
+// writebacks). The executor layer wires a recorder (internal/obs) in here;
+// a nil probe costs one predictable branch per site. Implementations must
+// be safe from any goroutine, lock-free, and allocation-free: StealEvent
+// fires on the steal path and RenameEvent/WritebackEvent fire under a
+// dependence-shard lock.
+type Probe interface {
+	// StealEvent records a successful steal: thief took task (by ID) from
+	// victim's queues.
+	StealEvent(thief, victim int, task uint64)
+	// RenameEvent records that task's write-mode access received a fresh
+	// renamed instance instead of WAR/WAW edges.
+	RenameEvent(task uint64)
+	// WritebackEvent records a drained version chain copying its last good
+	// instance back onto canonical storage; task is that instance's
+	// program-order last writer (0 when unknown).
+	WritebackEvent(task uint64)
+}
+
+// SetProbe installs the scheduler's observability probe. Call before the
+// scheduler is driven (the executor does this at construction).
+func (s *Sched) SetProbe(p Probe) { s.probe = p }
+
+// SetProbe installs the dependence tracker's observability probe. Call
+// before the first submission.
+func (g *Graph) SetProbe(p Probe) { g.probe = p }

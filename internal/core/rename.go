@@ -391,6 +391,9 @@ func (g *Graph) wireChained(ch *verChain, t *Task, mode Mode, addPred func(*Task
 			nv.lastWriter = t
 			ch.cur = nv
 			g.stRenamed.Add(1)
+			if g.probe != nil {
+				g.probe.RenameEvent(t.ID)
+			}
 			return
 		}
 		addPred(cur.lastWriter)
@@ -494,6 +497,13 @@ func (g *Graph) sweepChain(ch *verChain) {
 	if best != nil {
 		ch.copyFn(ch.canonical.payload, best.payload)
 		g.stWritebacks.Add(1)
+		if g.probe != nil {
+			var wid uint64
+			if best.lastWriter != nil {
+				wid = best.lastWriter.ID
+			}
+			g.probe.WritebackEvent(wid)
+		}
 	}
 	for _, v := range ch.renamed[:n] {
 		ch.pool = append(ch.pool, v.payload)

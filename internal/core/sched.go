@@ -43,6 +43,7 @@ type SchedStats struct {
 type Sched struct {
 	workers int
 	pol     Policy
+	probe   Probe       // observability hook (SetProbe); nil when detached
 	lanes   []laneState // len workers+1: the extra lane absorbs stats/rng for out-of-range callers
 
 	global mpmcQueue
@@ -302,6 +303,9 @@ func (s *Sched) Pop(worker int) *Task {
 				ln.steals.Add(1)
 				if inRange && s.pol.DomainOf(v, s.workers) == homeDomain {
 					ln.domainSteals.Add(1)
+				}
+				if s.probe != nil {
+					s.probe.StealEvent(worker, v, t.ID)
 				}
 				return t
 			}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diamondTrace hand-builds the four-task diamond with known timings (ns):
+//
+//	top    w0 [0,10)   — no preds
+//	left   w0 [10,30)  — pred top
+//	right  w1 [10,20)  — pred top
+//	bottom w0 [30,35)  — preds left, right
+//
+// Exact expectations: span 35, total exec 45, critical path
+// top→left→bottom = 35, right's slack 10, profile {1:25ns, 2:10ns}.
+func diamondTrace() *Trace {
+	seq := uint64(0)
+	ev := func(at int64, k Kind, w int32, task, arg uint64, label string) Event {
+		seq++
+		return Event{Seq: seq, At: at, Kind: k, Worker: w, Task: task, Arg: arg, Label: label}
+	}
+	return &Trace{
+		Backend: "test", Workers: 2, Capacity: 64, Dropped: []uint64{0, 0, 0},
+		Events: []Event{
+			ev(0, EvSubmit, 1, 1, 0, "top"),
+			ev(0, EvReady, 1, 1, 0, ""),
+			ev(0, EvSubmit, 1, 2, 1, "left"),
+			ev(0, EvEdge, 1, 2, 1, ""),
+			ev(0, EvSubmit, 1, 3, 1, "right"),
+			ev(0, EvEdge, 1, 3, 1, ""),
+			ev(0, EvSubmit, 1, 4, 2, "bottom"),
+			ev(0, EvEdge, 1, 4, 2, ""),
+			ev(0, EvEdge, 1, 4, 3, ""),
+			ev(0, EvStart, 0, 1, 0, ""),
+			ev(10, EvEnd, 0, 1, 0, ""),
+			ev(10, EvReady, 0, 2, 0, ""),
+			ev(10, EvReady, 0, 3, 0, ""),
+			ev(10, EvStart, 0, 2, 0, ""),
+			ev(10, EvStart, 1, 3, 0, ""),
+			ev(20, EvEnd, 1, 3, 0, ""),
+			ev(30, EvEnd, 0, 2, 0, ""),
+			ev(30, EvReady, 0, 4, 0, ""),
+			ev(30, EvStart, 0, 4, 0, ""),
+			ev(35, EvEnd, 0, 4, 0, ""),
+		},
+	}
+}
+
+// TestAnalyzeDiamondExact asserts every analyzer number exactly on the
+// hand-built diamond.
+func TestAnalyzeDiamondExact(t *testing.T) {
+	a := Analyze(diamondTrace())
+	if a.Submitted != 4 || a.Executed != 4 || a.Skipped != 0 || a.Edges != 4 {
+		t.Fatalf("counts: submitted=%d executed=%d skipped=%d edges=%d",
+			a.Submitted, a.Executed, a.Skipped, a.Edges)
+	}
+	if a.Span != 35 {
+		t.Fatalf("span %d, want 35", a.Span)
+	}
+	if a.TotalExec != 45 {
+		t.Fatalf("total exec %d, want 45", a.TotalExec)
+	}
+	if a.MaxParallelism != 2 {
+		t.Fatalf("max parallelism %d, want 2", a.MaxParallelism)
+	}
+	if want := []int64{0, 25, 10}; !reflect.DeepEqual(a.Profile, want) {
+		t.Fatalf("profile %v, want %v", a.Profile, want)
+	}
+	if want := float64(45) / 35; a.AvgParallelism != want {
+		t.Fatalf("avg parallelism %v, want %v", a.AvgParallelism, want)
+	}
+	if a.CPLen != 35 {
+		t.Fatalf("critical path %d, want 35", a.CPLen)
+	}
+	var chain []string
+	for _, ct := range a.CPTasks {
+		chain = append(chain, ct.Label)
+	}
+	if want := []string{"top", "left", "bottom"}; !reflect.DeepEqual(chain, want) {
+		t.Fatalf("critical-path chain %v, want %v", chain, want)
+	}
+	if want := float64(45) / 35; a.PotentialSpeedup != want {
+		t.Fatalf("potential speedup %v, want %v", a.PotentialSpeedup, want)
+	}
+	// Slack: only the off-path task has any, and it is exact.
+	for id, wantSlack := range map[uint64]int64{1: 0, 2: 0, 3: 10, 4: 0} {
+		if got := a.Tasks[id].Slack; got != wantSlack {
+			t.Fatalf("task %d slack %d, want %d", id, got, wantSlack)
+		}
+	}
+	if a.Tasks[3].Through != 25 {
+		t.Fatalf("right through %d, want 25", a.Tasks[3].Through)
+	}
+	// Per-worker aggregates.
+	if a.ByWorker[0].Busy != 35 || a.ByWorker[0].Tasks != 3 {
+		t.Fatalf("w0 busy=%d tasks=%d, want 35/3", a.ByWorker[0].Busy, a.ByWorker[0].Tasks)
+	}
+	if a.ByWorker[1].Busy != 10 || a.ByWorker[1].Tasks != 1 {
+		t.Fatalf("w1 busy=%d tasks=%d, want 10/1", a.ByWorker[1].Busy, a.ByWorker[1].Tasks)
+	}
+	// Label aggregation, descending total with label tiebreak.
+	var labels []string
+	for _, ls := range a.ByLabel {
+		labels = append(labels, ls.Label)
+	}
+	if want := []string{"left", "right", "top", "bottom"}; !reflect.DeepEqual(labels, want) {
+		t.Fatalf("label order %v, want %v", labels, want)
+	}
+	if a.Truncated || a.DroppedEvents != 0 {
+		t.Fatalf("complete trace flagged truncated (%d dropped)", a.DroppedEvents)
+	}
+	if a.Tasks[2].Ready != 10 || a.Tasks[2].Submit != 0 {
+		t.Fatalf("left ready=%d submit=%d, want 10/0", a.Tasks[2].Ready, a.Tasks[2].Submit)
+	}
+}
+
+// TestAnalyzeStealsIdleTaskwait pins the scheduler-side aggregations: the
+// steal matrix cell, per-worker idle and taskwait spans, and the rename
+// counters.
+func TestAnalyzeStealsIdleTaskwait(t *testing.T) {
+	tr := &Trace{
+		Backend: "test", Workers: 2, Dropped: []uint64{0, 0, 0},
+		Events: []Event{
+			{Seq: 1, At: 0, Kind: EvIdleEnter, Worker: 1},
+			{Seq: 2, At: 5, Kind: EvSteal, Worker: 1, Arg: 0, Task: 9},
+			{Seq: 3, At: 5, Kind: EvIdleExit, Worker: 1},
+			{Seq: 4, At: 6, Kind: EvTaskwaitEnter, Worker: 0},
+			{Seq: 5, At: 7, Kind: EvTaskwaitEnter, Worker: 0}, // nested
+			{Seq: 6, At: 9, Kind: EvTaskwaitExit, Worker: 0},
+			{Seq: 7, At: 14, Kind: EvTaskwaitExit, Worker: 0},
+			{Seq: 8, At: 15, Kind: EvRename, Worker: -1, Task: 9},
+			{Seq: 9, At: 16, Kind: EvWriteback, Worker: -1, Task: 9},
+		},
+	}
+	a := Analyze(tr)
+	if a.Steals != 1 || a.StealMatrix[1][0] != 1 || a.ByWorker[1].Steals != 1 {
+		t.Fatalf("steal accounting wrong: steals=%d matrix=%v", a.Steals, a.StealMatrix)
+	}
+	if a.ByWorker[1].Idle != 5 {
+		t.Fatalf("w1 idle %d, want 5", a.ByWorker[1].Idle)
+	}
+	// Nested taskwait counts the outermost span only.
+	if a.ByWorker[0].Taskwait != 8 {
+		t.Fatalf("w0 taskwait %d, want 8 (outermost span)", a.ByWorker[0].Taskwait)
+	}
+	if a.Renames != 1 || a.Writebacks != 1 {
+		t.Fatalf("renames=%d writebacks=%d, want 1/1", a.Renames, a.Writebacks)
+	}
+}
+
+// TestAnalyzeTruncatedTrace checks drop reporting: exact count surfaced,
+// truncation flagged, incomplete tasks excluded from timing aggregates,
+// and the report says so.
+func TestAnalyzeTruncatedTrace(t *testing.T) {
+	tr := &Trace{
+		Backend: "test", Workers: 1, Dropped: []uint64{7, 0},
+		Events: []Event{
+			// End without its start (the start was overwritten) plus one
+			// complete task.
+			{Seq: 50, At: 90, Kind: EvEnd, Worker: 0, Task: 3},
+			{Seq: 51, At: 100, Kind: EvStart, Worker: 0, Task: 4},
+			{Seq: 52, At: 110, Kind: EvEnd, Worker: 0, Task: 4},
+		},
+	}
+	a := Analyze(tr)
+	if !a.Truncated || a.DroppedEvents != 7 {
+		t.Fatalf("truncation not reported: truncated=%v dropped=%d", a.Truncated, a.DroppedEvents)
+	}
+	if a.Executed != 1 || a.TotalExec != 10 {
+		t.Fatalf("incomplete task leaked into aggregates: executed=%d exec=%d", a.Executed, a.TotalExec)
+	}
+	var sb strings.Builder
+	if err := a.WriteReport(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "7 events overwritten") {
+		t.Fatalf("report does not surface the drop count:\n%s", sb.String())
+	}
+}
+
+// TestAnalyzeSkipped checks that skip-released tasks are counted and
+// marked.
+func TestAnalyzeSkipped(t *testing.T) {
+	tr := &Trace{
+		Backend: "test", Workers: 1, Dropped: []uint64{0, 0},
+		Events: []Event{
+			{Seq: 1, At: 0, Kind: EvSubmit, Worker: 0, Task: 1, Label: "doomed"},
+			{Seq: 2, At: 1, Kind: EvStart, Worker: 0, Task: 1},
+			{Seq: 3, At: 1, Kind: EvSkip, Worker: 0, Task: 1},
+			{Seq: 4, At: 1, Kind: EvEnd, Worker: 0, Task: 1},
+		},
+	}
+	a := Analyze(tr)
+	if a.Skipped != 1 || !a.Tasks[1].Skipped {
+		t.Fatalf("skip not recorded: skipped=%d task=%+v", a.Skipped, a.Tasks[1])
+	}
+}

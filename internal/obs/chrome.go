@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format") understood by chrome://tracing and Perfetto. Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace exports the trace as Chrome trace-event JSON: one track
+// (tid) per worker lane, a complete ("X") slice per executed task, flow
+// arrows ("s"/"f") along every dependence edge whose endpoints are both in
+// the stream, instant markers for steals, skips, renames and writebacks,
+// and a running-task counter that draws the instantaneous-parallelism
+// profile. Load the file in chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, tr *Trace) error {
+	a := Analyze(tr)
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	add := func(ev chromeEvent) { doc.TraceEvents = append(doc.TraceEvents, ev) }
+
+	add(chromeEvent{Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("ompssgo (%s)", tr.Backend)}})
+	for lane := 0; lane < tr.Workers; lane++ {
+		name := fmt.Sprintf("worker %d", lane)
+		if lane == tr.Workers-1 {
+			name = fmt.Sprintf("master (lane %d)", lane)
+		}
+		add(chromeEvent{Name: "thread_name", Phase: "M", PID: 0, TID: lane,
+			Args: map[string]any{"name": name}})
+	}
+	add(chromeEvent{Name: "thread_name", Phase: "M", PID: 0, TID: tr.Workers,
+		Args: map[string]any{"name": "runtime"}})
+
+	// Task slices, in submission order for a stable document.
+	for _, id := range a.Order {
+		t := a.Tasks[id]
+		if !t.Complete() {
+			continue
+		}
+		d := us(t.Exec)
+		cat := "task"
+		if t.Skipped {
+			cat = "skipped"
+		}
+		add(chromeEvent{Name: t.Name(), Cat: cat, Phase: "X",
+			TS: us(t.Start), Dur: &d, PID: 0, TID: t.Worker,
+			Args: map[string]any{"task": t.ID, "preds": len(t.Preds), "slack_us": us(t.Slack)}})
+	}
+	// Flow arrows along dependence edges: start at the predecessor's end,
+	// finish bound to the successor slice's beginning.
+	edge := 0
+	for _, id := range a.Order {
+		t := a.Tasks[id]
+		if !t.Complete() {
+			continue
+		}
+		for _, p := range t.Preds {
+			pt := a.Tasks[p]
+			if pt == nil || !pt.Complete() {
+				continue
+			}
+			edge++
+			eid := fmt.Sprintf("dep%d", edge)
+			add(chromeEvent{Name: "dep", Cat: "dep", Phase: "s", ID: eid,
+				TS: us(pt.End), PID: 0, TID: pt.Worker})
+			add(chromeEvent{Name: "dep", Cat: "dep", Phase: "f", BP: "e", ID: eid,
+				TS: us(t.Start), PID: 0, TID: t.Worker})
+		}
+	}
+	// Instant markers and the parallelism counter, straight off the stream.
+	running := 0
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		tid := int(ev.Worker)
+		if tid < 0 || tid > tr.Workers {
+			tid = tr.Workers
+		}
+		switch ev.Kind {
+		case EvStart, EvEnd:
+			if t := a.Tasks[ev.Task]; t == nil || !t.Complete() {
+				continue
+			}
+			if ev.Kind == EvStart {
+				running++
+			} else {
+				running--
+			}
+			add(chromeEvent{Name: "parallelism", Phase: "C", TS: us(ev.At), PID: 0,
+				Args: map[string]any{"running": running}})
+		case EvSteal:
+			add(chromeEvent{Name: "steal", Cat: "sched", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid,
+				Args: map[string]any{"victim": ev.Arg, "task": ev.Task}})
+		case EvSkip:
+			add(chromeEvent{Name: "skip", Cat: "sched", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid, Args: map[string]any{"task": ev.Task}})
+		case EvRename:
+			add(chromeEvent{Name: "rename", Cat: "rename", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid, Args: map[string]any{"task": ev.Task}})
+		case EvWriteback:
+			add(chromeEvent{Name: "writeback", Cat: "rename", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid, Args: map[string]any{"task": ev.Task}})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteParaverCSV exports the trace as a Paraver-flavored CSV timeline:
+// one `state` row per executed task (its running interval on its lane),
+// one `state` row per recorded idle and taskwait interval, and one `event`
+// row per punctual record (steal, skip, rename, writeback). Times are
+// microseconds since the run epoch, so the file plots directly as a
+// Gantt/timeline — the view the paper's authors read schedules from in
+// Paraver.
+//
+//	record,worker,task,label,start_us,end_us
+func WriteParaverCSV(w io.Writer, tr *Trace) error {
+	a := Analyze(tr)
+	if _, err := fmt.Fprintln(w, "record,worker,task,label,start_us,end_us"); err != nil {
+		return err
+	}
+	row := func(kind string, worker int, task uint64, label string, from, to int64) error {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%q,%.3f,%.3f\n", kind, worker, task, label, us(from), us(to))
+		return err
+	}
+	for _, id := range a.Order {
+		t := a.Tasks[id]
+		if !t.Complete() {
+			continue
+		}
+		state := "running"
+		if t.Skipped {
+			state = "skipped"
+		}
+		if err := row(state, t.Worker, t.ID, t.Name(), t.Start, t.End); err != nil {
+			return err
+		}
+	}
+	// Idle and taskwait intervals, re-paired off the raw stream.
+	open := map[int32]int64{}
+	openTW := map[int32][2]int64{} // depth, enter-at
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case EvIdleEnter:
+			open[ev.Worker] = ev.At
+		case EvIdleExit:
+			if from, ok := open[ev.Worker]; ok {
+				delete(open, ev.Worker)
+				if err := row("idle", int(ev.Worker), 0, "idle", from, ev.At); err != nil {
+					return err
+				}
+			}
+		case EvTaskwaitEnter:
+			st := openTW[ev.Worker]
+			if st[0] == 0 {
+				st[1] = ev.At
+			}
+			st[0]++
+			openTW[ev.Worker] = st
+		case EvTaskwaitExit:
+			st := openTW[ev.Worker]
+			if st[0] > 0 {
+				st[0]--
+				openTW[ev.Worker] = st
+				if st[0] == 0 {
+					if err := row("taskwait", int(ev.Worker), 0, "taskwait", st[1], ev.At); err != nil {
+						return err
+					}
+				}
+			}
+		case EvSteal:
+			if err := row("steal", int(ev.Worker), ev.Task,
+				fmt.Sprintf("steal from %d", ev.Arg), ev.At, ev.At); err != nil {
+				return err
+			}
+		case EvSkip:
+			if err := row("skip", int(ev.Worker), ev.Task, "skip", ev.At, ev.At); err != nil {
+				return err
+			}
+		case EvRename:
+			if err := row("rename", int(ev.Worker), ev.Task, "rename", ev.At, ev.At); err != nil {
+				return err
+			}
+		case EvWriteback:
+			if err := row("writeback", int(ev.Worker), ev.Task, "writeback", ev.At, ev.At); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceSchema identifies the raw-trace JSON document format written by
+// Trace.WriteJSON and read back by ReadTrace (cmd/ompss-trace's on-disk
+// format).
+const TraceSchema = "ompssgo/obs-trace/v1"
+
+// Trace is the merged, ordered event stream of one run plus the metadata
+// the analyzer needs: which backend recorded it, whether timestamps are
+// virtual, how many lanes there were, and exactly how many events each
+// ring overwrote (so truncation is visible, never silent).
+type Trace struct {
+	Backend string // "native" or "sim"
+	Virtual bool   // timestamps are virtual nanoseconds
+	Workers int
+	// Capacity is the per-ring capacity the recorder ran with.
+	Capacity int
+	// Dropped is the exact per-ring overwrite count, indexed by lane;
+	// the last entry is the overflow ring (no-lane emitters).
+	Dropped []uint64
+	// Events is the merged stream, ascending by Seq.
+	Events []Event
+}
+
+// TotalDropped sums the per-ring drop counts.
+func (t *Trace) TotalDropped() uint64 {
+	var n uint64
+	for _, d := range t.Dropped {
+		n += d
+	}
+	return n
+}
+
+// Span returns the largest event timestamp (ns since the epoch).
+func (t *Trace) Span() int64 {
+	var max int64
+	for i := range t.Events {
+		if at := t.Events[i].At; at > max {
+			max = at
+		}
+	}
+	return max
+}
+
+// Snapshot merges the recorder's rings into an ordered Trace. Call after
+// the run drained for a complete stream; a mid-run snapshot is safe and
+// returns a consistent prefix-with-holes (in-flight slots are skipped).
+func (r *Recorder) Snapshot() *Trace {
+	t := &Trace{
+		Backend:  r.backend,
+		Virtual:  r.virtual,
+		Workers:  r.workers,
+		Capacity: r.capacity,
+	}
+	if len(r.rings) == 0 {
+		return t
+	}
+	t.Dropped = make([]uint64, len(r.rings))
+	var n int
+	for i := range r.rings {
+		t.Dropped[i] = r.rings[i].dropped()
+		h := r.rings[i].head.Load()
+		if c := uint64(len(r.rings[i].slots)); h > c {
+			h = c
+		}
+		n += int(h)
+	}
+	t.Events = make([]Event, 0, n)
+	for i := range r.rings {
+		t.Events = r.rings[i].collect(t.Events)
+	}
+	sort.Slice(t.Events, func(i, j int) bool { return t.Events[i].Seq < t.Events[j].Seq })
+	return t
+}
+
+// wireTrace is the JSON document layout. Events use short keys — traces
+// run to hundreds of thousands of events.
+type wireTrace struct {
+	Schema   string      `json:"schema"`
+	Backend  string      `json:"backend"`
+	Virtual  bool        `json:"virtual"`
+	Workers  int         `json:"workers"`
+	Capacity int         `json:"capacity"`
+	Dropped  []uint64    `json:"dropped"`
+	Events   []wireEvent `json:"events"`
+}
+
+type wireEvent struct {
+	Seq    uint64 `json:"s"`
+	At     int64  `json:"at"`
+	Kind   string `json:"k"`
+	Worker int32  `json:"w"`
+	Task   uint64 `json:"t,omitempty"`
+	Arg    uint64 `json:"a,omitempty"`
+	Label  string `json:"l,omitempty"`
+}
+
+// WriteJSON serializes the trace as the raw-trace document consumed by
+// `ompss-trace analyze` and `ompss-trace export`.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	wt := wireTrace{
+		Schema:   TraceSchema,
+		Backend:  t.Backend,
+		Virtual:  t.Virtual,
+		Workers:  t.Workers,
+		Capacity: t.Capacity,
+		Dropped:  t.Dropped,
+		Events:   make([]wireEvent, len(t.Events)),
+	}
+	for i, ev := range t.Events {
+		wt.Events[i] = wireEvent{
+			Seq:    ev.Seq,
+			At:     ev.At,
+			Kind:   ev.Kind.String(),
+			Worker: ev.Worker,
+			Task:   ev.Task,
+			Arg:    ev.Arg,
+			Label:  ev.Label,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&wt)
+}
+
+// ReadTrace parses a raw-trace document.
+func ReadTrace(rd io.Reader) (*Trace, error) {
+	var wt wireTrace
+	if err := json.NewDecoder(rd).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	if wt.Schema != TraceSchema {
+		return nil, fmt.Errorf("obs: unknown trace schema %q (want %s)", wt.Schema, TraceSchema)
+	}
+	t := &Trace{
+		Backend:  wt.Backend,
+		Virtual:  wt.Virtual,
+		Workers:  wt.Workers,
+		Capacity: wt.Capacity,
+		Dropped:  wt.Dropped,
+		Events:   make([]Event, len(wt.Events)),
+	}
+	for i, ev := range wt.Events {
+		k, ok := KindFromString(ev.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: event %d: unknown kind %q", i, ev.Kind)
+		}
+		t.Events[i] = Event{
+			Seq:    ev.Seq,
+			At:     ev.At,
+			Task:   ev.Task,
+			Arg:    ev.Arg,
+			Worker: ev.Worker,
+			Kind:   k,
+			Label:  ev.Label,
+		}
+	}
+	sort.Slice(t.Events, func(i, j int) bool { return t.Events[i].Seq < t.Events[j].Seq })
+	return t, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
 )
 
 // nativeBackend executes tasks on goroutine workers. With Workers(n), n−1
@@ -106,6 +107,14 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 		epoch: time.Now(),
 	}
 	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
+	if rec := cfg.rec; rec != nil {
+		// Attach before any worker starts: the rings and clock are
+		// published to the worker goroutines by their go statements.
+		epoch := b.epoch
+		rec.Attach(cfg.workers, "native", false, func() int64 { return int64(time.Since(epoch)) })
+		b.graph.SetProbe(rec)
+		b.sched.SetProbe(rec)
+	}
 	b.gate.init()
 	return b
 }
@@ -122,7 +131,9 @@ func (b *nativeBackend) start() {
 func (b *nativeBackend) workerLoop(lane int) {
 	defer b.wg.Done()
 	blocking := b.cfg.wait == Blocking
+	rec := b.cfg.rec
 	var idle spinner
+	idling := false
 	for {
 		var ticket uint64
 		if blocking {
@@ -130,7 +141,16 @@ func (b *nativeBackend) workerLoop(lane int) {
 		}
 		t := b.sched.Pop(lane)
 		if t == nil {
+			if !idling {
+				idling = true
+				if rec != nil {
+					rec.Emit(lane, obs.EvIdleEnter, 0, 0)
+				}
+			}
 			if b.stop.Load() {
+				if rec != nil {
+					rec.Emit(lane, obs.EvIdleExit, 0, 0)
+				}
 				return
 			}
 			if blocking {
@@ -140,6 +160,12 @@ func (b *nativeBackend) workerLoop(lane int) {
 			}
 			continue
 		}
+		if idling {
+			idling = false
+			if rec != nil {
+				rec.Emit(lane, obs.EvIdleExit, 0, 0)
+			}
+		}
 		idle.hit()
 		b.graph.MarkRunning(t, lane)
 		b.runTask(t, lane)
@@ -147,7 +173,10 @@ func (b *nativeBackend) workerLoop(lane int) {
 }
 
 func (b *nativeBackend) runTask(t *core.Task, lane int) {
-	b.trace(TraceStart, t, lane)
+	rec := b.cfg.rec
+	if rec != nil {
+		rec.Emit(lane, obs.EvStart, t.ID, 0)
+	}
 	var err error
 	if skip := b.rt.skipReason(t); skip != nil {
 		// Skip-release: the task finishes without running, its dependents
@@ -155,12 +184,26 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		// the graph always drains.
 		t.MarkSkipped()
 		b.graph.CountSkipped()
+		if rec != nil {
+			rec.Emit(lane, obs.EvSkip, t.ID, 0)
+		}
 		err = skip
 	} else {
 		err = t.Body()
 	}
 	b.rt.noteErr(err)
 	ready := b.graph.Finish(t, err)
+	if rec != nil {
+		// The end event and the ready events of the released successors
+		// share the completion instant — one group, one clock read, one
+		// sequence fetch-add for the whole site.
+		if g, ok := rec.Group(lane, 1+len(ready)); ok {
+			g.Add(obs.EvEnd, t.ID, 0, "")
+			for _, r := range ready {
+				g.Add(obs.EvReady, r.ID, 0, "")
+			}
+		}
+	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
 	}
@@ -169,7 +212,6 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		// whose context may have drained.
 		b.gate.wake()
 	}
-	b.trace(TraceEnd, t, lane)
 }
 
 // helpOne lets the calling thread execute one ready task, reporting whether
@@ -185,29 +227,87 @@ func (b *nativeBackend) helpOne(lane int) bool {
 }
 
 func (b *nativeBackend) submit(from *TC, t *core.Task) {
-	if b.graph.Submit(t) {
+	ready := b.graph.Submit(t)
+	// Submit/edge events go out before the push so the task cannot start
+	// (on another lane) ahead of its own submit record in the usual case;
+	// a predecessor finishing mid-submission can still reorder, which the
+	// analyzer tolerates.
+	obsSubmit(b.cfg.rec, from.worker, t, ready)
+	if ready {
 		b.sched.PushSubmit(t)
 		if b.cfg.wait == Blocking {
 			b.gate.wake()
 		}
 	}
-	b.trace(TraceSubmit, t, from.worker)
 }
 
 func (b *nativeBackend) submitBatch(from *TC, ts []*core.Task) {
 	ready := b.graph.SubmitBatch(ts)
+	obsSubmitBatch(b.cfg.rec, from.worker, ts, ready)
 	if len(ready) > 0 {
 		b.sched.PushSubmitBatch(ready)
 		if b.cfg.wait == Blocking {
 			b.gate.wake()
 		}
 	}
+}
+
+// obsSubmitBatch records a whole batch submission as one group — the
+// observability counterpart of SubmitBatch's amortized locking. Shared by
+// both backends.
+func obsSubmitBatch(rec *obs.Recorder, worker int, ts, ready []*core.Task) {
+	if rec == nil {
+		return
+	}
+	n := len(ready)
 	for _, t := range ts {
-		b.trace(TraceSubmit, t, from.worker)
+		n += 1 + len(t.Preds)
+	}
+	g, ok := rec.Group(worker, n)
+	if !ok {
+		return
+	}
+	for _, t := range ts {
+		g.Add(obs.EvSubmit, t.ID, uint64(len(t.Preds)), t.Label)
+		for _, p := range t.Preds {
+			g.Add(obs.EvEdge, t.ID, p, "")
+		}
+	}
+	for _, t := range ready {
+		g.Add(obs.EvReady, t.ID, 0, "")
+	}
+}
+
+// obsSubmit records one task submission: the submit event (Arg = wired
+// predecessor count), one edge event per predecessor, and — when the task
+// was immediately runnable — its ready event. The whole site shares one
+// group (one clock read, one sequence fetch-add). Shared by both backends.
+func obsSubmit(rec *obs.Recorder, worker int, t *core.Task, ready bool) {
+	if rec == nil {
+		return
+	}
+	n := 1 + len(t.Preds)
+	if ready {
+		n++
+	}
+	g, ok := rec.Group(worker, n)
+	if !ok {
+		return
+	}
+	g.Add(obs.EvSubmit, t.ID, uint64(len(t.Preds)), t.Label)
+	for _, p := range t.Preds {
+		g.Add(obs.EvEdge, t.ID, p, "")
+	}
+	if ready {
+		g.Add(obs.EvReady, t.ID, 0, "")
 	}
 }
 
 func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
+	if rec := b.cfg.rec; rec != nil {
+		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
+		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
+	}
 	var idle spinner
 	for ctx.Pending() > 0 {
 		if b.helpOne(from.worker) {
@@ -226,6 +326,10 @@ func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
 }
 
 func (b *nativeBackend) taskwaitOn(from *TC, keys []any) {
+	if rec := b.cfg.rec; rec != nil {
+		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
+		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
+	}
 	for _, k := range keys {
 		writers := b.graph.Writers(k)
 		for _, lw := range writers {
@@ -307,10 +411,4 @@ func (b *nativeBackend) shutdown(from *TC) {
 
 func (b *nativeBackend) stats() RunStats {
 	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
-}
-
-func (b *nativeBackend) trace(kind TraceKind, t *core.Task, lane int) {
-	if tr := b.cfg.tracer; tr != nil {
-		tr.record(kind, t, lane, time.Since(b.epoch))
-	}
 }

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
 )
 
 // WaitMode selects how idle workers and waiters behave.
@@ -89,7 +90,7 @@ type config struct {
 	affinity  bool
 	domains   int
 	seed      int64
-	tracer    *Tracer
+	rec       *obs.Recorder
 	policy    ErrorPolicy
 	renaming  bool
 	renameCap int
@@ -159,9 +160,21 @@ func WithRenaming(on bool) Option { return func(c *config) { c.renaming = on } }
 // proportional to the cap, not to the submission depth.
 func RenameCap(n int) Option { return func(c *config) { c.renameCap = n } }
 
-// Trace attaches a Tracer that records task lifecycle events for the DOT
-// export and scheduling analysis.
-func Trace(tr *Tracer) Option { return func(c *config) { c.tracer = tr } }
+// Trace attaches a Tracer — the compatibility view over the observability
+// stream (DOT/SVG export, timeline CSV, Summary). It is equivalent to
+// Observe(tr.Recorder()); attach at most one recorder per run (the last
+// Trace/Observe option wins).
+func Trace(tr *Tracer) Option { return func(c *config) { c.rec = tr.Recorder() } }
+
+// Observe attaches an observability recorder (internal/obs): both backends
+// and the core engine emit the full event vocabulary — submit, ready,
+// start, end, skip, steal, idle-enter/exit, taskwait-enter/exit, rename,
+// writeback — into its per-worker ring buffers. Detached (the default) the
+// runtime records nothing and pays only a nil check per site; attached,
+// the record path performs zero heap allocations and takes no shared lock.
+// After the run drains, Recorder.Snapshot yields the merged stream for
+// obs.Analyze and the Chrome-trace/Paraver exporters (see cmd/ompss-trace).
+func Observe(r *obs.Recorder) Option { return func(c *config) { c.rec = r } }
 
 func buildConfig(opts []Option) config {
 	// workers == 0 means "unset": New defaults to 1, RunSim to the

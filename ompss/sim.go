@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
 	"ompssgo/internal/vm"
 	"ompssgo/machine"
 )
@@ -52,6 +53,13 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 	rt := &Runtime{be: b, cfg: cfg, simMode: true}
 	b.rt = rt
 	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
+	if rec := cfg.rec; rec != nil {
+		// Timestamps are the simulated machine's virtual clock; every
+		// emission happens on the event loop's goroutine.
+		rec.Attach(cfg.workers, "sim", true, func() int64 { return int64(v.Now()) })
+		b.graph.SetProbe(rec)
+		b.sched.SetProbe(rec)
+	}
 
 	master := cfg.workers - 1
 	for lane := 0; lane < master; lane++ {
@@ -136,16 +144,33 @@ func (b *simBackend) queueOp(base vm.Time) vm.Time {
 func (b *simBackend) workerLoop(vt *vm.Thread, lane int) {
 	b.lanes[lane] = vt
 	cm := b.v.Cost()
+	rec := b.cfg.rec
+	idling := false
 	for {
 		b.pollCtx()
 		t := b.sched.Pop(lane)
 		if t == nil {
+			if !idling {
+				idling = true
+				if rec != nil {
+					rec.Emit(lane, obs.EvIdleEnter, 0, 0)
+				}
+			}
 			if b.stop {
+				if rec != nil {
+					rec.Emit(lane, obs.EvIdleExit, 0, 0)
+				}
 				return
 			}
 			vt.Charge(cm.StealAttempt)
 			b.idleWait(vt)
 			continue
+		}
+		if idling {
+			idling = false
+			if rec != nil {
+				rec.Emit(lane, obs.EvIdleExit, 0, 0)
+			}
 		}
 		vt.Charge(b.queueOp(cm.TaskDispatch))
 		b.graph.MarkRunning(t, lane)
@@ -179,7 +204,10 @@ func (b *simBackend) wakeIdle(n int) {
 
 func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	cm := b.v.Cost()
-	b.trace(TraceStart, t, lane)
+	rec := b.cfg.rec
+	if rec != nil {
+		rec.Emit(lane, obs.EvStart, t.ID, 0)
+	}
 	b.pollCtx()
 	var err error
 	if skip := b.rt.skipReason(t); skip != nil {
@@ -187,6 +215,9 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		// a cancelled graph drains in (almost) zero virtual time.
 		t.MarkSkipped()
 		b.graph.CountSkipped()
+		if rec != nil {
+			rec.Emit(lane, obs.EvSkip, t.ID, 0)
+		}
 		err = skip
 	} else {
 		// Memory-system cost of the task's declared footprints, evaluated
@@ -202,6 +233,17 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	vt.Charge(cm.TaskFinish)
 	vt.Flush()
 	ready := b.graph.Finish(t, err)
+	if rec != nil {
+		// Stamped after the flush so End−Start covers the task's modeled
+		// compute/memory time (Finish adds no virtual time); end and the
+		// successors' ready events share the completion instant.
+		if g, ok := rec.Group(lane, 1+len(ready)); ok {
+			g.Add(obs.EvEnd, t.ID, 0, "")
+			for _, r := range ready {
+				g.Add(obs.EvReady, r.ID, 0, "")
+			}
+		}
+	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
 	}
@@ -209,7 +251,6 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		vt.Charge(cm.DepEdge * vm.Time(len(ready)))
 	}
 	b.afterFinish(t, len(ready))
-	b.trace(TraceEnd, t, lane)
 }
 
 // afterFinish wakes whoever may be unblocked by t's completion: idle workers
@@ -244,11 +285,12 @@ func (b *simBackend) submit(from *TC, t *core.Task) {
 	cm := b.v.Cost()
 	vt.Charge(b.queueOp(cm.TaskSpawn) + cm.DepEdge*vm.Time(len(t.Accesses)))
 	vt.Flush()
-	if b.graph.Submit(t) {
+	ready := b.graph.Submit(t)
+	obsSubmit(b.cfg.rec, from.worker, t, ready)
+	if ready {
 		b.sched.PushSubmit(t)
 		b.wakeIdle(1)
 	}
-	b.trace(TraceSubmit, t, from.worker)
 }
 
 func (b *simBackend) submitBatch(from *TC, ts []*core.Task) {
@@ -265,16 +307,18 @@ func (b *simBackend) submitBatch(from *TC, ts []*core.Task) {
 	vt.Charge(charge)
 	vt.Flush()
 	ready := b.graph.SubmitBatch(ts)
+	obsSubmitBatch(b.cfg.rec, from.worker, ts, ready)
 	b.sched.PushSubmitBatch(ready)
 	b.wakeIdle(len(ready))
-	for _, t := range ts {
-		b.trace(TraceSubmit, t, from.worker)
-	}
 }
 
 func (b *simBackend) taskwait(from *TC, ctx *core.Context) {
 	vt := b.thread(from)
 	cm := b.v.Cost()
+	if rec := b.cfg.rec; rec != nil {
+		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
+		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
+	}
 	for ctx.Pending() > 0 {
 		b.pollCtx()
 		if t := b.sched.Pop(from.worker); t != nil {
@@ -296,6 +340,10 @@ func (b *simBackend) taskwait(from *TC, ctx *core.Context) {
 
 func (b *simBackend) taskwaitOn(from *TC, keys []any) {
 	vt := b.thread(from)
+	if rec := b.cfg.rec; rec != nil {
+		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
+		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
+	}
 	for _, k := range keys {
 		vt.Flush()
 		for _, lw := range b.graph.Writers(k) {
@@ -411,10 +459,4 @@ func (b *simBackend) shutdown(from *TC) {
 
 func (b *simBackend) stats() RunStats {
 	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
-}
-
-func (b *simBackend) trace(kind TraceKind, t *core.Task, lane int) {
-	if tr := b.cfg.tracer; tr != nil {
-		tr.record(kind, t, lane, time.Duration(b.v.Now()))
-	}
 }

@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
 )
 
 // TraceKind labels a task lifecycle event.
@@ -47,31 +47,66 @@ type TraceEvent struct {
 	Preds  []uint64 // submit events only
 }
 
-// Tracer records task events for analysis and DOT export. Safe for
-// concurrent use. Attach with the Trace option.
+// Tracer is the compatibility view over the observability stream
+// (internal/obs): it exposes the classic submit/start/end task-lifecycle
+// events for the DOT/SVG exports, the CSV timeline, and Summary, while
+// the backing Recorder captures the full widened vocabulary (steals, idle
+// gaps, taskwaits, renames) with per-worker ring buffers and no shared
+// lock on the record path. Safe for concurrent use; the zero value is
+// ready to use (its recorder is created on first need). Attach with the
+// Trace option; use Recorder to reach the full stream and the obs
+// analyzer.
 type Tracer struct {
-	mu     sync.Mutex
-	events []TraceEvent
+	once sync.Once
+	rec  *obs.Recorder
 }
 
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewTracer returns an empty tracer backed by a default-capacity
+// observability recorder.
+func NewTracer() *Tracer { return &Tracer{rec: obs.NewRecorder()} }
 
-func (tr *Tracer) record(kind TraceKind, t *core.Task, worker int, at time.Duration) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	ev := TraceEvent{Kind: kind, Task: t.ID, Label: t.Label, Worker: worker, At: at}
-	if kind == TraceSubmit {
-		ev.Preds = append([]uint64(nil), t.Preds...)
-	}
-	tr.events = append(tr.events, ev)
+// Recorder returns the backing observability recorder — hand it to
+// obs.Analyze, obs.WriteChromeTrace, or obs.WriteParaverCSV for the
+// reports the Tracer view does not surface.
+func (tr *Tracer) Recorder() *obs.Recorder {
+	tr.once.Do(func() {
+		if tr.rec == nil { // zero-value Tracer; NewTracer pre-fills
+			tr.rec = obs.NewRecorder()
+		}
+	})
+	return tr.rec
 }
 
-// Events returns a copy of the recorded events in record order.
+// Events returns the task lifecycle events (submit/start/end) recorded so
+// far, in stream order. Events beyond a ring's capacity are dropped oldest
+// first; Recorder().Snapshot() reports the exact drop counts.
 func (tr *Tracer) Events() []TraceEvent {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return append([]TraceEvent(nil), tr.events...)
+	t := tr.Recorder().Snapshot()
+	var preds map[uint64][]uint64
+	for i := range t.Events {
+		if ev := &t.Events[i]; ev.Kind == obs.EvEdge {
+			if preds == nil {
+				preds = make(map[uint64][]uint64)
+			}
+			preds[ev.Task] = append(preds[ev.Task], ev.Arg)
+		}
+	}
+	var out []TraceEvent
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Kind {
+		case obs.EvSubmit:
+			out = append(out, TraceEvent{Kind: TraceSubmit, Task: ev.Task, Label: ev.Label,
+				Worker: int(ev.Worker), At: time.Duration(ev.At), Preds: preds[ev.Task]})
+		case obs.EvStart:
+			out = append(out, TraceEvent{Kind: TraceStart, Task: ev.Task,
+				Worker: int(ev.Worker), At: time.Duration(ev.At)})
+		case obs.EvEnd:
+			out = append(out, TraceEvent{Kind: TraceEnd, Task: ev.Task,
+				Worker: int(ev.Worker), At: time.Duration(ev.At)})
+		}
+	}
+	return out
 }
 
 // Summary condenses a trace.
