@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke ci
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 
 # Race-detector pass over the concurrent executor packages (the CI `race` job).
 race:
-	$(GO) test -race -shuffle=on ./ompss ./internal/core ./pthread
+	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/serve ./pthread
 
 # Run every benchmark for one iteration so benchmark code cannot rot
 # (the CI `bench-smoke` job). For real numbers, raise -benchtime.
@@ -65,6 +65,19 @@ trace:
 	$(GO) run ./cmd/ompss-trace analyze trace.raw.json
 	$(GO) run ./cmd/ompss-trace export -format chrome -o trace.chrome.json trace.raw.json
 
+# Boot the multi-tenant service runtime on :8080 (Ctrl-C to stop). See
+# README "Serving requests" for the endpoints and tenant headers.
+serve:
+	$(GO) run ./cmd/ompss-serve -addr :8080
+
+# Short load burst against the in-process handler (the CI serve-smoke job
+# also drives a booted server over real HTTP): concurrent mixed-tenant
+# clients with fault injection; exits nonzero on zero 2xx responses or any
+# cross-session isolation violation, and writes the latency report that
+# EXPERIMENTS.md records.
+serve-smoke:
+	$(GO) run ./cmd/ompss-serve -load -duration 5s -conc 8 -fault-every 7 -o BENCH_serve.json
+
 # Run every example end-to-end (the CI examples-smoke job).
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
@@ -82,4 +95,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else \
 		echo "lint: govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest); skipping" >&2; fi
 
-ci: build lint test race bench bench-submit alloc-budget bench-trend examples
+ci: build lint test race bench bench-submit alloc-budget bench-trend serve-smoke examples

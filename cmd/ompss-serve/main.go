@@ -1,0 +1,139 @@
+// Command ompss-serve runs the multi-tenant service runtime: one persistent
+// ompss.Runtime hosting the suite's media kernels behind HTTP, one
+// request-scoped ompss.Session per request (internal/serve).
+//
+//	ompss-serve -addr :8080
+//	    serve /healthz, /v1/rotate, /v1/rgbcmy, /v1/h264dec, /v1/fault,
+//	    /v1/stats until interrupted
+//	ompss-serve -load -duration 5s -conc 8 -o BENCH_serve.json
+//	    drive the handler in-process with concurrent clients and record
+//	    p50/p90/p99 latency, requests/s, tasks/s, and the isolation
+//	    violation count; exits 1 on zero successful responses or any
+//	    violation
+//	ompss-serve -load -target http://host:8080 ...
+//	    same, against a remote ompss-serve over real HTTP
+//
+// Tenancy: requests carry X-Tenant: gold|silver|bronze; the server maps the
+// class onto the scheduler's priority lanes via the session's Tenant option.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"ompssgo/internal/obs"
+	"ompssgo/internal/serve"
+	"ompssgo/ompss"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (serve mode)")
+		load       = flag.Bool("load", false, "run the load generator instead of serving")
+		duration   = flag.Duration("duration", 3*time.Second, "load duration")
+		conc       = flag.Int("conc", 8, "concurrent load clients")
+		mix        = flag.String("mix", "rotate,rgbcmy,h264dec", "endpoint mix the clients cycle")
+		faultEvery = flag.Int("fault-every", 7, "inject a /v1/fault request every Nth request per client (0 = none)")
+		target     = flag.String("target", "", "load a remote server at this base URL instead of in-process")
+		workers    = flag.Int("workers", 0, "runtime worker threads (0 = NumCPU)")
+		sessLimit  = flag.Int("session-inflight", 256, "per-session MaxInFlight budget (0 = unlimited)")
+		globLimit  = flag.Int("max-inflight", 0, "global MaxInFlight limiter across all sessions (0 = unlimited)")
+		reject     = flag.Bool("reject", false, "RejectOnFull admission for request sessions (default BlockOnFull)")
+		blocking   = flag.Bool("blocking", true, "Blocking wait mode (idle workers park; -blocking=false polls)")
+		out        = flag.String("o", "", "write the load report JSON here")
+		tracePath  = flag.String("trace", "", "record an observability trace of the load run here (filter per session with ompss-trace analyze -session)")
+	)
+	flag.Parse()
+	if err := run(*addr, *load, *duration, *conc, *mix, *faultEvery, *target,
+		*workers, *sessLimit, *globLimit, *reject, *blocking, *out, *tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "ompss-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, load bool, duration time.Duration, conc int, mix string,
+	faultEvery int, target string, workers, sessLimit, globLimit int,
+	reject, blocking bool, out, tracePath string) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opts := []ompss.Option{ompss.Workers(workers)}
+	if blocking {
+		opts = append(opts, ompss.Wait(ompss.Blocking))
+	}
+	if globLimit > 0 {
+		opts = append(opts, ompss.MaxInFlight(globLimit))
+	}
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = obs.NewRecorder()
+		opts = append(opts, ompss.Observe(rec))
+	}
+	rt := ompss.New(opts...)
+	defer rt.Shutdown()
+
+	admission := ompss.BlockOnFull
+	if reject {
+		admission = ompss.RejectOnFull
+	}
+	srv := serve.New(rt, serve.Config{SessionInFlight: sessLimit, Admission: admission})
+
+	if !load {
+		fmt.Fprintf(os.Stderr, "ompss-serve: listening on %s (workers=%d session-inflight=%d)\n",
+			addr, workers, sessLimit)
+		return http.ListenAndServe(addr, srv.Handler())
+	}
+
+	var paths []string
+	for _, m := range strings.Split(mix, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			paths = append(paths, "/v1/"+m)
+		}
+	}
+	rep := serve.RunLoad(srv, serve.LoadOptions{
+		Duration:   duration,
+		Conc:       conc,
+		Mix:        paths,
+		FaultEvery: faultEvery,
+		Target:     target,
+	}, workers, globLimit)
+	rep.WriteTable(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if rep.OK2xx == 0 {
+		return fmt.Errorf("load run produced no successful responses")
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("load run observed %d isolation violations", rep.Violations)
+	}
+	return nil
+}

@@ -134,14 +134,31 @@ func loadTrace(fs *flag.FlagSet) (*obs.Trace, error) {
 	return obs.ReadTrace(f)
 }
 
-// analyze prints the paper-style reports for a saved trace.
+// analyze prints the paper-style reports for a saved trace, optionally
+// narrowed to one session's task graph (server traces interleave many).
 func analyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	top := fs.Int("top", 10, "entries to show in the critical-path and top-task lists")
+	session := fs.Uint64("session", 0, "analyze only this session's tasks (see -sessions)")
+	list := fs.Bool("sessions", false, "list the trace's session IDs and task counts, then exit")
 	fs.Parse(args)
 	tr, err := loadTrace(fs)
 	if err != nil {
 		return err
+	}
+	if *list {
+		ids, counts := tr.Sessions()
+		if len(ids) == 0 {
+			fmt.Println("no session-tagged submissions in this trace")
+			return nil
+		}
+		for _, id := range ids {
+			fmt.Printf("session %-6d %d tasks\n", id, counts[id])
+		}
+		return nil
+	}
+	if *session != 0 {
+		tr = tr.FilterSession(*session)
 	}
 	return obs.Analyze(tr).WriteReport(os.Stdout, *top)
 }

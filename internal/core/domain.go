@@ -1,0 +1,153 @@
+package core
+
+import "sync/atomic"
+
+// Domain is a failure/cancellation/accounting domain: the engine-level half
+// of a session (the executor layer's request scope). Every task may carry a
+// Domain pointer; tasks sharing a Domain form one error domain — failures
+// propagate along dependence edges only between tasks of the same domain,
+// and a domain cancellation induces skip-release only for its own tasks —
+// and one admission-accounting unit: the executor charges the domain before
+// submitting and Finish credits it, so InFlight is an exact
+// submitted-but-unfinished count usable as a backpressure budget.
+//
+// The zero Domain is valid (no overrides, never cancelled). A nil Domain on
+// a task means "no domain": such tasks propagate failures to, and accept
+// them from, other nil-domain tasks only.
+type Domain struct {
+	// ID names the domain in traces (obs events tag submissions with it).
+	ID uint64
+	// Parent, when non-nil, receives the in-flight rollup of every charge
+	// and credit, so one root domain can meter a global admission budget
+	// across many child domains. One level only; Parent.Parent is ignored.
+	Parent *Domain
+	// Rename overrides the graph's dependence-renaming policy for this
+	// domain's tasks (RenameInherit leaves the graph's setting in force);
+	// RenameCap, when positive, overrides the per-datum in-flight version
+	// cap the same way. Set before the first submission.
+	Rename    RenameOverride
+	RenameCap int
+	// Quiet asks the executor to suppress per-task observability events for
+	// this domain's tasks. The engine itself does not consult it.
+	Quiet bool
+	// Owner is an opaque executor backpointer (the session). The engine
+	// never touches it.
+	Owner any
+
+	cancelled atomic.Pointer[errBox]
+	inflight  atomic.Int64
+	submitted atomic.Uint64
+	finished  atomic.Uint64
+	failed    atomic.Uint64
+	skipped   atomic.Uint64
+}
+
+// RenameOverride is a per-domain tri-state override of the graph's
+// dependence-renaming policy.
+type RenameOverride int8
+
+const (
+	// RenameInherit keeps the graph-wide renaming setting.
+	RenameInherit RenameOverride = 0
+	// RenameForceOn renames for this domain's tasks even when the graph-wide
+	// setting is off.
+	RenameForceOn RenameOverride = 1
+	// RenameForceOff never renames for this domain's tasks.
+	RenameForceOff RenameOverride = -1
+)
+
+// DomainStats is a snapshot of one domain's task accounting.
+type DomainStats struct {
+	Submitted uint64
+	Finished  uint64
+	Failed    uint64 // finished with a non-nil outcome (includes skipped)
+	Skipped   uint64 // released without running (cancellation / failure policy)
+	InFlight  int64  // charged but not yet finished
+}
+
+// Cancel puts the domain into cancellation drain: the executor skip-releases
+// every not-yet-started task of this domain, finishing each with the cause.
+// Idempotent; the first cause wins. Reports whether this call installed the
+// cause.
+func (d *Domain) Cancel(cause error) bool {
+	if cause == nil {
+		return false
+	}
+	if d.cancelled.Load() != nil {
+		return false
+	}
+	return d.cancelled.CompareAndSwap(nil, &errBox{cause})
+}
+
+// CancelCause returns the domain's cancellation cause, or nil when the
+// domain is live.
+func (d *Domain) CancelCause() error {
+	if b := d.cancelled.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Charge records one task entering the domain (executor-side, before the
+// task is submitted, so InFlight is usable as a hard admission budget) and
+// rolls the in-flight count up to the parent.
+func (d *Domain) Charge() { d.ChargeN(1) }
+
+// ChargeN charges n tasks at once (batch submission).
+func (d *Domain) ChargeN(n int64) {
+	d.inflight.Add(n)
+	d.submitted.Add(uint64(n))
+	if d.Parent != nil {
+		d.Parent.inflight.Add(n)
+		d.Parent.submitted.Add(uint64(n))
+	}
+}
+
+// Uncharge rolls back a Charge whose task was never submitted (a rejected
+// batch).
+func (d *Domain) Uncharge(n int64) {
+	d.inflight.Add(-n)
+	d.submitted.Add(^uint64(n - 1))
+	if d.Parent != nil {
+		d.Parent.inflight.Add(-n)
+		d.Parent.submitted.Add(^uint64(n - 1))
+	}
+}
+
+// taskFinished credits the domain for one finished task (called by
+// Graph.Finish).
+func (d *Domain) taskFinished(err error, skipped bool) {
+	d.finished.Add(1)
+	if err != nil {
+		d.failed.Add(1)
+	}
+	if skipped {
+		d.skipped.Add(1)
+	}
+	d.inflight.Add(-1)
+	if d.Parent != nil {
+		d.Parent.finished.Add(1)
+		d.Parent.inflight.Add(-1)
+	}
+}
+
+// InFlight returns the number of charged-but-unfinished tasks.
+func (d *Domain) InFlight() int64 { return d.inflight.Load() }
+
+// Stats returns a snapshot of the domain counters.
+func (d *Domain) Stats() DomainStats {
+	return DomainStats{
+		Submitted: d.submitted.Load(),
+		Finished:  d.finished.Load(),
+		Failed:    d.failed.Load(),
+		Skipped:   d.skipped.Load(),
+		InFlight:  d.inflight.Load(),
+	}
+}
+
+// sameDomain reports whether two tasks belong to one failure domain (both
+// nil counts as one domain). Failure propagation along dependence edges is
+// confined to a domain: a cross-domain edge still orders execution, but the
+// successor never inherits the foreign failure — one session's error
+// cascade cannot skip another session's tasks.
+func sameDomain(a, b *Task) bool { return a.Domain == b.Domain }

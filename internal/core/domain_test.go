@@ -1,0 +1,213 @@
+package core
+
+// Engine-level tests of the Domain layer (the session's engine half):
+// first-wins cancellation, exact charge/credit accounting with parent
+// rollup, domain-confined failure propagation along dependence edges, task
+// recycling hygiene, and the Release path a session's close-time arena
+// recycling depends on.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDomainCancelFirstWins checks the cancellation CAS: the first cause
+// sticks, later causes and nil are rejected, and the cause reads back
+// stably — from many goroutines at once.
+func TestDomainCancelFirstWins(t *testing.T) {
+	var d Domain
+	if d.CancelCause() != nil {
+		t.Fatal("zero domain reports a cancellation cause")
+	}
+	if d.Cancel(nil) {
+		t.Fatal("Cancel(nil) installed a cause")
+	}
+	const racers = 8
+	causes := make([]error, racers)
+	for i := range causes {
+		causes[i] = fmt.Errorf("cause %d", i)
+	}
+	wins := make(chan int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if d.Cancel(causes[i]) {
+				wins <- i
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d Cancel calls reported installing the cause, want exactly 1", len(winners))
+	}
+	if got := d.CancelCause(); got != causes[winners[0]] {
+		t.Fatalf("CancelCause = %v, want the winner's cause %v", got, causes[winners[0]])
+	}
+	if d.Cancel(fmt.Errorf("late")) {
+		t.Fatal("a second cause displaced the first")
+	}
+}
+
+// TestDomainAccounting checks the charge/credit arithmetic and its parent
+// rollup: InFlight is exact, Uncharge rolls back a refused batch without
+// trace, and finish outcomes land in the right buckets.
+func TestDomainAccounting(t *testing.T) {
+	var root Domain
+	child := &Domain{ID: 7, Parent: &root}
+
+	child.ChargeN(3)
+	child.Charge()
+	if got := child.InFlight(); got != 4 {
+		t.Fatalf("child InFlight = %d, want 4", got)
+	}
+	if got := root.InFlight(); got != 4 {
+		t.Fatalf("root InFlight = %d, want 4 (rollup)", got)
+	}
+	// A refused batch rolls back fully.
+	child.ChargeN(2)
+	child.Uncharge(2)
+	st := child.Stats()
+	if st.Submitted != 4 || st.InFlight != 4 {
+		t.Fatalf("after Uncharge: submitted=%d inflight=%d, want 4 4", st.Submitted, st.InFlight)
+	}
+	if rs := root.Stats(); rs.Submitted != 4 || rs.InFlight != 4 {
+		t.Fatalf("root after Uncharge: submitted=%d inflight=%d, want 4 4", rs.Submitted, rs.InFlight)
+	}
+
+	child.taskFinished(nil, false)                // success
+	child.taskFinished(fmt.Errorf("boom"), false) // failure
+	child.taskFinished(fmt.Errorf("skip"), true)  // skip-release
+	st = child.Stats()
+	if st.Finished != 3 || st.Failed != 2 || st.Skipped != 1 || st.InFlight != 1 {
+		t.Fatalf("child stats %+v, want finished=3 failed=2 skipped=1 inflight=1", st)
+	}
+	if got := root.InFlight(); got != 1 {
+		t.Fatalf("root InFlight = %d, want 1 after 3 finishes", got)
+	}
+	child.taskFinished(nil, false)
+	if got, rgot := child.InFlight(), root.InFlight(); got != 0 || rgot != 0 {
+		t.Fatalf("drained InFlight child=%d root=%d, want 0 0", got, rgot)
+	}
+}
+
+// TestFinishConfinesFailureToDomain checks the engine contract the session
+// isolation rides on: a dependence edge between tasks of different domains
+// orders execution but never carries the failure, while a same-domain edge
+// does. Both successors share the failing writer's datum.
+func TestFinishConfinesFailureToDomain(t *testing.T) {
+	domA, domB := &Domain{ID: 1}, &Domain{ID: 2}
+	m := newMiniExec(2, true, 1)
+	x := new(int)
+	boom := fmt.Errorf("boom")
+	head := &Task{Domain: domA, Accesses: []Access{{Key: x, Mode: Out}},
+		Body: func() error { return boom }}
+	sameDom := &Task{Domain: domA, Accesses: []Access{{Key: x, Mode: In}}}
+	crossDom := &Task{Domain: domB, Accesses: []Access{{Key: x, Mode: In}}}
+	m.submit(head)
+	m.submit(sameDom)
+	m.submit(crossDom)
+	m.runAll()
+
+	if got := sameDom.Upstream(); got == nil {
+		t.Fatal("same-domain successor did not inherit the upstream failure")
+	}
+	if got := crossDom.Upstream(); got != nil {
+		t.Fatalf("cross-domain successor inherited foreign failure %v", got)
+	}
+	if pos(m.order, head) > pos(m.order, crossDom) {
+		t.Fatal("cross-domain edge did not order execution")
+	}
+}
+
+// TestTaskReset checks recycling hygiene: a task that went through a full
+// submit/run/finish cycle resets to a state indistinguishable from a fresh
+// record for every field the engine consults.
+func TestTaskReset(t *testing.T) {
+	dom := &Domain{ID: 3}
+	m := newMiniExec(2, true, 1)
+	x := new(int)
+	a := &Task{ID: 11, Label: "a", Domain: dom, Priority: 2,
+		Accesses: []Access{{Key: x, Mode: Out}},
+		Body:     func() error { return fmt.Errorf("boom") }}
+	b := &Task{ID: 12, Label: "b", Domain: dom,
+		Accesses: []Access{{Key: x, Mode: In}}}
+	m.submit(a)
+	m.submit(b)
+	m.runAll()
+	if a.Upstream() != nil || b.Upstream() == nil {
+		t.Fatal("setup: expected b to carry a's failure")
+	}
+
+	for _, tk := range []*Task{a, b} {
+		tk.MarkSkipped()
+		tk.Reset()
+		if tk.ID != 0 || tk.Label != "" || tk.Body != nil || tk.Accesses != nil ||
+			tk.Priority != 0 || tk.Domain != nil || tk.Parent != nil ||
+			tk.Preds != nil || tk.Upstream() != nil || tk.Skipped() || tk.Finished() {
+			t.Fatalf("Reset left state behind: %+v", tk)
+		}
+	}
+	// A recycled record must be submittable again.
+	m2 := newMiniExec(1, false, 2)
+	ran := false
+	a.Body = func() error { ran = true; return nil }
+	a.Accesses = []Access{{Key: x, Mode: InOut}}
+	m2.submit(a)
+	m2.runAll()
+	if !ran || !a.Finished() {
+		t.Fatal("recycled task did not run to completion")
+	}
+}
+
+// TestGraphRelease checks the close-time arena path: Release drops the
+// handle's records outright, a re-registration gets a fresh record, and a
+// STALE release (the first handle, released again after the key was
+// re-registered) must not delete the newer record.
+func TestGraphRelease(t *testing.T) {
+	m := newMiniExec(1, false, 1)
+	key := new(int)
+
+	d1 := m.g.Register(key)
+	tk := &Task{Accesses: []Access{{Key: d1.Key, Mode: Out}}}
+	m.submit(tk)
+	m.runAll()
+	m.g.Release(d1)
+
+	d2 := m.g.Register(key)
+	if d2.rec == d1.rec {
+		t.Fatal("re-registration after Release returned the released record")
+	}
+	tk2 := &Task{Accesses: []Access{{Key: d2.Key, Mode: Out}}}
+	if !m.g.Submit(tk2) {
+		t.Fatal("writer on a fresh record should be ready")
+	}
+	m.s.PushSubmit(tk2)
+
+	// Stale release: d1 was already released; the key now belongs to d2's
+	// record, which must survive.
+	m.g.Release(d1)
+	if lw := m.g.LastWriter(key); lw != tk2 {
+		t.Fatalf("stale Release dropped the live record (last writer %v, want tk2)", lw)
+	}
+	m.runAll()
+
+	// Region records release the same way.
+	base := make([]byte, 64)
+	r1 := m.g.RegisterRegion(&base[0], 0, 32)
+	rt := &Task{Accesses: []Access{{Key: r1.region, Mode: Out, Bytes: 32}}}
+	m.submit(rt)
+	m.runAll()
+	m.g.Release(r1)
+	r2 := m.g.RegisterRegion(&base[0], 0, 32)
+	if r2.rd == r1.rd {
+		t.Fatal("region re-registration returned the released record")
+	}
+}

@@ -361,7 +361,9 @@ func (g *Graph) wireTask(t *Task) {
 			// on whether the predecessor finished a microsecond before or
 			// after this submission. (addSucc observed the finished state
 			// under p's succ lock, so p's outcome is visible here.)
-			if perr := p.Err(); perr != nil {
+			// Failures stay inside their domain: a cross-domain edge
+			// orders execution but never imports the foreign error.
+			if perr := p.Err(); perr != nil && sameDomain(p, t) {
 				t.noteUpstream(perr)
 			}
 			return
@@ -502,10 +504,15 @@ func (g *Graph) Finish(t *Task, err error) (newlyReady []*Task) {
 	if t.Parent != nil {
 		t.Parent.add(-1)
 	}
+	if t.Domain != nil {
+		t.Domain.taskFinished(err, t.Skipped())
+	}
 	for _, s := range succs {
-		if err != nil {
+		if err != nil && sameDomain(t, s) {
 			// Publish the failure before dropping the predecessor count, so
-			// whoever dispatches s observes it.
+			// whoever dispatches s observes it. Cross-domain edges order
+			// execution but never carry failures: one session's error
+			// cascade must not skip another session's tasks.
 			s.noteUpstream(err)
 		}
 		if atomic.AddInt32(&s.npred, -1) == 0 {
@@ -573,6 +580,32 @@ func (g *Graph) Forget(key any) {
 		} else {
 			delete(sh.regions, key)
 		}
+	}
+	sh.mu.Unlock()
+}
+
+// Release drops a registered handle's dependence records from the graph
+// entirely, map entries included, so a request-scoped arena can recycle
+// wholesale at session close. Unlike Forget, the record is NOT kept alive
+// for the handle: the handle — and any other handle or raw-key access over
+// the same key — must not be used afterwards. Call only when every task
+// that touched the key has finished; live renamed instances are discarded
+// without writeback.
+func (g *Graph) Release(d *Datum) {
+	if d == nil || d.owner != g {
+		return
+	}
+	sh := &g.shards[d.shard]
+	sh.mu.Lock()
+	if d.rd != nil {
+		if cur := sh.regions[d.region.Base]; cur == d.rd {
+			delete(sh.regions, d.region.Base)
+		}
+	} else if cur := sh.datums[d.Key]; cur == d.rec {
+		if d.rec.chain != nil {
+			d.rec.chain.collapse()
+		}
+		delete(sh.datums, d.Key)
 	}
 	sh.mu.Unlock()
 }

@@ -311,7 +311,19 @@ func (d *Datum) PayloadFor(t *Task) any {
 // cap has room. The fallback path is always sound: the write joins the
 // current instance with ordinary conservative edges.
 func (g *Graph) shouldRename(ch *verChain, t *Task, mode Mode) bool {
-	if !g.renameOn || ch.noRename || ch.alloc == nil {
+	// The graph-wide policy, unless the task's domain overrides it (sessions
+	// may force renaming on or off, and tighten or widen the version cap,
+	// independently of the runtime default).
+	on, capN := g.renameOn, g.renameCap
+	if d := t.Domain; d != nil {
+		if d.Rename != RenameInherit {
+			on = d.Rename == RenameForceOn
+		}
+		if d.RenameCap > 0 {
+			capN = d.RenameCap
+		}
+	}
+	if !on || ch.noRename || ch.alloc == nil {
 		return false
 	}
 	var conflict bool
@@ -324,7 +336,7 @@ func (g *Graph) shouldRename(ch *verChain, t *Task, mode Mode) bool {
 	if !conflict {
 		return false
 	}
-	if len(ch.renamed) >= g.renameCap {
+	if len(ch.renamed) >= capN {
 		g.stRenameFallbacks.Add(1)
 		return false
 	}

@@ -126,6 +126,9 @@ type Task struct {
 	// Parent is the context (spawning scope) whose taskwait covers this
 	// task.
 	Parent *Context
+	// Domain is the failure/cancellation/accounting domain this task belongs
+	// to (nil for domain-less tasks; see Domain). Set before submission.
+	Domain *Domain
 	// Worker records where the task executed (set by the executor).
 	Worker int
 
@@ -258,6 +261,34 @@ func (t *Task) takeSuccsAndFinish() []*Task {
 	t.succs = nil
 	t.succMu.Unlock()
 	return succs
+}
+
+// Reset returns a finished task to its zero state so the executor can pool
+// and reuse the object (request-scoped graph arenas recycle task records
+// wholesale). The caller must guarantee the task is finished and no longer
+// reachable — not held by a handle, a successor list, or a dependence
+// record (see Graph.Forget / Graph.Release). Field-by-field so the mutex
+// and atomics are never copied.
+func (t *Task) Reset() {
+	t.ID = 0
+	t.Label = ""
+	t.Body = nil
+	t.Accesses = nil
+	t.Priority = 0
+	t.affinity = 0
+	t.CPUCost = 0
+	t.Parent = nil
+	t.Domain = nil
+	t.Worker = 0
+	t.Preds = nil
+	t.bindings = nil
+	atomic.StoreInt32(&t.npred, 0)
+	t.succs = nil
+	atomic.StoreInt32(&t.state, stateCreated)
+	t.done = nil
+	t.outcome = nil
+	t.upstream.Store(nil)
+	t.skipped.Store(false)
 }
 
 type taskState int32

@@ -94,11 +94,16 @@ func KindFromString(s string) (Kind, bool) {
 // "no lane" (events emitted from dependence-tracker context, which routes
 // to the overflow ring). Task and Arg carry the kind-specific payload
 // documented on each Kind; Label is set on EvSubmit only.
+// Sess tags the
+// session (executor domain) that submitted the task; it is set on EvSubmit
+// only (0 = no session / pre-session trace) — per-session views recover the
+// task→session map from submissions (see Trace.FilterSession).
 type Event struct {
 	Seq    uint64
 	At     int64
 	Task   uint64
 	Arg    uint64
+	Sess   uint64
 	Worker int32
 	Kind   Kind
 	Label  string

@@ -163,6 +163,22 @@ func (g *Group) Add(k Kind, task, arg uint64, label string) {
 	g.seq++
 }
 
+// AddSess records the group's next event tagged with the submitting
+// session's ID (EvSubmit from session-scoped executors).
+func (g *Group) AddSess(k Kind, task, arg, sess uint64, label string) {
+	g.ring.put(Event{
+		Seq:    g.seq,
+		At:     g.at,
+		Task:   task,
+		Arg:    arg,
+		Sess:   sess,
+		Worker: g.w,
+		Kind:   k,
+		Label:  label,
+	})
+	g.seq++
+}
+
 // StealEvent implements the scheduler probe (core.Probe): a successful
 // steal by thief from victim's queues.
 func (r *Recorder) StealEvent(thief, victim int, task uint64) {

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// twoSessionTrace hand-builds a trace with two sessions sharing a runtime:
+// session 11 submits tasks 1→2 (chained), session 22 submits task 3, and
+// task 3 also depends on session 11's task 1 through shared data — the
+// cross-session edge FilterSession must drop. A worker-scoped idle pair and
+// a taskwait pair ride along (shared lanes, filtered from every session
+// view). Task 4 is an engine-level submission with no session (Sess 0).
+func twoSessionTrace() *Trace {
+	seq := uint64(0)
+	ev := func(at int64, k Kind, w int32, task, arg, sess uint64, label string) Event {
+		seq++
+		return Event{Seq: seq, At: at, Kind: k, Worker: w, Task: task, Arg: arg, Sess: sess, Label: label}
+	}
+	return &Trace{
+		Backend: "test", Workers: 2, Capacity: 64, Dropped: []uint64{0, 1, 0},
+		Events: []Event{
+			ev(0, EvSubmit, 0, 1, 0, 11, "a-head"),
+			ev(0, EvReady, 0, 1, 0, 0, ""),
+			ev(0, EvSubmit, 0, 2, 1, 11, "a-dep"),
+			ev(0, EvEdge, 0, 2, 1, 0, ""),
+			ev(1, EvSubmit, 1, 3, 1, 22, "b-task"),
+			ev(1, EvEdge, 1, 3, 1, 0, ""), // cross-session edge: 3 (sess 22) <- 1 (sess 11)
+			ev(1, EvSubmit, 1, 4, 0, 0, "engine"),
+			ev(1, EvIdleEnter, 1, 0, 0, 0, ""),
+			ev(2, EvStart, 0, 1, 0, 0, ""),
+			ev(5, EvEnd, 0, 1, 0, 0, ""),
+			ev(5, EvReady, 0, 2, 0, 0, ""),
+			ev(5, EvReady, 0, 3, 0, 0, ""),
+			ev(5, EvIdleExit, 1, 0, 0, 0, ""),
+			ev(5, EvStart, 0, 2, 0, 0, ""),
+			ev(5, EvStart, 1, 3, 0, 0, ""),
+			ev(7, EvEnd, 1, 3, 0, 0, ""),
+			ev(7, EvTaskwaitEnter, 1, 0, 0, 0, ""),
+			ev(9, EvEnd, 0, 2, 0, 0, ""),
+			ev(9, EvTaskwaitExit, 1, 0, 0, 0, ""),
+		},
+	}
+}
+
+// TestSessionTagRoundTrip pins the session tag's place in the trace file
+// format: Sess survives a write/read cycle alongside every other field.
+func TestSessionTagRoundTrip(t *testing.T) {
+	in := twoSessionTrace()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Events, in.Events) {
+		t.Fatalf("session-tagged events do not round-trip:\n got %+v\nwant %+v", out.Events, in.Events)
+	}
+	for _, ev := range out.Events {
+		if ev.Kind == EvSubmit && ev.Task == 1 && ev.Sess != 11 {
+			t.Fatalf("task 1's submission lost its session tag: %+v", ev)
+		}
+	}
+}
+
+// TestSessionsEnumerates checks Sessions(): distinct IDs ascending with
+// per-session submission counts, the no-session bucket reported under 0.
+func TestSessionsEnumerates(t *testing.T) {
+	ids, counts := twoSessionTrace().Sessions()
+	if want := []uint64{0, 11, 22}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("session IDs %v, want %v", ids, want)
+	}
+	if counts[11] != 2 || counts[22] != 1 || counts[0] != 1 {
+		t.Fatalf("submission counts %v, want 11:2 22:1 0:1", counts)
+	}
+}
+
+// TestFilterSessionView checks the per-session view: only the session's
+// tasks' lifecycle events survive, worker-scoped events (idle, taskwait)
+// are dropped, the cross-session edge is dropped from both sides, and the
+// trace metadata (drop counts included) is preserved.
+func TestFilterSessionView(t *testing.T) {
+	full := twoSessionTrace()
+
+	a := full.FilterSession(11)
+	if a.Backend != full.Backend || a.Workers != full.Workers ||
+		!reflect.DeepEqual(a.Dropped, full.Dropped) {
+		t.Fatalf("filter discarded trace metadata: %+v", a)
+	}
+	for _, ev := range a.Events {
+		switch ev.Kind {
+		case EvIdleEnter, EvIdleExit, EvTaskwaitEnter, EvTaskwaitExit:
+			t.Fatalf("worker-scoped event leaked into session view: %+v", ev)
+		}
+		if ev.Task != 1 && ev.Task != 2 {
+			t.Fatalf("foreign task in session 11's view: %+v", ev)
+		}
+	}
+	kinds := map[Kind]int{}
+	for _, ev := range a.Events {
+		kinds[ev.Kind]++
+	}
+	// Tasks 1 and 2 fully: 2 submits, the 2<-1 edge, 2 readies, 2 starts,
+	// 2 ends. Task 3's ready/start/end and the cross-session edge are gone.
+	if kinds[EvSubmit] != 2 || kinds[EvEdge] != 1 || kinds[EvReady] != 2 ||
+		kinds[EvStart] != 2 || kinds[EvEnd] != 2 {
+		t.Fatalf("session 11 view kinds %v, want submit:2 edge:1 ready:2 start:2 end:2", kinds)
+	}
+
+	// Session 22's view keeps task 3 but not the edge to foreign task 1.
+	b := full.FilterSession(22)
+	for _, ev := range b.Events {
+		if ev.Kind == EvEdge {
+			t.Fatalf("cross-session edge survived in session 22's view: %+v", ev)
+		}
+		if ev.Task != 3 {
+			t.Fatalf("foreign task in session 22's view: %+v", ev)
+		}
+	}
+	if n := len(b.Events); n != 4 { // submit, ready, start, end
+		t.Fatalf("session 22 view has %d events, want 4", n)
+	}
+
+	// The filtered view is still a valid trace for the analyzer.
+	ar := Analyze(a)
+	if ar.Submitted != 2 || ar.Executed != 2 || ar.Edges != 1 {
+		t.Fatalf("analyzer on filtered view: submitted=%d executed=%d edges=%d, want 2 2 1",
+			ar.Submitted, ar.Executed, ar.Edges)
+	}
+
+	// An unknown session filters to an empty (but well-formed) view.
+	if n := len(full.FilterSession(99).Events); n != 0 {
+		t.Fatalf("unknown session's view has %d events", n)
+	}
+}
+
+// TestRecorderGroupAddSess checks the record path: AddSess tags the ring
+// slot with the session ID, sharing the group's instant and seq range.
+func TestRecorderGroupAddSess(t *testing.T) {
+	r := NewRecorder(Capacity(16))
+	r.Attach(1, "native", true, func() int64 { return 7 })
+	g, ok := r.Group(0, 2)
+	if !ok {
+		t.Fatal("group claim refused")
+	}
+	g.AddSess(EvSubmit, 5, 0, 42, "tagged")
+	g.Add(EvReady, 5, 0, "")
+	tr := r.Snapshot()
+	if len(tr.Events) != 2 {
+		t.Fatalf("snapshot has %d events, want 2", len(tr.Events))
+	}
+	sub, rdy := tr.Events[0], tr.Events[1]
+	if sub.Kind != EvSubmit || sub.Sess != 42 || sub.Label != "tagged" {
+		t.Fatalf("AddSess event %+v, want submit with sess 42", sub)
+	}
+	if rdy.Sess != 0 {
+		t.Fatalf("plain Add inherited a session tag: %+v", rdy)
+	}
+	if sub.At != rdy.At || sub.Seq+1 != rdy.Seq {
+		t.Fatalf("group did not share instant/seq range: %+v vs %+v", sub, rdy)
+	}
+	ids, counts := tr.Sessions()
+	if !reflect.DeepEqual(ids, []uint64{42}) || counts[42] != 1 {
+		t.Fatalf("Sessions() = %v %v, want [42] {42:1}", ids, counts)
+	}
+}

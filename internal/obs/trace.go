@@ -80,6 +80,71 @@ func (r *Recorder) Snapshot() *Trace {
 	return t
 }
 
+// Sessions returns the distinct session IDs that submitted tasks in this
+// trace, ascending, with the number of submissions per session. Traces from
+// pre-session runs (or engine-level emitters) report everything under ID 0.
+func (t *Trace) Sessions() ([]uint64, map[uint64]int) {
+	counts := make(map[uint64]int)
+	for i := range t.Events {
+		if t.Events[i].Kind == EvSubmit {
+			counts[t.Events[i].Sess]++
+		}
+	}
+	ids := make([]uint64, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, counts
+}
+
+// FilterSession returns a view of the trace containing only one session's
+// task-lifecycle events: submissions tagged with the session ID, every
+// task-scoped event (edge/ready/start/end/skip/steal/rename) of those
+// tasks, and the edges between them. Worker-scoped events (idle, taskwait)
+// are dropped — they describe lanes shared by every session. Metadata
+// (backend, workers, drop counts) is preserved so the analyzer's reports
+// stay honest about truncation.
+func (t *Trace) FilterSession(sess uint64) *Trace {
+	mine := make(map[uint64]struct{})
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == EvSubmit && ev.Sess == sess && ev.Task != 0 {
+			mine[ev.Task] = struct{}{}
+		}
+	}
+	out := &Trace{
+		Backend:  t.Backend,
+		Virtual:  t.Virtual,
+		Workers:  t.Workers,
+		Capacity: t.Capacity,
+		Dropped:  t.Dropped,
+	}
+	for i := range t.Events {
+		ev := t.Events[i]
+		switch ev.Kind {
+		case EvIdleEnter, EvIdleExit, EvTaskwaitEnter, EvTaskwaitExit:
+			continue
+		case EvEdge:
+			// Keep an edge only when both endpoints are in-session; a
+			// cross-session edge (shared data) would drag foreign tasks
+			// into the critical-path analysis.
+			if _, ok := mine[ev.Task]; !ok {
+				continue
+			}
+			if _, ok := mine[ev.Arg]; !ok {
+				continue
+			}
+		default:
+			if _, ok := mine[ev.Task]; !ok {
+				continue
+			}
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
 // wireTrace is the JSON document layout. Events use short keys — traces
 // run to hundreds of thousands of events.
 type wireTrace struct {
@@ -99,6 +164,7 @@ type wireEvent struct {
 	Worker int32  `json:"w"`
 	Task   uint64 `json:"t,omitempty"`
 	Arg    uint64 `json:"a,omitempty"`
+	Sess   uint64 `json:"sid,omitempty"`
 	Label  string `json:"l,omitempty"`
 }
 
@@ -122,6 +188,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 			Worker: ev.Worker,
 			Task:   ev.Task,
 			Arg:    ev.Arg,
+			Sess:   ev.Sess,
 			Label:  ev.Label,
 		}
 	}
@@ -156,6 +223,7 @@ func ReadTrace(rd io.Reader) (*Trace, error) {
 			At:     ev.At,
 			Task:   ev.Task,
 			Arg:    ev.Arg,
+			Sess:   ev.Sess,
 			Worker: ev.Worker,
 			Kind:   k,
 			Label:  ev.Label,

@@ -1,0 +1,221 @@
+package serve
+
+// Server tests: per-endpoint correctness against the sequential reference,
+// the deliberate-fault endpoint's containment accounting, concurrent
+// mixed-tenant traffic with fault injection (zero violations is the
+// isolation contract), and a short in-process load-generator run.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ompssgo/ompss"
+)
+
+func newTestServer(t *testing.T, opts ...ompss.Option) (*Server, *ompss.Runtime) {
+	t.Helper()
+	if len(opts) == 0 {
+		opts = []ompss.Option{ompss.Workers(2)}
+	}
+	rt := ompss.New(opts...)
+	t.Cleanup(rt.Shutdown)
+	return New(rt, Config{SessionInFlight: 64, Admission: ompss.BlockOnFull}), rt
+}
+
+func do(t *testing.T, srv *Server, path, tenant string) (*httptest.ResponseRecorder, Response) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("%s: bad response body %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, resp
+}
+
+// TestKernelEndpoints checks every kernel endpoint answers 200 with the
+// sequential-reference checksum and a fresh session per request.
+func TestKernelEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+	seen := map[uint64]bool{}
+	for _, path := range []string{"/v1/rotate", "/v1/rgbcmy", "/v1/h264dec"} {
+		rec, resp := do(t, srv, path, "gold")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", path, rec.Code, rec.Body.String())
+		}
+		if resp.Error != "" || resp.Skipped != 0 {
+			t.Fatalf("%s: error %q skipped %d", path, resp.Error, resp.Skipped)
+		}
+		if resp.Tasks == 0 {
+			t.Fatalf("%s: response reports zero tasks", path)
+		}
+		if resp.Tenant != 2 {
+			t.Fatalf("%s: gold request mapped to tenant class %d, want 2", path, resp.Tenant)
+		}
+		if seen[resp.Session] {
+			t.Fatalf("%s: session ID %d reused across requests", path, resp.Session)
+		}
+		seen[resp.Session] = true
+	}
+	if srv.Served() != 3 || srv.Violations() != 0 {
+		t.Fatalf("served=%d violations=%d, want 3 0", srv.Served(), srv.Violations())
+	}
+}
+
+// TestRepeatedRequestsRecycle checks determinism across many sequential
+// requests on one endpoint — each request re-derives the same checksum
+// after the previous session's arena recycled.
+func TestRepeatedRequestsRecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var sum string
+	for i := 0; i < 8; i++ {
+		rec, resp := do(t, srv, "/v1/rgbcmy", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, rec.Code, rec.Body.String())
+		}
+		if i == 0 {
+			sum = resp.Checksum
+		} else if resp.Checksum != sum {
+			t.Fatalf("request %d: checksum %s, first request said %s", i, resp.Checksum, sum)
+		}
+	}
+}
+
+// TestFaultEndpoint checks the deliberate-failure endpoint: 500, the
+// injected error in the body, the skip cascade contained to the request's
+// session, and no violation counted.
+func TestFaultEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec, resp := do(t, srv, "/v1/fault", "bronze")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("fault status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(resp.Error, "injected fault") {
+		t.Fatalf("fault error %q does not carry the injected failure", resp.Error)
+	}
+	if resp.Skipped != 4 {
+		t.Fatalf("fault skipped %d tasks, want the 4 dependents", resp.Skipped)
+	}
+	if srv.Faulted() != 1 || srv.Violations() != 0 {
+		t.Fatalf("faulted=%d violations=%d, want 1 0", srv.Faulted(), srv.Violations())
+	}
+	// The runtime stays healthy for the next request.
+	if rec, _ := do(t, srv, "/v1/rotate", ""); rec.Code != http.StatusOK {
+		t.Fatalf("request after fault: status %d", rec.Code)
+	}
+}
+
+// TestConcurrentMixedTraffic is the isolation contract end to end:
+// concurrent clients across all endpoints and tenant classes, with fault
+// requests interleaved, must produce zero violations and all-correct
+// kernel responses.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	srv, _ := newTestServer(t, ompss.Workers(4))
+	paths := []string{"/v1/rotate", "/v1/rgbcmy", "/v1/h264dec"}
+	tenants := []string{"gold", "silver", "bronze"}
+	const clients = 6
+	const perClient = 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				path := paths[(c+i)%len(paths)]
+				if i == perClient/2 {
+					path = "/v1/fault"
+				}
+				rec, resp := do(t, srv, path, tenants[c%len(tenants)])
+				if path == "/v1/fault" {
+					if rec.Code != http.StatusInternalServerError {
+						t.Errorf("client %d: fault status %d", c, rec.Code)
+					}
+					continue
+				}
+				if rec.Code != http.StatusOK {
+					t.Errorf("client %d %s: status %d error %q", c, path, rec.Code, resp.Error)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := srv.Violations(); v != 0 {
+		t.Fatalf("%d isolation violations under mixed traffic", v)
+	}
+	if srv.Served() != clients*(perClient-1) || srv.Faulted() != clients {
+		t.Fatalf("served=%d faulted=%d, want %d %d",
+			srv.Served(), srv.Faulted(), clients*(perClient-1), clients)
+	}
+}
+
+// TestStatsAndHealth checks the operational endpoints.
+func TestStatsAndHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, srv, "/v1/rotate", "")
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	var st statsBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats body: %v", err)
+	}
+	if st.Served != 1 || st.TasksFinished == 0 {
+		t.Fatalf("stats %+v, want served=1 and nonzero tasks", st)
+	}
+}
+
+// TestRunLoadSmoke runs the in-process load generator briefly and checks
+// the report invariants the CI smoke job gates on.
+func TestRunLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke needs wall-clock time")
+	}
+	srv, _ := newTestServer(t)
+	// FaultEvery=2 faults each client's second request: under -race a
+	// client may only complete a handful of requests in the window, and
+	// the fault leg must still fire.
+	rep := RunLoad(srv, LoadOptions{
+		Duration:   500 * time.Millisecond,
+		Conc:       3,
+		Mix:        []string{"/v1/rotate", "/v1/rgbcmy"},
+		FaultEvery: 2,
+	}, 2, 0)
+	if rep.OK2xx == 0 {
+		t.Fatal("load run produced no successful responses")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("load run observed %d violations", rep.Violations)
+	}
+	if rep.Faults5xx == 0 {
+		t.Fatal("fault injection produced no 5xx")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors in-process", rep.Errors)
+	}
+	if rep.P50NS <= 0 || rep.P99NS < rep.P50NS {
+		t.Fatalf("latency percentiles implausible: p50=%d p99=%d", rep.P50NS, rep.P99NS)
+	}
+	if rep.TasksPerSec <= 0 {
+		t.Fatalf("tasks/s = %v, want > 0", rep.TasksPerSec)
+	}
+	if len(rep.PerEndpoint) != 3 { // the two mix endpoints plus /v1/fault
+		t.Fatalf("per-endpoint rows = %d, want 3", len(rep.PerEndpoint))
+	}
+}

@@ -1,0 +1,280 @@
+// Package serve hosts the suite's media kernels as a long-lived multi-tenant
+// HTTP service on one shared ompss.Runtime — "OmpSs as a server". Every
+// request opens its own ompss.Session (error domain, tenant class, admission
+// budget, request-scoped arena), runs one kernel through the same RunOmpSs
+// body the batch harness measures, verifies the result against a cached
+// sequential reference, and closes the session. The checksum check doubles
+// as the isolation oracle: a foreign failure cascade, a leaked cancellation,
+// or a recycled-record mixup shows up as a wrong answer or a nonzero skip
+// count in an innocent request, which the server counts as a violation.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ompssgo/internal/suite"
+	"ompssgo/internal/suite/h264dec"
+	"ompssgo/internal/suite/rgbcmy"
+	"ompssgo/internal/suite/rotate"
+	"ompssgo/ompss"
+)
+
+// Config parameterizes the server's session policy.
+type Config struct {
+	// SessionInFlight is the per-request-session MaxInFlight budget
+	// (0 = unlimited).
+	SessionInFlight int
+	// Admission selects the full-budget behavior of request sessions.
+	Admission ompss.AdmissionMode
+}
+
+// Runner produces a fresh benchmark instance per request (request-private
+// data: sessions drop their dependence records at Close, so instances are
+// never shared across sessions) plus the workload's sequential reference.
+type Runner struct {
+	Name string
+	New  func() suite.Instance
+}
+
+// Server is the HTTP front end over one shared runtime.
+type Server struct {
+	rt  *ompss.Runtime
+	cfg Config
+	mux *http.ServeMux
+
+	served     atomic.Uint64 // 2xx responses
+	faulted    atomic.Uint64 // deliberate /v1/fault 5xx responses
+	violations atomic.Uint64 // checksum mismatches / unexpected skips
+
+	mu      sync.Mutex
+	refs    map[string]uint64 // endpoint -> cached RunSeq checksum
+	runners map[string]Runner
+}
+
+// Workloads served per endpoint: sized between the suite's Small (too tiny
+// to exercise concurrency) and Default (too slow for request latency) —
+// a few milliseconds of task work per request.
+func serveRotate() rotate.Workload {
+	return rotate.Workload{W: 256, H: 192, Angle: 0.5, Seed: 4, RowBlock: 16}
+}
+
+func serveRGBCMY() rgbcmy.Workload {
+	return rgbcmy.Workload{W: 160, H: 120, Iters: 12, Seed: 5, RowBlock: 15}
+}
+
+func serveH264() h264dec.Workload { return h264dec.Small() }
+
+// New builds a Server over rt. The runtime is shared and long-lived; the
+// caller owns its lifecycle (Shutdown after the listener stops).
+func New(rt *ompss.Runtime, cfg Config) *Server {
+	s := &Server{
+		rt:      rt,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		refs:    make(map[string]uint64),
+		runners: make(map[string]Runner),
+	}
+	// The h264 bitstream is encoded once (expensive) and re-parsed per
+	// request (cheap): the per-request instance owns only decode state.
+	h264w := serveH264()
+	h264bs := h264Stream(h264w)
+	s.register("/v1/rotate", Runner{Name: "rotate", New: func() suite.Instance {
+		return rotate.New(serveRotate())
+	}})
+	s.register("/v1/rgbcmy", Runner{Name: "rgbcmy", New: func() suite.Instance {
+		return rgbcmy.New(serveRGBCMY())
+	}})
+	s.register("/v1/h264dec", Runner{Name: "h264dec", New: func() suite.Instance {
+		return h264dec.NewFromStream(h264w, h264bs)
+	}})
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/fault", s.handleFault)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// h264Stream encodes the serving sequence once.
+func h264Stream(w h264dec.Workload) []byte {
+	return h264dec.New(w).Stream()
+}
+
+func (s *Server) register(path string, r Runner) {
+	s.runners[path] = r
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+		s.handleKernel(w, req, path)
+	})
+}
+
+// Handler returns the server's HTTP handler (also usable in-process — the
+// load generator drives it without a listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Served returns the number of 2xx kernel responses so far.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Faulted returns the number of deliberate /v1/fault failures so far.
+func (s *Server) Faulted() uint64 { return s.faulted.Load() }
+
+// Violations returns the number of isolation violations observed so far: a
+// kernel response whose checksum diverged from the sequential reference, or
+// a healthy request session that finished with skipped tasks (a skip can
+// only be induced by a failure or cancellation, and a healthy session has
+// neither — so any skip means another session's cascade leaked in).
+func (s *Server) Violations() uint64 { return s.violations.Load() }
+
+// TasksFinished returns the shared graph's finished-task count (all
+// sessions), for throughput accounting.
+func (s *Server) TasksFinished() uint64 { return s.rt.Stats().Graph.Finished }
+
+// Response is the JSON body of a kernel endpoint.
+type Response struct {
+	Bench     string `json:"bench"`
+	Session   uint64 `json:"session"`
+	Tenant    int    `json:"tenant"`
+	Checksum  string `json:"checksum"`
+	Tasks     uint64 `json:"tasks"`
+	Skipped   uint64 `json:"skipped"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Error     string `json:"error,omitempty"`
+}
+
+// tenantClass maps the X-Tenant header onto the scheduler's priority lanes.
+func tenantClass(h string) int {
+	switch h {
+	case "gold":
+		return 2
+	case "silver":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// reference returns the endpoint's sequential-reference checksum, computed
+// once (the workloads are deterministic, so every request instance must
+// reproduce it).
+func (s *Server) reference(path string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if want, ok := s.refs[path]; ok {
+		return want
+	}
+	want := s.runners[path].New().RunSeq()
+	s.refs[path] = want
+	return want
+}
+
+func (s *Server) sessionOpts(tenant int) []ompss.Option {
+	opts := []ompss.Option{ompss.Tenant(tenant), ompss.Admission(s.cfg.Admission)}
+	if s.cfg.SessionInFlight > 0 {
+		opts = append(opts, ompss.MaxInFlight(s.cfg.SessionInFlight))
+	}
+	return opts
+}
+
+func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path string) {
+	r := s.runners[path]
+	want := s.reference(path)
+	in := r.New()
+	tenant := tenantClass(req.Header.Get("X-Tenant"))
+
+	sess := s.rt.NewSession(s.sessionOpts(tenant)...)
+	start := time.Now()
+	got := in.RunOmpSs(sess)
+	err := sess.Close()
+	elapsed := time.Since(start)
+	st := sess.Stats()
+
+	resp := Response{
+		Bench:     r.Name,
+		Session:   sess.ID(),
+		Tenant:    tenant,
+		Checksum:  fmt.Sprintf("%#x", got),
+		Tasks:     st.Finished,
+		Skipped:   st.Skipped,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	switch {
+	case got != want:
+		s.violations.Add(1)
+		resp.Error = fmt.Sprintf("isolation violation: checksum %#x, reference %#x", got, want)
+		writeJSON(w, http.StatusInternalServerError, resp)
+	case err != nil || st.Skipped > 0:
+		s.violations.Add(1)
+		resp.Error = fmt.Sprintf("isolation violation: healthy session closed with err=%v skipped=%d", err, st.Skipped)
+		writeJSON(w, http.StatusInternalServerError, resp)
+	default:
+		s.served.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleFault is the deliberate-failure endpoint: a small dependence chain
+// whose head fails, so the session's SkipDependents cascade skips the rest.
+// The request answers 500 by design — concurrent kernel requests returning
+// correct checksums while this endpoint fires is the isolation demo.
+func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	tenant := tenantClass(req.Header.Get("X-Tenant"))
+	sess := s.rt.NewSession(s.sessionOpts(tenant)...)
+	start := time.Now()
+	var x int
+	sess.Go(func(*ompss.TC) error {
+		return fmt.Errorf("injected fault")
+	}, ompss.Out(&x), ompss.Label("fault-head"))
+	for i := 0; i < 4; i++ {
+		sess.Task(func(*ompss.TC) { x++ }, ompss.InOut(&x), ompss.Label("fault-dep"))
+	}
+	// TaskwaitCtx drains the session and reports the round's failure (a
+	// plain Taskwait would consume the round and leave Close nothing to
+	// return); Close then recycles a clean session.
+	err := sess.TaskwaitCtx(context.Background())
+	sess.Close()
+	st := sess.Stats()
+	s.faulted.Add(1)
+	writeJSON(w, http.StatusInternalServerError, Response{
+		Bench:     "fault",
+		Session:   sess.ID(),
+		Tenant:    tenant,
+		Tasks:     st.Finished,
+		Skipped:   st.Skipped,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Error:     fmt.Sprintf("%v", err),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsBody is the /v1/stats JSON document.
+type statsBody struct {
+	Served        uint64 `json:"served"`
+	Faulted       uint64 `json:"faulted"`
+	Violations    uint64 `json:"violations"`
+	TasksFinished uint64 `json:"tasks_finished"`
+	Steals        uint64 `json:"steals"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.rt.Stats()
+	writeJSON(w, http.StatusOK, statsBody{
+		Served:        s.served.Load(),
+		Faulted:       s.faulted.Load(),
+		Violations:    s.violations.Load(),
+		TasksFinished: st.Graph.Finished,
+		Steals:        st.Sched.Steals,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

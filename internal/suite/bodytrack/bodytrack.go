@@ -135,7 +135,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 
 // RunOmpSs spawns one weigh task per chunk per layer and taskwaits before
 // the serial resample.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	f := kern.NewFilter(in.model)
 	ranges := blocks.Ranges(in.W.Particles, in.W.Chunk)
 	chunkCost := in.model.RangeCost(in.W.Chunk)

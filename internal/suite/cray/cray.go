@@ -82,7 +82,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 
 // RunOmpSs renders with one task per row block; the runtime's queues and
 // stealing balance the uneven blocks dynamically.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	im := img.NewRGB(in.W.W, in.W.H)
 	for _, b := range blocks.Ranges(in.W.H, in.W.RowBlock) {
 		lo, hi := b[0], b[1]

@@ -90,6 +90,11 @@ func NewFromStream(w Workload, bs []byte) *Instance {
 	return in
 }
 
+// Stream returns the instance's encoded bitstream, reusable across
+// NewFromStream instances (the serving path encodes once and re-parses per
+// request).
+func (in *Instance) Stream() []byte { return in.bs }
+
 // Name returns the Table 1 row name.
 func (in *Instance) Name() string { return "h264dec" }
 
@@ -321,7 +326,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 // GroupRows-row tasks whose dependences encode the intra wavefront (previous
 // group, same frame) and motion compensation (group g+1 of the previous
 // frame, which covers the ±SearchRange reference rows).
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	p := in.p
 	mbw, mbh := p.MBW(), p.MBH()
 	n := in.W.NBuf

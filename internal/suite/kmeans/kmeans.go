@@ -139,7 +139,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 
 // RunOmpSs spawns one assignment task per chunk each iteration, taskwaits,
 // and reduces on the master (the task barrier separating iterations).
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	s := in.newState()
 	chunkCost := kern.RangeCost(in.W.Chunk, in.W.K, in.W.Dim)
 	// Every key here recurs each iteration (centroids in every chunk task,

@@ -73,7 +73,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 }
 
 // RunOmpSs hashes with one task per buffer.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	digests := make([][kern.Size]byte, len(in.bufs))
 	for i := range in.bufs {
 		i := i

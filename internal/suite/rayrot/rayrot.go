@@ -130,7 +130,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 // RunOmpSs spawns a render task per frame and its dependent rotate tasks;
 // the runtime's locality policy chains the consumers onto the producer's
 // core while the frame is still cache-resident.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	src, rot := in.newFrames()
 	for f := 0; f < in.W.Frames; f++ {
 		f := f

@@ -83,7 +83,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 
 // RunOmpSs spawns row-block tasks per iteration and separates iterations
 // with a polling taskwait (the OmpSs task barrier).
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	dst := kern.NewCMY(in.W.W, in.W.H)
 	bl := blocks.Ranges(in.W.H, in.W.RowBlock)
 	// The source and the per-block destination keys recur every iteration:

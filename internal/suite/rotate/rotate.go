@@ -69,7 +69,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 // RunOmpSs rotates with one task per destination row block. The shared
 // source image is a registered data handle: every block task reads it, so
 // the handle takes the key hash and shard lookup off each submission.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	dst := img.NewRGB(in.W.W, in.W.H)
 	src := rt.Register(&in.src.Pix[0])
 	for _, b := range blocks.Ranges(in.W.H, in.W.RowBlock) {

@@ -102,7 +102,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 }
 
 // RunOmpSs chains rotate→convert task pairs per frame.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	rot, out := in.newFrames()
 	frameBytes := int64(3 * in.W.W * in.W.H)
 	for f := 0; f < in.W.Frames; f++ {

@@ -169,7 +169,7 @@ func (in *Instance) RunPthreads(main *pthread.Thread) uint64 {
 
 // RunOmpSs has the master absorb the stream and, per candidate, spawn gain
 // tasks over the chunks plus a dependent apply task, separated by taskwait.
-func (in *Instance) RunOmpSs(rt *ompss.Runtime) uint64 {
+func (in *Instance) RunOmpSs(rt ompss.API) uint64 {
 	p := in.problem()
 	s := p.NewState()
 	evalCost := kern.RangeEvalCost(in.W.EvalChunk, in.W.Dim)

@@ -37,8 +37,11 @@ type Instance interface {
 	// thread (native or simulated).
 	RunPthreads(*pthread.Thread) uint64
 	// RunOmpSs runs the task-dataflow variant on the given runtime
-	// (native or simulated).
-	RunOmpSs(*ompss.Runtime) uint64
+	// surface (native or simulated). Taking the ompss.API interface — not
+	// *ompss.Runtime — lets one kernel run against a whole runtime or a
+	// request-scoped *ompss.Session unchanged; cmd/ompss-serve executes
+	// each HTTP request's kernel inside its own session this way.
+	RunOmpSs(ompss.API) uint64
 }
 
 // Scale selects workload sizing.

@@ -73,12 +73,25 @@ func (b *Batch) Len() int { return len(b.tasks) }
 // atomic bulk submission and becomes eligible to run. It returns the
 // flushed tasks' handles in spawn order. The batch is empty afterwards and
 // may be reused.
+//
+// On a managed session (a request session, or any session under a global
+// MaxInFlight) the whole batch passes admission at the flush: with
+// BlockOnFull the flush waits for budget headroom (the batch is then
+// admitted whole — budgets are soft by up to Len()−1); with RejectOnFull a
+// full budget pre-fails every handle with ErrAdmission, and a flush after
+// the session closed pre-fails them with ErrSessionClosed.
 func (b *Batch) Submit() []*Handle {
 	if len(b.tasks) == 0 {
 		return nil
 	}
 	ts, hs := b.tasks, b.handles
 	b.tasks, b.handles = nil, nil
+	if s := b.tc.sess; s != nil {
+		if s.managed() {
+			return s.submitBatchManaged(b.tc, ts, hs)
+		}
+		s.dom.ChargeN(int64(len(ts)))
+	}
 	b.tc.rt.be.submitBatch(b.tc, ts)
 	return hs
 }

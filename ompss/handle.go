@@ -3,6 +3,7 @@ package ompss
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ompssgo/internal/core"
 )
@@ -124,12 +125,22 @@ func (d *Datum) Renameable() bool { return d.c.Renameable() }
 // skipped. Err is nil until then; afterwards it reports the task's outcome:
 // nil on success, the body's returned error, a *TaskPanic if the body
 // panicked, or a *SkipError if the runtime released the task without
-// running it (failure policy or cancellation).
+// running it (failure policy, cancellation, session close, or admission
+// rejection).
+//
+// Handles of a request session outlive the session: Close seals each one —
+// the outcome observed at that instant (a *SkipError wrapping
+// ErrSessionClosed for tasks the close cancelled) becomes the handle's
+// stable answer forever, detached from the recycled task record, so Err
+// after Close never races the arena.
 type Handle struct {
 	rt *Runtime
-	t  *core.Task // nil for undeferred (inline) tasks
-	// inline outcome of an undeferred task (If(false)/final): the task
-	// already ran synchronously when the Handle was returned.
+	mu sync.Mutex
+	t  *core.Task // nil for undeferred (inline) tasks and after sealing
+	id uint64     // TaskID captured at seal
+	// inline outcome of an undeferred task (If(false)/final — the task
+	// already ran synchronously when the Handle was returned), or the
+	// sealed outcome once t is detached.
 	inlineErr error
 }
 
@@ -140,14 +151,17 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// Done returns a channel closed when the task has finished (for inline
-// tasks it is closed already). Select on it together with a context's Done
-// for per-task timeouts.
+// Done returns a channel closed when the task has finished (for inline and
+// sealed tasks it is closed already). Select on it together with a
+// context's Done for per-task timeouts.
 func (h *Handle) Done() <-chan struct{} {
-	if h.t == nil {
+	h.mu.Lock()
+	t := h.t
+	h.mu.Unlock()
+	if t == nil {
 		return closedChan
 	}
-	return h.t.Done()
+	return t.Done()
 }
 
 // Err returns the task's outcome: nil while the task is still in flight or
@@ -157,6 +171,8 @@ func (h *Handle) Err() error {
 	if h.rt != nil {
 		h.rt.observed.Store(true)
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.t == nil {
 		return h.inlineErr
 	}
@@ -166,10 +182,35 @@ func (h *Handle) Err() error {
 // Task returns the handle's graph task ID (0 for inline tasks), for
 // correlating with traces and DOT exports.
 func (h *Handle) TaskID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.t == nil {
-		return 0
+		return h.id
 	}
 	return h.t.ID
+}
+
+// seal detaches the handle from its task record, capturing the task's ID
+// and outcome as the handle's permanent answer. Called by Session.Close
+// after the drain (every task finished), strictly before the records
+// recycle.
+func (h *Handle) seal() {
+	h.mu.Lock()
+	if h.t != nil {
+		h.id = h.t.ID
+		h.inlineErr = h.t.Err()
+		h.t = nil
+	}
+	h.mu.Unlock()
+}
+
+// fail seals the handle with a refusal outcome (a batch the session would
+// not admit, or a flush after Close): the tasks never ran.
+func (h *Handle) fail(err error) {
+	h.mu.Lock()
+	h.t = nil
+	h.inlineErr = err
+	h.mu.Unlock()
 }
 
 // ErrorPolicy selects what happens to the dependents of a failed task.

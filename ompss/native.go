@@ -174,7 +174,8 @@ func (b *nativeBackend) workerLoop(lane int) {
 
 func (b *nativeBackend) runTask(t *core.Task, lane int) {
 	rec := b.cfg.rec
-	if rec != nil {
+	quiet := taskQuiet(t)
+	if rec != nil && !quiet {
 		rec.Emit(lane, obs.EvStart, t.ID, 0)
 	}
 	var err error
@@ -184,25 +185,21 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		// the graph always drains.
 		t.MarkSkipped()
 		b.graph.CountSkipped()
-		if rec != nil {
+		if rec != nil && !quiet {
 			rec.Emit(lane, obs.EvSkip, t.ID, 0)
 		}
 		err = skip
 	} else {
 		err = t.Body()
 	}
-	b.rt.noteErr(err)
+	b.rt.noteTaskErr(t, err)
 	ready := b.graph.Finish(t, err)
 	if rec != nil {
 		// The end event and the ready events of the released successors
 		// share the completion instant — one group, one clock read, one
-		// sequence fetch-add for the whole site.
-		if g, ok := rec.Group(lane, 1+len(ready)); ok {
-			g.Add(obs.EvEnd, t.ID, 0, "")
-			for _, r := range ready {
-				g.Add(obs.EvReady, r.ID, 0, "")
-			}
-		}
+		// sequence fetch-add for the whole site. Muted (Observe(nil))
+		// sessions' tasks are filtered out before the group is sized.
+		obsFinish(rec, lane, t, quiet, ready)
 	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
@@ -252,6 +249,52 @@ func (b *nativeBackend) submitBatch(from *TC, ts []*core.Task) {
 	}
 }
 
+// taskQuiet reports whether the task's session muted per-task observability
+// (Session Observe(nil) under a recording runtime). Shared by both backends.
+func taskQuiet(t *core.Task) bool {
+	d := t.Domain
+	return d != nil && d.Quiet
+}
+
+// sessOf returns the task's session ID for trace tagging (0 = no session).
+func sessOf(t *core.Task) uint64 {
+	if d := t.Domain; d != nil {
+		return d.ID
+	}
+	return 0
+}
+
+// obsFinish records a task completion: the end event and the ready events of
+// the released successors share one group (one clock read, one sequence
+// fetch-add). Quiet tasks are filtered out before the group is sized, so a
+// muted session contributes no events at all. Shared by both backends.
+func obsFinish(rec *obs.Recorder, worker int, t *core.Task, quiet bool, ready []*core.Task) {
+	n := 0
+	if !quiet {
+		n++
+	}
+	for _, r := range ready {
+		if !taskQuiet(r) {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	g, ok := rec.Group(worker, n)
+	if !ok {
+		return
+	}
+	if !quiet {
+		g.Add(obs.EvEnd, t.ID, 0, "")
+	}
+	for _, r := range ready {
+		if !taskQuiet(r) {
+			g.Add(obs.EvReady, r.ID, 0, "")
+		}
+	}
+}
+
 // obsSubmitBatch records a whole batch submission as one group — the
 // observability counterpart of SubmitBatch's amortized locking. Shared by
 // both backends.
@@ -259,31 +302,47 @@ func obsSubmitBatch(rec *obs.Recorder, worker int, ts, ready []*core.Task) {
 	if rec == nil {
 		return
 	}
-	n := len(ready)
+	n := 0
 	for _, t := range ts {
-		n += 1 + len(t.Preds)
+		if !taskQuiet(t) {
+			n += 1 + len(t.Preds)
+		}
+	}
+	for _, t := range ready {
+		if !taskQuiet(t) {
+			n++
+		}
+	}
+	if n == 0 {
+		return
 	}
 	g, ok := rec.Group(worker, n)
 	if !ok {
 		return
 	}
 	for _, t := range ts {
-		g.Add(obs.EvSubmit, t.ID, uint64(len(t.Preds)), t.Label)
+		if taskQuiet(t) {
+			continue
+		}
+		g.AddSess(obs.EvSubmit, t.ID, uint64(len(t.Preds)), sessOf(t), t.Label)
 		for _, p := range t.Preds {
 			g.Add(obs.EvEdge, t.ID, p, "")
 		}
 	}
 	for _, t := range ready {
-		g.Add(obs.EvReady, t.ID, 0, "")
+		if !taskQuiet(t) {
+			g.Add(obs.EvReady, t.ID, 0, "")
+		}
 	}
 }
 
 // obsSubmit records one task submission: the submit event (Arg = wired
-// predecessor count), one edge event per predecessor, and — when the task
-// was immediately runnable — its ready event. The whole site shares one
-// group (one clock read, one sequence fetch-add). Shared by both backends.
+// predecessor count, Sess = the owning session), one edge event per
+// predecessor, and — when the task was immediately runnable — its ready
+// event. The whole site shares one group (one clock read, one sequence
+// fetch-add). Shared by both backends.
 func obsSubmit(rec *obs.Recorder, worker int, t *core.Task, ready bool) {
-	if rec == nil {
+	if rec == nil || taskQuiet(t) {
 		return
 	}
 	n := 1 + len(t.Preds)
@@ -294,7 +353,7 @@ func obsSubmit(rec *obs.Recorder, worker int, t *core.Task, ready bool) {
 	if !ok {
 		return
 	}
-	g.Add(obs.EvSubmit, t.ID, uint64(len(t.Preds)), t.Label)
+	g.AddSess(obs.EvSubmit, t.ID, uint64(len(t.Preds)), sessOf(t), t.Label)
 	for _, p := range t.Preds {
 		g.Add(obs.EvEdge, t.ID, p, "")
 	}
@@ -325,26 +384,41 @@ func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
 	}
 }
 
+// waitFor parks the calling thread until cond holds, executing ready tasks
+// meanwhile (the same help-first discipline as taskwait, generalized to an
+// arbitrary predicate — session drains and admission backpressure use it).
+// cond must eventually hold through task completions or a cancellation;
+// every task finish and cancelWake re-checks it via the gate sequence.
+func (b *nativeBackend) waitFor(from *TC, cond func() bool) {
+	var idle spinner
+	for !cond() {
+		if b.helpOne(from.worker) {
+			idle.hit()
+			continue
+		}
+		if b.cfg.wait == Blocking {
+			ticket := b.gate.ticket()
+			if !cond() && b.sched.Ready() == 0 {
+				b.gate.wait(ticket)
+			}
+		} else {
+			idle.miss()
+		}
+	}
+}
+
 func (b *nativeBackend) taskwaitOn(from *TC, keys []any) {
 	if rec := b.cfg.rec; rec != nil {
 		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
 		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
 	}
 	for _, k := range keys {
-		writers := b.graph.Writers(k)
-		for _, lw := range writers {
-			if b.cfg.wait == Blocking {
-				<-lw.Done()
-				continue
-			}
-			var idle spinner
-			for !lw.Finished() {
-				if b.helpOne(from.worker) {
-					idle.hit()
-				} else {
-					idle.miss()
-				}
-			}
+		for _, lw := range b.graph.Writers(k) {
+			// Help-first in both wait modes: parking on the task's Done
+			// channel without helping deadlocks when every OS thread is a
+			// waiter (workers=1, or a server whose request goroutines all
+			// reach a taskwait-on together).
+			b.waitFor(from, lw.Finished)
 		}
 	}
 }

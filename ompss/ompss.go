@@ -82,18 +82,25 @@ func (m WaitMode) String() string {
 	return "polling"
 }
 
-// config collects runtime options.
+// config collects runtime options. The session-relevant subset — policy,
+// renaming, renameCap, rec, tenant, maxInFlight, admission — is accepted
+// uniformly at New and NewSession: NewSession starts from a copy of the
+// runtime's config and applies its own options on top, so session values
+// override runtime defaults field by field.
 type config struct {
-	workers   int
-	wait      WaitMode
-	locality  bool
-	affinity  bool
-	domains   int
-	seed      int64
-	rec       *obs.Recorder
-	policy    ErrorPolicy
-	renaming  bool
-	renameCap int
+	workers     int
+	wait        WaitMode
+	locality    bool
+	affinity    bool
+	domains     int
+	seed        int64
+	rec         *obs.Recorder
+	policy      ErrorPolicy
+	renaming    bool
+	renameCap   int
+	tenant      int
+	maxInFlight int
+	admission   AdmissionMode
 }
 
 // schedPolicy assembles the core scheduling policy both backends hand to
@@ -198,6 +205,12 @@ type backend interface {
 	compute(from *TC, d time.Duration)
 	touch(from *TC, key any, bytes int64, write bool)
 	deps() *core.Graph
+	// waitFor parks the calling thread until cond holds, helping to execute
+	// ready tasks meanwhile (the taskwait discipline generalized to an
+	// arbitrary predicate — session drain and admission backpressure use
+	// it). cond must eventually be flipped by task finishes or a
+	// cancellation; it is re-evaluated at every scheduling point.
+	waitFor(from *TC, cond func() bool)
 	// cancelWake nudges parked threads after a cancellation so they can
 	// observe the skip-everything state. Must be safe from any goroutine.
 	cancelWake()
@@ -231,10 +244,23 @@ type errRef struct{ err error }
 // or receive one inside RunSim (simulated execution). Methods on Runtime act
 // on behalf of the program's master thread; inside task bodies, use the TC
 // methods instead.
+//
+// A Runtime is also a long-lived host for request-scoped Sessions
+// (NewSession): every Runtime-level spawning call delegates to the
+// implicit default session — rt.Task is rt.DefaultSession().Task — so
+// batch-style programs and the serving surface share one API (see API).
 type Runtime struct {
 	be   backend
 	main *TC
 	cfg  config
+
+	// def is the implicit default session every Runtime-level call acts on
+	// (rt.Task ≡ rt.DefaultSession().Task); root is the accounting parent
+	// of every session's domain, metering the global MaxInFlight budget;
+	// sessID hands out session IDs (default session = 1).
+	def    *Session
+	root   *core.Domain
+	sessID atomic.Uint64
 
 	firstErr  atomic.Pointer[errRef] // first task failure (any kind)
 	firstPan  atomic.Pointer[errRef] // first *TaskPanic, for the Shutdown valve
@@ -251,15 +277,43 @@ func (rt *Runtime) noteErr(err error) {
 	if rt.firstErr.Load() == nil {
 		rt.firstErr.CompareAndSwap(nil, &errRef{err})
 	}
+	rt.notePanic(err)
+}
+
+// notePanic arms the Shutdown panic valve without recording a global error.
+func (rt *Runtime) notePanic(err error) {
 	var tp *TaskPanic
 	if errors.As(err, &tp) && rt.firstPan.Load() == nil {
 		rt.firstPan.CompareAndSwap(nil, &errRef{tp})
 	}
 }
 
+// noteTaskErr records a finished task's failure on the right error surface.
+// Request-session tasks fail into their session's domain — Handle.Err,
+// Session.Err, and Close report them — and do NOT become the runtime-global
+// first error: a multi-tenant server's rt.Err must not answer with one
+// tenant's private failure, and RunSim must not fail a whole simulation
+// over a session-contained error. Panics still arm the Shutdown valve
+// globally, so an unobserved panic crashes loudly no matter whose task
+// panicked.
+func (rt *Runtime) noteTaskErr(t *core.Task, err error) {
+	if err == nil {
+		return
+	}
+	if d := t.Domain; d != nil {
+		if s, ok := d.Owner.(*Session); ok && s.ephemeral {
+			rt.notePanic(err)
+			return
+		}
+	}
+	rt.noteErr(err)
+}
+
 // Err returns the first task failure recorded on this runtime (nil when
-// every finished task succeeded so far). Calling it marks the runtime's
-// failures as observed, disarming the Shutdown panic valve.
+// every finished task succeeded so far). Failures inside request sessions
+// are session-scoped — consult Session.Err, Handle.Err, or Session.Close —
+// and never appear here. Calling Err marks the runtime's failures as
+// observed, disarming the Shutdown panic valve.
 func (rt *Runtime) Err() error {
 	rt.observed.Store(true)
 	if r := rt.firstErr.Load(); r != nil {
@@ -291,13 +345,23 @@ func (rt *Runtime) cancelCause() error {
 }
 
 // skipReason decides, at dispatch, whether t must be released without
-// running: always after a cancellation, and under SkipDependents when an
-// upstream failure reached it. Returns the error to finish the task with.
+// running: always after a runtime-wide or session cancellation, and under
+// the owning session's SkipDependents policy when an upstream failure
+// reached it. Returns the error to finish the task with.
 func (rt *Runtime) skipReason(t *core.Task) error {
 	if ce := rt.cancelCause(); ce != nil {
 		return &SkipError{Label: t.Label, Cause: ce}
 	}
-	if rt.cfg.policy == SkipDependents {
+	pol := rt.cfg.policy
+	if d := t.Domain; d != nil {
+		if ce := d.CancelCause(); ce != nil {
+			return &SkipError{Label: t.Label, Cause: ce}
+		}
+		if s, ok := d.Owner.(*Session); ok {
+			pol = s.cfg.policy
+		}
+	}
+	if pol == SkipDependents {
 		if ue := t.Upstream(); ue != nil {
 			return &SkipError{Label: t.Label, Cause: ue}
 		}
@@ -383,9 +447,22 @@ func New(opts ...Option) *Runtime {
 	rt := &Runtime{cfg: cfg}
 	nb := newNativeBackend(rt, cfg)
 	rt.be = nb
-	rt.main = &TC{rt: rt, ctx: &core.Context{}, worker: nb.masterLane()}
+	rt.initMain(nb.masterLane())
 	nb.start()
 	return rt
+}
+
+// initMain builds the master TC and the implicit default session it
+// belongs to (session ID 1, parented on the runtime's root accounting
+// domain). Shared by New and the simulated runner.
+func (rt *Runtime) initMain(lane int) {
+	rt.root = &core.Domain{}
+	rt.sessID.Store(1)
+	def := &Session{rt: rt, cfg: rt.cfg}
+	def.dom = &core.Domain{ID: 1, Parent: rt.root, Owner: def}
+	rt.main = &TC{rt: rt, ctx: &core.Context{}, worker: lane, sess: def}
+	def.tc = rt.main
+	rt.def = def
 }
 
 // TC is the task context handed to task bodies and representing the master
@@ -395,6 +472,7 @@ type TC struct {
 	rt     *Runtime
 	ctx    *core.Context // children spawned from this scope
 	task   *core.Task    // nil for the master TC
+	sess   *Session      // owning session (the default session on rt.main)
 	worker int
 	final  bool // inside a final task: all nested tasks run undeferred
 }
@@ -429,7 +507,15 @@ func (tc *TC) spawn(body func(*TC) error, clauses []Clause) *Handle {
 	if !spec.enabled || tc.final {
 		return tc.spawnInline(&spec, body)
 	}
+	if s := tc.sess; s != nil && s.managed() {
+		// Request sessions (and a globally limited default session) route
+		// through admission control and arena tracking.
+		return s.spawnManaged(tc, &spec, body)
+	}
 	ct := tc.buildDeferred(&spec, body)
+	if s := tc.sess; s != nil {
+		s.dom.Charge()
+	}
 	tc.rt.be.submit(tc, ct)
 	return &Handle{rt: tc.rt, t: ct}
 }
@@ -445,14 +531,28 @@ func (tc *TC) spawnInline(spec *taskSpec, body func(*TC) error) *Handle {
 		tc.ctx.NoteErr(err)
 		return &Handle{rt: tc.rt, inlineErr: err}
 	}
+	if s := tc.sess; s != nil {
+		if s.closedFlag.Load() {
+			return s.deadHandle(spec.label, ErrSessionClosed)
+		}
+		if ce := s.dom.CancelCause(); ce != nil {
+			err := &SkipError{Label: spec.label, Cause: ce}
+			tc.ctx.NoteErr(err)
+			return &Handle{rt: tc.rt, inlineErr: err}
+		}
+	}
 	tc.rt.be.compute(tc, spec.cost)
 	for _, a := range spec.accesses {
 		tc.rt.be.touch(tc, a.Key, a.Bytes, a.Writes())
 	}
 	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
-		worker: tc.worker, final: tc.final || spec.final}
+		sess: tc.sess, worker: tc.worker, final: tc.final || spec.final}
 	err := tc.runInline(child, body, spec.accesses)
-	tc.rt.noteErr(err)
+	if s := tc.sess; s != nil && s.ephemeral {
+		tc.rt.notePanic(err)
+	} else {
+		tc.rt.noteErr(err)
+	}
 	// Inline tasks never enter the graph, so record the failure on the
 	// spawning scope here — TaskwaitCtx reports it like any child's.
 	tc.ctx.NoteErr(err)
@@ -463,18 +563,24 @@ func (tc *TC) spawnInline(spec *taskSpec, body func(*TC) error) *Handle {
 // but the submission, so Batch can accumulate tasks and submit them in one
 // atomic batch.
 func (tc *TC) buildDeferred(spec *taskSpec, body func(*TC) error) *core.Task {
-	ct := &core.Task{
-		Label:    spec.label,
-		Priority: spec.priority,
-		CPUCost:  int64(spec.cost),
-		Accesses: spec.accesses,
-		Parent:   tc.ctx,
+	ct := tc.allocTask()
+	ct.Label = spec.label
+	ct.Priority = spec.priority
+	ct.CPUCost = int64(spec.cost)
+	ct.Accesses = spec.accesses
+	ct.Parent = tc.ctx
+	if s := tc.sess; s != nil {
+		// The session is the task's failure/cancellation/accounting domain,
+		// and its tenant class boosts the task onto the matching priority
+		// lane.
+		ct.Domain = s.dom
+		ct.Priority += s.cfg.tenant
 	}
 	if spec.hasAffinity {
 		ct.SetAffinity(spec.affinity)
 	}
 	child := &TC{rt: tc.rt, ctx: &core.Context{Depth: tc.ctx.Depth + 1},
-		task: ct, final: spec.final}
+		task: ct, sess: tc.sess, final: spec.final}
 	label := spec.label
 	commKeys := commutativeKeys(spec.accesses)
 	ct.Body = func() (err error) {
@@ -495,6 +601,17 @@ func (tc *TC) buildDeferred(spec *taskSpec, body func(*TC) error) *core.Task {
 		return body(child)
 	}
 	return ct
+}
+
+// allocTask produces the core task record of a deferred spawn: request
+// sessions draw from the arena pool (their Close resets and returns every
+// record), everything else allocates — the default session's tasks live
+// for the runtime and are never recycled.
+func (tc *TC) allocTask() *core.Task {
+	if s := tc.sess; s != nil && s.ephemeral {
+		return taskPool.Get().(*core.Task)
+	}
+	return new(core.Task)
 }
 
 // runInline executes an undeferred body, honoring commutative mutual
@@ -565,8 +682,15 @@ func (tc *TC) Taskwait() {
 func (tc *TC) TaskwaitCtx(ctx context.Context) error {
 	rt := tc.rt
 	rt.observed.Store(true)
+	// Cancellation scope: on a request session the context cancels that
+	// session only; on the default session (and TCs inside its tasks) it
+	// cancels the runtime, preserving the pre-session semantics.
+	cancel := rt.cancelWith
+	if s := tc.sess; s != nil && s.ephemeral {
+		cancel = s.cancelWith
+	}
 	if ctx != nil && ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() { rt.cancelWith(context.Cause(ctx)) })
+		stop := context.AfterFunc(ctx, func() { cancel(context.Cause(ctx)) })
 		defer stop()
 	}
 	rt.be.taskwait(tc, tc.ctx)

@@ -179,48 +179,66 @@ func (c *fuzzCells) body(t fuzzTask, taskIdx int) func(*ompss.TC) {
 	}
 }
 
-// run executes the program once inside an already-running runtime and
-// returns the observed violations plus the final cell state.
-func (c *fuzzCells) run(p *fuzzProg, rt *ompss.Runtime) {
+// fuzzClauses translates one fuzz task's access list into clause form
+// against a registered key set.
+func fuzzClauses(t fuzzTask, keys []*ompss.Datum) []ompss.Clause {
+	var cl []ompss.Clause
+	for _, a := range t.accesses {
+		switch a.mode {
+		case fzIn:
+			cl = append(cl, ompss.In(keys[a.key]))
+		case fzOut:
+			cl = append(cl, ompss.Out(keys[a.key]))
+		case fzInOut:
+			cl = append(cl, ompss.InOut(keys[a.key]))
+		case fzCommutative:
+			cl = append(cl, ompss.Commutative(keys[a.key]))
+		}
+	}
+	if t.priority > 0 {
+		cl = append(cl, ompss.Priority(t.priority))
+	}
+	if t.affinity >= 0 {
+		cl = append(cl, ompss.Affinity(keys[t.affinity]))
+	}
+	return cl
+}
+
+// submitGroup submits one program group — a lone Task call or a batch —
+// and returns the task index after the group. Factored out of run so the
+// concurrent-session fuzz can interleave groups from many programs.
+func (c *fuzzCells) submitGroup(group []fuzzTask, idx int, rt ompss.API, keys []*ompss.Datum) int {
+	if len(group) == 1 {
+		rt.Task(c.body(group[0], idx), fuzzClauses(group[0], keys)...)
+		return idx + 1
+	}
+	b := rt.Batch()
+	for _, t := range group {
+		b.Task(c.body(t, idx), fuzzClauses(t, keys)...)
+		idx++
+	}
+	b.Submit()
+	return idx
+}
+
+// registerKeys registers the program's cells on the given surface.
+func (c *fuzzCells) registerKeys(p *fuzzProg, rt ompss.API) []*ompss.Datum {
 	keys := make([]*ompss.Datum, p.nKeys)
 	for k := range keys {
 		keys[k] = rt.Register(&c.vals[k])
 	}
-	clausesFor := func(t fuzzTask) []ompss.Clause {
-		var cl []ompss.Clause
-		for _, a := range t.accesses {
-			switch a.mode {
-			case fzIn:
-				cl = append(cl, ompss.In(keys[a.key]))
-			case fzOut:
-				cl = append(cl, ompss.Out(keys[a.key]))
-			case fzInOut:
-				cl = append(cl, ompss.InOut(keys[a.key]))
-			case fzCommutative:
-				cl = append(cl, ompss.Commutative(keys[a.key]))
-			}
-		}
-		if t.priority > 0 {
-			cl = append(cl, ompss.Priority(t.priority))
-		}
-		if t.affinity >= 0 {
-			cl = append(cl, ompss.Affinity(keys[t.affinity]))
-		}
-		return cl
-	}
+	return keys
+}
+
+// run executes the program once against an already-running spawning surface
+// — the whole runtime or one session (the concurrent-session isolation fuzz
+// runs one program per session) — and returns the observed violations plus
+// the final cell state.
+func (c *fuzzCells) run(p *fuzzProg, rt ompss.API) {
+	keys := c.registerKeys(p, rt)
 	idx := 0
 	for _, group := range p.groups {
-		if len(group) == 1 {
-			rt.Task(c.body(group[0], idx), clausesFor(group[0])...)
-			idx++
-			continue
-		}
-		b := rt.Batch()
-		for _, t := range group {
-			b.Task(c.body(t, idx), clausesFor(t)...)
-			idx++
-		}
-		b.Submit()
+		idx = c.submitGroup(group, idx, rt, keys)
 	}
 	rt.Taskwait()
 }
@@ -401,38 +419,16 @@ func (c *fuzzCells) runVersioned(p *fuzzProg, rt *ompss.Runtime) {
 			func() any { return new(paddedCell) },
 			func(dst, src any) { dst.(*paddedCell).v = src.(*paddedCell).v })
 	}
-	clausesFor := func(t fuzzTask) []ompss.Clause {
-		var cl []ompss.Clause
-		for _, a := range t.accesses {
-			switch a.mode {
-			case fzIn:
-				cl = append(cl, ompss.In(keys[a.key]))
-			case fzOut:
-				cl = append(cl, ompss.Out(keys[a.key]))
-			case fzInOut:
-				cl = append(cl, ompss.InOut(keys[a.key]))
-			case fzCommutative:
-				cl = append(cl, ompss.Commutative(keys[a.key]))
-			}
-		}
-		if t.priority > 0 {
-			cl = append(cl, ompss.Priority(t.priority))
-		}
-		if t.affinity >= 0 {
-			cl = append(cl, ompss.Affinity(keys[t.affinity]))
-		}
-		return cl
-	}
 	idx := 0
 	for _, group := range p.groups {
 		if len(group) == 1 {
-			rt.Task(c.bodyVersioned(group[0], idx, keys), clausesFor(group[0])...)
+			rt.Task(c.bodyVersioned(group[0], idx, keys), fuzzClauses(group[0], keys)...)
 			idx++
 			continue
 		}
 		b := rt.Batch()
 		for _, t := range group {
-			b.Task(c.bodyVersioned(t, idx, keys), clausesFor(t)...)
+			b.Task(c.bodyVersioned(t, idx, keys), fuzzClauses(t, keys)...)
 			idx++
 		}
 		b.Submit()

@@ -1,0 +1,512 @@
+package ompss
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"ompssgo/internal/core"
+)
+
+// ErrSessionClosed is the cause wrapped into the outcome of every task a
+// session Close released without running, and into the pre-failed handles
+// returned by spawns attempted after Close. Match with errors.Is.
+var ErrSessionClosed = errors.New("ompss: session closed")
+
+// ErrAdmission is the cause wrapped into the pre-failed handle of a spawn
+// rejected by admission control (RejectOnFull with the session or global
+// in-flight budget exhausted). Match with errors.Is.
+var ErrAdmission = errors.New("ompss: admission limit reached")
+
+// AdmissionMode selects what a spawn does when the session's (or the
+// runtime's global) in-flight budget is exhausted.
+type AdmissionMode int
+
+const (
+	// BlockOnFull (the default) makes the spawning thread wait for
+	// headroom, helping to execute ready tasks meanwhile — backpressure
+	// that keeps the submitter productive, as taskwait does.
+	BlockOnFull AdmissionMode = iota
+	// RejectOnFull returns a pre-failed Handle whose Err wraps
+	// ErrAdmission; nothing is submitted. Load-shedding for servers that
+	// prefer a fast 429 over queueing.
+	RejectOnFull
+)
+
+func (m AdmissionMode) String() string {
+	if m == RejectOnFull {
+		return "reject-on-full"
+	}
+	return "block-on-full"
+}
+
+// Tenant assigns the session's tenant class: a priority boost added to
+// every task the session spawns, mapping tenants onto the scheduler's
+// priority lanes (a class-2 session's tasks outrank a class-0 session's
+// ready tasks at every dispatch point). Valid at New (boosting the default
+// session) and NewSession; default 0.
+func Tenant(class int) Option { return func(c *config) { c.tenant = class } }
+
+// MaxInFlight bounds submitted-but-unfinished tasks. At New it is the
+// runtime's global limiter, metering every session's submissions together;
+// at NewSession it is that session's private budget (both may be active —
+// a spawn needs headroom in both). Zero (the default) means unlimited.
+// Per-session budgets are exact; under concurrent sessions the global
+// check is approximate (overshoot bounded by the number of concurrently
+// admitting sessions), and a Batch is admitted whole once there is any
+// headroom, so budgets are soft by up to len(batch)−1.
+func MaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n } }
+
+// Admission selects the full-budget behavior (default BlockOnFull).
+func Admission(m AdmissionMode) Option { return func(c *config) { c.admission = m } }
+
+// API is the task-spawning surface shared by *Runtime and *Session:
+// programs written against it run unchanged on the runtime's default
+// session or on a request-scoped session (the suite's kernels take an API,
+// which is how one benchmark body serves both the batch harness and the
+// per-request server).
+type API interface {
+	Register(key any) *Datum
+	RegisterRegion(base any, lo, hi int64) *Datum
+	Task(body func(*TC), clauses ...Clause) *Handle
+	Go(body func(*TC) error, clauses ...Clause) *Handle
+	TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) []*Handle
+	Batch() *Batch
+	SubmitBatch(fill func(b *Batch)) []*Handle
+	Taskwait()
+	TaskwaitCtx(ctx context.Context) error
+	TaskwaitOn(keys ...any)
+	Critical(name string, f func())
+}
+
+var (
+	_ API = (*Runtime)(nil)
+	_ API = (*Session)(nil)
+)
+
+// Session is a request-scoped task graph on a shared runtime: it owns its
+// own spawning surface (Register/Task/Go/Batch/Taskwait...), its own
+// error and cancellation domain, its own admission budget and tenant
+// class, and a request-scoped arena — Close recycles the session's task
+// records, dependence-shard entries, and version chains wholesale.
+//
+// Obtain one with Runtime.NewSession per request; the runtime hosts any
+// number of concurrent sessions. Failure isolation is structural: a
+// session's SkipDependents cascade, TaskwaitCtx cancellation, or Cancel
+// never skips another session's tasks, even across shared-data dependence
+// edges (cross-session edges order execution but never carry errors).
+//
+// A session is safe for concurrent use by multiple spawning goroutines.
+// Close must not race in-flight spawns of the same session gratuitously —
+// it waits for them, cancels what has not started, drains, then seals
+// every Handle (Err becomes a stable ErrSessionClosed-wrapped outcome for
+// skipped tasks). Data registered or touched through a session is treated
+// as request-private: Close drops its dependence records, so sharing keys
+// across sessions forfeits ordering history at each Close.
+type Session struct {
+	rt  *Runtime
+	cfg config
+	dom *core.Domain
+	tc  *TC
+	// ephemeral marks NewSession sessions: their tasks come from a pool and
+	// are recycled at Close, and their handles/keys are tracked for sealing.
+	// The runtime's default session is not ephemeral — it never closes and
+	// pays none of the tracking.
+	ephemeral bool
+
+	closedFlag atomic.Bool
+	// gate brackets spawn sections (closed-check .. submit) against Close:
+	// Close sets closedFlag, then takes the write lock once as a barrier so
+	// every in-flight spawn has either submitted (and is tracked) or will
+	// observe the flag.
+	gate sync.RWMutex
+	// admu serializes the session's budget check-then-charge, making the
+	// per-session budget exact under concurrent spawners.
+	admu sync.Mutex
+
+	// trmu guards the arena tracking below (appended by spawners, consumed
+	// by Close).
+	trmu    sync.Mutex
+	handles []*Handle
+	tasks   []*core.Task
+	keys    map[any]struct{}
+	regs    []*core.Datum
+}
+
+// taskPool recycles core.Task records across ephemeral sessions — the
+// request-scoped arena that takes task allocation off the steady-state
+// serving path.
+var taskPool = sync.Pool{New: func() any { return new(core.Task) }}
+
+// NewSession opens a request-scoped session. Session-relevant options —
+// OnError, WithRenaming, RenameCap, Observe, Tenant, MaxInFlight,
+// Admission — are accepted here with the same constructors New takes;
+// a session value overrides the runtime default, anything not set is
+// inherited (see DESIGN.md for the precedence table). Observe(nil) mutes
+// the session's per-task events in the runtime's recorder; attaching a
+// different recorder than the runtime's panics (per-session traces are
+// carved out of the runtime's stream by session ID instead — see
+// obs.Trace.FilterSession). Structural options (Workers, Wait, Locality,
+// AffinitySched, Domains, Seed) are ignored: the backend is already built.
+func (rt *Runtime) NewSession(opts ...Option) *Session {
+	cfg := rt.cfg
+	// The runtime's MaxInFlight is the global limiter and its tenant boost
+	// belongs to the default session; a session starts neutral and opts in.
+	cfg.maxInFlight = 0
+	cfg.tenant = 0
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.rec != nil && cfg.rec != rt.cfg.rec {
+		panic("ompss: NewSession: sessions cannot attach their own recorder; use the runtime's recorder (traces are per-session filterable) or Observe(nil) to mute")
+	}
+	s := &Session{rt: rt, cfg: cfg, ephemeral: true, keys: make(map[any]struct{})}
+	dom := &core.Domain{
+		ID:     rt.sessID.Add(1),
+		Parent: rt.root,
+		Owner:  s,
+		Quiet:  rt.cfg.rec != nil && cfg.rec == nil,
+	}
+	if cfg.renaming != rt.cfg.renaming {
+		if cfg.renaming {
+			dom.Rename = core.RenameForceOn
+		} else {
+			dom.Rename = core.RenameForceOff
+		}
+	}
+	if cfg.renameCap > 0 && cfg.renameCap != rt.cfg.renameCap {
+		dom.RenameCap = cfg.renameCap
+	}
+	s.dom = dom
+	s.tc = &TC{rt: rt, ctx: &core.Context{}, worker: rt.main.worker, sess: s}
+	return s
+}
+
+// DefaultSession returns the runtime's implicit session — the one every
+// Runtime-level call acts on (rt.Task ≡ rt.DefaultSession().Task). It is
+// never ephemeral: Close on it is a no-op, and its tasks are not pooled.
+func (rt *Runtime) DefaultSession() *Session { return rt.def }
+
+// ID returns the session's trace identity (the `sid` field of its submit
+// events; the default session is 1).
+func (s *Session) ID() uint64 { return s.dom.ID }
+
+// SessionStats is a snapshot of one session's task accounting.
+type SessionStats struct {
+	Submitted uint64
+	Finished  uint64
+	Failed    uint64 // finished with a non-nil outcome (includes skipped)
+	Skipped   uint64 // released without running
+	InFlight  int64  // submitted but not yet finished
+}
+
+// Stats returns the session's task accounting counters.
+func (s *Session) Stats() SessionStats {
+	ds := s.dom.Stats()
+	return SessionStats{
+		Submitted: ds.Submitted,
+		Finished:  ds.Finished,
+		Failed:    ds.Failed,
+		Skipped:   ds.Skipped,
+		InFlight:  ds.InFlight,
+	}
+}
+
+// Register interns key's dependence record on the shared runtime and — for
+// request sessions — tracks the handle so Close recycles its records. See
+// Runtime.Register for handle semantics.
+func (s *Session) Register(key any) *Datum {
+	d := s.rt.Register(key)
+	if s.ephemeral {
+		if pre, ok := key.(*Datum); !ok || pre != d {
+			s.trmu.Lock()
+			s.regs = append(s.regs, d.c)
+			s.trmu.Unlock()
+		}
+	}
+	return d
+}
+
+// RegisterRegion interns an array-section handle (see
+// Runtime.RegisterRegion), tracked for recycling at Close.
+func (s *Session) RegisterRegion(base any, lo, hi int64) *Datum {
+	d := s.rt.RegisterRegion(base, lo, hi)
+	if s.ephemeral {
+		s.trmu.Lock()
+		s.regs = append(s.regs, d.c)
+		s.trmu.Unlock()
+	}
+	return d
+}
+
+// Task spawns a task in this session's scope (see TC.Task).
+func (s *Session) Task(body func(*TC), clauses ...Clause) *Handle {
+	return s.tc.Task(body, clauses...)
+}
+
+// Go spawns an error-returning task in this session's scope (see TC.Go).
+func (s *Session) Go(body func(*TC) error, clauses ...Clause) *Handle {
+	return s.tc.Go(body, clauses...)
+}
+
+// TaskLoop spawns chunked loop tasks in this session's scope (see
+// TC.TaskLoop).
+func (s *Session) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) []*Handle {
+	return s.tc.TaskLoop(n, chunk, body, clauses...)
+}
+
+// Batch starts an empty submission batch owned by this session; admission
+// is charged when Submit flushes it.
+func (s *Session) Batch() *Batch { return s.tc.Batch() }
+
+// SubmitBatch opens a batch, lets fill populate it, and flushes (see
+// Runtime.SubmitBatch).
+func (s *Session) SubmitBatch(fill func(b *Batch)) []*Handle {
+	b := s.Batch()
+	fill(b)
+	return b.Submit()
+}
+
+// Taskwait blocks until the session's direct children have finished,
+// helping to execute ready tasks meanwhile (see TC.Taskwait).
+func (s *Session) Taskwait() { s.tc.Taskwait() }
+
+// TaskwaitCtx is Taskwait bounded by a context. Unlike the runtime-level
+// TaskwaitCtx, cancellation is session-scoped: it cancels this session
+// only (every not-yet-started task of the session is skipped; other
+// sessions are untouched). See TC.TaskwaitCtx for the returned error.
+func (s *Session) TaskwaitCtx(ctx context.Context) error { return s.tc.TaskwaitCtx(ctx) }
+
+// TaskwaitOn blocks until the current last writer of each key has
+// finished (see TC.TaskwaitOn).
+func (s *Session) TaskwaitOn(keys ...any) { s.tc.TaskwaitOn(keys...) }
+
+// Critical runs f under the named runtime-global lock (see TC.Critical).
+func (s *Session) Critical(name string, f func()) { s.tc.Critical(name, f) }
+
+// Err returns the first failure among the session's direct children so far
+// (nil when none failed). It does not clear the record; TaskwaitCtx and
+// Close consume it per round.
+func (s *Session) Err() error {
+	s.rt.observed.Store(true)
+	return s.tc.ctx.Err()
+}
+
+// Cancel puts the session into cancellation drain: every task of this
+// session that has not started yet — including later submissions — is
+// released without running, finishing with a *SkipError wrapping cause
+// (context.Canceled when nil). Other sessions are unaffected. Idempotent.
+func (s *Session) Cancel(cause error) { s.cancelWith(cause) }
+
+func (s *Session) cancelWith(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	if s.dom.Cancel(cause) {
+		s.rt.be.cancelWake()
+	}
+}
+
+// Close ends the session: new spawns are refused (pre-failed handles
+// wrapping ErrSessionClosed), every task that has not started is cancelled
+// with ErrSessionClosed, the session drains (the closing thread helps
+// execute), every Handle is sealed so Err returns a stable outcome
+// forever, and the session's arena — task records, dependence-shard
+// entries, version chains — recycles wholesale. Returns the first failure
+// among the session's children (cancellation skips included), nil when
+// everything succeeded. Idempotent; call Taskwait first if remaining work
+// should complete rather than be cancelled. On the default session Close
+// is a no-op returning nil.
+func (s *Session) Close() error {
+	if !s.ephemeral {
+		return nil
+	}
+	if s.closedFlag.Swap(true) {
+		return nil
+	}
+	// Barrier: wait out every spawn section that passed the closed check,
+	// so the tracking below is complete.
+	s.gate.Lock()
+	s.gate.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	// Fast drain: skip everything that has not started.
+	s.dom.Cancel(ErrSessionClosed)
+	s.rt.be.cancelWake()
+	s.rt.be.waitFor(s.tc, func() bool { return s.dom.InFlight() == 0 })
+	// Outcomes are consumed here (sealed handles, returned error): that
+	// counts as observing failures, like TaskwaitCtx.
+	s.rt.observed.Store(true)
+	s.trmu.Lock()
+	for _, h := range s.handles {
+		h.seal()
+	}
+	// Recycle the arena. Records first (they hold task pointers), then the
+	// task objects back to the pool.
+	g := s.rt.be.deps()
+	for k := range s.keys {
+		g.Forget(k)
+	}
+	for _, d := range s.regs {
+		g.Release(d)
+	}
+	for _, t := range s.tasks {
+		t.Reset()
+		taskPool.Put(t)
+	}
+	s.handles, s.tasks, s.regs, s.keys = nil, nil, nil, nil
+	s.trmu.Unlock()
+	return s.tc.ctx.TakeErr()
+}
+
+// Closed reports whether Close has begun.
+func (s *Session) Closed() bool { return s.closedFlag.Load() }
+
+// managed reports whether spawns must go through the admission/tracking
+// path: every request session, and the default session when a global
+// limiter is configured.
+func (s *Session) managed() bool {
+	return s.ephemeral || s.rt.cfg.maxInFlight > 0
+}
+
+// limit returns the session-private in-flight budget (0 = unlimited). The
+// default session has none — the runtime's MaxInFlight acts globally via
+// the root domain.
+func (s *Session) limit() int {
+	if s.ephemeral {
+		return s.cfg.maxInFlight
+	}
+	return 0
+}
+
+// headroom reports whether both budgets currently admit n more tasks
+// (headroom rule: a multi-task admission needs any headroom, so batch
+// budgets are soft by up to n−1).
+func (s *Session) headroom() bool {
+	if lim := s.limit(); lim > 0 && s.dom.InFlight() >= int64(lim) {
+		return false
+	}
+	if glim := s.rt.cfg.maxInFlight; glim > 0 && s.rt.root.InFlight() >= int64(glim) {
+		return false
+	}
+	return true
+}
+
+// admitN waits for (BlockOnFull) or probes (RejectOnFull) budget headroom
+// and charges the session for n tasks. ok=false reports the refusal cause
+// (ErrAdmission, ErrSessionClosed, or the session's cancellation cause);
+// nothing is charged then.
+func (s *Session) admitN(tc *TC, n int64) (ok bool, cause error) {
+	for {
+		if s.closedFlag.Load() {
+			return false, ErrSessionClosed
+		}
+		if ce := s.dom.CancelCause(); ce != nil {
+			return false, ce
+		}
+		s.admu.Lock()
+		if s.headroom() {
+			s.dom.ChargeN(n)
+			s.admu.Unlock()
+			return true, nil
+		}
+		s.admu.Unlock()
+		if s.cfg.admission == RejectOnFull {
+			return false, ErrAdmission
+		}
+		// Backpressure: help execute until a finish frees budget, the
+		// session is cancelled, or it closes.
+		s.rt.be.waitFor(tc, func() bool {
+			return s.closedFlag.Load() || s.dom.CancelCause() != nil || s.headroom()
+		})
+	}
+}
+
+// deadHandle returns the pre-failed handle of a refused spawn.
+func (s *Session) deadHandle(label string, cause error) *Handle {
+	return &Handle{rt: s.rt, inlineErr: &SkipError{Label: label, Cause: cause}}
+}
+
+// spawnManaged is the admission-controlled, arena-tracked spawn path of
+// managed sessions (TC.spawn routes here).
+func (s *Session) spawnManaged(tc *TC, spec *taskSpec, body func(*TC) error) *Handle {
+	if ok, cause := s.admitN(tc, 1); !ok {
+		return s.deadHandle(spec.label, cause)
+	}
+	s.gate.RLock()
+	if s.closedFlag.Load() {
+		s.gate.RUnlock()
+		s.dom.Uncharge(1)
+		return s.deadHandle(spec.label, ErrSessionClosed)
+	}
+	ct := tc.buildDeferred(spec, body)
+	h := &Handle{rt: s.rt, t: ct}
+	if s.ephemeral {
+		s.trmu.Lock()
+		s.handles = append(s.handles, h)
+		s.tasks = append(s.tasks, ct)
+		s.noteAccessKeys(ct.Accesses)
+		s.trmu.Unlock()
+	}
+	s.rt.be.submit(tc, ct)
+	s.gate.RUnlock()
+	return h
+}
+
+// submitBatchManaged flushes a batch through admission and arena tracking
+// (Batch.Submit routes here for managed sessions).
+func (s *Session) submitBatchManaged(tc *TC, ts []*core.Task, hs []*Handle) []*Handle {
+	n := int64(len(ts))
+	refuse := func(cause error) []*Handle {
+		for i, h := range hs {
+			h.fail(&SkipError{Label: ts[i].Label, Cause: cause})
+		}
+		s.recycle(ts)
+		return hs
+	}
+	if ok, cause := s.admitN(tc, n); !ok {
+		return refuse(cause)
+	}
+	s.gate.RLock()
+	if s.closedFlag.Load() {
+		s.gate.RUnlock()
+		s.dom.Uncharge(n)
+		return refuse(ErrSessionClosed)
+	}
+	if s.ephemeral {
+		s.trmu.Lock()
+		s.handles = append(s.handles, hs...)
+		s.tasks = append(s.tasks, ts...)
+		for _, t := range ts {
+			s.noteAccessKeys(t.Accesses)
+		}
+		s.trmu.Unlock()
+	}
+	s.rt.be.submitBatch(tc, ts)
+	s.gate.RUnlock()
+	return hs
+}
+
+// noteAccessKeys records every dependence key the session touched, so
+// Close can drop the shard records (which hold task pointers) before the
+// tasks recycle. Called with trmu held. Region accesses record their base
+// (Forget drops section records by base).
+func (s *Session) noteAccessKeys(accesses []core.Access) {
+	for i := range accesses {
+		k := accesses[i].Key
+		if r, ok := k.(core.Region); ok {
+			k = r.Base
+		}
+		s.keys[k] = struct{}{}
+	}
+}
+
+// recycle returns never-submitted tasks of a refused batch to the pool.
+func (s *Session) recycle(ts []*core.Task) {
+	if !s.ephemeral {
+		return
+	}
+	for _, t := range ts {
+		t.Reset()
+		taskPool.Put(t)
+	}
+}

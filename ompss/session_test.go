@@ -1,0 +1,674 @@
+package ompss_test
+
+// Session-scoped runtime API tests: lifecycle, admission control, tenant
+// priority, per-session option overrides, cross-session isolation, and the
+// stability of sealed handles after Close. CI's race job runs this package
+// under -race, so the Close/spawn/Err interleavings here double as race
+// probes of the session arena.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompssgo/internal/obs"
+	"ompssgo/machine"
+	"ompssgo/ompss"
+)
+
+// TestSessionLifecycle runs a small DAG in a request session and checks the
+// accounting, the result, and that Close is an idempotent nil.
+func TestSessionLifecycle(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession()
+	if s.ID() < 2 {
+		t.Fatalf("session ID %d, want >= 2 (1 is the default session)", s.ID())
+	}
+	var x int
+	d := s.Register(&x)
+	for i := 0; i < 10; i++ {
+		s.Task(func(*ompss.TC) { x++ }, ompss.InOut(d))
+	}
+	s.Taskwait()
+	if x != 10 {
+		t.Fatalf("x = %d, want 10", x)
+	}
+	st := s.Stats()
+	if st.Submitted != 10 || st.Finished != 10 || st.Failed != 0 || st.Skipped != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 10 submitted/finished and nothing else", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+// TestSessionCloseSkipsPending closes a session while a dependence chain is
+// still queued behind a blocked head: the head finishes, the rest are
+// skipped with ErrSessionClosed, and every sealed Handle answers stably
+// afterwards — from many goroutines at once, which is the -race leg of the
+// handle-after-close fix.
+func TestSessionCloseSkipsPending(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession()
+	var x int
+	release := make(chan struct{})
+	started := make(chan struct{})
+	head := s.Task(func(*ompss.TC) { close(started); <-release }, ompss.InOut(&x))
+	var deps []*ompss.Handle
+	for i := 0; i < 8; i++ {
+		deps = append(deps, s.Task(func(*ompss.TC) { x++ }, ompss.InOut(&x)))
+	}
+	// The head must be RUNNING when Close cancels, so it finishes cleanly
+	// and only the queued chain is skipped.
+	<-started
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close is draining: it cancelled the pending chain and is waiting for
+	// the head. Release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-closed; !errors.Is(err, ompss.ErrSessionClosed) {
+		t.Fatalf("Close = %v, want ErrSessionClosed cause (skipped children)", err)
+	}
+
+	if err := head.Err(); err != nil {
+		t.Fatalf("head.Err = %v, want nil (it ran)", err)
+	}
+	// Sealed outcomes are stable and data-race-free after Close.
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, h := range deps {
+				err := h.Err()
+				if !errors.Is(err, ompss.ErrSessionClosed) {
+					t.Errorf("dep.Err = %v, want ErrSessionClosed", err)
+				}
+				if !errors.Is(err, ompss.ErrSkipped) {
+					t.Errorf("dep.Err = %v, want ErrSkipped match", err)
+				}
+				select {
+				case <-h.Done():
+				default:
+					t.Error("sealed handle's Done not closed")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Skipped != 8 {
+		t.Fatalf("skipped = %d, want 8", st.Skipped)
+	}
+}
+
+// TestSessionSpawnAfterClose checks that spawns and batch flushes after
+// Close return pre-failed handles instead of touching the recycled arena.
+func TestSessionSpawnAfterClose(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession()
+	var x int
+	s.Task(func(*ompss.TC) { x = 1 }, ompss.Out(&x))
+	s.Taskwait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	h := s.Task(func(*ompss.TC) { x = 2 }, ompss.Out(&x))
+	if err := h.Err(); !errors.Is(err, ompss.ErrSessionClosed) {
+		t.Fatalf("post-close Task err = %v, want ErrSessionClosed", err)
+	}
+	b := s.Batch()
+	bh := b.Task(func(*ompss.TC) { x = 3 })
+	b.Submit()
+	if err := bh.Err(); !errors.Is(err, ompss.ErrSessionClosed) {
+		t.Fatalf("post-close batch err = %v, want ErrSessionClosed", err)
+	}
+	if x != 1 {
+		t.Fatalf("x = %d: a post-close body ran", x)
+	}
+}
+
+// TestSessionAdmissionBlock checks the BlockOnFull budget: with
+// MaxInFlight(2), the session's in-flight count never exceeds 2 even with
+// an eager spawner.
+func TestSessionAdmissionBlock(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession(ompss.MaxInFlight(2))
+	var over atomic.Int64
+	for i := 0; i < 40; i++ {
+		s.Task(func(*ompss.TC) {
+			if in := s.Stats().InFlight; in > 2 {
+				over.Store(in)
+			}
+		})
+	}
+	s.Taskwait()
+	if n := over.Load(); n != 0 {
+		t.Fatalf("observed %d tasks in flight, budget 2", n)
+	}
+	if st := s.Stats(); st.Finished != 40 {
+		t.Fatalf("finished = %d, want 40", st.Finished)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestSessionAdmissionReject checks RejectOnFull: a spawn over budget
+// returns a pre-failed ErrAdmission handle without submitting, and the
+// budget frees on finish.
+func TestSessionAdmissionReject(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession(ompss.MaxInFlight(1), ompss.Admission(ompss.RejectOnFull))
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	s.Task(func(*ompss.TC) { close(ran); <-release })
+	<-ran
+	rejected := s.Task(func(*ompss.TC) {})
+	if err := rejected.Err(); !errors.Is(err, ompss.ErrAdmission) {
+		t.Fatalf("over-budget spawn err = %v, want ErrAdmission", err)
+	}
+	close(release)
+	s.Taskwait()
+	// Budget freed: the next spawn is admitted.
+	ok := s.Task(func(*ompss.TC) {})
+	s.Taskwait()
+	if err := ok.Err(); err != nil {
+		t.Fatalf("post-drain spawn err = %v, want nil", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestGlobalAdmission checks the runtime-wide limiter: with the global
+// budget held by one session's running task, another session's RejectOnFull
+// spawn is refused.
+func TestGlobalAdmission(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2), ompss.MaxInFlight(1))
+	defer rt.Shutdown()
+
+	a := rt.NewSession()
+	b := rt.NewSession(ompss.Admission(ompss.RejectOnFull))
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	a.Task(func(*ompss.TC) { close(ran); <-release })
+	<-ran
+	h := b.Task(func(*ompss.TC) {})
+	if err := h.Err(); !errors.Is(err, ompss.ErrAdmission) {
+		t.Fatalf("cross-session over-budget spawn err = %v, want ErrAdmission", err)
+	}
+	close(release)
+	a.Taskwait()
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close a: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close b: %v", err)
+	}
+}
+
+// TestTenantPriority checks that a higher tenant class outranks a lower one
+// at dispatch: with the lone worker busy, a gold-session task submitted
+// after a bronze-session task still runs first.
+func TestTenantPriority(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2)) // one dedicated worker + master
+	defer rt.Shutdown()
+
+	bronze := rt.NewSession() // class 0
+	gold := rt.NewSession(ompss.Tenant(2))
+
+	var order []string
+	var mu sync.Mutex
+	note := func(s string) func(*ompss.TC) {
+		return func(*ompss.TC) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	busy := bronze.Task(func(*ompss.TC) { close(started); <-gate })
+	<-started
+	// Both queue behind the busy worker; priority decides the pop order.
+	lo := bronze.Task(note("bronze"))
+	hi := gold.Task(note("gold"))
+	close(gate)
+	// Wait on handles without helping (helping would let this thread pop in
+	// arbitrary order and confound the worker's priority dispatch).
+	<-busy.Done()
+	<-lo.Done()
+	<-hi.Done()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "gold" {
+		t.Fatalf("dispatch order %v, want gold first", order)
+	}
+	bronze.Close()
+	gold.Close()
+}
+
+// TestCrossSessionErrorIsolation wires a dependence edge across sessions —
+// session B's task depends on shared data session A's failing task wrote —
+// and checks the edge orders execution but does not carry the failure: B's
+// task runs.
+func TestCrossSessionErrorIsolation(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	var shared int
+	a := rt.NewSession()
+	b := rt.NewSession()
+
+	release := make(chan struct{})
+	a.Go(func(*ompss.TC) error {
+		<-release
+		return fmt.Errorf("session A failure")
+	}, ompss.InOut(&shared))
+	// A's own dependent must skip (same domain)...
+	aDep := a.Task(func(*ompss.TC) {}, ompss.InOut(&shared))
+	// ...but B's dependent, wired to the same failing writer, must run.
+	bRan := false
+	bDep := b.Task(func(*ompss.TC) { bRan = true }, ompss.InOut(&shared))
+	close(release)
+	b.Taskwait()
+
+	// Close drains session A and reports its round's failure (no Taskwait
+	// first — that would consume the round and leave Close nothing).
+	if err := a.Close(); err == nil {
+		t.Fatal("Close a = nil, want the session's failure")
+	}
+	if err := aDep.Err(); !errors.Is(err, ompss.ErrSkipped) {
+		t.Fatalf("same-session dependent err = %v, want skip", err)
+	}
+	if err := bDep.Err(); err != nil {
+		t.Fatalf("cross-session dependent err = %v, want nil", err)
+	}
+	if !bRan {
+		t.Fatal("cross-session dependent did not run")
+	}
+	if st := b.Stats(); st.Skipped != 0 || st.Failed != 0 {
+		t.Fatalf("session B stats %+v: foreign failure leaked in", st)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close b: %v", err)
+	}
+}
+
+// TestSessionCancelIsolation cancels one session mid-flight and checks the
+// second session's concurrent work is untouched.
+func TestSessionCancelIsolation(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	victim := rt.NewSession()
+	bystander := rt.NewSession()
+
+	var v, w int
+	release := make(chan struct{})
+	started := make(chan struct{})
+	victim.Task(func(*ompss.TC) { close(started); <-release }, ompss.InOut(&v))
+	for i := 0; i < 6; i++ {
+		victim.Task(func(*ompss.TC) { v++ }, ompss.InOut(&v))
+	}
+	<-started // head is running on the worker: only the chain is skipped
+	victim.Cancel(context.DeadlineExceeded)
+	close(release)
+	victim.Taskwait()
+
+	for i := 0; i < 6; i++ {
+		bystander.Task(func(*ompss.TC) { w++ }, ompss.InOut(&w))
+	}
+	bystander.Taskwait()
+
+	if st := victim.Stats(); st.Skipped != 6 {
+		t.Fatalf("victim skipped = %d, want 6", st.Skipped)
+	}
+	if w != 6 {
+		t.Fatalf("bystander result %d, want 6", w)
+	}
+	if st := bystander.Stats(); st.Skipped != 0 {
+		t.Fatalf("bystander skipped = %d, want 0", st.Skipped)
+	}
+	victim.Close()
+	bystander.Close()
+}
+
+// TestSessionTaskwaitCtx checks that a session-level TaskwaitCtx timeout
+// cancels that session only.
+func TestSessionTaskwaitCtx(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	slow := rt.NewSession()
+	other := rt.NewSession()
+	var y int
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// The head runs on the dedicated worker (started proves it) and the
+	// chain queues behind its InOut — so the master's help-first TaskwaitCtx
+	// finds nothing runnable and can only watch the context expire.
+	slow.Task(func(*ompss.TC) { close(started); <-release }, ompss.InOut(&y))
+	for i := 0; i < 4; i++ {
+		slow.Task(func(*ompss.TC) { y++ }, ompss.InOut(&y))
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// TaskwaitCtx never abandons a running child: it cancels the pending
+	// chain but still waits for the head. Release the head once the context
+	// has expired so the wait can complete and report the cancellation.
+	go func() { <-ctx.Done(); close(release) }()
+	if err := slow.TaskwaitCtx(ctx); err == nil {
+		t.Fatal("TaskwaitCtx = nil, want cancellation")
+	}
+
+	ran := false
+	other.Task(func(*ompss.TC) { ran = true })
+	other.Taskwait()
+	if !ran {
+		t.Fatal("other session's task skipped after foreign TaskwaitCtx cancellation")
+	}
+	other.Close()
+}
+
+// TestSessionOnErrorOverride checks per-session failure-policy override in
+// both directions against the runtime default.
+func TestSessionOnErrorOverride(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2)) // default SkipDependents
+	defer rt.Shutdown()
+
+	run := rt.NewSession(ompss.OnError(ompss.RunThrough))
+	var x int
+	ran := false
+	run.Go(func(*ompss.TC) error { return fmt.Errorf("boom") }, ompss.InOut(&x))
+	run.Task(func(*ompss.TC) { ran = true }, ompss.InOut(&x))
+	run.Taskwait()
+	if !ran {
+		t.Fatal("RunThrough session skipped the dependent")
+	}
+	run.Close()
+
+	skip := rt.NewSession() // inherits SkipDependents
+	ran = false
+	skip.Go(func(*ompss.TC) error { return fmt.Errorf("boom") }, ompss.InOut(&x))
+	h := skip.Task(func(*ompss.TC) { ran = true }, ompss.InOut(&x))
+	skip.Taskwait()
+	if ran || !errors.Is(h.Err(), ompss.ErrSkipped) {
+		t.Fatalf("inherited SkipDependents did not skip (ran=%v err=%v)", ran, h.Err())
+	}
+	skip.Close()
+}
+
+// TestSessionRenamingOverride checks the per-session renaming override: a
+// WithRenaming(true) session renames on a renaming-off runtime, and a
+// WithRenaming(false) session pins a renaming-on runtime's chain in place.
+func TestSessionRenamingOverride(t *testing.T) {
+	warChain := func(t *testing.T, api ompss.API) {
+		t.Helper()
+		var cell int64
+		d := api.Register(&cell).EnableRenaming(nil,
+			func() any { return new(int64) },
+			func(dst, src any) { *dst.(*int64) = *src.(*int64) })
+		for round := 0; round < 6; round++ {
+			api.Go(func(tc *ompss.TC) error {
+				*tc.Data(d).(*int64)++
+				return nil
+			}, ompss.InOut(d))
+			for r := 0; r < 2; r++ {
+				api.Go(func(tc *ompss.TC) error {
+					_ = *tc.Data(d).(*int64)
+					return nil
+				}, ompss.In(d))
+			}
+		}
+		api.Taskwait()
+		if cell != 6 {
+			t.Fatalf("final cell %d, want 6", cell)
+		}
+	}
+
+	t.Run("force-on", func(t *testing.T) {
+		rt := ompss.New(ompss.Workers(2)) // renaming off by default
+		defer rt.Shutdown()
+		s := rt.NewSession(ompss.WithRenaming(true))
+		warChain(t, s)
+		if n := rt.Stats().Graph.Renamed; n == 0 {
+			t.Fatal("force-on session renamed nothing")
+		}
+		s.Close()
+	})
+	t.Run("force-off", func(t *testing.T) {
+		rt := ompss.New(ompss.Workers(2), ompss.WithRenaming(true))
+		defer rt.Shutdown()
+		s := rt.NewSession(ompss.WithRenaming(false))
+		warChain(t, s)
+		if n := rt.Stats().Graph.Renamed; n != 0 {
+			t.Fatalf("force-off session renamed %d times", n)
+		}
+		s.Close()
+	})
+}
+
+// TestDefaultSessionDelegation checks that the Runtime surface and its
+// DefaultSession are one session: same ID, shared taskwait scope.
+func TestDefaultSessionDelegation(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	def := rt.DefaultSession()
+	if def == nil || def.ID() != 1 {
+		t.Fatalf("DefaultSession ID = %v, want 1", def.ID())
+	}
+	if err := def.Close(); err != nil {
+		t.Fatalf("default-session Close must be a no-op, got %v", err)
+	}
+	var a, b int
+	rt.Task(func(*ompss.TC) { a = 1 })
+	def.Task(func(*ompss.TC) { b = 1 })
+	rt.Taskwait() // one scope: waits for both
+	if a != 1 || b != 1 {
+		t.Fatalf("a=%d b=%d after shared taskwait, want 1 1", a, b)
+	}
+	st := def.Stats()
+	if st.Submitted < 2 {
+		t.Fatalf("default session submitted = %d, want >= 2", st.Submitted)
+	}
+}
+
+// TestSessionBatchAdmission checks batch flush semantics on a full budget:
+// RejectOnFull pre-fails the whole batch with ErrAdmission, and a flush
+// after Close pre-fails with ErrSessionClosed (covered in
+// TestSessionSpawnAfterClose).
+func TestSessionBatchAdmission(t *testing.T) {
+	rt := ompss.New(ompss.Workers(2))
+	defer rt.Shutdown()
+
+	s := rt.NewSession(ompss.MaxInFlight(1), ompss.Admission(ompss.RejectOnFull))
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	s.Task(func(*ompss.TC) { close(ran); <-release })
+	<-ran
+	hs := s.SubmitBatch(func(b *ompss.Batch) {
+		for i := 0; i < 3; i++ {
+			b.Task(func(*ompss.TC) {})
+		}
+	})
+	for i, h := range hs {
+		if err := h.Err(); !errors.Is(err, ompss.ErrAdmission) {
+			t.Fatalf("batch handle %d err = %v, want ErrAdmission", i, err)
+		}
+	}
+	close(release)
+	s.Taskwait()
+	// With headroom, a batch larger than the remaining budget is still
+	// admitted whole (soft by len-1).
+	hs = s.SubmitBatch(func(b *ompss.Batch) {
+		for i := 0; i < 3; i++ {
+			b.Task(func(*ompss.TC) {})
+		}
+	})
+	s.Taskwait()
+	for i, h := range hs {
+		if err := h.Err(); err != nil {
+			t.Fatalf("admitted batch handle %d err = %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestSessionObserveMute checks Observe(nil) muting: a muted session's
+// tasks appear nowhere in the runtime trace while a loud session's do.
+func TestSessionObserveMute(t *testing.T) {
+	rec := obs.NewRecorder()
+	rt := ompss.New(ompss.Workers(2), ompss.Observe(rec))
+	defer rt.Shutdown()
+
+	loud := rt.NewSession()
+	muted := rt.NewSession(ompss.Observe(nil))
+	for i := 0; i < 5; i++ {
+		loud.Task(func(*ompss.TC) {})
+		muted.Task(func(*ompss.TC) {})
+	}
+	loud.Taskwait()
+	muted.Taskwait()
+	loudID, mutedID := loud.ID(), muted.ID()
+	loud.Close()
+	muted.Close()
+
+	tr := rec.Snapshot()
+	ids, counts := tr.Sessions()
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[loudID] || counts[loudID] != 5 {
+		t.Fatalf("loud session %d: %d tasks in trace, want 5 (sessions %v)", loudID, counts[loudID], ids)
+	}
+	if seen[mutedID] {
+		t.Fatalf("muted session %d leaked events into the trace", mutedID)
+	}
+	sub := tr.FilterSession(loudID)
+	if got := len(sub.Events); got == 0 {
+		t.Fatal("FilterSession dropped everything")
+	}
+}
+
+// TestSessionsSim runs sessions on the simulated backend: two interleaved
+// healthy sessions plus a poisoned one, single-threaded on the master
+// virtual thread, with full isolation accounting.
+func TestSessionsSim(t *testing.T) {
+	var aGot, bGot int
+	var aStats, bStats, pStats ompss.SessionStats
+	_, err := ompss.RunSim(machine.Paper(4), func(rt *ompss.Runtime) {
+		a := rt.NewSession()
+		b := rt.NewSession(ompss.Tenant(1))
+		p := rt.NewSession()
+		var av, bv, pv int
+		var ph []*ompss.Handle
+		ph = append(ph, p.Go(func(*ompss.TC) error {
+			return fmt.Errorf("poison")
+		}, ompss.InOut(&pv)))
+		for i := 0; i < 8; i++ {
+			a.Task(func(*ompss.TC) { av++ }, ompss.InOut(&av))
+			b.Task(func(*ompss.TC) { bv++ }, ompss.InOut(&bv))
+			ph = append(ph, p.Task(func(*ompss.TC) { pv++ }, ompss.InOut(&pv)))
+		}
+		a.Taskwait()
+		b.Taskwait()
+		aGot, bGot = av, bv
+		aStats, bStats = a.Stats(), b.Stats()
+		if err := a.Close(); err != nil {
+			t.Errorf("Close a: %v", err)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("Close b: %v", err)
+		}
+		// TaskwaitCtx drains the poison session — the head is guaranteed to
+		// run and fail, cascading skips through the chain — and reports the
+		// round's failure (plain Taskwait would consume the round silently).
+		if err := p.TaskwaitCtx(context.Background()); err == nil {
+			t.Error("poison session drained without reporting its failure")
+		}
+		pStats = p.Stats()
+		if err := p.Close(); err != nil {
+			t.Errorf("Close p after consumed round = %v, want nil", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if aGot != 8 || bGot != 8 {
+		t.Fatalf("a=%d b=%d, want 8 8", aGot, bGot)
+	}
+	if aStats.Skipped != 0 || bStats.Skipped != 0 {
+		t.Fatalf("healthy sessions skipped a=%d b=%d, want 0", aStats.Skipped, bStats.Skipped)
+	}
+	if pStats.Skipped != 8 {
+		t.Fatalf("poison session skipped = %d, want 8", pStats.Skipped)
+	}
+}
+
+// TestConcurrentSessionChurn opens, runs, and closes many sessions from
+// concurrent goroutines against one runtime — the server's steady state —
+// checking every session's private result and accounting. Run under -race
+// this exercises the arena recycling against concurrent spawns.
+func TestConcurrentSessionChurn(t *testing.T) {
+	rt := ompss.New(ompss.Workers(4))
+	defer rt.Shutdown()
+
+	const goroutines = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s := rt.NewSession(ompss.MaxInFlight(8))
+				var x int
+				d := s.Register(&x)
+				for i := 0; i < 12; i++ {
+					s.Task(func(*ompss.TC) { x++ }, ompss.InOut(d))
+				}
+				s.Taskwait()
+				if x != 12 {
+					t.Errorf("session result %d, want 12", x)
+				}
+				if st := s.Stats(); st.Skipped != 0 || st.Failed != 0 {
+					t.Errorf("healthy churn session stats %+v", st)
+				}
+				if err := s.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -75,7 +75,7 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 	}
 	v.Go("ompss-main", 0, func(vt *vm.Thread) {
 		b.lanes[master] = vt
-		rt.main = &TC{rt: rt, ctx: &core.Context{}, worker: master}
+		rt.initMain(master)
 		program(rt)
 		b.shutdown(rt.main)
 	})
@@ -84,7 +84,9 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 	if err == nil {
 		// Task failures are captured as errors (so the simulation drains
 		// cleanly) and surface here as the run's error: the cancellation
-		// cause if the context fired, else the first task failure.
+		// cause if the context fired, else the first task failure. Failures
+		// confined to a request session (NewSession) stay on that session's
+		// error surface and do not fail the run.
 		if ctx.Err() != nil {
 			err = ctx.Err()
 		} else if r := rt.firstErr.Load(); r != nil {
@@ -118,6 +120,7 @@ type simBackend struct {
 	idle        []*vm.Thread
 	ctxWaiters  map[*core.Context][]*vm.Thread
 	taskWaiters map[*core.Task][]*vm.Thread
+	condWaiters []*vm.Thread // Blocking mode: waitFor parkers, woken on any finish
 
 	crit critSet[vm.Mutex]
 	comm commTable[vm.Mutex] // per-key commutative locks, rank-ordered
@@ -205,7 +208,8 @@ func (b *simBackend) wakeIdle(n int) {
 func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	cm := b.v.Cost()
 	rec := b.cfg.rec
-	if rec != nil {
+	quiet := taskQuiet(t)
+	if rec != nil && !quiet {
 		rec.Emit(lane, obs.EvStart, t.ID, 0)
 	}
 	b.pollCtx()
@@ -215,7 +219,7 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		// a cancelled graph drains in (almost) zero virtual time.
 		t.MarkSkipped()
 		b.graph.CountSkipped()
-		if rec != nil {
+		if rec != nil && !quiet {
 			rec.Emit(lane, obs.EvSkip, t.ID, 0)
 		}
 		err = skip
@@ -229,7 +233,7 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		err = t.Body() // real execution; may add Compute/Critical charges itself
 		vt.Compute(vm.Time(t.CPUCost) + mem)
 	}
-	b.rt.noteErr(err)
+	b.rt.noteTaskErr(t, err)
 	vt.Charge(cm.TaskFinish)
 	vt.Flush()
 	ready := b.graph.Finish(t, err)
@@ -237,12 +241,7 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		// Stamped after the flush so End−Start covers the task's modeled
 		// compute/memory time (Finish adds no virtual time); end and the
 		// successors' ready events share the completion instant.
-		if g, ok := rec.Group(lane, 1+len(ready)); ok {
-			g.Add(obs.EvEnd, t.ID, 0, "")
-			for _, r := range ready {
-				g.Add(obs.EvReady, r.ID, 0, "")
-			}
-		}
+		obsFinish(rec, lane, t, quiet, ready)
 	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
@@ -277,6 +276,37 @@ func (b *simBackend) afterFinish(t *core.Task, released int) {
 		b.v.WakeAt(w, b.v.Now()+cm.CondWake)
 	}
 	delete(b.taskWaiters, t)
+	// waitFor parkers re-check their predicate on every completion (session
+	// drains and admission headroom can open on any finish).
+	for _, w := range b.condWaiters {
+		b.v.WakeAt(w, b.v.Now()+cm.CondWake)
+	}
+	b.condWaiters = b.condWaiters[:0]
+}
+
+// waitFor parks the calling virtual thread until cond holds, help-executing
+// ready tasks meanwhile — the simulated counterpart of the native backend's
+// waitFor (session drains and admission backpressure use it).
+func (b *simBackend) waitFor(from *TC, cond func() bool) {
+	vt := b.thread(from)
+	cm := b.v.Cost()
+	for !cond() {
+		b.pollCtx()
+		if t := b.sched.Pop(from.worker); t != nil {
+			vt.Charge(b.queueOp(cm.TaskDispatch))
+			b.graph.MarkRunning(t, from.worker)
+			b.runTaskSim(vt, t, from.worker)
+			continue
+		}
+		if b.cfg.wait == Polling {
+			vt.SpinUntil(&b.ws, func() bool {
+				return cond() || b.sched.Ready() > 0
+			})
+		} else {
+			b.condWaiters = append(b.condWaiters, vt)
+			vt.Block("ompss-waitfor")
+		}
+	}
 }
 
 func (b *simBackend) submit(from *TC, t *core.Task) {
