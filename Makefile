@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke serve-trend dist dist-race fuzz-frames soak ci
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 
 # Race-detector pass over the concurrent executor packages (the CI `race` job).
 race:
-	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/serve ./pthread
+	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/serve ./internal/dist ./pthread
 
 # Run every benchmark for one iteration so benchmark code cannot rot
 # (the CI `bench-smoke` job). For real numbers, raise -benchtime.
@@ -78,6 +78,39 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/ompss-serve -load -duration 5s -conc 8 -fault-every 7 -o BENCH_serve.json
 
+# Distributed two-process proof (the CI dist-smoke job): every adapted
+# suite workload at 1 and 2 worker processes, each run verified against the
+# sequential reference; writes BENCH_dist.json with wall-clock times and
+# the transfer accounting (bytes migrated, transfers the version caches
+# avoided).
+dist:
+	$(GO) run ./cmd/ompss-bench -dist -small -iters 3 -o BENCH_dist.json
+
+# The distributed coordinator and suite adapters under the race detector,
+# including the worker-kill fault-confinement leg.
+dist-race:
+	$(GO) test -race -count=1 -run 'TestDist' ./internal/dist
+	$(GO) test -race -count=1 -run 'TestDistMatchesSequential|TestRGBCMYCacheReuse' ./internal/suite/distkern
+
+# Short native-fuzz leg over the dist wire codec (the CI race job runs the
+# same with -fuzztime=30s).
+fuzz-frames:
+	$(GO) test ./internal/dist -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=15s
+
+# Session-churn soak (the CI dist-smoke job): churn hundreds of request
+# sessions and assert the live dependence-record count returns to the
+# pre-churn baseline. Gated behind -soak so ordinary test runs stay fast.
+soak:
+	$(GO) test ./internal/serve -run 'TestSoakSessionChurn' -soak -count=1 -v
+
+# Service-trajectory gate (the CI serve-smoke job): run the baseline's load
+# shape fresh and compare against the committed BENCH_serve.json.
+# Correctness is hard; latency/throughput gate hard only on a host with the
+# baseline's CPU count and warn otherwise.
+serve-trend:
+	$(GO) run ./cmd/ompss-serve -load -workers 1 -duration 5s -conc 8 -fault-every 7 -o /tmp/BENCH_serve_fresh.json
+	$(GO) run ./cmd/ompss-bench -serve-trend -serve-baseline BENCH_serve.json -serve-candidate /tmp/BENCH_serve_fresh.json -serve-tol 0.50
+
 # Run every example end-to-end (the CI examples-smoke job).
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
@@ -95,4 +128,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else \
 		echo "lint: govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest); skipping" >&2; fi
 
-ci: build lint test race bench bench-submit alloc-budget bench-trend serve-smoke examples
+ci: build lint test race bench bench-submit alloc-budget bench-trend serve-smoke dist-race soak examples

@@ -12,6 +12,14 @@
 //	ompss-bench -trend -candidate fresh.json   perf-trajectory gate: compare
 //	    a fresh -native report's policy and rename factors against the
 //	    committed baseline (±tol, regressions only; CI's bench-trend step)
+//	ompss-bench -dist -o BENCH_dist.json       two-process proof: run the
+//	    adapted suite workloads on the distributed backend at 1 and 2 worker
+//	    processes, verify checksums against the sequential reference, and
+//	    record transfer/cache accounting plus the 2-over-1 speedup
+//	ompss-bench -serve-trend -serve-candidate fresh.json   service-runtime
+//	    trajectory gate: compare a fresh ompss-serve -load report against
+//	    the committed BENCH_serve.json (violations and errors always fail;
+//	    latency/throughput gate hard only on a comparable host)
 //
 // -small switches to the reduced test workloads; -cores overrides the core
 // list (comma-separated).
@@ -38,11 +46,16 @@ import (
 	"strings"
 
 	"ompssgo/internal/bench"
+	"ompssgo/internal/dist"
 	"ompssgo/internal/obs"
 	"ompssgo/internal/suite"
+	_ "ompssgo/internal/suite/distkern" // registers the distributed suite kernels
 )
 
 func main() {
+	// A child process spawned by the distributed backend diverts into the
+	// worker loop here and never reaches flag parsing.
+	dist.MaybeWorker()
 	var (
 		table1    = flag.Bool("table1", false, "reproduce Table 1 across the full suite")
 		withPaper = flag.Bool("paper", false, "interleave the paper's published numbers")
@@ -54,7 +67,13 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_native.json", "baseline report for -trend")
 		candidate = flag.String("candidate", "", "candidate report for -trend")
 		tol       = flag.Float64("tol", 0.30, "relative factor tolerance for -trend (0.30 = candidate factors may fall 30% below baseline)")
-		out       = flag.String("o", "BENCH_native.json", "output file for -native measurements")
+		distRun   = flag.Bool("dist", false, "measure the distributed (multi-process) backend and write BENCH_dist.json")
+		distW     = flag.String("dist-workers", "1,2", "comma-separated worker-process counts for -dist")
+		serveTr   = flag.Bool("serve-trend", false, "service trajectory gate: compare -serve-candidate against -serve-baseline")
+		serveBase = flag.String("serve-baseline", "BENCH_serve.json", "baseline serve report for -serve-trend")
+		serveCand = flag.String("serve-candidate", "", "candidate serve report for -serve-trend")
+		serveTol  = flag.Float64("serve-tol", 0.50, "relative tolerance for -serve-trend latency/throughput gates")
+		out       = flag.String("o", "BENCH_native.json", "output file for -native and -dist measurements")
 		traceOut  = flag.String("trace", "", "with -native: export a Chrome trace of one instrumented run to this file")
 		iters     = flag.Int("iters", 3, "repetitions per -native cell")
 		coresFlag = flag.String("cores", "", "comma-separated core counts (default 1,8,16,24,32; for -native: 1,2,NumCPU)")
@@ -85,6 +104,61 @@ func main() {
 	}
 
 	switch {
+	case *distRun:
+		var dw []int
+		for _, tok := range strings.Split(*distW, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fatalf("bad -dist-workers value %q: want a positive integer", tok)
+			}
+			dw = append(dw, n)
+		}
+		outPath := *out
+		if outPath == "BENCH_native.json" { // the -o default belongs to -native
+			outPath = "BENCH_dist.json"
+		}
+		rep, err := bench.RunDist(dw, *iters, scale, progress)
+		if err != nil {
+			fatalf("dist: %v", err)
+		}
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("dist: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatalf("dist: write %s: %v", outPath, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("dist: close %s: %v", outPath, err)
+		}
+		fmt.Printf("distributed two-process proof (%s, %d CPUs) -> %s\n",
+			rep.GOARCH, rep.NumCPU, outPath)
+		rep.WriteTable(os.Stdout)
+	case *serveTr:
+		if *serveCand == "" {
+			fatalf("-serve-trend needs -serve-candidate (a fresh ompss-serve -load report)")
+		}
+		base, err := bench.LoadServeReport(*serveBase)
+		if err != nil {
+			fatalf("serve-trend: baseline: %v", err)
+		}
+		cand, err := bench.LoadServeReport(*serveCand)
+		if err != nil {
+			fatalf("serve-trend: candidate: %v", err)
+		}
+		res := bench.CompareServeTrend(base, cand, *serveTol)
+		fmt.Printf("serve-trend: compared %d metrics (%s -> %s, tolerance %.0f%%)\n",
+			res.Compared, *serveBase, *serveCand, *serveTol*100)
+		for _, w := range res.Warnings {
+			fmt.Printf("serve-trend warning: %s\n", w)
+		}
+		if !res.OK() {
+			for _, r := range res.Regressions {
+				fmt.Fprintf(os.Stderr, "serve-trend REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("serve-trend: OK — service trajectory holds")
 	case *trend:
 		if *candidate == "" {
 			fatalf("-trend needs -candidate (a freshly measured BENCH_native.json)")

@@ -4,7 +4,9 @@
 //
 //	ompss-serve -addr :8080
 //	    serve /healthz, /v1/rotate, /v1/rgbcmy, /v1/h264dec, /v1/fault,
-//	    /v1/stats until interrupted
+//	    /v1/stats until interrupted; on SIGINT/SIGTERM the server drains —
+//	    new session-bearing requests answer 503, live sessions finish
+//	    (bounded by -drain-timeout), and the process exits 0
 //	ompss-serve -load -duration 5s -conc 8 -o BENCH_serve.json
 //	    drive the handler in-process with concurrent clients and record
 //	    p50/p90/p99 latency, requests/s, tasks/s, and the isolation
@@ -18,12 +20,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"ompssgo/internal/obs"
@@ -47,10 +52,11 @@ func main() {
 		blocking   = flag.Bool("blocking", true, "Blocking wait mode (idle workers park; -blocking=false polls)")
 		out        = flag.String("o", "", "write the load report JSON here")
 		tracePath  = flag.String("trace", "", "record an observability trace of the load run here (filter per session with ompss-trace analyze -session)")
+		drainT     = flag.Duration("drain-timeout", 10*time.Second, "deadline for draining live sessions on SIGINT/SIGTERM (serve mode)")
 	)
 	flag.Parse()
 	if err := run(*addr, *load, *duration, *conc, *mix, *faultEvery, *target,
-		*workers, *sessLimit, *globLimit, *reject, *blocking, *out, *tracePath); err != nil {
+		*workers, *sessLimit, *globLimit, *reject, *blocking, *out, *tracePath, *drainT); err != nil {
 		fmt.Fprintf(os.Stderr, "ompss-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -58,7 +64,7 @@ func main() {
 
 func run(addr string, load bool, duration time.Duration, conc int, mix string,
 	faultEvery int, target string, workers, sessLimit, globLimit int,
-	reject, blocking bool, out, tracePath string) error {
+	reject, blocking bool, out, tracePath string, drainT time.Duration) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -84,9 +90,7 @@ func run(addr string, load bool, duration time.Duration, conc int, mix string,
 	srv := serve.New(rt, serve.Config{SessionInFlight: sessLimit, Admission: admission})
 
 	if !load {
-		fmt.Fprintf(os.Stderr, "ompss-serve: listening on %s (workers=%d session-inflight=%d)\n",
-			addr, workers, sessLimit)
-		return http.ListenAndServe(addr, srv.Handler())
+		return serveUntilSignalled(addr, workers, sessLimit, drainT, srv)
 	}
 
 	var paths []string
@@ -134,6 +138,44 @@ func run(addr string, load bool, duration time.Duration, conc int, mix string,
 	}
 	if rep.Violations > 0 {
 		return fmt.Errorf("load run observed %d isolation violations", rep.Violations)
+	}
+	return nil
+}
+
+// serveUntilSignalled listens until SIGINT/SIGTERM, then drains: the server
+// stops admitting session-bearing requests (503 + Retry-After), live
+// sessions run to completion under drainT, the listener shuts down, and the
+// process exits 0. Sessions still live at the deadline are abandoned to the
+// runtime's Shutdown barrier — the exit is still clean, just noisier.
+func serveUntilSignalled(addr string, workers, sessLimit int, drainT time.Duration, srv *serve.Server) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ompss-serve: listening on %s (workers=%d session-inflight=%d drain-timeout=%v)\n",
+		addr, workers, sessLimit, drainT)
+
+	select {
+	case err := <-errc:
+		return err // listener died on its own (bad addr, port in use)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second ^C kills immediately
+
+	fmt.Fprintf(os.Stderr, "ompss-serve: signal received, draining (deadline %v)\n", drainT)
+	dctx, cancel := context.WithTimeout(context.Background(), drainT)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+	}
+	<-errc // reap the ListenAndServe goroutine (returns ErrServerClosed)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "ompss-serve: %v — exiting anyway\n", drainErr)
+	} else {
+		fmt.Fprintln(os.Stderr, "ompss-serve: drained, exiting")
 	}
 	return nil
 }

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ompssgo/internal/dist"
+	"ompssgo/internal/suite"
+	"ompssgo/internal/suite/distkern"
+	"ompssgo/ompss"
+)
+
+// The distributed harness is the two-process proof the distributed
+// execution domain ships with: every adapted suite workload runs at each
+// worker-process count, its checksum is verified against the sequential
+// reference, and the report records wall-clock times next to the transfer
+// accounting (bytes moved, transfers the per-worker version caches
+// avoided) that explains them. BENCH_dist.json is the committed artifact.
+
+// DistCell is one workload × worker-process-count measurement.
+type DistCell struct {
+	Bench   string `json:"bench"`
+	Workers int    `json:"workers"`
+	Runs    int    `json:"runs"`
+	BestNS  int64  `json:"best_ns"`
+	MeanNS  int64  `json:"mean_ns"`
+	// Accounting of the best repetition.
+	Tasks            int   `json:"tasks"`
+	BytesToWorkers   int64 `json:"bytes_to_workers"`
+	BytesFromWorkers int64 `json:"bytes_from_workers"`
+	TransfersAvoided int   `json:"transfers_avoided"`
+	BytesAvoided     int64 `json:"bytes_avoided"`
+	Evictions        int64 `json:"evictions"`
+}
+
+// DistSpeedup is one workload's wall-clock factor of the largest worker
+// count over one worker process.
+type DistSpeedup struct {
+	Bench   string  `json:"bench"`
+	Workers int     `json:"workers"`
+	Factor  float64 `json:"factor"`
+}
+
+// DistReport is the BENCH_dist.json document.
+type DistReport struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Scale     string        `json:"scale"`
+	Cells     []DistCell    `json:"cells"`
+	Speedups  []DistSpeedup `json:"speedups"`
+}
+
+// RunDist measures the adapted suite workloads on the distributed
+// backend at each worker-process count, verifying every run against the
+// sequential reference. Spawn and handshake cost is inside the measured
+// window — the domain pays it per run, so the numbers do too.
+func RunDist(workers []int, iters int, scale suite.Scale, progress io.Writer) (*DistReport, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2}
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	scaleName := "default"
+	set := distkern.Default()
+	if scale == suite.Small {
+		scaleName = "small"
+		set = distkern.Small()
+	}
+	rep := &DistReport{
+		Schema:    "ompssgo/bench-dist/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scale:     scaleName,
+	}
+	for _, wl := range set {
+		want := wl.Seq()
+		perWorkers := map[int]int64{} // workers -> best ns, for the speedup rows
+		for _, w := range workers {
+			cell := DistCell{Bench: wl.Name, Workers: w, Runs: iters}
+			var total time.Duration
+			for it := 0; it < iters; it++ {
+				var got uint64
+				start := time.Now()
+				stats, err := ompss.RunDist(w, func(rt *dist.RT) error {
+					var err error
+					got, err = wl.Run(rt)
+					return err
+				})
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("%s/w%d: %w", wl.Name, w, err)
+				}
+				if got != want {
+					return nil, fmt.Errorf("%s/w%d: checksum %#x, sequential reference %#x",
+						wl.Name, w, got, want)
+				}
+				total += elapsed
+				if cell.BestNS == 0 || elapsed.Nanoseconds() < cell.BestNS {
+					cell.BestNS = elapsed.Nanoseconds()
+					cell.Tasks = stats.Tasks
+					cell.BytesToWorkers = stats.BytesToWorkers
+					cell.BytesFromWorkers = stats.BytesFromWorkers
+					cell.TransfersAvoided = stats.TransfersAvoided
+					cell.BytesAvoided = stats.BytesAvoided
+					cell.Evictions = stats.Evictions
+				}
+			}
+			cell.MeanNS = total.Nanoseconds() / int64(iters)
+			perWorkers[w] = cell.BestNS
+			rep.Cells = append(rep.Cells, cell)
+			if progress != nil {
+				fmt.Fprintf(progress, "# dist %-8s w=%-2d best=%-12v %dB out %dB back, %d xfers avoided (%dB)\n",
+					wl.Name, w, time.Duration(cell.BestNS), cell.BytesToWorkers,
+					cell.BytesFromWorkers, cell.TransfersAvoided, cell.BytesAvoided)
+			}
+		}
+		base, top := workers[0], workers[len(workers)-1]
+		if base != top && perWorkers[top] > 0 {
+			rep.Speedups = append(rep.Speedups, DistSpeedup{
+				Bench:   wl.Name,
+				Workers: top,
+				Factor:  float64(perWorkers[base]) / float64(perWorkers[top]),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report (stable field order, trailing newline).
+func (r *DistReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the cells and the speedup rows.
+func (r *DistReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-10s%8s%14s%12s%12s%10s%12s\n",
+		"workload", "workers", "best", "out", "back", "avoided", "avoidedB")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s%8d%14v%12d%12d%10d%12d\n",
+			c.Bench, c.Workers, time.Duration(c.BestNS), c.BytesToWorkers,
+			c.BytesFromWorkers, c.TransfersAvoided, c.BytesAvoided)
+	}
+	for _, s := range r.Speedups {
+		fmt.Fprintf(w, "speedup %-10s %d workers: %.2fx over 1\n", s.Bench, s.Workers, s.Factor)
+	}
+}

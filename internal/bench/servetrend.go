@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ompssgo/internal/serve"
+)
+
+// The serve-trend gate extends the bench-trend idea to the service
+// runtime: CI runs a short load leg against a fresh server, then compares
+// the resulting ServeReport against the committed BENCH_serve.json.
+// Correctness signals (violations, zero successful requests) fail
+// unconditionally; latency and throughput are host-sensitive, so their
+// relative gates are hard only when the candidate ran on a host with the
+// baseline's CPU count and demote to warnings otherwise — the trajectory
+// still prints, it just cannot fail an incomparable host.
+
+// LoadServeReport reads a BENCH_serve.json document.
+func LoadServeReport(path string) (*serve.ServeReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serve.ServeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareServeTrend diffs a candidate serve report against the baseline.
+// tol is the relative tolerance on throughput (may fall tol below
+// baseline) and latency (may rise tol above baseline).
+func CompareServeTrend(baseline, candidate *serve.ServeReport, tol float64) TrendResult {
+	var res TrendResult
+	if baseline.Schema != candidate.Schema {
+		res.Regressions = append(res.Regressions, fmt.Sprintf(
+			"schema mismatch: baseline %q vs candidate %q", baseline.Schema, candidate.Schema))
+		return res
+	}
+	// Load shape must match, or none of the numbers mean the same thing.
+	if baseline.Conc != candidate.Conc || baseline.Workers != candidate.Workers {
+		res.Regressions = append(res.Regressions, fmt.Sprintf(
+			"load shape mismatch: baseline conc=%d workers=%d vs candidate conc=%d workers=%d — regenerate the baseline or fix the leg",
+			baseline.Conc, baseline.Workers, candidate.Conc, candidate.Workers))
+		return res
+	}
+
+	// Correctness gates: host-independent, always hard.
+	if candidate.Violations > 0 {
+		res.Regressions = append(res.Regressions, fmt.Sprintf(
+			"candidate recorded %d correctness violations under load", candidate.Violations))
+	}
+	if candidate.OK2xx == 0 {
+		res.Regressions = append(res.Regressions, "candidate served zero successful requests")
+	}
+	if candidate.Errors > 0 {
+		res.Regressions = append(res.Regressions, fmt.Sprintf(
+			"candidate saw %d unexpected errors (deliberate faults are counted separately)", candidate.Errors))
+	}
+
+	// Performance gates: hard only on a comparable host.
+	comparable := baseline.NumCPU == candidate.NumCPU
+	flag := func(msg string) {
+		if comparable {
+			res.Regressions = append(res.Regressions, msg)
+		} else {
+			res.Warnings = append(res.Warnings,
+				msg+fmt.Sprintf(" [advisory: host has %d CPUs, baseline %d]", candidate.NumCPU, baseline.NumCPU))
+		}
+	}
+	if baseline.RequestsPerSec > 0 {
+		res.Compared++
+		if candidate.RequestsPerSec < baseline.RequestsPerSec*(1-tol) {
+			flag(fmt.Sprintf("throughput: %.0f req/s is >%.0f%% below baseline %.0f req/s",
+				candidate.RequestsPerSec, tol*100, baseline.RequestsPerSec))
+		}
+	}
+	lat := []struct {
+		name       string
+		base, cand int64
+	}{
+		{"p50", baseline.P50NS, candidate.P50NS},
+		{"p99", baseline.P99NS, candidate.P99NS},
+	}
+	for _, l := range lat {
+		if l.base <= 0 {
+			continue
+		}
+		res.Compared++
+		if float64(l.cand) > float64(l.base)*(1+tol) {
+			flag(fmt.Sprintf("latency %s: %dns is >%.0f%% above baseline %dns", l.name, l.cand, tol*100, l.base))
+		}
+	}
+	// Per-endpoint p99s inform but never gate: individual endpoints are
+	// noisier than the aggregate on a shared runner.
+	candEP := map[string]serve.EndpointLoad{}
+	for _, e := range candidate.PerEndpoint {
+		candEP[e.Path] = e
+	}
+	for _, b := range baseline.PerEndpoint {
+		c, ok := candEP[b.Path]
+		if !ok {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("endpoint %s: missing from candidate", b.Path))
+			continue
+		}
+		if b.P99NS > 0 && float64(c.P99NS) > float64(b.P99NS)*(1+tol) {
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"endpoint %s: p99 %dns is >%.0f%% above baseline %dns", b.Path, c.P99NS, tol*100, b.P99NS))
+		}
+	}
+	if res.Compared == 0 {
+		res.Regressions = append(res.Regressions, "no comparable serve metrics between baseline and candidate")
+	}
+	return res
+}

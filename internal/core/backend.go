@@ -1,0 +1,49 @@
+package core
+
+// Backend is the execution-domain seam: the contract every executor that
+// drives the shared dependence tracker satisfies. The engine (this package)
+// owns dependence wiring, version chains, domains, and statistics; a
+// backend owns dispatch — where and how a ready task's body actually runs.
+//
+// Three domains implement it today:
+//
+//   - the native goroutine executor (package ompss), which runs bodies on
+//     work-stealing worker goroutines in this address space;
+//   - the discrete-event simulator (package ompss), which runs the same
+//     bodies under virtual time on a modeled cc-NUMA machine;
+//   - the multi-process distributed coordinator (internal/dist), which
+//     ships serialized datum versions to worker processes over local
+//     transport and executes by registered kernel name.
+//
+// All three share one invariant: dependence decisions (edges, renames,
+// skips, writebacks) are made by the Graph, never by the backend, so a
+// program observes the same dataflow semantics no matter which domain
+// executes it. The interface is deliberately the engine-facing slice of a
+// backend — submission/wait surfaces differ per domain (closures natively,
+// kernel names in dist) and stay on the concrete types.
+type Backend interface {
+	// DomainName identifies the execution domain ("native", "sim", "dist")
+	// for traces and reports.
+	DomainName() string
+	// Deps returns the dependence tracker the backend drives. All version
+	// chains, renaming decisions, and failure propagation live there.
+	Deps() *Graph
+	// GraphStats snapshots the tracker's dependence activity.
+	GraphStats() GraphStats
+}
+
+// ShardEntries reports the live dependence records across all shards —
+// exact-key datums and array-region bases. Session arenas release their
+// records at Close, so a steady-state server's counts return to the
+// pre-churn baseline; the session-churn soak watches exactly this pair for
+// arena leaks.
+func (g *Graph) ShardEntries() (datums, regions int) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		datums += len(sh.datums)
+		regions += len(sh.regions)
+		sh.mu.Unlock()
+	}
+	return datums, regions
+}

@@ -28,7 +28,15 @@ package core
 // (they are never pruned before the version drains, and addPred skips
 // finished entries).
 type version struct {
-	payload     any
+	payload any
+	// vid is the chain-unique version number of the instance's current
+	// content (1 = the canonical instance's initial value). A renamed
+	// instance keeps one vid for its lifetime; the canonical instance's vid
+	// advances on every in-place write and on writeback (it adopts the vid
+	// of the instance copied onto it), so equal (datum, vid) pairs always
+	// name bit-identical content — the invariant the distributed backend's
+	// per-worker version caches key on.
+	vid         uint64
 	lastWriter  *Task
 	readers     []*Task
 	commuters   []*Task
@@ -90,8 +98,9 @@ type verChain struct {
 	renamed   []*version // live renamed instances, creation order (cur is the last)
 	alloc     func() any
 	copyFn    func(dst, src any)
-	pool      []any // reclaimed payloads, reused before calling alloc
-	noRename  bool  // Datum.NoRename, or a region chain sealed by mixed-discipline access
+	pool      []any  // reclaimed payloads, reused before calling alloc
+	nextVID   uint64 // next version number to assign (see version.vid)
+	noRename  bool   // Datum.NoRename, or a region chain sealed by mixed-discipline access
 }
 
 // newVersion takes a payload from the pool (or allocates one) and appends a
@@ -107,7 +116,8 @@ func (ch *verChain) newVersion() *version {
 	} else {
 		p = ch.alloc()
 	}
-	v := &version{payload: p}
+	v := &version{payload: p, vid: ch.nextVID}
+	ch.nextVID++
 	ch.renamed = append(ch.renamed, v)
 	return v
 }
@@ -124,6 +134,14 @@ type verBinding struct {
 	write    *version
 	needCopy bool
 	copied   bool
+	// readVID/writeVID are the version numbers the access observes and
+	// produces, captured at wiring time (never re-read from the live
+	// version structs: an in-place write bumps the canonical vid at ITS
+	// wiring, which must not relabel an earlier reader's bound content).
+	// readVID is 0 for a pure Out; for an in-place InOut it names the
+	// predecessor content in the same payload (read stays nil there).
+	readVID  uint64
+	writeVID uint64
 }
 
 // Renaming configures dependence renaming on a graph. Set once, before any
@@ -195,8 +213,8 @@ func (d *Datum) EnableRenaming(canonical any, alloc func() any, cp func(dst, src
 	// later enables renaming.
 	earlyOptOut := d.rec != nil && d.rec.noRename ||
 		d.rd != nil && d.rd.spanNoRename(d.region.Lo, d.region.Hi)
-	ch := &verChain{shard: d.shard, alloc: alloc, copyFn: cp, noRename: earlyOptOut}
-	ch.canonical = &version{payload: canonical}
+	ch := &verChain{shard: d.shard, alloc: alloc, copyFn: cp, nextVID: 2, noRename: earlyOptOut}
+	ch.canonical = &version{payload: canonical, vid: 1}
 	ch.cur = ch.canonical
 	if d.rd != nil {
 		// A chain overlapping an existing chain's span can never rename
@@ -422,10 +440,18 @@ func (g *Graph) wireChained(ch *verChain, t *Task, mode Mode, addPred func(*Task
 		cur.readers = nil
 		cur.commuters = nil
 		cur.concurrents = nil
+		// The in-place write produces new content in the same payload: the
+		// instance's version number advances so the new content gets a
+		// fresh identity. An InOut still observes the predecessor content,
+		// so its binding records the pre-bump vid as what it reads.
+		readVID := uint64(0)
 		if mode == InOut {
 			cur.readers = append(cur.readers, t)
+			readVID = cur.vid
 		}
-		t.bindWrite(ch, cur)
+		cur.vid = ch.nextVID
+		ch.nextVID++
+		t.bindWrite(ch, cur, readVID)
 	}
 }
 
@@ -508,6 +534,12 @@ func (g *Graph) sweepChain(ch *verChain) {
 	}
 	if best != nil {
 		ch.copyFn(ch.canonical.payload, best.payload)
+		// The canonical content now IS that instance's content: adopting
+		// its vid keeps the (datum, vid) → content mapping injective, so a
+		// distributed worker that cached the renamed instance's bytes gets
+		// a cache hit — not a stale read — when a later reader binds the
+		// written-back canonical.
+		ch.canonical.vid = best.vid
 		g.stWritebacks.Add(1)
 		if g.probe != nil {
 			var wid uint64
@@ -527,6 +559,77 @@ func (g *Graph) sweepChain(ch *verChain) {
 		// drained too: collapse back onto the canonical instance.
 		ch.collapse()
 	}
+}
+
+// VersionRef names one payload instance of a chained datum: a chain-unique
+// version number plus the payload object carrying (or about to carry) that
+// version's content. Equal (datum, Ver) pairs always denote bit-identical
+// content, which is what makes the ref a sound cache key for a backend
+// that migrates payloads out of this address space (internal/dist keys its
+// per-worker byte caches on exactly this pair). The zero Ver means "no
+// instance" — a pure Out binding observes nothing, a pure In produces
+// nothing.
+type VersionRef struct {
+	Ver     uint64
+	Payload any
+}
+
+// Valid reports whether the ref names an instance.
+func (r VersionRef) Valid() bool { return r.Ver != 0 }
+
+// Binding resolves the datum instances task t was wired against: read is
+// what the task observes (its clause-bound input content), write what it
+// produces. For an in-place write both refs share one payload — the read
+// names the predecessor content that occupies it until the task's output
+// lands. Zero refs mean no chain, no binding on this datum, or no access
+// of that direction.
+//
+// Safe without locks once Submit(t) has returned and until t finishes:
+// bindings and their captured vids are immutable in that window, and the
+// payloads cannot be reclaimed while t holds version refs. Callers that
+// import produced content into write.Payload must do so before calling
+// Graph.Finish(t, ...) — Finish releases the refs and may immediately
+// write the payload back onto canonical storage.
+func (d *Datum) Binding(t *Task) (read, write VersionRef) {
+	ch := d.chain
+	if ch == nil || t == nil {
+		return read, write
+	}
+	for i := range t.bindings {
+		b := &t.bindings[i]
+		if b.chain != ch {
+			continue
+		}
+		if b.write != nil && !write.Valid() {
+			write = VersionRef{Ver: b.writeVID, Payload: b.write.payload}
+			if b.readVID != 0 && !read.Valid() {
+				p := b.write.payload
+				if b.read != nil {
+					p = b.read.payload
+				}
+				read = VersionRef{Ver: b.readVID, Payload: p}
+			}
+		} else if b.read != nil && !read.Valid() {
+			read = VersionRef{Ver: b.readVID, Payload: b.read.payload}
+		}
+	}
+	return read, write
+}
+
+// Canonical returns the current canonical instance of a chained datum (the
+// zero ref when renaming was never enabled). Call only from outside any
+// task — e.g. the master thread after a taskwait — when no writer of the
+// datum is in flight; the writeback-on-drain contract then guarantees the
+// payload holds the program-order last successful value.
+func (d *Datum) Canonical() VersionRef {
+	sh := &d.owner.shards[d.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d.chain == nil {
+		return VersionRef{}
+	}
+	c := d.chain.canonical
+	return VersionRef{Ver: c.vid, Payload: c.payload}
 }
 
 // collapse resets the chain to its idle state — the canonical instance is

@@ -177,15 +177,17 @@ func (t *Task) AffinityShard() (uint32, bool) {
 // under the owning shard lock.
 func (t *Task) bindRead(ch *verChain, v *version) {
 	v.refs++
-	t.bindings = append(t.bindings, verBinding{chain: ch, read: v})
+	t.bindings = append(t.bindings, verBinding{chain: ch, read: v, readVID: v.vid})
 }
 
 // bindWrite records that the task writes version v in place (a non-renamed
-// write: the instance it reads, if any, is the same one). Called under the
-// owning shard lock.
-func (t *Task) bindWrite(ch *verChain, v *version) {
+// write: the instance it reads, if any, is the same one). readVID is the
+// pre-bump version number an InOut observes (0 for a pure Out); the
+// caller bumps v.vid to the produced version before calling. Called under
+// the owning shard lock.
+func (t *Task) bindWrite(ch *verChain, v *version, readVID uint64) {
 	v.refs++
-	t.bindings = append(t.bindings, verBinding{chain: ch, write: v})
+	t.bindings = append(t.bindings, verBinding{chain: ch, write: v, readVID: readVID, writeVID: v.vid})
 }
 
 // bindRename records a renamed write: the task produces nv; for InOut,
@@ -193,10 +195,12 @@ func (t *Task) bindWrite(ch *verChain, v *version) {
 // read ref on it. Called under the owning shard lock.
 func (t *Task) bindRename(ch *verChain, prev, nv *version, needCopy bool) {
 	nv.refs++
+	b := verBinding{chain: ch, read: prev, write: nv, needCopy: needCopy, writeVID: nv.vid}
 	if prev != nil {
 		prev.refs++
+		b.readVID = prev.vid
 	}
-	t.bindings = append(t.bindings, verBinding{chain: ch, read: prev, write: nv, needCopy: needCopy})
+	t.bindings = append(t.bindings, b)
 }
 
 // errBox wraps an error for atomic first-wins publication.

@@ -1,0 +1,62 @@
+package dist
+
+import "testing"
+
+func TestMirrorEvictionDeterministicLRU(t *testing.T) {
+	m := newMirror(100)
+	m.insert(CacheKey{1, 1}, 40) // oldest
+	m.insert(CacheKey{2, 1}, 40)
+	m.insert(CacheKey{3, 1}, 20) // cache now full at 100
+
+	// 60 incoming bytes with datum 3 pinned: must evict (1,1) then (2,1),
+	// oldest first.
+	ev := m.planEvict([]CacheKey{{3, 1}}, 60)
+	if len(ev) != 2 || ev[0] != (CacheKey{1, 1}) || ev[1] != (CacheKey{2, 1}) {
+		t.Fatalf("evictions = %v", ev)
+	}
+	if m.total != 20 || m.evicted != 2 {
+		t.Fatalf("total = %d, evicted = %d", m.total, m.evicted)
+	}
+	if m.has(CacheKey{1, 1}) || !m.has(CacheKey{3, 1}) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestMirrorTouchChangesVictim(t *testing.T) {
+	m := newMirror(100)
+	m.insert(CacheKey{1, 1}, 50)
+	m.insert(CacheKey{2, 1}, 50)
+	m.touch(CacheKey{1, 1}) // (2,1) becomes LRU
+
+	ev := m.planEvict(nil, 50)
+	if len(ev) != 1 || ev[0] != (CacheKey{2, 1}) {
+		t.Fatalf("evictions = %v, want [(2,1)]", ev)
+	}
+}
+
+func TestMirrorPinnedOverflowTolerated(t *testing.T) {
+	m := newMirror(10)
+	m.insert(CacheKey{1, 1}, 8)
+	// Everything pinned and incoming exceeds budget: nothing to evict,
+	// overflow is accepted (the working set must be resident regardless).
+	ev := m.planEvict([]CacheKey{{1, 1}}, 8)
+	if len(ev) != 0 {
+		t.Fatalf("evicted pinned entries: %v", ev)
+	}
+	if !m.has(CacheKey{1, 1}) {
+		t.Fatal("pinned entry gone")
+	}
+}
+
+func TestWorkerCacheObeysOrders(t *testing.T) {
+	c := newWCache()
+	c.put(CacheKey{1, 1}, []byte{1})
+	c.put(CacheKey{2, 1}, []byte{2})
+	c.applyEvict([]CacheKey{{1, 1}, {9, 9}}) // unknown keys ignored
+	if _, ok := c.get(CacheKey{1, 1}); ok {
+		t.Fatal("evicted entry still cached")
+	}
+	if b, ok := c.get(CacheKey{2, 1}); !ok || b[0] != 2 {
+		t.Fatal("surviving entry lost")
+	}
+}

@@ -1,0 +1,687 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
+)
+
+// DefaultCacheBytes is the per-worker version-cache budget when CacheBytes
+// is not given.
+const DefaultCacheBytes int64 = 64 << 20
+
+// config collects Run options.
+type config struct {
+	cacheBytes int64
+	renameCap  int
+	rec        *obs.Recorder
+	killWorker int // slot to kill, -1 = none
+	killAfter  int // kill after this many dispatches to that slot
+}
+
+// Option configures Run.
+type Option func(*config)
+
+// CacheBytes sets the per-worker version-cache budget (a target, not a
+// hard wall: one task's own working set is always allowed to exceed it).
+func CacheBytes(n int64) Option { return func(c *config) { c.cacheBytes = n } }
+
+// RenameCap bounds live renamed instances per version chain, as in the
+// in-process backends.
+func RenameCap(n int) Option { return func(c *config) { c.renameCap = n } }
+
+// Observe attaches a trace recorder: the coordinator emits the standard
+// task-lifecycle vocabulary plus EvXfer/EvXferHit transfer events, with
+// worker-process slots as lanes.
+func Observe(rec *obs.Recorder) Option { return func(c *config) { c.rec = rec } }
+
+// KillWorkerAfter kills worker `slot`'s process right after its n-th task
+// dispatch is sent — the fault-injection hook the crash-confinement tests
+// and the CI dist-smoke job use.
+func KillWorkerAfter(slot, n int) Option {
+	return func(c *config) { c.killWorker, c.killAfter = slot, n }
+}
+
+// WorkerStats is one worker process's slice of the accounting.
+type WorkerStats struct {
+	Tasks     int
+	BytesIn   int64 // bytes shipped to this worker (copy-in)
+	BytesOut  int64 // bytes carried back on completions
+	CacheHits int
+	Lost      bool
+}
+
+// Stats is what a distributed run reports.
+type Stats struct {
+	Workers          int
+	Tasks            int
+	Failed           int
+	Skipped          int
+	BytesToWorkers   int64
+	BytesFromWorkers int64
+	Transfers        int
+	TransfersAvoided int
+	BytesAvoided     int64
+	Evictions        int64
+	WorkersLost      int
+	Graph            core.GraphStats
+	PerWorker        []WorkerStats
+}
+
+// Datum is a distributed datum handle: canonical storage is a
+// coordinator-owned byte buffer behind a renameable core datum; workers
+// only ever see migrated version instances of it.
+type Datum struct {
+	id  uint64
+	buf []byte
+	cd  *core.Datum
+}
+
+// Size returns the datum's fixed byte size.
+func (d *Datum) Size() int { return len(d.buf) }
+
+// Clause is one (datum, mode) access of a distributed task.
+type Clause struct {
+	d    *Datum
+	mode core.Mode
+}
+
+// In declares a read of d's current version.
+func In(d *Datum) Clause { return Clause{d, core.In} }
+
+// Out declares d fully overwritten (no copy-in; the kernel's out buffer
+// arrives zeroed).
+func Out(d *Datum) Clause { return Clause{d, core.Out} }
+
+// InOut declares read-modify-write: the kernel's out buffer arrives
+// seeded with the read version's content.
+func InOut(d *Datum) Clause { return Clause{d, core.InOut} }
+
+// Handle follows one submitted task.
+type Handle struct{ t *core.Task }
+
+// Err blocks until the task finished and returns its outcome (nil,
+// RemoteError, WorkerLost, SkipError, or ErrNoWorkers).
+func (h *Handle) Err() error {
+	<-h.t.Done()
+	return h.t.Err()
+}
+
+// Skipped reports whether the task was released without executing.
+func (h *Handle) Skipped() bool { return h.t.Skipped() }
+
+// outBinding remembers where one dispatched write lands when its bytes
+// come home: the coordinator-side payload of the version the task's
+// clause bound.
+type outBinding struct {
+	key     CacheKey
+	payload []byte
+}
+
+// inflight is one task currently executing on a worker.
+type inflight struct {
+	t    *core.Task
+	info *taskInfo
+	outs []outBinding
+}
+
+// workerState is the coordinator's view of one worker process.
+type workerState struct {
+	slot   int
+	cmd    *exec.Cmd
+	conn   *conn
+	mir    *mirror
+	busy   *inflight
+	dead   bool
+	sent   int // dispatches sent, for KillWorkerAfter
+	wstats WorkerStats
+}
+
+// taskInfo carries the dist-level description of a submitted task (the
+// core.Task holds only the dependence shape).
+type taskInfo struct {
+	kernel  string
+	args    []byte
+	clauses []Clause
+}
+
+// send is one frame to transmit after the coordinator lock drops. kill is
+// the KillWorkerAfter fault hook, decided under the lock so transmit
+// touches no mutable worker state.
+type send struct {
+	w    *workerState
+	f    *Frame
+	kill bool
+}
+
+// RT is the coordinator runtime handed to the program function: Register
+// datums, submit Tasks, Taskwait, Read results back. It implements
+// core.Backend as the "dist" execution domain.
+type RT struct {
+	g       *core.Graph
+	ctx     *core.Context
+	cfg     config
+	workers []*workerState
+	rec     *obs.Recorder
+	clock   func() int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  []*core.Task
+	info   map[*core.Task]*taskInfo
+	nextID uint64
+	stats  Stats
+	closed bool
+}
+
+// DomainName identifies the backend ("dist").
+func (rt *RT) DomainName() string { return "dist" }
+
+// Deps exposes the coordinator's dependence tracker.
+func (rt *RT) Deps() *core.Graph { return rt.g }
+
+// GraphStats snapshots the tracker's counters.
+func (rt *RT) GraphStats() core.GraphStats { return rt.g.Stats() }
+
+var _ core.Backend = (*RT)(nil)
+
+// Register creates a distributed datum holding a copy of content. The
+// coordinator owns canonical storage; version instances migrate to
+// workers on demand. Size is fixed for the datum's lifetime.
+func (rt *RT) Register(content []byte) *Datum {
+	buf := make([]byte, len(content))
+	copy(buf, content)
+	d := &Datum{buf: buf}
+	rt.mu.Lock()
+	rt.nextID++
+	d.id = rt.nextID
+	rt.mu.Unlock()
+	d.cd = rt.g.Register(d)
+	n := len(buf)
+	d.cd.EnableRenaming(buf,
+		func() any { return make([]byte, n) },
+		func(dst, src any) { copy(dst.([]byte), src.([]byte)) })
+	return d
+}
+
+// Read copies the datum's canonical content out. Call only when the datum
+// is quiescent — after a Taskwait — when writeback-on-drain guarantees
+// canonical holds the program-order last successful value.
+func (rt *RT) Read(d *Datum) []byte {
+	ref := d.cd.Canonical()
+	src, _ := ref.Payload.([]byte)
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// Task submits one distributed task: kernel must be registered (in every
+// process) under RegisterKernel, args is the opaque argument blob, and
+// clauses declare the datum accesses in the order the kernel sees its
+// in[]/out[] slices.
+func (rt *RT) Task(kernel string, args []byte, clauses ...Clause) *Handle {
+	t := &core.Task{
+		Label:  kernel,
+		Parent: rt.ctx,
+	}
+	for _, c := range clauses {
+		t.Accesses = append(t.Accesses, core.Access{
+			Key:   c.d,
+			Mode:  c.mode,
+			Bytes: int64(len(c.d.buf)),
+			Datum: c.d.cd,
+		})
+	}
+	info := &taskInfo{kernel: kernel, args: args, clauses: clauses}
+
+	rt.mu.Lock()
+	rt.info[t] = info
+	rt.stats.Tasks++
+	rt.mu.Unlock()
+
+	// Submit outside rt.mu by lock order (shard locks nest under rt.mu
+	// elsewhere, but Submit's wiring holds them across a callback-free
+	// region; keeping rt.mu out of it keeps submission concurrent with
+	// completions).
+	ready := rt.g.Submit(t)
+
+	rt.mu.Lock()
+	if rt.rec != nil {
+		rt.rec.EmitLabel(-1, obs.EvSubmit, t.ID, uint64(len(t.Preds)), kernel)
+		for _, p := range t.Preds {
+			rt.rec.Emit(-1, obs.EvEdge, t.ID, p)
+		}
+	}
+	var sends []send
+	if ready {
+		rt.ready = append(rt.ready, t)
+		sends = rt.dispatchLocked()
+	}
+	rt.mu.Unlock()
+	rt.transmit(sends)
+	return &Handle{t: t}
+}
+
+// Taskwait blocks until every submitted task finished and returns the
+// first failure of the batch (clearing it, as in-process taskwait does).
+func (rt *RT) Taskwait() error {
+	rt.mu.Lock()
+	for rt.ctx.Pending() > 0 {
+		rt.cond.Wait()
+	}
+	rt.mu.Unlock()
+	return rt.ctx.TakeErr()
+}
+
+// readKeys lists the version keys a dispatched task reads (for affinity
+// scoring and cache planning); call between Submit and Finish.
+func readKeys(t *core.Task, info *taskInfo) []CacheKey {
+	var keys []CacheKey
+	for _, c := range info.clauses {
+		if c.mode == core.In || c.mode == core.InOut {
+			read, _ := c.d.cd.Binding(t)
+			if read.Valid() {
+				keys = append(keys, CacheKey{Datum: c.d.id, Ver: read.Ver})
+			}
+		}
+	}
+	return keys
+}
+
+// dispatchLocked drains the ready queue onto idle workers and returns the
+// frames to transmit once the lock drops. It also resolves tasks that
+// never reach a worker: upstream-failed tasks skip, and with every worker
+// lost the rest fail with ErrNoWorkers.
+func (rt *RT) dispatchLocked() []send {
+	var sends []send
+	for len(rt.ready) > 0 {
+		t := rt.ready[0]
+
+		// Skip-on-error exactly as the in-process executor: a failed
+		// predecessor's error reached the task along its dependence edges.
+		if up := t.Upstream(); up != nil {
+			rt.ready = rt.ready[1:]
+			t.MarkSkipped()
+			rt.g.CountSkipped()
+			rt.stats.Skipped++
+			if rt.rec != nil {
+				rt.rec.Emit(-1, obs.EvSkip, t.ID, 0)
+			}
+			rt.finishLocked(t, &SkipError{Cause: up})
+			continue
+		}
+
+		// Pick the idle live worker with the most of this task's read set
+		// already cached (bytes, not entries — affinity follows data).
+		info := rt.info[t]
+		keys := readKeys(t, info)
+		var best *workerState
+		var bestHit int64 = -1
+		anyLive := false
+		for _, w := range rt.workers {
+			if w.dead {
+				continue
+			}
+			anyLive = true
+			if w.busy != nil {
+				continue
+			}
+			if hit := w.mir.hitBytes(keys); hit > bestHit {
+				best, bestHit = w, hit
+			}
+		}
+		if !anyLive {
+			rt.ready = rt.ready[1:]
+			rt.stats.Failed++
+			rt.finishLocked(t, ErrNoWorkers)
+			continue
+		}
+		if best == nil {
+			return sends // all live workers busy; done of one resumes us
+		}
+		rt.ready = rt.ready[1:]
+		sends = append(sends, rt.assignLocked(best, t, info))
+	}
+	return sends
+}
+
+// assignLocked builds the task message for one (worker, task) pairing,
+// updating the worker's cache mirror and the transfer accounting.
+func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
+	msg := &TaskMsg{ID: t.ID, Kernel: info.kernel, Args: info.args}
+
+	// Layout: kernel-visible In reads first, one entry per In clause in
+	// clause order (the kernel's in[] indexes by clause, so no dedupe —
+	// a repeated version costs nothing extra anyway: the first occurrence
+	// ships, later ones resolve as cache hits). InOut seed reads follow;
+	// writes in clause order referencing their seed.
+	type pendRead struct {
+		key  CacheKey
+		data []byte
+	}
+	var reads []pendRead
+	var writes []WireOut
+	for _, c := range info.clauses {
+		if c.mode != core.In {
+			continue
+		}
+		read, _ := c.d.cd.Binding(t)
+		reads = append(reads, pendRead{CacheKey{Datum: c.d.id, Ver: read.Ver}, read.Payload.([]byte)})
+	}
+	msg.NIn = len(reads)
+	for _, c := range info.clauses {
+		if c.mode != core.Out && c.mode != core.InOut {
+			continue
+		}
+		read, write := c.d.cd.Binding(t)
+		wo := WireOut{Datum: c.d.id, Ver: write.Ver, Size: int64(len(c.d.buf)), SeedFrom: -1}
+		if c.mode == core.InOut && read.Valid() {
+			reads = append(reads, pendRead{CacheKey{Datum: c.d.id, Ver: read.Ver}, read.Payload.([]byte)})
+			wo.SeedFrom = len(reads) - 1
+		}
+		writes = append(writes, wo)
+	}
+
+	// Cache plan: pin everything this task touches, make room for what
+	// must move, and translate misses into shipped bytes.
+	pinned := make([]CacheKey, 0, len(reads)+len(writes))
+	var incoming int64
+	for _, r := range reads {
+		pinned = append(pinned, r.key)
+		if !w.mir.has(r.key) {
+			incoming += int64(len(r.data))
+		}
+	}
+	outs := make([]outBinding, 0, len(writes))
+	for i, wo := range writes {
+		k := CacheKey{Datum: wo.Datum, Ver: wo.Ver}
+		pinned = append(pinned, k)
+		incoming += wo.Size
+		// Resolve the write's coordinator-side landing payload now, while
+		// the binding is live.
+		var payload []byte
+		for _, c := range info.clauses {
+			if c.d.id == wo.Datum && (c.mode == core.Out || c.mode == core.InOut) {
+				_, write := c.d.cd.Binding(t)
+				if write.Ver == wo.Ver {
+					payload = write.Payload.([]byte)
+					break
+				}
+			}
+		}
+		outs = append(outs, outBinding{key: k, payload: payload})
+		writes[i] = wo
+	}
+	msg.Evict = w.mir.planEvict(pinned, incoming)
+	rt.stats.Evictions = 0
+	for _, ws := range rt.workers {
+		rt.stats.Evictions += ws.mir.evicted
+	}
+
+	for _, r := range reads {
+		wr := WireRef{Datum: r.key.Datum, Ver: r.key.Ver, Size: int64(len(r.data))}
+		if w.mir.has(r.key) {
+			w.mir.touch(r.key)
+			rt.stats.TransfersAvoided++
+			rt.stats.BytesAvoided += wr.Size
+			w.wstats.CacheHits++
+			if rt.rec != nil {
+				rt.rec.Emit(w.slot, obs.EvXferHit, t.ID, uint64(wr.Size))
+			}
+		} else {
+			wr.Bytes = r.data
+			w.mir.insert(r.key, wr.Size)
+			rt.stats.Transfers++
+			rt.stats.BytesToWorkers += wr.Size
+			w.wstats.BytesIn += wr.Size
+			if rt.rec != nil {
+				rt.rec.Emit(w.slot, obs.EvXfer, t.ID, uint64(wr.Size))
+			}
+		}
+		msg.Reads = append(msg.Reads, wr)
+	}
+	msg.Writes = writes
+
+	rt.g.MarkRunning(t, w.slot)
+	w.busy = &inflight{t: t, info: info, outs: outs}
+	w.wstats.Tasks++
+	w.sent++
+	if rt.rec != nil {
+		rt.rec.Emit(w.slot, obs.EvStart, t.ID, 0)
+	}
+	kill := rt.cfg.killWorker == w.slot && w.sent >= rt.cfg.killAfter
+	return send{w: w, f: &Frame{Task: msg}, kill: kill}
+}
+
+// transmit writes dispatched frames outside the coordinator lock; a send
+// failure is a lost worker. It also trips the KillWorkerAfter fault hook.
+func (rt *RT) transmit(sends []send) {
+	for _, s := range sends {
+		err := s.w.conn.send(s.f)
+		if err != nil {
+			rt.workerLost(s.w, fmt.Errorf("send: %w", err))
+			continue
+		}
+		if s.kill {
+			s.w.cmd.Process.Kill()
+		}
+	}
+}
+
+// finishLocked retires a task through the dependence tracker: newly
+// released dependents join the ready queue (the caller's dispatchLocked
+// loop picks them up) and taskwaiters are woken. Held lock: rt.mu.
+func (rt *RT) finishLocked(t *core.Task, err error) {
+	delete(rt.info, t)
+	newly := rt.g.Finish(t, err)
+	rt.ready = append(rt.ready, newly...)
+	rt.cond.Broadcast()
+}
+
+// reader is the per-worker receive loop (one goroutine per worker).
+func (rt *RT) reader(w *workerState) {
+	for {
+		f, err := ReadFrame(w.conn.Conn)
+		if err != nil {
+			rt.workerLost(w, err)
+			return
+		}
+		if f.Done == nil {
+			rt.workerLost(w, fmt.Errorf("unexpected frame from worker"))
+			return
+		}
+		rt.handleDone(w, f.Done)
+	}
+}
+
+// handleDone imports a completed task's outputs and retires it.
+func (rt *RT) handleDone(w *workerState, d *DoneMsg) {
+	rt.mu.Lock()
+	inf := w.busy
+	if inf == nil || inf.t.ID != d.ID {
+		rt.mu.Unlock()
+		rt.workerLost(w, fmt.Errorf("completion for unknown task %d", d.ID))
+		return
+	}
+	w.busy = nil
+	var err error
+	if d.Err != "" {
+		err = &RemoteError{Worker: w.slot, Kernel: inf.info.kernel, Msg: d.Err, Panic: d.Panic}
+		rt.stats.Failed++
+	} else if len(d.Outputs) != len(inf.outs) {
+		err = &RemoteError{Worker: w.slot, Kernel: inf.info.kernel,
+			Msg: fmt.Sprintf("got %d outputs, want %d", len(d.Outputs), len(inf.outs))}
+		rt.stats.Failed++
+	} else {
+		// Import produced bytes onto the bound version payloads BEFORE
+		// Finish: Finish releases the bindings and may immediately write
+		// the version back onto canonical storage.
+		for i, ob := range inf.outs {
+			copy(ob.payload, d.Outputs[i])
+			n := int64(len(d.Outputs[i]))
+			rt.stats.BytesFromWorkers += n
+			w.wstats.BytesOut += n
+			w.mir.insert(ob.key, int64(len(ob.payload)))
+			if rt.rec != nil {
+				rt.rec.Emit(w.slot, obs.EvXfer, inf.t.ID, uint64(n))
+			}
+		}
+	}
+	if rt.rec != nil {
+		rt.rec.Emit(w.slot, obs.EvEnd, inf.t.ID, 0)
+	}
+	rt.finishLocked(inf.t, err)
+	sends := rt.dispatchLocked()
+	rt.mu.Unlock()
+	rt.transmit(sends)
+}
+
+// workerLost marks a worker dead, fails its in-flight task with
+// WorkerLost, and lets everything else keep running. Crash confinement
+// falls out of the core graph: the failure propagates only along the lost
+// tasks' dependence edges.
+func (rt *RT) workerLost(w *workerState, cause error) {
+	rt.mu.Lock()
+	if w.dead || rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	w.dead = true
+	w.wstats.Lost = true
+	rt.stats.WorkersLost++
+	w.conn.Close()
+	w.mir = newMirror(rt.cfg.cacheBytes) // its cache died with it
+	if inf := w.busy; inf != nil {
+		w.busy = nil
+		rt.stats.Failed++
+		rt.finishLocked(inf.t, &WorkerLost{Worker: w.slot, Cause: cause})
+	}
+	sends := rt.dispatchLocked()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.transmit(sends)
+}
+
+// Run boots a distributed execution domain with `workers` worker
+// processes, runs program on the calling goroutine, waits for every task,
+// and tears the domain down. The returned Stats hold the transfer and
+// cache accounting; the returned error is the program's error, or the
+// first task failure the final taskwait saw.
+func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
+	if workers < 1 {
+		return Stats{}, fmt.Errorf("dist: need at least 1 worker, got %d", workers)
+	}
+	cfg := config{cacheBytes: DefaultCacheBytes, killWorker: -1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	l, dir, err := listenSocket()
+	if err != nil {
+		return Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	defer l.Close()
+
+	socket := l.Addr().String()
+	cmds := make([]*exec.Cmd, 0, workers)
+	defer func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		cmd, err := spawnWorker(socket, i)
+		if err != nil {
+			return Stats{}, err
+		}
+		cmds = append(cmds, cmd)
+	}
+	conns, err := acceptWorkers(l, workers)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	g := core.NewGraph()
+	g.ConfigureRenaming(core.Renaming{Enabled: true, MaxVersions: cfg.renameCap})
+	rt := &RT{
+		g:    g,
+		ctx:  &core.Context{},
+		cfg:  cfg,
+		rec:  cfg.rec,
+		info: make(map[*core.Task]*taskInfo),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.stats.Workers = workers
+	if rt.rec != nil {
+		epoch := time.Now()
+		rt.clock = func() int64 { return time.Since(epoch).Nanoseconds() }
+		rt.rec.Attach(workers, "dist", false, rt.clock)
+		g.SetProbe(rt.rec)
+	}
+	var readers sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := &workerState{slot: i, cmd: cmds[i], conn: conns[i], mir: newMirror(cfg.cacheBytes)}
+		rt.workers = append(rt.workers, w)
+	}
+	for _, w := range rt.workers {
+		readers.Add(1)
+		go func(w *workerState) {
+			defer readers.Done()
+			rt.reader(w)
+		}(w)
+	}
+
+	progErr := program(rt)
+	twErr := rt.Taskwait()
+
+	// Graceful drain: ask live workers to exit, close connections so the
+	// reader goroutines return, and reap the processes (with a kill
+	// fallback so a wedged worker cannot hang the coordinator).
+	rt.mu.Lock()
+	rt.closed = true
+	live := make([]*workerState, 0, workers)
+	for _, w := range rt.workers {
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	rt.mu.Unlock()
+	for _, w := range live {
+		w.conn.send(&Frame{Shutdown: true})
+	}
+	deadline := time.AfterFunc(10*time.Second, func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+		}
+	})
+	for _, c := range cmds {
+		c.Wait()
+	}
+	deadline.Stop()
+	cmds = nil // already reaped; disarm the deferred killer
+	for _, w := range rt.workers {
+		w.conn.Close()
+	}
+	readers.Wait()
+
+	rt.mu.Lock()
+	rt.stats.Graph = rt.g.Stats()
+	rt.stats.PerWorker = make([]WorkerStats, workers)
+	for i, w := range rt.workers {
+		rt.stats.PerWorker[i] = w.wstats
+	}
+	stats := rt.stats
+	rt.mu.Unlock()
+
+	if progErr != nil {
+		return stats, progErr
+	}
+	return stats, twErr
+}

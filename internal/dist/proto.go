@@ -1,0 +1,156 @@
+// Package dist is the multi-process execution domain: a coordinator
+// process runs the dependence tracker (the same internal/core graph the
+// native and simulated backends drive) while N worker processes — child
+// processes of the same binary, connected over Unix domain sockets —
+// execute task bodies against migrated datum versions.
+//
+// Ownership and transfer are driven by the version chains of the renaming
+// layer (internal/core/rename.go): every registered datum is a renameable
+// []byte payload whose canonical storage lives in the coordinator. A task
+// dispatched to worker W triggers copy-in of the version instances its
+// clauses bind; a per-worker cache keyed by (datum, version) makes
+// repeated readers of the same instance free; a writer produces a new
+// version whose bytes ride back on the completion message; and chain drain
+// writes the program-order last good instance back onto canonical storage
+// exactly as it does in-process. Poisoned-writer and skip-on-error
+// semantics carry over the wire unchanged: a task failure (or a worker
+// crash, surfaced as WorkerLost) poisons its output version, skips its
+// dependents, and leaves every other worker's tasks executing.
+//
+// Task bodies are closures and do not serialize, so execution is by
+// registered kernel name plus opaque serialized args: both the coordinator
+// and the workers run the same binary, the program registers its kernels
+// at init (RegisterKernel), and MaybeWorker diverts a child process into
+// the worker loop before main proper runs.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame's payload. The largest legitimate frame
+// carries one task's copy-in set or one task's produced outputs — tens of
+// megabytes for the suite's default workloads — so the cap is generous
+// while still refusing absurd lengths from a corrupt or hostile stream
+// before any decoding work happens.
+const MaxFrame = 256 << 20
+
+// Hello is the worker's first frame: which worker slot it was spawned as.
+type Hello struct {
+	Worker int
+	PID    int
+}
+
+// WireRef names one datum version a task observes. Bytes carries the
+// content on a cache miss; nil means the worker already holds the
+// (Datum, Ver) pair in its version cache (the coordinator mirrors every
+// worker's cache deterministically, so it knows).
+type WireRef struct {
+	Datum uint64
+	Ver   uint64
+	Size  int64
+	Bytes []byte
+}
+
+// WireOut names one datum version a task produces. The worker allocates
+// the buffer; SeedFrom >= 0 seeds it from that index of the task's read
+// set (the InOut copy-in), -1 leaves it zeroed (a pure Out overwrites by
+// contract).
+type WireOut struct {
+	Datum    uint64
+	Ver      uint64
+	Size     int64
+	SeedFrom int
+}
+
+// CacheKey identifies one cached payload instance.
+type CacheKey struct {
+	Datum uint64
+	Ver   uint64
+}
+
+// TaskMsg dispatches one task. Reads is the transfer set in clause order:
+// the first NIn entries are the kernel-visible In clauses (passed as in[]
+// in that order), the rest are InOut read versions present only to seed
+// outputs and the cache. Writes is one entry per Out/InOut clause in
+// clause order (the kernel's out[]). Evict lists cache entries the worker
+// must drop before inserting this task's reads — eviction is always
+// coordinator-directed, which is what keeps the coordinator's mirror and
+// the worker's cache in lockstep.
+type TaskMsg struct {
+	ID     uint64
+	Kernel string
+	Args   []byte
+	NIn    int
+	Reads  []WireRef
+	Writes []WireOut
+	Evict  []CacheKey
+}
+
+// DoneMsg reports one task's completion. Outputs carries the produced
+// bytes, one per TaskMsg.Writes entry, empty when Err is set (a failed
+// writer's output is undefined and never leaves the worker — the wire
+// form of the poisoned-writer rule).
+type DoneMsg struct {
+	ID      uint64
+	Err     string
+	Panic   bool
+	Outputs [][]byte
+}
+
+// Frame is the single message envelope both directions use: exactly one
+// field is set (Shutdown is the coordinator's drain order).
+type Frame struct {
+	Hello    *Hello
+	Task     *TaskMsg
+	Done     *DoneMsg
+	Shutdown bool
+}
+
+// WriteFrame encodes f as one length-prefixed gob frame: a 4-byte
+// big-endian payload length followed by the gob bytes.
+func WriteFrame(w io.Writer, f *Frame) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length backpatched below
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("dist: encode frame: %w", err)
+	}
+	n := buf.Len() - 4
+	if n > MaxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds MaxFrame (%d)", n, MaxFrame)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadFrame decodes the next frame from r. It returns io.EOF untouched on
+// a clean end of stream. Hostile input cannot make it panic or allocate
+// past the declared (capped) length: the payload is drained with CopyN —
+// so a garbage length with a short stream costs only the bytes actually
+// present — and gob decoding errors are returned, not thrown. This is the
+// function FuzzFrameDecode hammers.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("dist: short frame: %w", err)
+	}
+	var f Frame
+	if err := gob.NewDecoder(&buf).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Hello: &Hello{Worker: 3, PID: 4242}},
+		{Task: &TaskMsg{
+			ID:     7,
+			Kernel: "rotate",
+			Args:   []byte{1, 2, 3},
+			NIn:    1,
+			Reads:  []WireRef{{Datum: 1, Ver: 2, Size: 3, Bytes: []byte{9, 8, 7}}, {Datum: 4, Ver: 1, Size: 2}},
+			Writes: []WireOut{{Datum: 4, Ver: 5, Size: 2, SeedFrom: 1}},
+			Evict:  []CacheKey{{Datum: 9, Ver: 9}},
+		}},
+		{Done: &DoneMsg{ID: 7, Outputs: [][]byte{{5, 5}}}},
+		{Done: &DoneMsg{ID: 8, Err: "kernel exploded", Panic: true}},
+		{Shutdown: true},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		switch {
+		case want.Hello != nil:
+			if got.Hello == nil || *got.Hello != *want.Hello {
+				t.Fatalf("frame %d: hello mismatch: %+v", i, got.Hello)
+			}
+		case want.Task != nil:
+			g := got.Task
+			if g == nil || g.ID != want.Task.ID || g.Kernel != want.Task.Kernel ||
+				g.NIn != want.Task.NIn || len(g.Reads) != 2 || len(g.Writes) != 1 ||
+				!bytes.Equal(g.Reads[0].Bytes, want.Task.Reads[0].Bytes) ||
+				g.Reads[1].Bytes != nil ||
+				g.Writes[0].SeedFrom != 1 || len(g.Evict) != 1 {
+				t.Fatalf("frame %d: task mismatch: %+v", i, g)
+			}
+		case want.Done != nil:
+			g := got.Done
+			if g == nil || g.ID != want.Done.ID || g.Err != want.Done.Err || g.Panic != want.Done.Panic {
+				t.Fatalf("frame %d: done mismatch: %+v", i, g)
+			}
+		case want.Shutdown:
+			if !got.Shutdown {
+				t.Fatalf("frame %d: want shutdown", i)
+			}
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	// Zero length.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Oversized claimed length.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil ||
+		!strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+	// Large claimed length with a short stream must fail cheaply, not
+	// allocate the claim.
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame)
+	if _, err := ReadFrame(bytes.NewReader(append(hdr[:], 1, 2, 3))); err == nil ||
+		!strings.Contains(err.Error(), "short frame") {
+		t.Fatalf("short frame not detected: %v", err)
+	}
+	// Garbage payload of the declared length: decode error, not panic.
+	junk := append([]byte{0, 0, 0, 4}, 0xde, 0xad, 0xbe, 0xef)
+	if _, err := ReadFrame(bytes.NewReader(junk)); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+}
+
+// FuzzFrameDecode throws arbitrary byte streams at the frame decoder: it
+// must return errors, never panic, and on success re-encoding the decoded
+// frame must itself succeed (the codec never produces unencodable values).
+func FuzzFrameDecode(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, &Frame{Hello: &Hello{Worker: 1, PID: 2}})
+	WriteFrame(&seed, &Frame{Task: &TaskMsg{ID: 1, Kernel: "k", Reads: []WireRef{{Datum: 1, Ver: 1, Size: 1, Bytes: []byte{0}}}}})
+	WriteFrame(&seed, &Frame{Shutdown: true})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 0xff})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if err := WriteFrame(io.Discard, fr); err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Child processes find their way into the worker loop through these two
+// environment variables: the socket to dial and the worker slot to claim.
+const (
+	envSocket = "OMPSS_DIST_SOCKET"
+	envWorker = "OMPSS_DIST_WORKER"
+)
+
+// handshakeTimeout bounds how long the coordinator waits for all spawned
+// workers to dial back and identify themselves.
+const handshakeTimeout = 30 * time.Second
+
+// conn wraps one worker connection with a send mutex: the dispatch path
+// and the shutdown path both write frames, and frames must not interleave.
+type conn struct {
+	net.Conn
+	sendMu sync.Mutex
+}
+
+func (c *conn) send(f *Frame) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return WriteFrame(c.Conn, f)
+}
+
+// listenSocket creates the rendezvous Unix socket in a fresh temp
+// directory (socket paths have a low length limit, so the directory name
+// is kept short).
+func listenSocket() (net.Listener, string, error) {
+	dir, err := os.MkdirTemp("", "ompss-dist-")
+	if err != nil {
+		return nil, "", err
+	}
+	path := filepath.Join(dir, "coord.sock")
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", fmt.Errorf("dist: listen %s: %w", path, err)
+	}
+	return l, dir, nil
+}
+
+// spawnWorker re-executes the current binary as worker `slot`. MaybeWorker
+// in the child (called before main proper does anything else) sees the
+// environment and diverts into the worker loop instead of running main.
+func spawnWorker(socket string, slot int) (*exec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locate own binary: %w", err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		envSocket+"="+socket,
+		envWorker+"="+strconv.Itoa(slot),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawn worker %d: %w", slot, err)
+	}
+	return cmd, nil
+}
+
+// acceptWorkers collects n handshakes: each worker dials in and sends a
+// Hello naming its slot. Returns the connections indexed by slot.
+func acceptWorkers(l net.Listener, n int) ([]*conn, error) {
+	if ul, ok := l.(*net.UnixListener); ok {
+		ul.SetDeadline(time.Now().Add(handshakeTimeout))
+		defer ul.SetDeadline(time.Time{})
+	}
+	conns := make([]*conn, n)
+	for i := 0; i < n; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: handshake: %w", err)
+		}
+		c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		f, err := ReadFrame(c)
+		c.SetReadDeadline(time.Time{})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: handshake read: %w", err)
+		}
+		if f.Hello == nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: handshake: first frame is not Hello")
+		}
+		slot := f.Hello.Worker
+		if slot < 0 || slot >= n || conns[slot] != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: handshake: bad or duplicate worker slot %d", slot)
+		}
+		conns[slot] = &conn{Conn: c}
+	}
+	return conns, nil
+}

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// KernelFunc is a distributed task body. args is the opaque argument blob
+// the submitting side attached; in holds the kernel-visible In-clause
+// payloads in clause order; out holds one buffer per Out/InOut clause in
+// clause order, pre-seeded with the InOut copy-in (or zeroed for pure
+// Out). The kernel must treat in as read-only — the slices alias the
+// worker's version cache and mutating them would corrupt every later
+// cache hit. A non-nil error (or a panic, which is recovered) poisons the
+// task's outputs and skips its dependents, exactly as in-process.
+type KernelFunc func(args []byte, in [][]byte, out [][]byte) error
+
+var (
+	kernelMu sync.RWMutex
+	kernels  = make(map[string]KernelFunc)
+)
+
+// RegisterKernel installs a task body under a name. Both the coordinator
+// and the workers run the same binary, so registering from init (or from
+// anywhere before Run) makes the kernel visible in every process.
+// Re-registering a name panics: silent replacement would mean coordinator
+// and worker could disagree about what a name executes.
+func RegisterKernel(name string, fn KernelFunc) {
+	if fn == nil {
+		panic("dist: RegisterKernel with nil kernel " + name)
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := kernels[name]; dup {
+		panic("dist: duplicate kernel " + name)
+	}
+	kernels[name] = fn
+}
+
+func lookupKernel(name string) (KernelFunc, bool) {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	fn, ok := kernels[name]
+	return fn, ok
+}
+
+// MaybeWorker diverts a spawned child process into the worker loop. Call
+// it first thing in main (and in TestMain for test binaries that use
+// Run): in the parent it returns immediately; in a child spawned by a
+// coordinator it connects back, serves tasks until shutdown, and exits
+// the process.
+func MaybeWorker() {
+	socket := os.Getenv(envSocket)
+	if socket == "" {
+		return
+	}
+	slot, err := strconv.Atoi(os.Getenv(envWorker))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: bad %s: %v\n", envWorker, err)
+		os.Exit(2)
+	}
+	if err := workerMain(socket, slot); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker %d: %v\n", slot, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func workerMain(socket string, slot int) error {
+	c, err := net.Dial("unix", socket)
+	if err != nil {
+		return fmt.Errorf("dial coordinator: %w", err)
+	}
+	defer c.Close()
+	if err := WriteFrame(c, &Frame{Hello: &Hello{Worker: slot, PID: os.Getpid()}}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	cache := newWCache()
+	for {
+		f, err := ReadFrame(c)
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator went away: quiet exit
+			}
+			return fmt.Errorf("read: %w", err)
+		}
+		switch {
+		case f.Shutdown:
+			return nil
+		case f.Task != nil:
+			done := execTask(cache, f.Task)
+			if err := WriteFrame(c, &Frame{Done: done}); err != nil {
+				return fmt.Errorf("send done: %w", err)
+			}
+		default:
+			return fmt.Errorf("unexpected frame from coordinator")
+		}
+	}
+}
+
+// execTask runs one task message against the local cache and returns its
+// completion. All failure modes — cache protocol violations, unknown
+// kernels, kernel errors, kernel panics — are reported in DoneMsg.Err so
+// the coordinator can poison the writer and skip dependents; only
+// transport failures kill the worker.
+func execTask(cache *wcache, msg *TaskMsg) *DoneMsg {
+	done := &DoneMsg{ID: msg.ID}
+	// Coordinator-directed eviction first: the Evict list was computed
+	// against the cache state before this task's inserts.
+	cache.applyEvict(msg.Evict)
+
+	// Resolve the read set: shipped bytes enter the cache, nil Bytes must
+	// already be resident (the coordinator's mirror said so).
+	reads := make([][]byte, len(msg.Reads))
+	for i, r := range msg.Reads {
+		k := CacheKey{Datum: r.Datum, Ver: r.Ver}
+		if r.Bytes != nil {
+			if int64(len(r.Bytes)) != r.Size {
+				done.Err = fmt.Sprintf("read %d: got %d bytes, want %d", i, len(r.Bytes), r.Size)
+				return done
+			}
+			cache.put(k, r.Bytes)
+			reads[i] = r.Bytes
+		} else {
+			b, ok := cache.get(k)
+			if !ok {
+				done.Err = fmt.Sprintf("read %d: (datum %d, ver %d) not cached", i, r.Datum, r.Ver)
+				return done
+			}
+			reads[i] = b
+		}
+	}
+
+	// Build the output buffers, seeding InOut ones from their copy-in.
+	outs := make([][]byte, len(msg.Writes))
+	for i, w := range msg.Writes {
+		buf := make([]byte, w.Size)
+		if w.SeedFrom >= 0 {
+			if w.SeedFrom >= len(reads) {
+				done.Err = fmt.Sprintf("write %d: seed index %d out of range", i, w.SeedFrom)
+				return done
+			}
+			copy(buf, reads[w.SeedFrom])
+		}
+		outs[i] = buf
+	}
+
+	fn, ok := lookupKernel(msg.Kernel)
+	if !ok {
+		done.Err = fmt.Sprintf("kernel %q not registered in worker", msg.Kernel)
+		return done
+	}
+	if err := runKernel(fn, msg.Args, reads[:msg.NIn], outs, done); err != nil {
+		done.Err = err.Error()
+		return done
+	}
+	if done.Err != "" {
+		return done
+	}
+	// Success: outputs become cached versions (the coordinator's mirror
+	// inserts the same keys when it sees this Done), and ride home.
+	for i, w := range msg.Writes {
+		cache.put(CacheKey{Datum: w.Datum, Ver: w.Ver}, outs[i])
+	}
+	done.Outputs = outs
+	return done
+}
+
+// runKernel isolates the recover so a panicking kernel poisons the task
+// instead of the worker process.
+func runKernel(fn KernelFunc, args []byte, in, out [][]byte, done *DoneMsg) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			done.Panic = true
+			err = fmt.Errorf("kernel panic: %v", r)
+		}
+	}()
+	return fn(args, in, out)
+}
+
+// Kernels returns the registered kernel names, sorted — handy for
+// diagnostics when a name mismatch skips a whole run.
+func Kernels() []string {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

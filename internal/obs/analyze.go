@@ -104,6 +104,14 @@ type Analysis struct {
 	Renames    int
 	Writebacks int
 
+	// Distributed-backend transfer accounting (EvXfer / EvXferHit):
+	// payload bytes actually moved between processes, and transfers the
+	// per-worker version caches made unnecessary.
+	Transfers     int
+	TransferBytes int64
+	TransferHits  int
+	BytesAvoided  int64
+
 	// DroppedEvents is the exact number of ring-overwritten events; when
 	// non-zero the reports cover a truncated stream (Truncated is set and
 	// WriteReport says so).
@@ -216,6 +224,12 @@ func Analyze(tr *Trace) *Analysis {
 			a.Renames++
 		case EvWriteback:
 			a.Writebacks++
+		case EvXfer:
+			a.Transfers++
+			a.TransferBytes += int64(ev.Arg)
+		case EvXferHit:
+			a.TransferHits++
+			a.BytesAvoided += int64(ev.Arg)
 		}
 	}
 	sort.Slice(a.Order, func(i, j int) bool { return a.Order[i] < a.Order[j] })
@@ -439,6 +453,10 @@ func (a *Analysis) WriteReport(w io.Writer, topN int) error {
 	}
 	if a.Renames > 0 || a.Writebacks > 0 {
 		fmt.Fprintf(w, "renaming: %d renames, %d writebacks\n", a.Renames, a.Writebacks)
+	}
+	if a.Transfers > 0 || a.TransferHits > 0 {
+		fmt.Fprintf(w, "transfers: %d moved %d bytes, %d avoided by version caches (%d bytes)\n",
+			a.Transfers, a.TransferBytes, a.TransferHits, a.BytesAvoided)
 	}
 	return nil
 }

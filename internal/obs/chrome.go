@@ -123,6 +123,14 @@ func WriteChromeTrace(w io.Writer, tr *Trace) error {
 		case EvWriteback:
 			add(chromeEvent{Name: "writeback", Cat: "rename", Phase: "i", Scope: "t",
 				TS: us(ev.At), PID: 0, TID: tid, Args: map[string]any{"task": ev.Task}})
+		case EvXfer:
+			add(chromeEvent{Name: "xfer", Cat: "dist", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid,
+				Args: map[string]any{"task": ev.Task, "bytes": ev.Arg}})
+		case EvXferHit:
+			add(chromeEvent{Name: "xfer-hit", Cat: "dist", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid,
+				Args: map[string]any{"task": ev.Task, "bytes": ev.Arg}})
 		}
 	}
 	enc := json.NewEncoder(w)

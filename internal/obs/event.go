@@ -59,6 +59,15 @@ const (
 	// instance back onto canonical storage (Task is that instance's
 	// program-order last writer, 0 when unknown).
 	EvWriteback
+	// EvXfer records a datum version copied to another address space (the
+	// distributed backend's copy-in, or the Done-carry back): Task is the
+	// task the transfer serves, Arg the byte count, Worker the lane of the
+	// process the bytes moved to or from.
+	EvXfer
+	// EvXferHit records a transfer avoided by a per-worker version cache:
+	// the (datum, version) pair was already resident. Task is the served
+	// task, Arg the bytes NOT moved.
+	EvXferHit
 
 	numKinds = iota
 )
@@ -66,7 +75,7 @@ const (
 var kindNames = [numKinds]string{
 	"submit", "edge", "ready", "start", "end", "skip", "steal",
 	"idle-enter", "idle-exit", "taskwait-enter", "taskwait-exit",
-	"rename", "writeback",
+	"rename", "writeback", "xfer", "xfer-hit",
 }
 
 func (k Kind) String() string {

@@ -6,7 +6,10 @@ package serve
 // isolation contract), and a short in-process load-generator run.
 
 import (
+	"context"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -218,4 +221,127 @@ func TestRunLoadSmoke(t *testing.T) {
 	if len(rep.PerEndpoint) != 3 { // the two mix endpoints plus /v1/fault
 		t.Fatalf("per-endpoint rows = %d, want 3", len(rep.PerEndpoint))
 	}
+}
+
+// TestDrain pins the graceful-shutdown contract: Drain flips admission off
+// (new session-bearing requests answer 503 with Retry-After), waits for the
+// live session to finish, and returns nil once the server is quiescent. A
+// deadline that expires while a session is live returns the context error
+// without abandoning the count.
+func TestDrain(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// A live "session": admission taken directly, as a handler would.
+	if !srv.beginRequest() {
+		t.Fatal("beginRequest refused before any drain")
+	}
+
+	// Drain in the background; it must block on the live session.
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// While draining, kernel and fault endpoints refuse with 503.
+	req := httptest.NewRequest(http.MethodGet, "/v1/rotate", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining kernel request: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("draining 503 carries no Retry-After")
+	}
+	// Health stays up for liveness probes.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("draining health check: status %d, want 200", rec.Code)
+	}
+
+	// A second Drain with an expired deadline reports the live session.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Drain(expired); err == nil {
+		t.Fatal("Drain with cancelled ctx and a live session returned nil")
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a session still live", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	srv.endRequest()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain after last session ended: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not return after the last session ended")
+	}
+}
+
+// soak gates the session-churn soak: thousands of request sessions are
+// slow under -race, so the leg only runs when asked for explicitly
+// (make soak / the CI dist-smoke job).
+var soak = flag.Bool("soak", false, "run the session-churn soak")
+
+// TestSoakSessionChurn is the arena-leak probe: after a burst of
+// session-per-request churn (kernels and faults, concurrently), the
+// runtime's live dependence records must return to the pre-churn baseline —
+// request sessions release their arenas at Close, so sustained serving
+// cannot grow the tracker.
+func TestSoakSessionChurn(t *testing.T) {
+	if !*soak {
+		t.Skip("session-churn soak; run with -soak")
+	}
+	srv, rt := newTestServer(t)
+
+	// Baseline after one warm-up request (the reference cache and any
+	// lazily-built shard state must not count as a leak).
+	if rec, _ := do(t, srv, "/v1/rotate", ""); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up: status %d", rec.Code)
+	}
+	baseDatums, baseRegions := rt.DepRecords()
+
+	const clients, perClient = 4, 60
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{"/v1/rotate", "/v1/rgbcmy", "/v1/h264dec", "/v1/fault"}
+			tenants := []string{"gold", "silver", "bronze"}
+			for i := 0; i < perClient; i++ {
+				path := paths[(c+i)%len(paths)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				req.Header.Set("X-Tenant", tenants[i%len(tenants)])
+				rec := httptest.NewRecorder()
+				srv.Handler().ServeHTTP(rec, req)
+				wantFault := path == "/v1/fault"
+				if wantFault && rec.Code != http.StatusInternalServerError {
+					panic(fmt.Sprintf("fault request: status %d", rec.Code))
+				}
+				if !wantFault && rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("%s: status %d body %s", path, rec.Code, rec.Body.String()))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if v := srv.Violations(); v != 0 {
+		t.Fatalf("soak observed %d isolation violations", v)
+	}
+	datums, regions := rt.DepRecords()
+	if datums != baseDatums || regions != baseRegions {
+		t.Fatalf("dependence records grew across churn: baseline (%d datums, %d regions), after (%d, %d)",
+			baseDatums, baseRegions, datums, regions)
+	}
+	t.Logf("soak: %d sessions churned, records steady at (%d datums, %d regions)",
+		clients*perClient+1, datums, regions)
 }

@@ -55,6 +55,13 @@ type Server struct {
 	mu      sync.Mutex
 	refs    map[string]uint64 // endpoint -> cached RunSeq checksum
 	runners map[string]Runner
+
+	// Drain state: liveMu guards both fields so admission and Drain agree
+	// on the draining flag and the live-session count atomically.
+	liveMu   sync.Mutex
+	liveCond *sync.Cond
+	liveN    int
+	draining bool
 }
 
 // Workloads served per endpoint: sized between the suite's Small (too tiny
@@ -96,6 +103,7 @@ func New(rt *ompss.Runtime, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/fault", s.handleFault)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.liveCond = sync.NewCond(&s.liveMu)
 	return s
 }
 
@@ -114,6 +122,67 @@ func (s *Server) register(path string, r Runner) {
 // Handler returns the server's HTTP handler (also usable in-process — the
 // load generator drives it without a listener).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// beginRequest admits one session-bearing request. It returns false once
+// the server is draining — the caller answers 503 and opens no session.
+func (s *Server) beginRequest() bool {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.liveN++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.liveMu.Lock()
+	s.liveN--
+	if s.liveN == 0 {
+		s.liveCond.Broadcast()
+	}
+	s.liveMu.Unlock()
+}
+
+// Draining reports whether the server has stopped admitting new sessions.
+func (s *Server) Draining() bool {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.draining
+}
+
+// Drain flips the server into draining mode — new session-bearing requests
+// answer 503 immediately — and waits for every live session to finish.
+// It returns nil when the server is quiescent, or ctx's error if the
+// deadline expires first (live sessions keep running; the caller decides
+// whether to hard-stop). Idempotent: a second Drain just waits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.liveMu.Lock()
+	s.draining = true
+	s.liveMu.Unlock()
+
+	// The cond has no deadline-aware wait; a watcher converts ctx expiry
+	// into a broadcast so the wait loop can re-check and bail.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.liveCond.Broadcast()
+		case <-done:
+		}
+	}()
+
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	for s.liveN > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("drain: %d sessions still live: %w", s.liveN, err)
+		}
+		s.liveCond.Wait()
+	}
+	return nil
+}
 
 // Served returns the number of 2xx kernel responses so far.
 func (s *Server) Served() uint64 { return s.served.Load() }
@@ -179,6 +248,11 @@ func (s *Server) sessionOpts(tenant int) []ompss.Option {
 }
 
 func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path string) {
+	if !s.beginRequest() {
+		writeUnavailable(w)
+		return
+	}
+	defer s.endRequest()
 	r := s.runners[path]
 	want := s.reference(path)
 	in := r.New()
@@ -220,6 +294,11 @@ func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path str
 // The request answers 500 by design — concurrent kernel requests returning
 // correct checksums while this endpoint fires is the isolation demo.
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	if !s.beginRequest() {
+		writeUnavailable(w)
+		return
+	}
+	defer s.endRequest()
 	tenant := tenantClass(req.Header.Get("X-Tenant"))
 	sess := s.rt.NewSession(s.sessionOpts(tenant)...)
 	start := time.Now()
@@ -270,6 +349,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		TasksFinished: st.Graph.Finished,
 		Steals:        st.Sched.Steals,
 	})
+}
+
+// writeUnavailable is the draining answer: 503 with a Retry-After so load
+// balancers and polite clients move on without treating it as a fault.
+func writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

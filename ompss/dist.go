@@ -1,0 +1,89 @@
+package ompss
+
+import "ompssgo/internal/dist"
+
+// RunDist executes program on the distributed backend: a coordinator in
+// this process drives the dependence tracker with renaming enabled, and
+// `workers` freshly spawned worker processes (children of the current
+// binary, rendezvousing over a Unix domain socket) execute the task
+// bodies against migrated datum versions. It is the multi-process sibling
+// of Run and RunSim — same dataflow semantics, shared-nothing execution.
+//
+// Unlike the in-process entry points the program receives a *DistRT, not
+// a *Runtime: distributed task bodies are registered kernels addressed by
+// name (RegisterKernel) rather than closures, and datums are
+// coordinator-owned byte buffers (rt.Register / rt.Read). main (and
+// TestMain, for test binaries) must call MaybeWorker() first thing so
+// spawned children divert into the worker loop.
+//
+// The implementation lives in internal/dist; this file is the public
+// veneer — aliases, not wrappers, so in-repo code using the dist package
+// directly and external consumers using these names handle the same types
+// (errors.As against DistWorkerLost matches a dist.WorkerLost, etc).
+func RunDist(workers int, program func(*DistRT) error, opts ...DistOption) (DistStats, error) {
+	return dist.Run(workers, program, opts...)
+}
+
+// RegisterKernel publishes a named task body for distributed execution.
+// Register in an init function (or otherwise before MaybeWorker) so the
+// kernel exists in the coordinator and every re-exec'd worker alike.
+func RegisterKernel(name string, fn DistKernelFunc) { dist.RegisterKernel(name, fn) }
+
+// MaybeWorker diverts a spawned worker child into its serve loop (never
+// returning) and is a no-op in ordinary processes. Any binary that calls
+// RunDist must invoke it first thing in main.
+func MaybeWorker() { dist.MaybeWorker() }
+
+// The distributed runtime surface, re-exported for consumers outside this
+// module (internal/dist is not importable there).
+type (
+	// DistRT is the coordinator-side runtime handed to a RunDist program.
+	DistRT = dist.RT
+	// DistStats is RunDist's accounting: tasks, failures, bytes migrated
+	// in each direction, transfers the version caches avoided, evictions,
+	// workers lost, and per-worker breakdowns.
+	DistStats = dist.Stats
+	// DistOption configures RunDist (DistCacheBytes, DistRenameCap, ...).
+	DistOption = dist.Option
+	// DistDatum is a coordinator-owned byte buffer under dependence
+	// tracking, created by DistRT.Register.
+	DistDatum = dist.Datum
+	// DistClause binds a datum to a task with an access mode.
+	DistClause = dist.Clause
+	// DistHandle is a distributed task future (Err, Skipped).
+	DistHandle = dist.Handle
+	// DistKernelFunc is a registered task body: args is the task's opaque
+	// argument blob; in holds one read-only buffer per In clause in clause
+	// order; out holds one writable buffer per Out/InOut clause in clause
+	// order (InOut buffers arrive seeded with the current version).
+	DistKernelFunc = dist.KernelFunc
+
+	// DistWorkerLost reports a worker process that died mid-task; tasks
+	// in flight on it fail with this error and their dependents skip.
+	DistWorkerLost = dist.WorkerLost
+	// DistRemoteError reports a kernel that returned an error (or
+	// panicked) on a worker.
+	DistRemoteError = dist.RemoteError
+	// DistSkipError marks a task skipped because an upstream dependence
+	// failed; Unwrap yields the upstream cause.
+	DistSkipError = dist.SkipError
+)
+
+// DistIn declares a read of d.
+func DistIn(d *DistDatum) DistClause { return dist.In(d) }
+
+// DistOut declares a write of d (contents replaced).
+func DistOut(d *DistDatum) DistClause { return dist.Out(d) }
+
+// DistInOut declares a read-modify-write of d.
+func DistInOut(d *DistDatum) DistClause { return dist.InOut(d) }
+
+// DistCacheBytes caps each worker's version cache (default 64 MiB).
+func DistCacheBytes(n int64) DistOption { return dist.CacheBytes(n) }
+
+// DistRenameCap bounds live versions per datum (the engine's RenameCap).
+func DistRenameCap(n int) DistOption { return dist.RenameCap(n) }
+
+// ErrNoDistWorkers is returned for tasks that cannot run because every
+// worker process has been lost.
+var ErrNoDistWorkers = dist.ErrNoWorkers

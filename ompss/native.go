@@ -455,6 +455,13 @@ func (b *nativeBackend) compute(*TC, time.Duration)  {} // native bodies do real
 func (b *nativeBackend) touch(*TC, any, int64, bool) {} // native memory is real
 func (b *nativeBackend) deps() *core.Graph           { return b.graph }
 
+// core.Backend seam (see internal/core/backend.go).
+func (b *nativeBackend) DomainName() string          { return "native" }
+func (b *nativeBackend) Deps() *core.Graph           { return b.graph }
+func (b *nativeBackend) GraphStats() core.GraphStats { return b.graph.Stats() }
+
+var _ core.Backend = (*nativeBackend)(nil)
+
 // cancelWake nudges Blocking-mode parked threads so they re-check for work
 // after a cancellation put the runtime into skip mode. Safe from any
 // goroutine (context.AfterFunc fires on a timer goroutine).

@@ -194,8 +194,12 @@ func buildConfig(opts []Option) config {
 }
 
 // backend abstracts the native and simulated executors. All engine state
-// (graph, scheduler) lives behind it.
+// (graph, scheduler) lives behind it. The embedded core.Backend is the
+// engine-facing seam every execution domain satisfies — including the
+// multi-process coordinator in internal/dist, which shares no code with
+// this package's executors beyond the dependence tracker itself.
 type backend interface {
+	core.Backend
 	submit(from *TC, t *core.Task)
 	submitBatch(from *TC, ts []*core.Task)
 	taskwait(from *TC, ctx *core.Context)
@@ -420,6 +424,19 @@ func (rt *Runtime) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses
 // Stats returns engine activity counters. Call after a Taskwait for a
 // consistent snapshot.
 func (rt *Runtime) Stats() RunStats { return rt.be.stats() }
+
+// Backend exposes the runtime's execution domain through the engine-level
+// seam (see internal/core/backend.go).
+func (rt *Runtime) Backend() core.Backend { return rt.be }
+
+// DepRecords reports the live dependence records (exact-key datums,
+// array-region bases) across the tracker's shards. Sessions release their
+// arenas at Close, so for a drained runtime the pair returns to the
+// pre-churn baseline — the arena-leak probe the session-churn soak
+// (internal/serve, -soak) asserts on.
+func (rt *Runtime) DepRecords() (datums, regions int) {
+	return rt.be.Deps().ShardEntries()
+}
 
 // Shutdown drains all outstanding tasks (the implicit end-of-program
 // barrier) and stops the workers. The native runtime requires it; RunSim

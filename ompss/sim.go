@@ -449,6 +449,13 @@ func (b *simBackend) touch(from *TC, key any, bytes int64, write bool) {
 
 func (b *simBackend) deps() *core.Graph { return b.graph }
 
+// core.Backend seam (see internal/core/backend.go).
+func (b *simBackend) DomainName() string          { return "sim" }
+func (b *simBackend) Deps() *core.Graph           { return b.graph }
+func (b *simBackend) GraphStats() core.GraphStats { return b.graph.Stats() }
+
+var _ core.Backend = (*simBackend)(nil)
+
 // cancelWake is a no-op for the simulator: the cancellation flag is polled
 // at scheduling points on the simulation's own goroutine, and waking vm
 // threads from a foreign goroutine would race the event loop.
