@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke serve-trend dist dist-race fuzz-frames soak ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke serve-trend dist dist-tcp dist-race fuzz-frames soak ci
 
 all: build test
 
@@ -79,12 +79,18 @@ serve-smoke:
 	$(GO) run ./cmd/ompss-serve -load -duration 5s -conc 8 -fault-every 7 -o BENCH_serve.json
 
 # Distributed two-process proof (the CI dist-smoke job): every adapted
-# suite workload at 1 and 2 worker processes, each run verified against the
-# sequential reference; writes BENCH_dist.json with wall-clock times and
-# the transfer accounting (bytes migrated, transfers the version caches
-# avoided).
+# suite workload at 1 and 2 worker processes over both rendezvous
+# transports, each run verified against the sequential reference; writes
+# BENCH_dist.json with wall-clock times and the transfer/chain/forwarding
+# accounting (bytes migrated, transfers the version caches avoided,
+# dispatch round-trips vs tasks, bytes forwarded worker-to-worker).
 dist:
 	$(GO) run ./cmd/ompss-bench -dist -small -iters 3 -o BENCH_dist.json
+
+# The TCP-loopback leg alone (the CI dist-smoke job's second leg): workers
+# rendezvous over TCP and must pass the HMAC challenge/response handshake.
+dist-tcp:
+	$(GO) run ./cmd/ompss-bench -dist -dist-transport tcp -small -iters 2 -o /tmp/BENCH_dist_tcp.json
 
 # The distributed coordinator and suite adapters under the race detector,
 # including the worker-kill fault-confinement leg.

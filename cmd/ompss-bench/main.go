@@ -14,8 +14,10 @@
 //	    committed baseline (±tol, regressions only; CI's bench-trend step)
 //	ompss-bench -dist -o BENCH_dist.json       two-process proof: run the
 //	    adapted suite workloads on the distributed backend at 1 and 2 worker
-//	    processes, verify checksums against the sequential reference, and
-//	    record transfer/cache accounting plus the 2-over-1 speedup
+//	    processes over each rendezvous transport (-dist-transport, default
+//	    unix,tcp), verify checksums against the sequential reference, and
+//	    record transfer/cache/chain/forwarding accounting plus the
+//	    2-over-1 speedup
 //	ompss-bench -serve-trend -serve-candidate fresh.json   service-runtime
 //	    trajectory gate: compare a fresh ompss-serve -load report against
 //	    the committed BENCH_serve.json (violations and errors always fail;
@@ -69,6 +71,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.30, "relative factor tolerance for -trend (0.30 = candidate factors may fall 30% below baseline)")
 		distRun   = flag.Bool("dist", false, "measure the distributed (multi-process) backend and write BENCH_dist.json")
 		distW     = flag.String("dist-workers", "1,2", "comma-separated worker-process counts for -dist")
+		distNet   = flag.String("dist-transport", "unix,tcp", "comma-separated rendezvous transports for -dist (unix, tcp)")
 		serveTr   = flag.Bool("serve-trend", false, "service trajectory gate: compare -serve-candidate against -serve-baseline")
 		serveBase = flag.String("serve-baseline", "BENCH_serve.json", "baseline serve report for -serve-trend")
 		serveCand = flag.String("serve-candidate", "", "candidate serve report for -serve-trend")
@@ -113,11 +116,19 @@ func main() {
 			}
 			dw = append(dw, n)
 		}
+		var dnet []string
+		for _, tok := range strings.Split(*distNet, ",") {
+			tr := strings.TrimSpace(tok)
+			if tr != dist.TransportUnix && tr != dist.TransportTCP {
+				fatalf("bad -dist-transport value %q: want %s or %s", tr, dist.TransportUnix, dist.TransportTCP)
+			}
+			dnet = append(dnet, tr)
+		}
 		outPath := *out
 		if outPath == "BENCH_native.json" { // the -o default belongs to -native
 			outPath = "BENCH_dist.json"
 		}
-		rep, err := bench.RunDist(dw, *iters, scale, progress)
+		rep, err := bench.RunDist(dw, *iters, scale, dnet, progress)
 		if err != nil {
 			fatalf("dist: %v", err)
 		}

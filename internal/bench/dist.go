@@ -20,13 +20,14 @@ import (
 // accounting (bytes moved, transfers the per-worker version caches
 // avoided) that explains them. BENCH_dist.json is the committed artifact.
 
-// DistCell is one workload × worker-process-count measurement.
+// DistCell is one workload × transport × worker-process-count measurement.
 type DistCell struct {
-	Bench   string `json:"bench"`
-	Workers int    `json:"workers"`
-	Runs    int    `json:"runs"`
-	BestNS  int64  `json:"best_ns"`
-	MeanNS  int64  `json:"mean_ns"`
+	Bench     string `json:"bench"`
+	Transport string `json:"transport"`
+	Workers   int    `json:"workers"`
+	Runs      int    `json:"runs"`
+	BestNS    int64  `json:"best_ns"`
+	MeanNS    int64  `json:"mean_ns"`
 	// Accounting of the best repetition.
 	Tasks            int   `json:"tasks"`
 	BytesToWorkers   int64 `json:"bytes_to_workers"`
@@ -34,6 +35,15 @@ type DistCell struct {
 	TransfersAvoided int   `json:"transfers_avoided"`
 	BytesAvoided     int64 `json:"bytes_avoided"`
 	Evictions        int64 `json:"evictions"`
+	// Chain and forwarding accounting: dispatch frames vs tasks (chains
+	// collapse round-trips), and bytes that moved worker-to-worker
+	// instead of relaying through the coordinator.
+	RoundTrips       int   `json:"round_trips"`
+	Chains           int   `json:"chains"`
+	ChainedTasks     int   `json:"chained_tasks"`
+	Forwards         int   `json:"forwards"`
+	BytesForwarded   int64 `json:"bytes_forwarded"`
+	ForwardFallbacks int   `json:"forward_fallbacks"`
 }
 
 // DistSpeedup is one workload's wall-clock factor of the largest worker
@@ -57,15 +67,19 @@ type DistReport struct {
 }
 
 // RunDist measures the adapted suite workloads on the distributed
-// backend at each worker-process count, verifying every run against the
-// sequential reference. Spawn and handshake cost is inside the measured
-// window — the domain pays it per run, so the numbers do too.
-func RunDist(workers []int, iters int, scale suite.Scale, progress io.Writer) (*DistReport, error) {
+// backend at each transport × worker-process count, verifying every run
+// against the sequential reference. Spawn and handshake cost is inside
+// the measured window — the domain pays it per run, so the numbers do
+// too. Speedup rows compare worker counts over the first transport.
+func RunDist(workers []int, iters int, scale suite.Scale, transports []string, progress io.Writer) (*DistReport, error) {
 	if len(workers) == 0 {
 		workers = []int{1, 2}
 	}
 	if iters < 1 {
 		iters = 1
+	}
+	if len(transports) == 0 {
+		transports = []string{dist.TransportUnix, dist.TransportTCP}
 	}
 	scaleName := "default"
 	set := distkern.Default()
@@ -74,7 +88,7 @@ func RunDist(workers []int, iters int, scale suite.Scale, progress io.Writer) (*
 		set = distkern.Small()
 	}
 	rep := &DistReport{
-		Schema:    "ompssgo/bench-dist/v1",
+		Schema:    "ompssgo/bench-dist/v2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -83,44 +97,55 @@ func RunDist(workers []int, iters int, scale suite.Scale, progress io.Writer) (*
 	}
 	for _, wl := range set {
 		want := wl.Seq()
-		perWorkers := map[int]int64{} // workers -> best ns, for the speedup rows
-		for _, w := range workers {
-			cell := DistCell{Bench: wl.Name, Workers: w, Runs: iters}
-			var total time.Duration
-			for it := 0; it < iters; it++ {
-				var got uint64
-				start := time.Now()
-				stats, err := ompss.RunDist(w, func(rt *dist.RT) error {
-					var err error
-					got, err = wl.Run(rt)
-					return err
-				})
-				elapsed := time.Since(start)
-				if err != nil {
-					return nil, fmt.Errorf("%s/w%d: %w", wl.Name, w, err)
+		perWorkers := map[int]int64{} // workers -> best ns on transports[0]
+		for _, tr := range transports {
+			for _, w := range workers {
+				cell := DistCell{Bench: wl.Name, Transport: tr, Workers: w, Runs: iters}
+				var total time.Duration
+				for it := 0; it < iters; it++ {
+					var got uint64
+					start := time.Now()
+					stats, err := ompss.RunDist(w, func(rt *dist.RT) error {
+						var err error
+						got, err = wl.Run(rt)
+						return err
+					}, ompss.DistTransport(tr))
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/w%d: %w", wl.Name, tr, w, err)
+					}
+					if got != want {
+						return nil, fmt.Errorf("%s/%s/w%d: checksum %#x, sequential reference %#x",
+							wl.Name, tr, w, got, want)
+					}
+					total += elapsed
+					if cell.BestNS == 0 || elapsed.Nanoseconds() < cell.BestNS {
+						cell.BestNS = elapsed.Nanoseconds()
+						cell.Tasks = stats.Tasks
+						cell.BytesToWorkers = stats.BytesToWorkers
+						cell.BytesFromWorkers = stats.BytesFromWorkers
+						cell.TransfersAvoided = stats.TransfersAvoided
+						cell.BytesAvoided = stats.BytesAvoided
+						cell.Evictions = stats.Evictions
+						cell.RoundTrips = stats.RoundTrips
+						cell.Chains = stats.Chains
+						cell.ChainedTasks = stats.ChainedTasks
+						cell.Forwards = stats.Forwards
+						cell.BytesForwarded = stats.BytesForwarded
+						cell.ForwardFallbacks = stats.ForwardFallbacks
+					}
 				}
-				if got != want {
-					return nil, fmt.Errorf("%s/w%d: checksum %#x, sequential reference %#x",
-						wl.Name, w, got, want)
+				cell.MeanNS = total.Nanoseconds() / int64(iters)
+				if tr == transports[0] {
+					perWorkers[w] = cell.BestNS
 				}
-				total += elapsed
-				if cell.BestNS == 0 || elapsed.Nanoseconds() < cell.BestNS {
-					cell.BestNS = elapsed.Nanoseconds()
-					cell.Tasks = stats.Tasks
-					cell.BytesToWorkers = stats.BytesToWorkers
-					cell.BytesFromWorkers = stats.BytesFromWorkers
-					cell.TransfersAvoided = stats.TransfersAvoided
-					cell.BytesAvoided = stats.BytesAvoided
-					cell.Evictions = stats.Evictions
+				rep.Cells = append(rep.Cells, cell)
+				if progress != nil {
+					fmt.Fprintf(progress, "# dist %-8s %-5s w=%-2d best=%-12v %dB out %dB back, %d xfers avoided, %d/%d trips, %d fwd (%dB)\n",
+						wl.Name, tr, w, time.Duration(cell.BestNS), cell.BytesToWorkers,
+						cell.BytesFromWorkers, cell.TransfersAvoided,
+						cell.RoundTrips, cell.Tasks, cell.Forwards, cell.BytesForwarded)
 				}
-			}
-			cell.MeanNS = total.Nanoseconds() / int64(iters)
-			perWorkers[w] = cell.BestNS
-			rep.Cells = append(rep.Cells, cell)
-			if progress != nil {
-				fmt.Fprintf(progress, "# dist %-8s w=%-2d best=%-12v %dB out %dB back, %d xfers avoided (%dB)\n",
-					wl.Name, w, time.Duration(cell.BestNS), cell.BytesToWorkers,
-					cell.BytesFromWorkers, cell.TransfersAvoided, cell.BytesAvoided)
 			}
 		}
 		base, top := workers[0], workers[len(workers)-1]
@@ -144,12 +169,12 @@ func (r *DistReport) WriteJSON(w io.Writer) error {
 
 // WriteTable renders the cells and the speedup rows.
 func (r *DistReport) WriteTable(w io.Writer) {
-	fmt.Fprintf(w, "%-10s%8s%14s%12s%12s%10s%12s\n",
-		"workload", "workers", "best", "out", "back", "avoided", "avoidedB")
+	fmt.Fprintf(w, "%-10s%-6s%8s%14s%12s%12s%10s%8s%8s%10s\n",
+		"workload", "net", "workers", "best", "out", "back", "avoided", "trips", "chains", "fwdB")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%-10s%8d%14v%12d%12d%10d%12d\n",
-			c.Bench, c.Workers, time.Duration(c.BestNS), c.BytesToWorkers,
-			c.BytesFromWorkers, c.TransfersAvoided, c.BytesAvoided)
+		fmt.Fprintf(w, "%-10s%-6s%8d%14v%12d%12d%10d%8d%8d%10d\n",
+			c.Bench, c.Transport, c.Workers, time.Duration(c.BestNS), c.BytesToWorkers,
+			c.BytesFromWorkers, c.TransfersAvoided, c.RoundTrips, c.Chains, c.BytesForwarded)
 	}
 	for _, s := range r.Speedups {
 		fmt.Fprintf(w, "speedup %-10s %d workers: %.2fx over 1\n", s.Bench, s.Workers, s.Factor)

@@ -1,6 +1,9 @@
 package dist
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // centry is one mirrored cache entry: the coordinator's record that a
 // worker holds the bytes of one (datum, version) pair.
@@ -125,20 +128,37 @@ func (m *mirror) insert(k CacheKey, size int64) {
 
 // wcache is the worker-side real cache: a dumb map that applies the
 // coordinator's orders. No sizes, no policy — policy lives in the mirror.
+// The mutex exists for the peer-fetch server: other workers' fetch
+// connections read entries concurrently with the task loop's inserts and
+// evictions. Payload slices are immutable once cached (kernels receive
+// them read-only), so handing them out under a read lock is safe.
 type wcache struct {
+	mu      sync.RWMutex
 	entries map[CacheKey][]byte
 }
 
 func newWCache() *wcache { return &wcache{entries: make(map[CacheKey][]byte)} }
 
 func (c *wcache) get(k CacheKey) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	b, ok := c.entries[k]
 	return b, ok
 }
 
-func (c *wcache) put(k CacheKey, b []byte) { c.entries[k] = b }
+func (c *wcache) put(k CacheKey, b []byte) {
+	c.mu.Lock()
+	c.entries[k] = b
+	c.mu.Unlock()
+}
+
 func (c *wcache) applyEvict(keys []CacheKey) {
+	if len(keys) == 0 {
+		return
+	}
+	c.mu.Lock()
 	for _, k := range keys {
 		delete(c.entries, k)
 	}
+	c.mu.Unlock()
 }

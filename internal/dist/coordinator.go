@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"os"
 	"os/exec"
 	"sync"
 	"time"
@@ -15,6 +14,20 @@ import (
 // is not given.
 const DefaultCacheBytes int64 = 64 << 20
 
+// DefaultChainLimit bounds how many tasks one dispatch frame may carry
+// when ChainLimit is not given.
+const DefaultChainLimit = 16
+
+// Transport names for the Transport option: workers rendezvous over a
+// Unix domain socket (single host, the default) or authenticated TCP
+// loopback. Every transport runs the same HMAC challenge/response
+// handshake; TCP is where it matters, since anything that can reach the
+// port can connect.
+const (
+	TransportUnix = "unix"
+	TransportTCP  = "tcp"
+)
+
 // config collects Run options.
 type config struct {
 	cacheBytes int64
@@ -22,6 +35,14 @@ type config struct {
 	rec        *obs.Recorder
 	killWorker int // slot to kill, -1 = none
 	killAfter  int // kill after this many dispatches to that slot
+	transport  string
+	secret     []byte
+	hsTimeout  time.Duration
+	exitKill   time.Duration
+	respawn    bool
+	chainLimit int
+	noForward  bool
+	slowExit   time.Duration // test hook: worker sleeps this long before exiting
 }
 
 // Option configures Run.
@@ -36,16 +57,60 @@ func CacheBytes(n int64) Option { return func(c *config) { c.cacheBytes = n } }
 func RenameCap(n int) Option { return func(c *config) { c.renameCap = n } }
 
 // Observe attaches a trace recorder: the coordinator emits the standard
-// task-lifecycle vocabulary plus EvXfer/EvXferHit transfer events, with
-// worker-process slots as lanes.
+// task-lifecycle vocabulary plus EvXfer/EvXferHit transfer events and
+// EvChain chain dispatches, with worker-process slots as lanes.
 func Observe(rec *obs.Recorder) Option { return func(c *config) { c.rec = rec } }
 
-// KillWorkerAfter kills worker `slot`'s process right after its n-th task
-// dispatch is sent — the fault-injection hook the crash-confinement tests
-// and the CI dist-smoke job use.
+// KillWorkerAfter kills worker `slot`'s process right after its n-th
+// dispatch frame is sent — the fault-injection hook the crash-confinement
+// and rejoin tests and the CI dist-smoke job use. It fires at most once,
+// so a respawned worker in the same slot is not re-killed.
 func KillWorkerAfter(slot, n int) Option {
 	return func(c *config) { c.killWorker, c.killAfter = slot, n }
 }
+
+// Transport selects the worker rendezvous transport: TransportUnix (the
+// default) or TransportTCP.
+func Transport(name string) Option { return func(c *config) { c.transport = name } }
+
+// Secret overrides the run's shared handshake secret. By default every
+// run draws a fresh random 32-byte secret; override it only when workers
+// must authenticate across a pre-shared boundary.
+func Secret(s []byte) Option { return func(c *config) { c.secret = s } }
+
+// HandshakeTimeout bounds how long the coordinator waits for workers to
+// connect and authenticate (default DefaultHandshakeTimeout). It also
+// bounds each individual challenge/response exchange.
+func HandshakeTimeout(d time.Duration) Option { return func(c *config) { c.hsTimeout = d } }
+
+// ExitKillDelay sets the teardown kill deadline: how long a worker that
+// was asked to shut down may take to drain and exit before the
+// coordinator kills its process. The default derives from the handshake
+// timeout, so a loaded host that needed a generous handshake window also
+// gets a generous drain window — the old hardcoded 10s deadline SIGKILLed
+// healthy workers draining large writebacks on slow CI hosts.
+func ExitKillDelay(d time.Duration) Option { return func(c *config) { c.exitKill = d } }
+
+// RespawnLostWorkers makes the coordinator re-exec a fresh worker process
+// for any slot whose worker is lost mid-run. The replacement rejoins
+// through the normal authenticated rendezvous with a cold cache. Without
+// this option a lost slot stays lost (but an externally restarted worker
+// that dials back in is still re-admitted).
+func RespawnLostWorkers() Option { return func(c *config) { c.respawn = true } }
+
+// ChainLimit bounds how many tasks one dispatch frame may carry as a
+// worker-side chain (default DefaultChainLimit). Values below 2 disable
+// chaining.
+func ChainLimit(n int) Option { return func(c *config) { c.chainLimit = n } }
+
+// NoForwarding disables direct worker-to-worker datum forwarding: every
+// transfer relays through the coordinator, as in the original design.
+func NoForwarding() Option { return func(c *config) { c.noForward = true } }
+
+// withSlowExit is the test hook behind the ExitKillDelay regression
+// tests: spawned workers sleep this long between finishing their drain
+// and exiting, modeling a slow writeback on a loaded host.
+func withSlowExit(d time.Duration) Option { return func(c *config) { c.slowExit = d } }
 
 // WorkerStats is one worker process's slice of the accounting.
 type WorkerStats struct {
@@ -69,8 +134,30 @@ type Stats struct {
 	BytesAvoided     int64
 	Evictions        int64
 	WorkersLost      int
-	Graph            core.GraphStats
-	PerWorker        []WorkerStats
+
+	// RoundTrips counts dispatch frames the coordinator sent. Without
+	// chaining it equals the tasks that reached a worker; chains push
+	// several tasks per frame, so RoundTrips < Tasks measures saved
+	// coordinator round-trips.
+	RoundTrips   int
+	Chains       int // chain frames sent
+	ChainedTasks int // tasks that rode a chain as a non-first link
+	ChainDepth   int // deepest chain, in tasks
+
+	// Forwards counts worker-to-worker forwarding directives issued in
+	// place of coordinator-relayed bytes; BytesForwarded is what peers
+	// actually copied directly, and ForwardFallbacks counts directives
+	// that fell back to a coordinator relay (those bytes land in
+	// BytesToWorkers, where they in fact travelled).
+	Forwards         int
+	BytesForwarded   int64
+	ForwardFallbacks int
+
+	Rejoins   int // workers re-admitted after a loss (cold cache)
+	ExitKills int // workers killed by the teardown drain deadline
+
+	Graph     core.GraphStats
+	PerWorker []WorkerStats
 }
 
 // Datum is a distributed datum handle: canonical storage is a
@@ -123,23 +210,32 @@ type outBinding struct {
 	payload []byte
 }
 
-// inflight is one task currently executing on a worker.
+// inflight is one task dispatched to a worker and not yet completed. fwd
+// holds the payloads of this task's forwarded reads, so the relay
+// fallback can serve them if the peer fetch fails.
 type inflight struct {
 	t    *core.Task
 	info *taskInfo
 	outs []outBinding
+	fwd  map[CacheKey][]byte
 }
 
-// workerState is the coordinator's view of one worker process.
+// workerState is the coordinator's view of one worker process. queue is
+// the dispatched-but-uncompleted tasks in execution order — one entry for
+// a plain dispatch, the links of one chain otherwise. gen increments on
+// every (re)admission, so a stale reader of a previous connection cannot
+// kill a rejoined worker.
 type workerState struct {
-	slot   int
-	cmd    *exec.Cmd
-	conn   *conn
-	mir    *mirror
-	busy   *inflight
-	dead   bool
-	sent   int // dispatches sent, for KillWorkerAfter
-	wstats WorkerStats
+	slot      int
+	cmd       *exec.Cmd
+	conn      *conn
+	gen       int
+	mir       *mirror
+	queue     []*inflight
+	dead      bool
+	fetchAddr string
+	sent      int // dispatch frames sent, for KillWorkerAfter
+	wstats    WorkerStats
 }
 
 // taskInfo carries the dist-level description of a submitted task (the
@@ -152,9 +248,11 @@ type taskInfo struct {
 
 // send is one frame to transmit after the coordinator lock drops. kill is
 // the KillWorkerAfter fault hook, decided under the lock so transmit
-// touches no mutable worker state.
+// touches no mutable worker state; gen guards the lost-worker path
+// against a connection replaced by a rejoin.
 type send struct {
 	w    *workerState
+	gen  int
 	f    *Frame
 	kill bool
 }
@@ -169,14 +267,22 @@ type RT struct {
 	workers []*workerState
 	rec     *obs.Recorder
 	clock   func() int64
+	secret  []byte
+	addr    string // rendezvous address workers dial, for respawn
+	stopCh  chan struct{}
+	readers sync.WaitGroup
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ready  []*core.Task
-	info   map[*core.Task]*taskInfo
-	nextID uint64
-	stats  Stats
-	closed bool
+	mu             sync.Mutex
+	cond           *sync.Cond
+	ready          []*core.Task
+	info           map[*core.Task]*taskInfo
+	chained        map[*core.Task]bool // speculatively dispatched chain links
+	cmds           []*exec.Cmd
+	pendingRejoins int
+	killFired      bool
+	nextID         uint64
+	stats          Stats
+	closed         bool
 }
 
 // DomainName identifies the backend ("dist").
@@ -296,7 +402,7 @@ func readKeys(t *core.Task, info *taskInfo) []CacheKey {
 // dispatchLocked drains the ready queue onto idle workers and returns the
 // frames to transmit once the lock drops. It also resolves tasks that
 // never reach a worker: upstream-failed tasks skip, and with every worker
-// lost the rest fail with ErrNoWorkers.
+// lost (and no rejoin pending) the rest fail with ErrNoWorkers.
 func (rt *RT) dispatchLocked() []send {
 	var sends []send
 	for len(rt.ready) > 0 {
@@ -328,7 +434,7 @@ func (rt *RT) dispatchLocked() []send {
 				continue
 			}
 			anyLive = true
-			if w.busy != nil {
+			if len(w.queue) > 0 {
 				continue
 			}
 			if hit := w.mir.hitBytes(keys); hit > bestHit {
@@ -336,6 +442,9 @@ func (rt *RT) dispatchLocked() []send {
 			}
 		}
 		if !anyLive {
+			if rt.pendingRejoins > 0 {
+				return sends // a replacement worker is on its way; hold the queue
+			}
 			rt.ready = rt.ready[1:]
 			rt.stats.Failed++
 			rt.finishLocked(t, ErrNoWorkers)
@@ -350,9 +459,119 @@ func (rt *RT) dispatchLocked() []send {
 	return sends
 }
 
-// assignLocked builds the task message for one (worker, task) pairing,
-// updating the worker's cache mirror and the transfer accounting.
+// assignLocked dispatches t to w, then tries to grow the dispatch into a
+// chain: while the tail task has a sole-dependent successor whose reads
+// are all resident on w (counting what earlier links will produce) and
+// whose kernel is registered, the successor rides the same frame and the
+// worker executes it locally without another coordinator round-trip.
+// Links after the first are speculative — the tracker has not released
+// them yet — so they are remembered in rt.chained and filtered out of
+// Finish's newly-ready set when their predecessor link completes.
 func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
+	// produced accumulates the keys earlier links will have written by the
+	// time a later link runs: resident for planning, but NOT in the mirror
+	// until the worker actually reports success (a failed writer's outputs
+	// never enter either cache).
+	produced := make(map[CacheKey]bool)
+	var pinned []CacheKey
+	var incoming int64
+
+	msg, inf := rt.buildTaskLocked(w, t, info, produced, &pinned, &incoming)
+	links := []*TaskMsg{msg}
+	w.queue = append(w.queue, inf)
+	for _, ob := range inf.outs {
+		produced[ob.key] = true
+	}
+
+	cur := t
+	for len(links) < rt.cfg.chainLimit {
+		s, sinfo := rt.chainSuccessorLocked(w, cur, produced)
+		if s == nil {
+			break
+		}
+		smsg, sinf := rt.buildTaskLocked(w, s, sinfo, produced, &pinned, &incoming)
+		links = append(links, smsg)
+		w.queue = append(w.queue, sinf)
+		rt.chained[s] = true
+		for _, ob := range sinf.outs {
+			produced[ob.key] = true
+		}
+		cur = s
+	}
+
+	// One eviction plan for the whole frame, pinned across every link's
+	// working set, carried by the first link (the worker applies it before
+	// anything else). Shipped reads are already in the mirror; incoming is
+	// the outputs still to come.
+	links[0].Evict = w.mir.planEvict(pinned, incoming)
+	rt.stats.Evictions = 0
+	for _, ws := range rt.workers {
+		rt.stats.Evictions += ws.mir.evicted
+	}
+
+	rt.stats.RoundTrips++
+	w.sent++
+	var f *Frame
+	if len(links) == 1 {
+		f = &Frame{Task: links[0]}
+	} else {
+		f = &Frame{Chain: &ChainMsg{Tasks: links}}
+		rt.stats.Chains++
+		rt.stats.ChainedTasks += len(links) - 1
+		if len(links) > rt.stats.ChainDepth {
+			rt.stats.ChainDepth = len(links)
+		}
+		if rt.rec != nil {
+			rt.rec.Emit(w.slot, obs.EvChain, t.ID, uint64(len(links)))
+		}
+	}
+	kill := false
+	if !rt.killFired && rt.cfg.killWorker == w.slot && w.sent >= rt.cfg.killAfter {
+		kill, rt.killFired = true, true
+	}
+	return send{w: w, gen: w.gen, f: f, kill: kill}
+}
+
+// chainSuccessorLocked finds a successor of cur eligible to ride the same
+// dispatch frame: the tracker's SoleDependents query proves cur is its
+// only gate (and no finished predecessor failed), and on top of that it
+// must be a dist task with a registered kernel whose every read is
+// resident on w or produced by an earlier link of this frame. Chains are
+// linear: the first eligible successor wins.
+func (rt *RT) chainSuccessorLocked(w *workerState, cur *core.Task, produced map[CacheKey]bool) (*core.Task, *taskInfo) {
+	for _, s := range rt.g.SoleDependents(cur) {
+		if rt.chained[s] {
+			continue
+		}
+		sinfo := rt.info[s]
+		if sinfo == nil {
+			continue
+		}
+		if _, ok := lookupKernel(sinfo.kernel); !ok {
+			continue
+		}
+		resident := true
+		for _, k := range readKeys(s, sinfo) {
+			if !produced[k] && !w.mir.has(k) {
+				resident = false
+				break
+			}
+		}
+		if !resident {
+			continue
+		}
+		return s, sinfo
+	}
+	return nil, nil
+}
+
+// buildTaskLocked builds the wire message for one (worker, task) pairing,
+// updating the worker's cache mirror and the transfer accounting. pinned
+// and incoming accumulate across chain links for the caller's single
+// eviction plan. produced marks keys earlier links of the same frame will
+// have written (resident by execution time, absent from the mirror).
+func (rt *RT) buildTaskLocked(w *workerState, t *core.Task, info *taskInfo,
+	produced map[CacheKey]bool, pinned *[]CacheKey, incoming *int64) (*TaskMsg, *inflight) {
 	msg := &TaskMsg{ID: t.ID, Kernel: info.kernel, Args: info.args}
 
 	// Layout: kernel-visible In reads first, one entry per In clause in
@@ -387,21 +606,11 @@ func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
 		writes = append(writes, wo)
 	}
 
-	// Cache plan: pin everything this task touches, make room for what
-	// must move, and translate misses into shipped bytes.
-	pinned := make([]CacheKey, 0, len(reads)+len(writes))
-	var incoming int64
-	for _, r := range reads {
-		pinned = append(pinned, r.key)
-		if !w.mir.has(r.key) {
-			incoming += int64(len(r.data))
-		}
-	}
-	outs := make([]outBinding, 0, len(writes))
-	for i, wo := range writes {
+	inf := &inflight{t: t, info: info, outs: make([]outBinding, 0, len(writes))}
+	for _, wo := range writes {
 		k := CacheKey{Datum: wo.Datum, Ver: wo.Ver}
-		pinned = append(pinned, k)
-		incoming += wo.Size
+		*pinned = append(*pinned, k)
+		*incoming += wo.Size
 		// Resolve the write's coordinator-side landing payload now, while
 		// the binding is live.
 		var payload []byte
@@ -414,18 +623,14 @@ func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
 				}
 			}
 		}
-		outs = append(outs, outBinding{key: k, payload: payload})
-		writes[i] = wo
-	}
-	msg.Evict = w.mir.planEvict(pinned, incoming)
-	rt.stats.Evictions = 0
-	for _, ws := range rt.workers {
-		rt.stats.Evictions += ws.mir.evicted
+		inf.outs = append(inf.outs, outBinding{key: k, payload: payload})
 	}
 
 	for _, r := range reads {
+		*pinned = append(*pinned, r.key)
 		wr := WireRef{Datum: r.key.Datum, Ver: r.key.Ver, Size: int64(len(r.data))}
-		if w.mir.has(r.key) {
+		switch {
+		case w.mir.has(r.key):
 			w.mir.touch(r.key)
 			rt.stats.TransfersAvoided++
 			rt.stats.BytesAvoided += wr.Size
@@ -433,14 +638,36 @@ func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
 			if rt.rec != nil {
 				rt.rec.Emit(w.slot, obs.EvXferHit, t.ID, uint64(wr.Size))
 			}
-		} else {
-			wr.Bytes = r.data
-			w.mir.insert(r.key, wr.Size)
-			rt.stats.Transfers++
-			rt.stats.BytesToWorkers += wr.Size
-			w.wstats.BytesIn += wr.Size
+		case produced[r.key]:
+			// An earlier link of this frame writes it right here on w.
+			rt.stats.TransfersAvoided++
+			rt.stats.BytesAvoided += wr.Size
+			w.wstats.CacheHits++
 			if rt.rec != nil {
-				rt.rec.Emit(w.slot, obs.EvXfer, t.ID, uint64(wr.Size))
+				rt.rec.Emit(w.slot, obs.EvXferHit, t.ID, uint64(wr.Size))
+			}
+		default:
+			if p := rt.forwardSourceLocked(r.key, w); p != nil {
+				// Forwarding directive: the peer holds it, so point the
+				// worker there instead of relaying the bytes. Keep the
+				// payload at hand for the relay fallback.
+				wr.From = p.fetchAddr
+				p.mir.touch(r.key)
+				if inf.fwd == nil {
+					inf.fwd = make(map[CacheKey][]byte)
+				}
+				inf.fwd[r.key] = r.data
+				w.mir.insert(r.key, wr.Size)
+				rt.stats.Forwards++
+			} else {
+				wr.Bytes = r.data
+				w.mir.insert(r.key, wr.Size)
+				rt.stats.Transfers++
+				rt.stats.BytesToWorkers += wr.Size
+				w.wstats.BytesIn += wr.Size
+				if rt.rec != nil {
+					rt.rec.Emit(w.slot, obs.EvXfer, t.ID, uint64(wr.Size))
+				}
 			}
 		}
 		msg.Reads = append(msg.Reads, wr)
@@ -448,14 +675,26 @@ func (rt *RT) assignLocked(w *workerState, t *core.Task, info *taskInfo) send {
 	msg.Writes = writes
 
 	rt.g.MarkRunning(t, w.slot)
-	w.busy = &inflight{t: t, info: info, outs: outs}
 	w.wstats.Tasks++
-	w.sent++
 	if rt.rec != nil {
 		rt.rec.Emit(w.slot, obs.EvStart, t.ID, 0)
 	}
-	kill := rt.cfg.killWorker == w.slot && w.sent >= rt.cfg.killAfter
-	return send{w: w, f: &Frame{Task: msg}, kill: kill}
+	return msg, inf
+}
+
+// forwardSourceLocked picks the worker to forward a read from: live,
+// rejoined-or-original with a fetch address, holding the key, and not the
+// destination itself. Lowest slot wins for determinism.
+func (rt *RT) forwardSourceLocked(k CacheKey, not *workerState) *workerState {
+	if rt.cfg.noForward {
+		return nil
+	}
+	for _, p := range rt.workers {
+		if p != not && !p.dead && p.fetchAddr != "" && p.mir.has(k) {
+			return p
+		}
+	}
+	return nil
 }
 
 // transmit writes dispatched frames outside the coordinator lock; a send
@@ -464,7 +703,7 @@ func (rt *RT) transmit(sends []send) {
 	for _, s := range sends {
 		err := s.w.conn.send(s.f)
 		if err != nil {
-			rt.workerLost(s.w, fmt.Errorf("send: %w", err))
+			rt.workerLost(s.w, s.gen, fmt.Errorf("send: %w", err))
 			continue
 		}
 		if s.kill {
@@ -475,40 +714,91 @@ func (rt *RT) transmit(sends []send) {
 
 // finishLocked retires a task through the dependence tracker: newly
 // released dependents join the ready queue (the caller's dispatchLocked
-// loop picks them up) and taskwaiters are woken. Held lock: rt.mu.
+// loop picks them up) and taskwaiters are woken. A dependent that was
+// speculatively dispatched as a chain link is already on a worker, so it
+// is filtered out here instead of re-queued. Held lock: rt.mu.
 func (rt *RT) finishLocked(t *core.Task, err error) {
 	delete(rt.info, t)
 	newly := rt.g.Finish(t, err)
-	rt.ready = append(rt.ready, newly...)
+	for _, n := range newly {
+		if rt.chained[n] {
+			delete(rt.chained, n)
+			continue
+		}
+		rt.ready = append(rt.ready, n)
+	}
 	rt.cond.Broadcast()
 }
 
-// reader is the per-worker receive loop (one goroutine per worker).
-func (rt *RT) reader(w *workerState) {
+// reader is the per-connection receive loop (one goroutine per admitted
+// worker connection). gen pins the connection generation: after a rejoin
+// replaces the connection, this reader's errors are stale and ignored.
+func (rt *RT) reader(w *workerState, gen int) {
+	defer rt.readers.Done()
+	c := w.conn
 	for {
-		f, err := ReadFrame(w.conn.Conn)
+		f, err := ReadFrame(c.Conn)
 		if err != nil {
-			rt.workerLost(w, err)
+			rt.workerLost(w, gen, err)
 			return
 		}
-		if f.Done == nil {
-			rt.workerLost(w, fmt.Errorf("unexpected frame from worker"))
+		switch {
+		case f.Done != nil:
+			rt.handleDone(w, gen, f.Done)
+		case f.Fetch != nil:
+			rt.handleFetch(w, gen, c, f.Fetch)
+		default:
+			rt.workerLost(w, gen, fmt.Errorf("unexpected frame from worker"))
 			return
 		}
-		rt.handleDone(w, f.Done)
 	}
 }
 
-// handleDone imports a completed task's outputs and retires it.
-func (rt *RT) handleDone(w *workerState, d *DoneMsg) {
+// handleFetch serves a worker's relay-fallback request from the payloads
+// stashed with its in-flight tasks. The worker only asks mid-task, and
+// the coordinator never dispatches to a busy worker, so the Data answer
+// is the next frame the worker reads.
+func (rt *RT) handleFetch(w *workerState, gen int, c *conn, m *FetchMsg) {
+	k := CacheKey{Datum: m.Datum, Ver: m.Ver}
+	var b []byte
 	rt.mu.Lock()
-	inf := w.busy
-	if inf == nil || inf.t.ID != d.ID {
+	if w.gen == gen {
+		for _, inf := range w.queue {
+			if bb, ok := inf.fwd[k]; ok {
+				b = bb
+				break
+			}
+		}
+		if b != nil {
+			// The forward fell back to a relay: these bytes did go through
+			// the coordinator after all.
+			rt.stats.BytesToWorkers += int64(len(b))
+			w.wstats.BytesIn += int64(len(b))
+		}
+	}
+	rt.mu.Unlock()
+	if err := c.send(&Frame{Data: &DataMsg{Datum: m.Datum, Ver: m.Ver, Found: b != nil, Bytes: b}}); err != nil {
+		rt.workerLost(w, gen, err)
+	}
+}
+
+// handleDone imports a completed task's outputs and retires it. For a
+// chain, completions arrive in link order; a failed link means the worker
+// aborted the rest of the chain, so the remaining queued links drain as
+// skipped (each depends on the failure through the chain's edges).
+func (rt *RT) handleDone(w *workerState, gen int, d *DoneMsg) {
+	rt.mu.Lock()
+	if w.gen != gen || w.dead {
 		rt.mu.Unlock()
-		rt.workerLost(w, fmt.Errorf("completion for unknown task %d", d.ID))
 		return
 	}
-	w.busy = nil
+	if len(w.queue) == 0 || w.queue[0].t.ID != d.ID {
+		rt.mu.Unlock()
+		rt.workerLost(w, gen, fmt.Errorf("completion for unexpected task %d", d.ID))
+		return
+	}
+	inf := w.queue[0]
+	w.queue = w.queue[1:]
 	var err error
 	if d.Err != "" {
 		err = &RemoteError{Worker: w.slot, Kernel: inf.info.kernel, Msg: d.Err, Panic: d.Panic}
@@ -531,23 +821,43 @@ func (rt *RT) handleDone(w *workerState, d *DoneMsg) {
 				rt.rec.Emit(w.slot, obs.EvXfer, inf.t.ID, uint64(n))
 			}
 		}
+		rt.stats.BytesForwarded += d.FetchedBytes
+		rt.stats.ForwardFallbacks += d.FetchFallbacks
 	}
 	if rt.rec != nil {
 		rt.rec.Emit(w.slot, obs.EvEnd, inf.t.ID, 0)
 	}
 	rt.finishLocked(inf.t, err)
+	if err != nil && len(w.queue) > 0 {
+		// Chain abort: the worker sends nothing for the links after a
+		// failure. Each remaining link's upstream error was just set by its
+		// predecessor's Finish, so drain them as skipped right now.
+		rest := w.queue
+		w.queue = nil
+		for _, linf := range rest {
+			linf.t.MarkSkipped()
+			rt.g.CountSkipped()
+			rt.stats.Skipped++
+			if rt.rec != nil {
+				rt.rec.Emit(w.slot, obs.EvSkip, linf.t.ID, 0)
+				rt.rec.Emit(w.slot, obs.EvEnd, linf.t.ID, 0)
+			}
+			rt.finishLocked(linf.t, &SkipError{Cause: linf.t.Upstream()})
+		}
+	}
 	sends := rt.dispatchLocked()
 	rt.mu.Unlock()
 	rt.transmit(sends)
 }
 
-// workerLost marks a worker dead, fails its in-flight task with
+// workerLost marks a worker dead, fails its in-flight tasks with
 // WorkerLost, and lets everything else keep running. Crash confinement
 // falls out of the core graph: the failure propagates only along the lost
-// tasks' dependence edges.
-func (rt *RT) workerLost(w *workerState, cause error) {
+// tasks' dependence edges. With RespawnLostWorkers a replacement process
+// is spawned; it rejoins through the rendezvous with a cold cache.
+func (rt *RT) workerLost(w *workerState, gen int, cause error) {
 	rt.mu.Lock()
-	if w.dead || rt.closed {
+	if w.dead || rt.closed || w.gen != gen {
 		rt.mu.Unlock()
 		return
 	}
@@ -556,13 +866,79 @@ func (rt *RT) workerLost(w *workerState, cause error) {
 	rt.stats.WorkersLost++
 	w.conn.Close()
 	w.mir = newMirror(rt.cfg.cacheBytes) // its cache died with it
-	if inf := w.busy; inf != nil {
-		w.busy = nil
+	w.fetchAddr = ""
+	queue := w.queue
+	w.queue = nil
+	for _, inf := range queue {
 		rt.stats.Failed++
 		rt.finishLocked(inf.t, &WorkerLost{Worker: w.slot, Cause: cause})
 	}
+	if rt.cfg.respawn {
+		if cmd, err := spawnWorker(rt.cfg.transport, rt.addr, w.slot, rt.secret, rt.cfg.slowExit); err == nil {
+			w.cmd = cmd
+			rt.cmds = append(rt.cmds, cmd)
+			rt.pendingRejoins++
+			// If the replacement never authenticates, stop holding the
+			// ready queue for it: ErrNoWorkers beats a hang.
+			time.AfterFunc(rt.cfg.hsTimeout, func() {
+				rt.mu.Lock()
+				if !rt.closed && w.dead && rt.pendingRejoins > 0 {
+					rt.pendingRejoins--
+					sends := rt.dispatchLocked()
+					rt.mu.Unlock()
+					rt.transmit(sends)
+					return
+				}
+				rt.mu.Unlock()
+			})
+		}
+	}
 	sends := rt.dispatchLocked()
 	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.transmit(sends)
+}
+
+// rejoinLoop re-admits workers for dead slots for the rest of the run:
+// respawned replacements and externally restarted workers both arrive
+// here through the same authenticated rendezvous as the initial set.
+func (rt *RT) rejoinLoop(admitCh <-chan admitted) {
+	for {
+		select {
+		case a := <-admitCh:
+			rt.rejoin(a)
+		case <-rt.stopCh:
+			return
+		}
+	}
+}
+
+// rejoin re-admits one authenticated connection claiming a dead slot. The
+// slot restarts with a cold cache: a fresh mirror (nothing assumed
+// resident) and a bumped connection generation so stale readers of the
+// old connection cannot touch it. Placement sees it as idle immediately.
+func (rt *RT) rejoin(a admitted) {
+	rt.mu.Lock()
+	slot := a.hello.Worker
+	if rt.closed || slot < 0 || slot >= len(rt.workers) || !rt.workers[slot].dead {
+		rt.mu.Unlock()
+		a.conn.Close()
+		return
+	}
+	w := rt.workers[slot]
+	w.conn = a.conn
+	w.gen++
+	w.dead = false
+	w.mir = newMirror(rt.cfg.cacheBytes)
+	w.fetchAddr = a.hello.FetchAddr
+	w.queue = nil
+	rt.stats.Rejoins++
+	if rt.pendingRejoins > 0 {
+		rt.pendingRejoins--
+	}
+	rt.readers.Add(1)
+	go rt.reader(w, w.gen)
+	sends := rt.dispatchLocked()
 	rt.mu.Unlock()
 	rt.transmit(sends)
 }
@@ -580,70 +956,106 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-
-	l, dir, err := listenSocket()
-	if err != nil {
-		return Stats{}, err
+	if cfg.transport == "" {
+		cfg.transport = TransportUnix
 	}
-	defer os.RemoveAll(dir)
-	defer l.Close()
-
-	socket := l.Addr().String()
-	cmds := make([]*exec.Cmd, 0, workers)
-	defer func() {
-		for _, c := range cmds {
-			c.Process.Kill()
-			c.Wait()
-		}
-	}()
-	for i := 0; i < workers; i++ {
-		cmd, err := spawnWorker(socket, i)
-		if err != nil {
+	if cfg.hsTimeout <= 0 {
+		cfg.hsTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.exitKill <= 0 {
+		cfg.exitKill = cfg.hsTimeout
+	}
+	if cfg.chainLimit == 0 {
+		cfg.chainLimit = DefaultChainLimit
+	}
+	secret := cfg.secret
+	if secret == nil {
+		var err error
+		if secret, err = newSecret(); err != nil {
 			return Stats{}, err
 		}
-		cmds = append(cmds, cmd)
 	}
-	conns, err := acceptWorkers(l, workers)
+
+	l, addr, cleanup, err := listenRendezvous(cfg.transport)
 	if err != nil {
 		return Stats{}, err
 	}
+	defer cleanup()
+	defer l.Close()
 
 	g := core.NewGraph()
 	g.ConfigureRenaming(core.Renaming{Enabled: true, MaxVersions: cfg.renameCap})
 	rt := &RT{
-		g:    g,
-		ctx:  &core.Context{},
-		cfg:  cfg,
-		rec:  cfg.rec,
-		info: make(map[*core.Task]*taskInfo),
+		g:       g,
+		ctx:     &core.Context{},
+		cfg:     cfg,
+		rec:     cfg.rec,
+		secret:  secret,
+		addr:    addr,
+		stopCh:  make(chan struct{}),
+		info:    make(map[*core.Task]*taskInfo),
+		chained: make(map[*core.Task]bool),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	rt.stats.Workers = workers
+
+	// Reap whatever worker processes are still tracked if we bail out on
+	// any path below; the normal teardown empties rt.cmds first.
+	defer func() {
+		rt.mu.Lock()
+		leftover := rt.cmds
+		rt.cmds = nil
+		rt.mu.Unlock()
+		for _, c := range leftover {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+
+	admitCh := make(chan admitted, workers)
+	go acceptLoop(l, secret, cfg.hsTimeout, admitCh, rt.stopCh)
+	defer close(rt.stopCh)
+
+	for i := 0; i < workers; i++ {
+		cmd, err := spawnWorker(cfg.transport, addr, i, secret, cfg.slowExit)
+		if err != nil {
+			return Stats{}, err
+		}
+		rt.cmds = append(rt.cmds, cmd)
+	}
+	adm, err := collectWorkers(admitCh, workers, cfg.hsTimeout)
+	if err != nil {
+		return Stats{}, err
+	}
+
 	if rt.rec != nil {
 		epoch := time.Now()
 		rt.clock = func() int64 { return time.Since(epoch).Nanoseconds() }
 		rt.rec.Attach(workers, "dist", false, rt.clock)
 		g.SetProbe(rt.rec)
 	}
-	var readers sync.WaitGroup
+	rt.mu.Lock()
+	cmds := rt.cmds
+	rt.mu.Unlock()
 	for i := 0; i < workers; i++ {
-		w := &workerState{slot: i, cmd: cmds[i], conn: conns[i], mir: newMirror(cfg.cacheBytes)}
+		w := &workerState{slot: i, cmd: cmds[i], conn: adm[i].conn,
+			gen: 1, mir: newMirror(cfg.cacheBytes), fetchAddr: adm[i].hello.FetchAddr}
 		rt.workers = append(rt.workers, w)
 	}
 	for _, w := range rt.workers {
-		readers.Add(1)
-		go func(w *workerState) {
-			defer readers.Done()
-			rt.reader(w)
-		}(w)
+		rt.readers.Add(1)
+		go rt.reader(w, w.gen)
 	}
+	go rt.rejoinLoop(admitCh)
 
 	progErr := program(rt)
 	twErr := rt.Taskwait()
 
 	// Graceful drain: ask live workers to exit, close connections so the
-	// reader goroutines return, and reap the processes (with a kill
-	// fallback so a wedged worker cannot hang the coordinator).
+	// reader goroutines return, and reap the processes. The kill fallback
+	// (so a wedged worker cannot hang the coordinator) fires after the
+	// configured ExitKillDelay — generous by default, because a healthy
+	// worker draining a large writeback on a loaded host is not wedged.
 	rt.mu.Lock()
 	rt.closed = true
 	live := make([]*workerState, 0, workers)
@@ -652,24 +1064,29 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 			live = append(live, w)
 		}
 	}
+	cmds = rt.cmds
+	rt.cmds = nil
 	rt.mu.Unlock()
 	for _, w := range live {
 		w.conn.send(&Frame{Shutdown: true})
 	}
-	deadline := time.AfterFunc(10*time.Second, func() {
+	deadline := time.AfterFunc(cfg.exitKill, func() {
+		rt.mu.Lock()
 		for _, c := range cmds {
-			c.Process.Kill()
+			if c.Process.Kill() == nil {
+				rt.stats.ExitKills++
+			}
 		}
+		rt.mu.Unlock()
 	})
 	for _, c := range cmds {
 		c.Wait()
 	}
 	deadline.Stop()
-	cmds = nil // already reaped; disarm the deferred killer
 	for _, w := range rt.workers {
 		w.conn.Close()
 	}
-	readers.Wait()
+	rt.readers.Wait()
 
 	rt.mu.Lock()
 	rt.stats.Graph = rt.g.Stats()

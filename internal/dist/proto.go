@@ -39,21 +39,44 @@ import (
 // before any decoding work happens.
 const MaxFrame = 256 << 20
 
-// Hello is the worker's first frame: which worker slot it was spawned as.
+// Hello is the worker's first frame on any connection: which worker slot
+// it claims, authenticated by MAC — the HMAC-SHA256 of the server's
+// Challenge nonce and the slot under the run's shared secret. A listener
+// refuses a Hello whose MAC does not verify. FetchAddr is the worker's
+// own peer-fetch listener ("net:addr"), where other workers may dial in
+// to copy cached datum versions directly (see WireRef.From).
 type Hello struct {
-	Worker int
-	PID    int
+	Worker    int
+	PID       int
+	MAC       []byte
+	FetchAddr string
+}
+
+// Challenge is the server's first frame on any inbound connection: a
+// fresh random nonce the dialing side must MAC in its Hello. Both the
+// coordinator's listener and every worker's peer-fetch listener speak it,
+// so no unauthenticated peer can submit work, claim a slot, or read
+// cached payloads.
+type Challenge struct {
+	Nonce []byte
 }
 
 // WireRef names one datum version a task observes. Bytes carries the
 // content on a cache miss; nil means the worker already holds the
 // (Datum, Ver) pair in its version cache (the coordinator mirrors every
-// worker's cache deterministically, so it knows).
+// worker's cache deterministically, so it knows). A non-empty From with
+// nil Bytes is a forwarding directive: the pair is resident on the peer
+// worker whose fetch address From names, and the worker should copy it
+// from there directly instead of having the coordinator relay the
+// payload. If the peer is gone or has since dropped the pair, the worker
+// falls back to a Fetch round-trip with the coordinator, which always
+// holds the content.
 type WireRef struct {
 	Datum uint64
 	Ver   uint64
 	Size  int64
 	Bytes []byte
+	From  string
 }
 
 // WireOut names one datum version a task produces. The worker allocates
@@ -91,24 +114,64 @@ type TaskMsg struct {
 	Evict  []CacheKey
 }
 
+// ChainMsg dispatches a whole ready sub-DAG in one frame: Tasks in
+// execution order, each link's sole unfinished predecessor being the link
+// before it. The worker executes the links locally in order, reporting a
+// DoneMsg per link; a failing link aborts the remainder (the coordinator
+// resolves the unexecuted links as skipped — they depend on the failure).
+// Only the first link carries an Evict list: the eviction plan is
+// computed once against the whole chain's pinned set.
+type ChainMsg struct {
+	Tasks []*TaskMsg
+}
+
+// FetchMsg asks the receiving side for the bytes of one cached datum
+// version. Worker→coordinator it is the relay fallback of a forwarding
+// directive whose peer went away; worker→worker (on a peer-fetch
+// connection) it is the forward itself.
+type FetchMsg struct {
+	Datum uint64
+	Ver   uint64
+}
+
+// DataMsg answers a FetchMsg. Found is false when the responder no longer
+// holds the pair (a peer that evicted it between the coordinator's plan
+// and the fetch); the coordinator's relay always finds it.
+type DataMsg struct {
+	Datum uint64
+	Ver   uint64
+	Found bool
+	Bytes []byte
+}
+
 // DoneMsg reports one task's completion. Outputs carries the produced
 // bytes, one per TaskMsg.Writes entry, empty when Err is set (a failed
 // writer's output is undefined and never leaves the worker — the wire
-// form of the poisoned-writer rule).
+// form of the poisoned-writer rule). FetchedBytes and Fetches account the
+// payload bytes this task's reads pulled directly from peer workers;
+// FetchFallbacks counts forwarding directives that fell back to a
+// coordinator relay.
 type DoneMsg struct {
-	ID      uint64
-	Err     string
-	Panic   bool
-	Outputs [][]byte
+	ID             uint64
+	Err            string
+	Panic          bool
+	Outputs        [][]byte
+	Fetches        int
+	FetchedBytes   int64
+	FetchFallbacks int
 }
 
-// Frame is the single message envelope both directions use: exactly one
+// Frame is the single message envelope every connection uses: exactly one
 // field is set (Shutdown is the coordinator's drain order).
 type Frame struct {
-	Hello    *Hello
-	Task     *TaskMsg
-	Done     *DoneMsg
-	Shutdown bool
+	Hello     *Hello
+	Challenge *Challenge
+	Task      *TaskMsg
+	Chain     *ChainMsg
+	Fetch     *FetchMsg
+	Data      *DataMsg
+	Done      *DoneMsg
+	Shutdown  bool
 }
 
 // WriteFrame encodes f as one length-prefixed gob frame: a 4-byte

@@ -10,7 +10,8 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []*Frame{
-		{Hello: &Hello{Worker: 3, PID: 4242}},
+		{Hello: &Hello{Worker: 3, PID: 4242, MAC: []byte{0xa, 0xb}, FetchAddr: "unix:/tmp/w3.sock"}},
+		{Challenge: &Challenge{Nonce: []byte{1, 2, 3, 4}}},
 		{Task: &TaskMsg{
 			ID:     7,
 			Kernel: "rotate",
@@ -20,7 +21,13 @@ func TestFrameRoundTrip(t *testing.T) {
 			Writes: []WireOut{{Datum: 4, Ver: 5, Size: 2, SeedFrom: 1}},
 			Evict:  []CacheKey{{Datum: 9, Ver: 9}},
 		}},
-		{Done: &DoneMsg{ID: 7, Outputs: [][]byte{{5, 5}}}},
+		{Chain: &ChainMsg{Tasks: []*TaskMsg{
+			{ID: 10, Kernel: "a", Evict: []CacheKey{{Datum: 1, Ver: 1}}},
+			{ID: 11, Kernel: "b", Reads: []WireRef{{Datum: 2, Ver: 3, Size: 1}}},
+		}}},
+		{Fetch: &FetchMsg{Datum: 5, Ver: 6}},
+		{Data: &DataMsg{Datum: 5, Ver: 6, Found: true, Bytes: []byte{1}}},
+		{Done: &DoneMsg{ID: 7, Outputs: [][]byte{{5, 5}}, Fetches: 1, FetchedBytes: 2, FetchFallbacks: 1}},
 		{Done: &DoneMsg{ID: 8, Err: "kernel exploded", Panic: true}},
 		{Shutdown: true},
 	}
@@ -37,8 +44,29 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		switch {
 		case want.Hello != nil:
-			if got.Hello == nil || *got.Hello != *want.Hello {
+			g := got.Hello
+			if g == nil || g.Worker != want.Hello.Worker || g.PID != want.Hello.PID ||
+				!bytes.Equal(g.MAC, want.Hello.MAC) || g.FetchAddr != want.Hello.FetchAddr {
 				t.Fatalf("frame %d: hello mismatch: %+v", i, got.Hello)
+			}
+		case want.Challenge != nil:
+			if got.Challenge == nil || !bytes.Equal(got.Challenge.Nonce, want.Challenge.Nonce) {
+				t.Fatalf("frame %d: challenge mismatch: %+v", i, got.Challenge)
+			}
+		case want.Chain != nil:
+			g := got.Chain
+			if g == nil || len(g.Tasks) != 2 || g.Tasks[0].ID != 10 || g.Tasks[1].ID != 11 ||
+				len(g.Tasks[0].Evict) != 1 || len(g.Tasks[1].Reads) != 1 {
+				t.Fatalf("frame %d: chain mismatch: %+v", i, g)
+			}
+		case want.Fetch != nil:
+			if got.Fetch == nil || *got.Fetch != *want.Fetch {
+				t.Fatalf("frame %d: fetch mismatch: %+v", i, got.Fetch)
+			}
+		case want.Data != nil:
+			g := got.Data
+			if g == nil || g.Datum != 5 || g.Ver != 6 || !g.Found || !bytes.Equal(g.Bytes, []byte{1}) {
+				t.Fatalf("frame %d: data mismatch: %+v", i, g)
 			}
 		case want.Task != nil:
 			g := got.Task
@@ -51,7 +79,9 @@ func TestFrameRoundTrip(t *testing.T) {
 			}
 		case want.Done != nil:
 			g := got.Done
-			if g == nil || g.ID != want.Done.ID || g.Err != want.Done.Err || g.Panic != want.Done.Panic {
+			if g == nil || g.ID != want.Done.ID || g.Err != want.Done.Err || g.Panic != want.Done.Panic ||
+				g.Fetches != want.Done.Fetches || g.FetchedBytes != want.Done.FetchedBytes ||
+				g.FetchFallbacks != want.Done.FetchFallbacks {
 				t.Fatalf("frame %d: done mismatch: %+v", i, g)
 			}
 		case want.Shutdown:
@@ -96,10 +126,20 @@ func TestReadFrameRejectsBadLengths(t *testing.T) {
 // frame must itself succeed (the codec never produces unencodable values).
 func FuzzFrameDecode(f *testing.F) {
 	var seed bytes.Buffer
-	WriteFrame(&seed, &Frame{Hello: &Hello{Worker: 1, PID: 2}})
+	WriteFrame(&seed, &Frame{Hello: &Hello{Worker: 1, PID: 2, MAC: []byte{3}, FetchAddr: "tcp:127.0.0.1:1"}})
 	WriteFrame(&seed, &Frame{Task: &TaskMsg{ID: 1, Kernel: "k", Reads: []WireRef{{Datum: 1, Ver: 1, Size: 1, Bytes: []byte{0}}}}})
 	WriteFrame(&seed, &Frame{Shutdown: true})
 	f.Add(seed.Bytes())
+	var seed2 bytes.Buffer
+	WriteFrame(&seed2, &Frame{Challenge: &Challenge{Nonce: []byte{9, 9}}})
+	WriteFrame(&seed2, &Frame{Chain: &ChainMsg{Tasks: []*TaskMsg{
+		{ID: 2, Kernel: "c", Reads: []WireRef{{Datum: 1, Ver: 1, Size: 1, From: "unix:/x"}}},
+		{ID: 3, Kernel: "d"},
+	}}})
+	WriteFrame(&seed2, &Frame{Fetch: &FetchMsg{Datum: 1, Ver: 2}})
+	WriteFrame(&seed2, &Frame{Data: &DataMsg{Datum: 1, Ver: 2, Found: true, Bytes: []byte{7}}})
+	WriteFrame(&seed2, &Frame{Done: &DoneMsg{ID: 2, Fetches: 1, FetchedBytes: 1, FetchFallbacks: 1}})
+	f.Add(seed2.Bytes())
 	f.Add([]byte{0, 0, 0, 1, 0xff})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {

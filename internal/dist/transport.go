@@ -1,29 +1,42 @@
 package dist
 
 import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Child processes find their way into the worker loop through these two
-// environment variables: the socket to dial and the worker slot to claim.
+// Child processes find their way into the worker loop through these
+// environment variables: the transport and address to dial, the worker
+// slot to claim, and the run's shared secret (hex). The slow-exit
+// variable is a test-only fault hook (see withSlowExit).
 const (
-	envSocket = "OMPSS_DIST_SOCKET"
-	envWorker = "OMPSS_DIST_WORKER"
+	envNet      = "OMPSS_DIST_NET"
+	envSocket   = "OMPSS_DIST_SOCKET"
+	envWorker   = "OMPSS_DIST_WORKER"
+	envSecret   = "OMPSS_DIST_SECRET"
+	envSlowExit = "OMPSS_DIST_SLOW_EXIT_MS"
 )
 
-// handshakeTimeout bounds how long the coordinator waits for all spawned
-// workers to dial back and identify themselves.
-const handshakeTimeout = 30 * time.Second
+// DefaultHandshakeTimeout bounds how long the coordinator waits for all
+// spawned workers to dial back and authenticate, when HandshakeTimeout is
+// not given. It also seeds the default exit-kill deadline.
+const DefaultHandshakeTimeout = 30 * time.Second
 
-// conn wraps one worker connection with a send mutex: the dispatch path
-// and the shutdown path both write frames, and frames must not interleave.
+// conn wraps one worker connection with a send mutex: the dispatch path,
+// the relay-fallback path, and the shutdown path all write frames, and
+// frames must not interleave.
 type conn struct {
 	net.Conn
 	sendMu sync.Mutex
@@ -35,36 +48,132 @@ func (c *conn) send(f *Frame) error {
 	return WriteFrame(c.Conn, f)
 }
 
-// listenSocket creates the rendezvous Unix socket in a fresh temp
-// directory (socket paths have a low length limit, so the directory name
-// is kept short).
-func listenSocket() (net.Listener, string, error) {
-	dir, err := os.MkdirTemp("", "ompss-dist-")
-	if err != nil {
-		return nil, "", err
+// newSecret draws a fresh 32-byte shared secret for one run.
+func newSecret() ([]byte, error) {
+	s := make([]byte, 32)
+	if _, err := rand.Read(s); err != nil {
+		return nil, fmt.Errorf("dist: secret: %w", err)
 	}
-	path := filepath.Join(dir, "coord.sock")
-	l, err := net.Listen("unix", path)
-	if err != nil {
-		os.RemoveAll(dir)
-		return nil, "", fmt.Errorf("dist: listen %s: %w", path, err)
+	return s, nil
+}
+
+// computeMAC is the handshake response: HMAC-SHA256 over the challenge
+// nonce and the claimed worker slot under the run's shared secret.
+func computeMAC(secret, nonce []byte, slot int) []byte {
+	h := hmac.New(sha256.New, secret)
+	h.Write(nonce)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(slot)))
+	h.Write(b[:])
+	return h.Sum(nil)
+}
+
+// challengeConn runs the server half of the connect handshake: send a
+// fresh nonce, read the dialer's Hello within the deadline, and verify
+// its MAC binds the claimed slot to this connection's nonce. The caller
+// owns closing the connection on error.
+func challengeConn(c net.Conn, secret []byte, timeout time.Duration) (*Hello, error) {
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
 	}
-	return l, dir, nil
+	c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	if err := WriteFrame(c, &Frame{Challenge: &Challenge{Nonce: nonce}}); err != nil {
+		return nil, fmt.Errorf("send challenge: %w", err)
+	}
+	f, err := ReadFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("read hello: %w", err)
+	}
+	if f.Hello == nil {
+		return nil, fmt.Errorf("first frame is not Hello")
+	}
+	if !hmac.Equal(f.Hello.MAC, computeMAC(secret, nonce, f.Hello.Worker)) {
+		return nil, fmt.Errorf("bad MAC for claimed slot %d", f.Hello.Worker)
+	}
+	return f.Hello, nil
+}
+
+// answerChallenge runs the dialer half: read the server's nonce and send
+// the authenticated Hello.
+func answerChallenge(c net.Conn, secret []byte, slot int, fetchAddr string, timeout time.Duration) error {
+	c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	f, err := ReadFrame(c)
+	if err != nil {
+		return fmt.Errorf("read challenge: %w", err)
+	}
+	if f.Challenge == nil {
+		return fmt.Errorf("first frame is not Challenge")
+	}
+	return WriteFrame(c, &Frame{Hello: &Hello{
+		Worker:    slot,
+		PID:       os.Getpid(),
+		MAC:       computeMAC(secret, f.Challenge.Nonce, slot),
+		FetchAddr: fetchAddr,
+	}})
+}
+
+// listenRendezvous creates the coordinator's rendezvous listener on the
+// chosen transport. For the Unix transport the socket lives in a fresh
+// short-named temp directory (socket paths have a low length limit);
+// cleanup removes it. For TCP it is a loopback port. addr is what workers
+// dial ("net:address" form via dialAddr).
+func listenRendezvous(transport string) (l net.Listener, addr string, cleanup func(), err error) {
+	switch transport {
+	case TransportUnix:
+		dir, err := os.MkdirTemp("", "ompss-dist-")
+		if err != nil {
+			return nil, "", nil, err
+		}
+		path := filepath.Join(dir, "coord.sock")
+		l, err := net.Listen("unix", path)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", nil, fmt.Errorf("dist: listen %s: %w", path, err)
+		}
+		return l, path, func() { os.RemoveAll(dir) }, nil
+	case TransportTCP:
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("dist: listen tcp loopback: %w", err)
+		}
+		return l, l.Addr().String(), func() {}, nil
+	}
+	return nil, "", nil, fmt.Errorf("dist: unknown transport %q", transport)
+}
+
+// dialAddr splits a "net:addr" fetch/rendezvous address. A bare address
+// (no prefix) is a Unix socket path for compatibility.
+func dialAddr(s string) (network, addr string) {
+	if rest, ok := strings.CutPrefix(s, "tcp:"); ok {
+		return "tcp", rest
+	}
+	if rest, ok := strings.CutPrefix(s, "unix:"); ok {
+		return "unix", rest
+	}
+	return "unix", s
 }
 
 // spawnWorker re-executes the current binary as worker `slot`. MaybeWorker
 // in the child (called before main proper does anything else) sees the
 // environment and diverts into the worker loop instead of running main.
-func spawnWorker(socket string, slot int) (*exec.Cmd, error) {
+func spawnWorker(transport, addr string, slot int, secret []byte, slowExit time.Duration) (*exec.Cmd, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("dist: locate own binary: %w", err)
 	}
 	cmd := exec.Command(self)
 	cmd.Env = append(os.Environ(),
-		envSocket+"="+socket,
+		envNet+"="+transport,
+		envSocket+"="+addr,
 		envWorker+"="+strconv.Itoa(slot),
+		envSecret+"="+hex.EncodeToString(secret),
 	)
+	if slowExit > 0 {
+		cmd.Env = append(cmd.Env, envSlowExit+"="+strconv.Itoa(int(slowExit.Milliseconds())))
+	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("dist: spawn worker %d: %w", slot, err)
@@ -72,36 +181,68 @@ func spawnWorker(socket string, slot int) (*exec.Cmd, error) {
 	return cmd, nil
 }
 
-// acceptWorkers collects n handshakes: each worker dials in and sends a
-// Hello naming its slot. Returns the connections indexed by slot.
-func acceptWorkers(l net.Listener, n int) ([]*conn, error) {
-	if ul, ok := l.(*net.UnixListener); ok {
-		ul.SetDeadline(time.Now().Add(handshakeTimeout))
-		defer ul.SetDeadline(time.Time{})
-	}
-	conns := make([]*conn, n)
-	for i := 0; i < n; i++ {
+// admitted is one worker connection that survived the challenge.
+type admitted struct {
+	conn  *conn
+	hello *Hello
+}
+
+// acceptLoop is the rendezvous listener's persistent accept loop: it runs
+// for the whole life of the run (not just the initial handshake window),
+// which is what lets a restarted worker rejoin. Each accepted connection
+// is challenged on its own goroutine, so a peer that connects but never
+// completes the handshake (or fails authentication) wastes only its own
+// deadline and never blocks a legitimate worker behind it — it is closed
+// and dropped without ever reaching the coordinator. The loop exits when
+// the listener closes; stop bounds the handshake goroutines at teardown.
+func acceptLoop(l net.Listener, secret []byte, hsTimeout time.Duration, admit chan<- admitted, stop <-chan struct{}) {
+	for {
 		c, err := l.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("dist: handshake: %w", err)
+			return
 		}
-		c.SetReadDeadline(time.Now().Add(handshakeTimeout))
-		f, err := ReadFrame(c)
-		c.SetReadDeadline(time.Time{})
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("dist: handshake read: %w", err)
-		}
-		if f.Hello == nil {
-			c.Close()
-			return nil, fmt.Errorf("dist: handshake: first frame is not Hello")
-		}
-		slot := f.Hello.Worker
-		if slot < 0 || slot >= n || conns[slot] != nil {
-			c.Close()
-			return nil, fmt.Errorf("dist: handshake: bad or duplicate worker slot %d", slot)
-		}
-		conns[slot] = &conn{Conn: c}
+		go func(c net.Conn) {
+			h, err := challengeConn(c, secret, hsTimeout)
+			if err != nil {
+				c.Close() // a bad peer is refused, never admitted
+				return
+			}
+			select {
+			case admit <- admitted{conn: &conn{Conn: c}, hello: h}:
+			case <-stop:
+				c.Close()
+			}
+		}(c)
 	}
-	return conns, nil
+}
+
+// collectWorkers gathers the initial n authenticated handshakes from the
+// accept loop within timeout, indexed by claimed slot. A duplicate or
+// out-of-range slot claim is closed without consuming anything.
+func collectWorkers(admit <-chan admitted, n int, timeout time.Duration) ([]admitted, error) {
+	out := make([]admitted, n)
+	got := 0
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for got < n {
+		select {
+		case a := <-admit:
+			slot := a.hello.Worker
+			if slot < 0 || slot >= n || out[slot].conn != nil {
+				a.conn.Close()
+				continue
+			}
+			out[slot] = a
+			got++
+		case <-timer.C:
+			for _, a := range out {
+				if a.conn != nil {
+					a.conn.Close()
+				}
+			}
+			return nil, fmt.Errorf("dist: handshake: %d of %d workers authenticated within %v",
+				got, n, timeout)
+		}
+	}
+	return out, nil
 }

@@ -1,13 +1,16 @@
 package dist
 
 import (
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // KernelFunc is a distributed task body. args is the opaque argument blob
@@ -55,8 +58,8 @@ func lookupKernel(name string) (KernelFunc, bool) {
 // coordinator it connects back, serves tasks until shutdown, and exits
 // the process.
 func MaybeWorker() {
-	socket := os.Getenv(envSocket)
-	if socket == "" {
+	addr := os.Getenv(envSocket)
+	if addr == "" {
 		return
 	}
 	slot, err := strconv.Atoi(os.Getenv(envWorker))
@@ -64,23 +67,68 @@ func MaybeWorker() {
 		fmt.Fprintf(os.Stderr, "dist worker: bad %s: %v\n", envWorker, err)
 		os.Exit(2)
 	}
-	if err := workerMain(socket, slot); err != nil {
+	secret, err := hex.DecodeString(os.Getenv(envSecret))
+	if err != nil || len(secret) == 0 {
+		fmt.Fprintf(os.Stderr, "dist worker %d: bad %s\n", slot, envSecret)
+		os.Exit(2)
+	}
+	network := os.Getenv(envNet)
+	if network == "" {
+		network = TransportUnix
+	}
+	if err := workerMain(network, addr, slot, secret); err != nil {
 		fmt.Fprintf(os.Stderr, "dist worker %d: %v\n", slot, err)
 		os.Exit(1)
+	}
+	if ms, _ := strconv.Atoi(os.Getenv(envSlowExit)); ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond) // test hook: slow drain
 	}
 	os.Exit(0)
 }
 
-func workerMain(socket string, slot int) error {
-	c, err := net.Dial("unix", socket)
+// wproc is one worker process's state: the coordinator connection, the
+// version cache, the peer-fetch server, and pooled connections to peers.
+type wproc struct {
+	slot   int
+	secret []byte
+	c      net.Conn
+	cache  *wcache
+
+	peerMu sync.Mutex
+	peers  map[string]net.Conn // fetch address -> authenticated connection
+
+	// per-task fetch accounting, reported on the next DoneMsg
+	fetches        int
+	fetchedBytes   int64
+	fetchFallbacks int
+}
+
+func workerMain(network, addr string, slot int, secret []byte) error {
+	w := &wproc{
+		slot:   slot,
+		secret: secret,
+		cache:  newWCache(),
+		peers:  make(map[string]net.Conn),
+	}
+
+	// Peer-fetch server: other workers dial here to copy cached datum
+	// versions directly instead of round-tripping through the coordinator.
+	fetchAddr, stopFetch, err := w.serveFetch(network)
+	if err != nil {
+		return fmt.Errorf("fetch listener: %w", err)
+	}
+	defer stopFetch()
+
+	c, err := net.Dial(network, addr)
 	if err != nil {
 		return fmt.Errorf("dial coordinator: %w", err)
 	}
 	defer c.Close()
-	if err := WriteFrame(c, &Frame{Hello: &Hello{Worker: slot, PID: os.Getpid()}}); err != nil {
-		return fmt.Errorf("hello: %w", err)
+	w.c = c
+	if err := answerChallenge(c, secret, slot, fetchAddr, DefaultHandshakeTimeout); err != nil {
+		return fmt.Errorf("handshake: %w", err)
 	}
-	cache := newWCache()
+
 	for {
 		f, err := ReadFrame(c)
 		if err != nil {
@@ -93,9 +141,22 @@ func workerMain(socket string, slot int) error {
 		case f.Shutdown:
 			return nil
 		case f.Task != nil:
-			done := execTask(cache, f.Task)
-			if err := WriteFrame(c, &Frame{Done: done}); err != nil {
-				return fmt.Errorf("send done: %w", err)
+			if err := w.execAndReport(f.Task); err != nil {
+				return err
+			}
+		case f.Chain != nil:
+			// Execute the pushed sub-DAG locally, one Done per link. A
+			// failing link aborts the remainder: every later link depends
+			// on it, and the coordinator resolves them as skipped without
+			// any further frames.
+			for _, msg := range f.Chain.Tasks {
+				failed, err := w.execAndReportOutcome(msg)
+				if err != nil {
+					return err
+				}
+				if failed {
+					break
+				}
 			}
 		default:
 			return fmt.Errorf("unexpected frame from coordinator")
@@ -103,31 +164,56 @@ func workerMain(socket string, slot int) error {
 	}
 }
 
+func (w *wproc) execAndReport(msg *TaskMsg) error {
+	_, err := w.execAndReportOutcome(msg)
+	return err
+}
+
+func (w *wproc) execAndReportOutcome(msg *TaskMsg) (failed bool, err error) {
+	done := w.execTask(msg)
+	if err := WriteFrame(w.c, &Frame{Done: done}); err != nil {
+		return false, fmt.Errorf("send done: %w", err)
+	}
+	return done.Err != "", nil
+}
+
 // execTask runs one task message against the local cache and returns its
 // completion. All failure modes — cache protocol violations, unknown
 // kernels, kernel errors, kernel panics — are reported in DoneMsg.Err so
 // the coordinator can poison the writer and skip dependents; only
 // transport failures kill the worker.
-func execTask(cache *wcache, msg *TaskMsg) *DoneMsg {
+func (w *wproc) execTask(msg *TaskMsg) *DoneMsg {
 	done := &DoneMsg{ID: msg.ID}
+	w.fetches, w.fetchedBytes, w.fetchFallbacks = 0, 0, 0
 	// Coordinator-directed eviction first: the Evict list was computed
 	// against the cache state before this task's inserts.
-	cache.applyEvict(msg.Evict)
+	w.cache.applyEvict(msg.Evict)
 
-	// Resolve the read set: shipped bytes enter the cache, nil Bytes must
-	// already be resident (the coordinator's mirror said so).
+	// Resolve the read set: shipped bytes enter the cache, forwarding
+	// directives are fetched from the named peer (coordinator relay as
+	// fallback), and plain nil-Bytes refs must already be resident (the
+	// coordinator's mirror said so).
 	reads := make([][]byte, len(msg.Reads))
 	for i, r := range msg.Reads {
 		k := CacheKey{Datum: r.Datum, Ver: r.Ver}
-		if r.Bytes != nil {
+		switch {
+		case r.Bytes != nil:
 			if int64(len(r.Bytes)) != r.Size {
 				done.Err = fmt.Sprintf("read %d: got %d bytes, want %d", i, len(r.Bytes), r.Size)
 				return done
 			}
-			cache.put(k, r.Bytes)
+			w.cache.put(k, r.Bytes)
 			reads[i] = r.Bytes
-		} else {
-			b, ok := cache.get(k)
+		case r.From != "":
+			b, err := w.fetchRef(r)
+			if err != nil {
+				done.Err = fmt.Sprintf("read %d: fetch (datum %d, ver %d): %v", i, r.Datum, r.Ver, err)
+				return done
+			}
+			w.cache.put(k, b)
+			reads[i] = b
+		default:
+			b, ok := w.cache.get(k)
 			if !ok {
 				done.Err = fmt.Sprintf("read %d: (datum %d, ver %d) not cached", i, r.Datum, r.Ver)
 				return done
@@ -136,16 +222,24 @@ func execTask(cache *wcache, msg *TaskMsg) *DoneMsg {
 		}
 	}
 
-	// Build the output buffers, seeding InOut ones from their copy-in.
+	// Build the output buffers, seeding InOut ones from their copy-in. A
+	// seed whose length disagrees with the declared output size is a
+	// protocol violation: a silent short copy would leave a zero tail in
+	// the seeded buffer, so the task fails loudly instead.
 	outs := make([][]byte, len(msg.Writes))
-	for i, w := range msg.Writes {
-		buf := make([]byte, w.Size)
-		if w.SeedFrom >= 0 {
-			if w.SeedFrom >= len(reads) {
-				done.Err = fmt.Sprintf("write %d: seed index %d out of range", i, w.SeedFrom)
+	for i, wo := range msg.Writes {
+		buf := make([]byte, wo.Size)
+		if wo.SeedFrom >= 0 {
+			if wo.SeedFrom >= len(reads) {
+				done.Err = fmt.Sprintf("write %d: seed index %d out of range", i, wo.SeedFrom)
 				return done
 			}
-			copy(buf, reads[w.SeedFrom])
+			seed := reads[wo.SeedFrom]
+			if int64(len(seed)) != wo.Size {
+				done.Err = fmt.Sprintf("write %d: seed is %d bytes, want %d", i, len(seed), wo.Size)
+				return done
+			}
+			copy(buf, seed)
 		}
 		outs[i] = buf
 	}
@@ -164,11 +258,160 @@ func execTask(cache *wcache, msg *TaskMsg) *DoneMsg {
 	}
 	// Success: outputs become cached versions (the coordinator's mirror
 	// inserts the same keys when it sees this Done), and ride home.
-	for i, w := range msg.Writes {
-		cache.put(CacheKey{Datum: w.Datum, Ver: w.Ver}, outs[i])
+	for i, wo := range msg.Writes {
+		w.cache.put(CacheKey{Datum: wo.Datum, Ver: wo.Ver}, outs[i])
 	}
 	done.Outputs = outs
+	done.Fetches = w.fetches
+	done.FetchedBytes = w.fetchedBytes
+	done.FetchFallbacks = w.fetchFallbacks
 	return done
+}
+
+// fetchRef resolves a forwarding directive: copy the pair from the peer
+// named in the ref, falling back to a coordinator relay when the peer is
+// unreachable or no longer holds it. The coordinator always holds the
+// content of any version it forwards, so the fallback cannot miss.
+func (w *wproc) fetchRef(r WireRef) ([]byte, error) {
+	if b, err := w.fetchFromPeer(r.From, CacheKey{Datum: r.Datum, Ver: r.Ver}); err == nil {
+		if int64(len(b)) != r.Size {
+			return nil, fmt.Errorf("peer sent %d bytes, want %d", len(b), r.Size)
+		}
+		w.fetches++
+		w.fetchedBytes += r.Size
+		return b, nil
+	}
+	// Relay fallback: ask the coordinator. The task loop owns the
+	// connection while a task executes, and the coordinator dispatches
+	// nothing to a busy worker, so the next frame is the Data answer.
+	w.fetchFallbacks++
+	if err := WriteFrame(w.c, &Frame{Fetch: &FetchMsg{Datum: r.Datum, Ver: r.Ver}}); err != nil {
+		return nil, fmt.Errorf("relay request: %w", err)
+	}
+	f, err := ReadFrame(w.c)
+	if err != nil {
+		return nil, fmt.Errorf("relay read: %w", err)
+	}
+	if f.Data == nil || !f.Data.Found {
+		return nil, fmt.Errorf("coordinator relay miss")
+	}
+	if int64(len(f.Data.Bytes)) != r.Size {
+		return nil, fmt.Errorf("relay sent %d bytes, want %d", len(f.Data.Bytes), r.Size)
+	}
+	return f.Data.Bytes, nil
+}
+
+// fetchFromPeer copies one cached pair from another worker's fetch
+// server, pooling one authenticated connection per peer. Any error drops
+// the pooled connection so a restarted peer gets a fresh dial.
+func (w *wproc) fetchFromPeer(fetchAddr string, k CacheKey) ([]byte, error) {
+	w.peerMu.Lock()
+	defer w.peerMu.Unlock()
+	c, ok := w.peers[fetchAddr]
+	if !ok {
+		network, addr := dialAddr(fetchAddr)
+		var err error
+		c, err = net.DialTimeout(network, addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if err := answerChallenge(c, w.secret, w.slot, "", 5*time.Second); err != nil {
+			c.Close()
+			return nil, err
+		}
+		w.peers[fetchAddr] = c
+	}
+	fail := func(err error) ([]byte, error) {
+		c.Close()
+		delete(w.peers, fetchAddr)
+		return nil, err
+	}
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	defer c.SetDeadline(time.Time{})
+	if err := WriteFrame(c, &Frame{Fetch: &FetchMsg{Datum: k.Datum, Ver: k.Ver}}); err != nil {
+		return fail(err)
+	}
+	f, err := ReadFrame(c)
+	if err != nil {
+		return fail(err)
+	}
+	if f.Data == nil {
+		return fail(fmt.Errorf("peer answered with a non-Data frame"))
+	}
+	if !f.Data.Found {
+		return nil, fmt.Errorf("peer no longer holds the pair")
+	}
+	return f.Data.Bytes, nil
+}
+
+// serveFetch starts the worker's peer-fetch listener: each inbound
+// connection is challenged with the run secret, then served Fetch→Data
+// until it closes. Returns the advertised "net:addr" and a stopper.
+func (w *wproc) serveFetch(network string) (string, func(), error) {
+	var l net.Listener
+	var cleanup func()
+	switch network {
+	case TransportUnix:
+		dir, err := os.MkdirTemp("", "ompss-dw-")
+		if err != nil {
+			return "", nil, err
+		}
+		path := filepath.Join(dir, "fetch.sock")
+		l, err = net.Listen("unix", path)
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+	default:
+		var err error
+		l, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		cleanup = func() {}
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go w.servePeer(c)
+		}
+	}()
+	addr := network + ":" + fetchAddrOf(l, network)
+	return addr, func() { l.Close(); cleanup() }, nil
+}
+
+func fetchAddrOf(l net.Listener, network string) string {
+	return l.Addr().String()
+}
+
+// servePeer answers one peer connection: authenticate, then serve cached
+// pairs. A miss answers Found=false (the peer falls back to the
+// coordinator); any transport error closes the connection.
+func (w *wproc) servePeer(c net.Conn) {
+	defer c.Close()
+	if _, err := challengeConn(c, w.secret, 10*time.Second); err != nil {
+		return
+	}
+	for {
+		f, err := ReadFrame(c)
+		if err != nil {
+			return
+		}
+		if f.Fetch == nil {
+			return
+		}
+		k := CacheKey{Datum: f.Fetch.Datum, Ver: f.Fetch.Ver}
+		b, ok := w.cache.get(k)
+		if err := WriteFrame(c, &Frame{Data: &DataMsg{
+			Datum: k.Datum, Ver: k.Ver, Found: ok, Bytes: b,
+		}}); err != nil {
+			return
+		}
+	}
 }
 
 // runKernel isolates the recover so a panicking kernel poisons the task

@@ -112,6 +112,11 @@ type Analysis struct {
 	TransferHits  int
 	BytesAvoided  int64
 
+	// Chain dispatches (EvChain): frames carrying several tasks to one
+	// worker, and the tasks those frames covered.
+	Chains       int
+	ChainedTasks int
+
 	// DroppedEvents is the exact number of ring-overwritten events; when
 	// non-zero the reports cover a truncated stream (Truncated is set and
 	// WriteReport says so).
@@ -230,6 +235,9 @@ func Analyze(tr *Trace) *Analysis {
 		case EvXferHit:
 			a.TransferHits++
 			a.BytesAvoided += int64(ev.Arg)
+		case EvChain:
+			a.Chains++
+			a.ChainedTasks += int(ev.Arg)
 		}
 	}
 	sort.Slice(a.Order, func(i, j int) bool { return a.Order[i] < a.Order[j] })

@@ -131,6 +131,10 @@ func WriteChromeTrace(w io.Writer, tr *Trace) error {
 			add(chromeEvent{Name: "xfer-hit", Cat: "dist", Phase: "i", Scope: "t",
 				TS: us(ev.At), PID: 0, TID: tid,
 				Args: map[string]any{"task": ev.Task, "bytes": ev.Arg}})
+		case EvChain:
+			add(chromeEvent{Name: "chain", Cat: "dist", Phase: "i", Scope: "t",
+				TS: us(ev.At), PID: 0, TID: tid,
+				Args: map[string]any{"task": ev.Task, "tasks": ev.Arg}})
 		}
 	}
 	enc := json.NewEncoder(w)

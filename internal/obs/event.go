@@ -68,6 +68,11 @@ const (
 	// the (datum, version) pair was already resident. Task is the served
 	// task, Arg the bytes NOT moved.
 	EvXferHit
+	// EvChain records the distributed coordinator pushing a task chain —
+	// a ready task plus its sole-dependent successors — to one worker in
+	// a single dispatch frame: Task is the chain's first link, Arg the
+	// number of tasks in the chain, Worker the executing lane.
+	EvChain
 
 	numKinds = iota
 )
@@ -75,7 +80,7 @@ const (
 var kindNames = [numKinds]string{
 	"submit", "edge", "ready", "start", "end", "skip", "steal",
 	"idle-enter", "idle-exit", "taskwait-enter", "taskwait-exit",
-	"rename", "writeback", "xfer", "xfer-hit",
+	"rename", "writeback", "xfer", "xfer-hit", "chain",
 }
 
 func (k Kind) String() string {

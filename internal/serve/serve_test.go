@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -224,10 +225,10 @@ func TestRunLoadSmoke(t *testing.T) {
 }
 
 // TestDrain pins the graceful-shutdown contract: Drain flips admission off
-// (new session-bearing requests answer 503 with Retry-After), waits for the
-// live session to finish, and returns nil once the server is quiescent. A
-// deadline that expires while a session is live returns the context error
-// without abandoning the count.
+// (new session-bearing requests answer 503 with a Retry-After derived from
+// the remaining drain budget), waits for the live session to finish, and
+// returns nil once the server is quiescent. A deadline that expires while a
+// session is live returns the context error without abandoning the count.
 func TestDrain(t *testing.T) {
 	srv, _ := newTestServer(t)
 
@@ -236,22 +237,43 @@ func TestDrain(t *testing.T) {
 		t.Fatal("beginRequest refused before any drain")
 	}
 
-	// Drain in the background; it must block on the live session.
+	// Drain in the background with an 8s budget; it must block on the live
+	// session (and returns well before the deadline once it ends below).
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer drainCancel()
 	drained := make(chan error, 1)
-	go func() { drained <- srv.Drain(context.Background()) }()
+	go func() { drained <- srv.Drain(drainCtx) }()
 	for !srv.Draining() {
 		time.Sleep(time.Millisecond)
 	}
 
-	// While draining, kernel and fault endpoints refuse with 503.
+	// While draining, kernel and fault endpoints refuse with 503 and a
+	// Retry-After hint no longer than the drain budget itself.
 	req := httptest.NewRequest(http.MethodGet, "/v1/rotate", nil)
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining kernel request: status %d, want 503", rec.Code)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Fatal("draining 503 carries no Retry-After")
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("draining 503 Retry-After %q: %v", rec.Header().Get("Retry-After"), err)
+	}
+	if ra < 1 || ra > 8 {
+		t.Fatalf("Retry-After = %d, want within the 8s drain budget", ra)
+	}
+	// A drain budget beyond the cap clamps to maxRetryAfter.
+	srv.liveMu.Lock()
+	srv.drainDeadline = time.Now().Add(10 * time.Minute)
+	srv.liveMu.Unlock()
+	if got, want := srv.retryAfter(), int(maxRetryAfter/time.Second); got != want {
+		t.Fatalf("Retry-After for a 10m budget = %d, want capped at %d", got, want)
+	}
+	srv.liveMu.Lock()
+	srv.drainDeadline = time.Time{}
+	srv.liveMu.Unlock()
+	if got := srv.retryAfter(); got != 1 {
+		t.Fatalf("Retry-After for an unbounded drain = %d, want the 1s floor", got)
 	}
 	// Health stays up for liveness probes.
 	rec = httptest.NewRecorder()

@@ -56,12 +56,13 @@ type Server struct {
 	refs    map[string]uint64 // endpoint -> cached RunSeq checksum
 	runners map[string]Runner
 
-	// Drain state: liveMu guards both fields so admission and Drain agree
+	// Drain state: liveMu guards these fields so admission and Drain agree
 	// on the draining flag and the live-session count atomically.
-	liveMu   sync.Mutex
-	liveCond *sync.Cond
-	liveN    int
-	draining bool
+	liveMu        sync.Mutex
+	liveCond      *sync.Cond
+	liveN         int
+	draining      bool
+	drainDeadline time.Time // Drain ctx's deadline, zero if unbounded
 }
 
 // Workloads served per endpoint: sized between the suite's Small (too tiny
@@ -159,6 +160,9 @@ func (s *Server) Draining() bool {
 func (s *Server) Drain(ctx context.Context) error {
 	s.liveMu.Lock()
 	s.draining = true
+	if dl, ok := ctx.Deadline(); ok {
+		s.drainDeadline = dl
+	}
 	s.liveMu.Unlock()
 
 	// The cond has no deadline-aware wait; a watcher converts ctx expiry
@@ -249,7 +253,7 @@ func (s *Server) sessionOpts(tenant int) []ompss.Option {
 
 func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path string) {
 	if !s.beginRequest() {
-		writeUnavailable(w)
+		s.writeUnavailable(w)
 		return
 	}
 	defer s.endRequest()
@@ -295,7 +299,7 @@ func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path str
 // correct checksums while this endpoint fires is the isolation demo.
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 	if !s.beginRequest() {
-		writeUnavailable(w)
+		s.writeUnavailable(w)
 		return
 	}
 	defer s.endRequest()
@@ -351,10 +355,36 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// maxRetryAfter caps the drain-derived Retry-After hint: past this, a load
+// balancer should have moved on to another instance anyway.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfter derives the 503 Retry-After hint from the drain budget: the
+// seconds left until Drain's deadline (rounded up, capped), after which the
+// server is either quiescent or being hard-stopped — either way, retrying
+// here sooner is pointless. An unbounded drain keeps the 1s floor.
+func (s *Server) retryAfter() int {
+	s.liveMu.Lock()
+	dl := s.drainDeadline
+	s.liveMu.Unlock()
+	if dl.IsZero() {
+		return 1
+	}
+	rem := time.Until(dl)
+	if rem > maxRetryAfter {
+		rem = maxRetryAfter
+	}
+	secs := int((rem + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // writeUnavailable is the draining answer: 503 with a Retry-After so load
 // balancers and polite clients move on without treating it as a fault.
-func writeUnavailable(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+func (s *Server) writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 }
 

@@ -1,6 +1,10 @@
 package ompss
 
-import "ompssgo/internal/dist"
+import (
+	"time"
+
+	"ompssgo/internal/dist"
+)
 
 // RunDist executes program on the distributed backend: a coordinator in
 // this process drives the dependence tracker with renaming enabled, and
@@ -83,6 +87,40 @@ func DistCacheBytes(n int64) DistOption { return dist.CacheBytes(n) }
 
 // DistRenameCap bounds live versions per datum (the engine's RenameCap).
 func DistRenameCap(n int) DistOption { return dist.RenameCap(n) }
+
+// Worker rendezvous transports for DistTransport.
+const (
+	DistTransportUnix = dist.TransportUnix
+	DistTransportTCP  = dist.TransportTCP
+)
+
+// DistTransport selects the worker rendezvous transport: Unix domain
+// sockets (the default) or TCP loopback. Both run the same HMAC
+// challenge/response handshake; unauthenticated peers are refused.
+func DistTransport(name string) DistOption { return dist.Transport(name) }
+
+// DistSecret overrides the run's shared handshake secret (by default a
+// fresh random secret per run).
+func DistSecret(s []byte) DistOption { return dist.Secret(s) }
+
+// DistHandshakeTimeout bounds worker connect-and-authenticate.
+func DistHandshakeTimeout(d time.Duration) DistOption { return dist.HandshakeTimeout(d) }
+
+// DistExitKillDelay sets how long a shut-down worker may drain before its
+// process is killed (default derives from the handshake timeout).
+func DistExitKillDelay(d time.Duration) DistOption { return dist.ExitKillDelay(d) }
+
+// DistRespawnWorkers re-execs a replacement worker for any slot lost
+// mid-run; the replacement rejoins with a cold cache.
+func DistRespawnWorkers() DistOption { return dist.RespawnLostWorkers() }
+
+// DistChainLimit bounds tasks per chained dispatch frame (values below 2
+// disable worker-side task chains).
+func DistChainLimit(n int) DistOption { return dist.ChainLimit(n) }
+
+// DistNoForwarding disables direct worker-to-worker datum forwarding;
+// every transfer relays through the coordinator.
+func DistNoForwarding() DistOption { return dist.NoForwarding() }
 
 // ErrNoDistWorkers is returned for tasks that cannot run because every
 // worker process has been lost.
