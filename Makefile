@@ -14,7 +14,7 @@ test:
 
 # Race-detector pass over the concurrent executor packages (the CI `race` job).
 race:
-	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/serve ./internal/dist ./pthread
+	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/tune ./internal/serve ./internal/dist ./pthread
 
 # Run every benchmark for one iteration so benchmark code cannot rot
 # (the CI `bench-smoke` job). For real numbers, raise -benchtime.
@@ -45,11 +45,12 @@ bench-native:
 	$(GO) run ./cmd/ompss-bench -native -o BENCH_native.json
 
 # Perf-trajectory gate (the CI `bench-trend` job): measure the small
-# workloads fresh and compare the policy and rename factors against the
-# committed small-scale baseline with a ±30% regression-only tolerance on
-# each section's mean factor (per-cell outliers are warnings).
+# workloads fresh — including the -tune grain ablation (best static chunk
+# vs chunk=Auto) — and compare the policy, rename, and autotune factors
+# against the committed small-scale baseline with a ±30% regression-only
+# tolerance on each section's mean factor (per-cell outliers are warnings).
 bench-trend:
-	$(GO) run ./cmd/ompss-bench -native -small -iters 3 -o /tmp/BENCH_native_fresh.json
+	$(GO) run ./cmd/ompss-bench -native -small -iters 3 -tune -o /tmp/BENCH_native_fresh.json
 	$(GO) run ./cmd/ompss-bench -trend -baseline BENCH_native_small.json -candidate /tmp/BENCH_native_fresh.json -tol 0.30
 
 # Profile one suite app with the observability recorder attached: record a

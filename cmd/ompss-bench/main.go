@@ -9,6 +9,8 @@
 //	ompss-bench -ablation occupancy  §5 polling-runtime core occupancy
 //	ompss-bench -bench c-ray -cores 16   one cell, verbose
 //	ompss-bench -native -o BENCH_native.json   wall-clock native runs
+//	ompss-bench -native -tune        ... plus the grain ablation: TaskLoop
+//	    auto-chunking (WithTuning Grain: Auto) vs a swept static-chunk ladder
 //	ompss-bench -trend -candidate fresh.json   perf-trajectory gate: compare
 //	    a fresh -native report's policy and rename factors against the
 //	    committed baseline (±tol, regressions only; CI's bench-trend step)
@@ -65,6 +67,7 @@ func main() {
 		oneBench  = flag.String("bench", "", "measure a single benchmark")
 		usability = flag.Bool("usability", false, "report per-variant implementation effort (§2 usability)")
 		native    = flag.Bool("native", false, "measure wall-clock native execution and write BENCH_native.json")
+		tune      = flag.Bool("tune", false, "with -native: add the grain-ablation section (auto chunking vs best static chunk)")
 		trend     = flag.Bool("trend", false, "perf-trajectory gate: compare -candidate against -baseline")
 		baseline  = flag.String("baseline", "BENCH_native.json", "baseline report for -trend")
 		candidate = flag.String("candidate", "", "candidate report for -trend")
@@ -206,6 +209,11 @@ func main() {
 		rep, err := bench.RunNative(names, cores, *iters, scale, progress)
 		if err != nil {
 			fatalf("native: %v", err)
+		}
+		if *tune {
+			if rep.Autotune, err = bench.RunAutotune(cores, *iters, scale, progress); err != nil {
+				fatalf("native: autotune: %v", err)
+			}
 		}
 		f, err := os.Create(*out)
 		if err != nil {

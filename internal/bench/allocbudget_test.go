@@ -49,6 +49,11 @@ func TestSubmitAllocBudget(t *testing.T) {
 		// BenchmarkSubmitDatumPtr).
 		"BenchmarkObsRecord":              BenchmarkObsRecord,
 		"BenchmarkSubmitDatumPtrObserved": BenchmarkSubmitDatumPtrObserved,
+		// Tuning ceilings: an armed feedback controller must cost the
+		// submit path nothing (same ceiling as BenchmarkSubmitDatumPtr)
+		// and its per-completion feed must stay allocation-free.
+		"BenchmarkSubmitDatumPtrTuned": BenchmarkSubmitDatumPtrTuned,
+		"BenchmarkTuneRecord":          BenchmarkTuneRecord,
 	}
 	for name, fn := range benchmarks {
 		budget, ok := entries[name]

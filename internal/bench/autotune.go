@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ompssgo/internal/suite"
+	"ompssgo/ompss"
+)
+
+// The grain-ablation harness: for every loop-surfaced suite benchmark
+// (suite.LoopInstance) it sweeps TaskLoop over a ladder of static chunk
+// sizes, then runs the same loop with chunk == ompss.Auto under an armed
+// grain controller (WithTuning(Tuning{Grain: Auto})), and reports the best
+// static time against the auto time. Factor = best-static / auto, so 1.0
+// means the controller matched the best hand-picked grain and the gate's
+// acceptance bar (auto within 30% of best static) reads as Factor ≥ 0.70.
+//
+// Unlike the policy cells, each configuration here keeps ONE runtime alive
+// across a warmup repetition plus all measured repetitions: the controller
+// learns per-label iteration costs online, and tearing the runtime down
+// per repetition would discard exactly the state being evaluated. The
+// warmup repetition gives the controller its first measurements (and warms
+// caches identically for the static legs), and best-of-iters filters host
+// noise the same way the other native sections do.
+
+// AutotuneBenches are the loop-surfaced benchmarks the ablation sweeps.
+var AutotuneBenches = []string{"rotate", "c-ray", "md5"}
+
+// AutotuneCell is one grain-ablation measurement: a benchmark × worker
+// count, best static chunk vs the controller's auto chunking.
+type AutotuneCell struct {
+	Bench   string `json:"bench"`
+	Workers int    `json:"workers"`
+	Units   int    `json:"units"` // flat iteration-space size
+	Runs    int    `json:"runs"`
+	// BestStaticChunk is the fastest hand-picked chunk of the sweep;
+	// BestStaticNS its best repetition; AutoNS the auto leg's best.
+	BestStaticChunk int   `json:"best_static_chunk"`
+	BestStaticNS    int64 `json:"best_static_ns"`
+	AutoNS          int64 `json:"auto_ns"`
+	// Factor is BestStaticNS/AutoNS: 1.0 = auto matched the best static
+	// grain, above 1.0 = auto beat every static choice.
+	Factor float64 `json:"factor"`
+}
+
+// staticChunkLadder is the swept grain axis: from fully fine (chunk 1,
+// maximal scheduling freedom and maximal per-task overhead) through the
+// balanced middle to fully coarse (one chunk per worker, no balancing
+// slack), deduplicated and clamped to the space.
+func staticChunkLadder(units, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	cands := []int{1, units / (8 * workers), units / (4 * workers), units / (2 * workers), units / workers}
+	var out []int
+	seen := map[int]bool{}
+	for _, c := range cands {
+		if c < 1 {
+			c = 1
+		}
+		if c > units {
+			c = units
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// measureLoopConfig runs one (benchmark, workers, chunk-mode) configuration
+// on a single persistent runtime: one unmeasured warmup repetition, then
+// iters measured repetitions, returning the best time. Every repetition's
+// checksum is verified against want.
+func measureLoopConfig(in suite.LoopInstance, name string, workers, chunk, iters int, want uint64, opts ...ompss.Option) (int64, error) {
+	rt := ompss.New(append([]ompss.Option{ompss.Workers(workers)}, opts...)...)
+	defer rt.Shutdown()
+	var best int64
+	for it := 0; it <= iters; it++ {
+		start := time.Now()
+		got := in.RunOmpSsLoop(rt, chunk)
+		elapsed := time.Since(start).Nanoseconds()
+		if got != want {
+			return 0, fmt.Errorf("%s/w%d/chunk%d: checksum %#x, sequential reference %#x",
+				name, workers, chunk, got, want)
+		}
+		if it == 0 {
+			continue // warmup: caches and (for the auto leg) the controller's EWMAs
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+// RunAutotune measures the grain ablation for every AutotuneBenches entry
+// at every worker count, repeating each configuration iters times
+// (best-of). progress, if non-nil, receives one line per cell.
+func RunAutotune(workers []int, iters int, scale suite.Scale, progress io.Writer) ([]AutotuneCell, error) {
+	if len(workers) == 0 {
+		workers = defaultNativeWorkers()
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	var out []AutotuneCell
+	for _, name := range AutotuneBenches {
+		ref, err := suite.New(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		li, ok := ref.(suite.LoopInstance)
+		if !ok {
+			return nil, fmt.Errorf("autotune: %s has no loop surface", name)
+		}
+		want := ref.RunSeq()
+		for _, w := range workers {
+			cell := AutotuneCell{Bench: name, Workers: w, Units: li.LoopUnits(), Runs: iters}
+			for _, chunk := range staticChunkLadder(cell.Units, w) {
+				ns, err := measureLoopConfig(li, name, w, chunk, iters, want)
+				if err != nil {
+					return nil, err
+				}
+				if cell.BestStaticNS == 0 || ns < cell.BestStaticNS {
+					cell.BestStaticNS = ns
+					cell.BestStaticChunk = chunk
+				}
+			}
+			auto, err := measureLoopConfig(li, name, w, ompss.Auto, iters, want,
+				ompss.WithTuning(ompss.Tuning{Grain: ompss.Auto}))
+			if err != nil {
+				return nil, err
+			}
+			cell.AutoNS = auto
+			if auto > 0 {
+				cell.Factor = float64(cell.BestStaticNS) / float64(auto)
+			}
+			out = append(out, cell)
+			if progress != nil {
+				fmt.Fprintf(progress, "# autotune %-8s w=%-2d static(best chunk=%d)=%-12v auto=%-12v factor=%.2f\n",
+					name, w, cell.BestStaticChunk, time.Duration(cell.BestStaticNS),
+					time.Duration(cell.AutoNS), cell.Factor)
+			}
+		}
+	}
+	return out, nil
+}

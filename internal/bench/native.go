@@ -93,6 +93,9 @@ type NativeReport struct {
 	Cells      []NativeCell           `json:"cells"`
 	Rename     []NativeRenameCell     `json:"rename"`
 	Contention []NativeContentionCell `json:"contention"`
+	// Autotune is the grain-ablation section (auto chunking vs the best
+	// static chunk; see RunAutotune), filled by the -tune harness leg.
+	Autotune []AutotuneCell `json:"autotune,omitempty"`
 }
 
 // RunNative measures the named benchmarks (suite.Names() when names is
@@ -120,7 +123,7 @@ func RunNative(names []string, workers []int, iters int, scale suite.Scale, prog
 		scaleName = "small"
 	}
 	rep := &NativeReport{
-		Schema:    "ompssgo/bench-native/v2",
+		Schema:    "ompssgo/bench-native/v3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -406,5 +409,10 @@ func (r *NativeReport) WriteTable(w io.Writer) {
 	}
 	for _, c := range r.Contention {
 		fmt.Fprintf(w, "contention %-18s w=%d  %12.0f tasks/s\n", c.Variant, c.Workers, c.TasksPerSec)
+	}
+	for _, c := range r.Autotune {
+		fmt.Fprintf(w, "autotune %-8s w=%d  static(chunk=%d)=%v auto=%v  %0.2fx\n",
+			c.Bench, c.Workers, c.BestStaticChunk, time.Duration(c.BestStaticNS),
+			time.Duration(c.AutoNS), c.Factor)
 	}
 }

@@ -25,9 +25,10 @@ const submitKeys = 64
 // benchSubmit drives b.N empty tasks through a master-only native runtime
 // (no concurrent workers, so the measurement isolates the submit path).
 // setup receives the runtime and returns the per-task clause chooser; the
-// graph is drained periodically so it stays bounded.
-func benchSubmit(b *testing.B, setup func(rt *ompss.Runtime) func(i int) ompss.Clause) {
-	rt := ompss.New(ompss.Workers(1))
+// graph is drained periodically so it stays bounded. Extra options extend
+// the runtime configuration (the tuned variant arms the controller).
+func benchSubmit(b *testing.B, setup func(rt *ompss.Runtime) func(i int) ompss.Clause, opts ...ompss.Option) {
+	rt := ompss.New(append([]ompss.Option{ompss.Workers(1)}, opts...)...)
 	defer rt.Shutdown()
 	clause := setup(rt)
 	body := func(*ompss.TC) {}

@@ -76,6 +76,19 @@ func renameFactors(r *NativeReport) map[string]float64 {
 	return out
 }
 
+// autotuneFactors extracts best-static/auto ratios per (bench, workers)
+// grain-ablation cell. A falling factor means the grain controller's
+// chunking drifted away from the best static grain.
+func autotuneFactors(r *NativeReport) map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range r.Autotune {
+		if c.AutoNS > 0 && c.BestStaticNS > 0 {
+			out[fmt.Sprintf("autotune %s w=%d", c.Bench, c.Workers)] = float64(c.BestStaticNS) / float64(c.AutoNS)
+		}
+	}
+	return out
+}
+
 // TrendResult is the outcome of one baseline/candidate comparison.
 type TrendResult struct {
 	// Regressions fail the gate: a section's mean factor fell more than
@@ -109,6 +122,9 @@ func CompareTrend(baseline, candidate *NativeReport, tol float64) TrendResult {
 	}{
 		{"policy", policyFactors(baseline), policyFactors(candidate)},
 		{"rename", renameFactors(baseline), renameFactors(candidate)},
+		// Pre-v3 baselines have no autotune section; the empty-base skip
+		// below keeps them comparable until the baseline regenerates.
+		{"autotune", autotuneFactors(baseline), autotuneFactors(candidate)},
 	}
 	for _, sec := range sections {
 		if len(sec.base) == 0 {

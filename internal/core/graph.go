@@ -112,6 +112,11 @@ type Graph struct {
 	// written once before the first submission).
 	probe Probe
 
+	// tun, when non-nil, is the controller-written setpoint block
+	// (SetTunables; installed once before the first submission). The rename
+	// cap check reads it so the cap can adapt online.
+	tun *Tunables
+
 	stSubmitted       atomic.Uint64
 	stFinished        atomic.Uint64
 	stEdges           atomic.Uint64

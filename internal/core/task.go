@@ -123,6 +123,11 @@ type Task struct {
 	// CPUCost is the simulated execution cost hint in nanoseconds; the
 	// native executor ignores it.
 	CPUCost int64
+	// Iters is the number of loop iterations this task covers when it was
+	// spawned as one TaskLoop chunk (0 for ordinary tasks). The feedback
+	// controller divides measured execution time by it to learn per-
+	// iteration cost for the task's label.
+	Iters int
 	// Parent is the context (spawning scope) whose taskwait covers this
 	// task.
 	Parent *Context
@@ -159,7 +164,25 @@ type Task struct {
 	// skipped records that the executor released this task without running
 	// its body (failure policy or cancellation).
 	skipped atomic.Bool
+
+	// renamed / renameFB attribute the graph's rename decisions to this
+	// task: a write-mode access received a fresh instance, or stalled only
+	// because the in-flight version cap was full. Written under the owning
+	// shard lock during Submit's wiring, read by the executor after the
+	// task finished (ordered by the submit→ready→run→finish chain), so no
+	// atomics are needed.
+	renamed  bool
+	renameFB bool
 }
+
+// Renamed reports whether any of the task's write-mode accesses received a
+// fresh renamed instance. Valid once the task finished.
+func (t *Task) Renamed() bool { return t.renamed }
+
+// RenameFallback reports whether any of the task's write-mode accesses
+// stalled on its WAR/WAW edges only because the in-flight version cap was
+// full. Valid once the task finished.
+func (t *Task) RenameFallback() bool { return t.renameFB }
 
 // SetAffinity hints that the task should execute near the data of the given
 // dependence shard (see Policy.HomeLane). Call before submission.
@@ -281,6 +304,7 @@ func (t *Task) Reset() {
 	t.Priority = 0
 	t.affinity = 0
 	t.CPUCost = 0
+	t.Iters = 0
 	t.Parent = nil
 	t.Domain = nil
 	t.Worker = 0
@@ -293,6 +317,8 @@ func (t *Task) Reset() {
 	t.outcome = nil
 	t.upstream.Store(nil)
 	t.skipped.Store(false)
+	t.renamed = false
+	t.renameFB = false
 }
 
 type taskState int32

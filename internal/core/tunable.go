@@ -1,0 +1,51 @@
+package core
+
+import "sync/atomic"
+
+// Tunables is the engine's online setpoint block — the mutable counterpart
+// of Probe. Where Probe carries engine events out to an observer, Tunables
+// carries an observer's (feedback controller's) decisions back in. Every
+// field is an atomic read on its consuming hot path and an atomic store on
+// the controller's tick path, so neither direction takes a lock: the same
+// discipline the observability record path follows.
+//
+// A nil Tunables (the default — SetTunables never called) costs one
+// predictable branch per consuming site; every field's zero value means
+// "use the engine's static default".
+type Tunables struct {
+	// GrainTargetNS is the per-chunk execution-time window the TaskLoop
+	// auto-chunker aims for: chunk sizes are chosen so one chunk's body
+	// runs for about this long (0 = the controller's default).
+	GrainTargetNS atomic.Int64
+	// SpinYields is the number of Gosched yields a polling idle thread
+	// burns before it starts sleeping (0 = executor default). Raised when
+	// steals mostly succeed (work is nearby), lowered when the steal
+	// matrix reports mostly failed probes (oversubscription).
+	SpinYields atomic.Int32
+	// SleepCapNS caps the linearly growing idle sleep of a polling thread
+	// (0 = executor default). Deepened under sustained steal failure so
+	// oversubscribed lanes stop burning the cores doing real work.
+	SleepCapNS atomic.Int64
+	// RenameCap overrides the graph-wide live-renamed-instance cap per
+	// datum (0 = keep the configured cap). Raised online under sustained
+	// rename fallbacks, decayed back toward the configured cap when the
+	// fallback counter goes quiet. An explicit per-domain (session)
+	// RenameCap still wins over this value.
+	RenameCap atomic.Int32
+}
+
+// SetTunables installs the scheduler's setpoint block. Call before the
+// scheduler is driven (the executor does this at construction); the
+// controller then updates fields while the scheduler runs.
+func (s *Sched) SetTunables(tn *Tunables) { s.tun = tn }
+
+// Tunables returns the scheduler's setpoint block (nil when none was
+// installed). Executors read idle-throttle setpoints through it.
+func (s *Sched) Tunables() *Tunables { return s.tun }
+
+// SetTunables installs the dependence tracker's setpoint block. Call before
+// the first submission; the rename cap check reads it under the shard lock.
+func (g *Graph) SetTunables(tn *Tunables) { g.tun = tn }
+
+// Tunables returns the graph's setpoint block (nil when none was installed).
+func (g *Graph) Tunables() *Tunables { return g.tun }

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Aggregator is the streaming per-label view of the task-lifecycle stream:
+// instead of recording events into rings for offline analysis, the executor
+// feeds each task completion directly into per-label running aggregates —
+// count, total/EWMA execution time, loop-iteration totals, rename and
+// rename-fallback counts. It is the feedback controller's input plane
+// (internal/tune) and the source of the user-visible per-label stats in
+// Session/Runtime Stats, and it shares the recorder's hot-path contract:
+// after a label's first sighting, Note performs zero heap allocations and
+// takes no exclusive lock (an RLock for the label lookup, atomics for the
+// updates). The ring-buffer trace format is untouched — this is a second,
+// lossy-by-design consumer of the same lifecycle instants.
+type Aggregator struct {
+	alpha float64 // EWMA smoothing factor in (0, 1]
+
+	mu     sync.RWMutex
+	byName map[string]*labelStat
+	order  []*labelStat // interning order, for stable snapshots
+}
+
+// labelStat is one label's live aggregate. All fields are updated with
+// atomics; EWMA fields hold math.Float64bits and are advanced with a CAS
+// loop (deterministic under the simulator's serialized event loop, merely
+// last-writer-wins-per-sample under native contention).
+type labelStat struct {
+	label     string
+	count     atomic.Uint64
+	iters     atomic.Uint64
+	renames   atomic.Uint64
+	fallbacks atomic.Uint64
+	execNS    atomic.Int64
+	ewmaNS    atomic.Uint64 // Float64bits; per-task exec-time EWMA
+	perIterNS atomic.Uint64 // Float64bits; per-iteration exec-time EWMA (loop chunks only)
+}
+
+// LabelAgg is a point-in-time copy of one label's aggregate.
+type LabelAgg struct {
+	Label     string
+	Count     uint64
+	Iters     uint64
+	Renames   uint64
+	Fallbacks uint64
+	ExecNS    int64 // total measured execution time
+	MeanNS    int64 // ExecNS / Count
+	EWMANS    int64 // smoothed per-task execution time
+	PerIterNS int64 // smoothed per-iteration execution time (0 when no loop chunks seen)
+}
+
+// NewAggregator creates an empty aggregator. alpha is the EWMA smoothing
+// factor (weight of the newest sample); out-of-range values select 0.25.
+func NewAggregator(alpha float64) *Aggregator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	return &Aggregator{alpha: alpha, byName: make(map[string]*labelStat)}
+}
+
+// stat interns and returns the label's aggregate (creating it on first
+// sighting). The returned pointer is stable for the aggregator's lifetime.
+func (a *Aggregator) stat(label string) *labelStat {
+	a.mu.RLock()
+	ls := a.byName[label]
+	a.mu.RUnlock()
+	if ls != nil {
+		return ls
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ls = a.byName[label]; ls != nil {
+		return ls
+	}
+	ls = &labelStat{label: label}
+	a.byName[label] = ls
+	a.order = append(a.order, ls)
+	return ls
+}
+
+// Note records one task completion under the label: execNS of measured
+// execution time, iters loop iterations (0 for ordinary tasks), and whether
+// the task's wiring renamed or cap-stalled a write. Unlabeled tasks
+// aggregate under "".
+func (a *Aggregator) Note(label string, execNS int64, iters int, renamed, fallback bool) {
+	ls := a.stat(label)
+	ls.count.Add(1)
+	ls.execNS.Add(execNS)
+	ewmaAdvance(&ls.ewmaNS, a.alpha, float64(execNS))
+	if iters > 0 {
+		ls.iters.Add(uint64(iters))
+		ewmaAdvance(&ls.perIterNS, a.alpha, float64(execNS)/float64(iters))
+	}
+	if renamed {
+		ls.renames.Add(1)
+	}
+	if fallback {
+		ls.fallbacks.Add(1)
+	}
+}
+
+// ewmaAdvance folds one sample into a Float64bits-encoded EWMA. The zero
+// bit pattern means "no sample yet" (the first sample seeds the average —
+// an exact 0.0 sample seeds it as the next sample instead, which is fine
+// for durations).
+func ewmaAdvance(a *atomic.Uint64, alpha, sample float64) {
+	for {
+		old := a.Load()
+		nv := sample
+		if old != 0 {
+			nv = (1-alpha)*math.Float64frombits(old) + alpha*sample
+		}
+		if a.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// PerIterNS returns the label's smoothed per-iteration execution time in
+// nanoseconds (0 when the label has produced no loop chunks yet).
+func (a *Aggregator) PerIterNS(label string) float64 {
+	a.mu.RLock()
+	ls := a.byName[label]
+	a.mu.RUnlock()
+	if ls == nil {
+		return 0
+	}
+	return math.Float64frombits(ls.perIterNS.Load())
+}
+
+// snapshot copies one label's aggregate.
+func (ls *labelStat) snapshot() LabelAgg {
+	agg := LabelAgg{
+		Label:     ls.label,
+		Count:     ls.count.Load(),
+		Iters:     ls.iters.Load(),
+		Renames:   ls.renames.Load(),
+		Fallbacks: ls.fallbacks.Load(),
+		ExecNS:    ls.execNS.Load(),
+		EWMANS:    int64(math.Float64frombits(ls.ewmaNS.Load())),
+		PerIterNS: int64(math.Float64frombits(ls.perIterNS.Load())),
+	}
+	if agg.Count > 0 {
+		agg.MeanNS = agg.ExecNS / int64(agg.Count)
+	}
+	return agg
+}
+
+// Snapshot returns a copy of every label's aggregate, sorted by label for
+// deterministic output. Safe to call while Note runs; each label's copy is
+// internally consistent only up to the atomicity of its individual fields.
+func (a *Aggregator) Snapshot() []LabelAgg {
+	a.mu.RLock()
+	stats := make([]*labelStat, len(a.order))
+	copy(stats, a.order)
+	a.mu.RUnlock()
+	out := make([]LabelAgg, len(stats))
+	for i, ls := range stats {
+		out[i] = ls.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}

@@ -1,0 +1,298 @@
+// Package tune closes the measurement→configuration loop the paper's §4
+// analysis motivates: grain size and schedule choice dominate scaling, so
+// instead of hand-picking them per call site, a feedback controller
+// consumes the runtime's own telemetry (the obs streaming aggregator plus
+// the scheduler's steal counters and the dependence tracker's rename
+// fallback counters) and writes setpoints back into the engine through the
+// core.Tunables atomics seam.
+//
+// Three control loops, all clamped and hysteretic so a noisy sample cannot
+// whipsaw the runtime:
+//
+//   - Grain: TaskLoop auto-chunking. ChunkFor sizes a chunk so its body
+//     runs for about the target execution-time window, derived from the
+//     label's measured per-iteration cost EWMA (the h264dec GroupRows
+//     discipline, applied online). Until the first measurement arrives, a
+//     workers-derived heuristic seeds the loop.
+//   - Backoff: polling idle-throttle adaptation from the steal matrix. A
+//     high failed-probe rate (oversubscribed lanes spinning on nothing)
+//     deepens the idle sleep and cuts the yield budget; a low rate sharpens
+//     it back toward low release latency. Native-only: the simulator's idle
+//     waiting is event-driven and has no spin loop to tune.
+//   - RenameCap: the per-datum live-version cap widens ×2 under sustained
+//     rename fallbacks and decays back toward the configured cap after
+//     quiet ticks, keeping version memory proportional to measured demand.
+//
+// The controller ticks inline, on every TickEvery-th task completion, on
+// whichever worker finished that task — no background goroutine, so under
+// the simulator's serialized event loop every decision is deterministic.
+// The tick path is allocation-free and lock-free (a TryLock guards tick
+// state; a contended tick is simply skipped).
+package tune
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
+)
+
+// Defaults for the controller's setpoints and guardrails.
+const (
+	// DefaultTargetChunkNS is the per-chunk execution-time window the
+	// grain loop aims for: long enough to amortize per-task overhead
+	// (submit + dispatch are ~µs), short enough to keep many chunks per
+	// worker for load balancing.
+	DefaultTargetChunkNS = 200_000
+	// DefaultTickEvery is the task-completion period of the control tick.
+	DefaultTickEvery = 32
+
+	// Idle-throttle guardrails (see ompss's polling spinner: yields of the
+	// scheduler slice, then linearly growing sleeps up to the cap).
+	DefaultSpinYields = 64
+	MinSpinYields     = 8
+	MaxSpinYields     = 256
+	DefaultSleepCapNS = 100_000 // 100µs, the static spinner's cap
+	MinSleepCapNS     = 25_000
+	MaxSleepCapNS     = 1_000_000 // 1ms: bounded staleness even fully backed off
+
+	// Rename-cap guardrails: the adaptive cap never exceeds this many live
+	// instances per datum regardless of fallback pressure.
+	MaxRenameCap = 64
+
+	// Steal-failure hysteresis band: above the high mark the backoff
+	// deepens, below the low mark it sharpens, in between it holds.
+	failHigh = 0.90
+	failLow  = 0.50
+	// minProbeWindow is the minimum steal probes per tick window for the
+	// failure rate to be trusted (fewer probes = the lanes were busy, not
+	// idle — no signal).
+	minProbeWindow = 64
+	// capDecayTicks is the number of consecutive fallback-free ticks
+	// before the widened rename cap decays one step.
+	capDecayTicks = 4
+)
+
+// Config selects the active control loops and their inputs.
+type Config struct {
+	// Workers is the lane count chunk sizing balances across.
+	Workers int
+	// Grain/Backoff/RenameCap enable the three loops independently (each
+	// maps to one Auto field of the public Tuning profile).
+	Grain     bool
+	Backoff   bool
+	RenameCap bool
+	// TargetChunkNS overrides DefaultTargetChunkNS (0 = default).
+	TargetChunkNS int64
+	// TickEvery overrides DefaultTickEvery (0 = default).
+	TickEvery uint64
+	// BaseRenameCap is the configured per-datum version cap the adaptive
+	// cap starts from and decays back to (0 = core.DefaultMaxVersions).
+	BaseRenameCap int
+	// SchedStats/GraphStats supply the cumulative engine counters the tick
+	// differentiates (nil disables the loops that need them).
+	SchedStats func() core.SchedStats
+	GraphStats func() core.GraphStats
+}
+
+// Controller is the feedback controller. Create with New, feed completions
+// with TaskDone, read chunk decisions with ChunkFor; setpoints flow to the
+// engine through the core.Tunables block it was constructed around.
+type Controller struct {
+	cfg Config
+	tn  *core.Tunables
+	agg *obs.Aggregator
+
+	finishes atomic.Uint64
+
+	// mu guards the tick's differentiation state and the per-label chunk
+	// hysteresis. The tick path TryLocks (skip on contention); ChunkFor —
+	// submit-side, not per-task — takes it.
+	mu            sync.Mutex
+	lastTries     uint64
+	lastSteals    uint64
+	lastFallbacks uint64
+	calmTicks     int
+	steps         uint64
+	lastChunk     map[string]int
+}
+
+// New builds a controller writing into tn and aggregating into agg, and
+// seeds tn with the static defaults for every enabled loop (so engine
+// readers see the configured baseline before the first tick).
+func New(cfg Config, tn *core.Tunables, agg *obs.Aggregator) *Controller {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.TargetChunkNS <= 0 {
+		cfg.TargetChunkNS = DefaultTargetChunkNS
+	}
+	if cfg.TickEvery == 0 {
+		cfg.TickEvery = DefaultTickEvery
+	}
+	if cfg.BaseRenameCap <= 0 {
+		cfg.BaseRenameCap = core.DefaultMaxVersions
+	}
+	c := &Controller{cfg: cfg, tn: tn, agg: agg, lastChunk: make(map[string]int)}
+	tn.GrainTargetNS.Store(cfg.TargetChunkNS)
+	if cfg.Backoff {
+		tn.SpinYields.Store(DefaultSpinYields)
+		tn.SleepCapNS.Store(DefaultSleepCapNS)
+	}
+	if cfg.RenameCap {
+		tn.RenameCap.Store(int32(cfg.BaseRenameCap))
+	}
+	return c
+}
+
+// Aggregator returns the controller's input aggregator (the per-label
+// stats surface Runtime/Session Stats expose).
+func (c *Controller) Aggregator() *obs.Aggregator { return c.agg }
+
+// TaskDone feeds one task completion: label, measured execution time,
+// loop-iteration count (0 for ordinary tasks), and the task's rename
+// attribution. Every TickEvery-th completion runs one control tick inline;
+// a tick that would contend with another worker's is skipped (the next
+// period retries), so this path never blocks and never allocates.
+func (c *Controller) TaskDone(label string, execNS int64, iters int, renamed, fallback bool) {
+	c.agg.Note(label, execNS, iters, renamed, fallback)
+	if c.finishes.Add(1)%c.cfg.TickEvery == 0 {
+		if c.mu.TryLock() {
+			c.step()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Step runs one control tick synchronously (tests and drain points; the
+// runtime's ticks arrive through TaskDone).
+func (c *Controller) Step() {
+	c.mu.Lock()
+	c.step()
+	c.mu.Unlock()
+}
+
+// step differentiates the engine counters since the last tick and moves
+// the enabled setpoints. Called with mu held.
+func (c *Controller) step() {
+	c.steps++
+	if c.cfg.Backoff && c.cfg.SchedStats != nil {
+		st := c.cfg.SchedStats()
+		dTries := st.StealTries - c.lastTries
+		dSteals := st.Steals - c.lastSteals
+		c.lastTries, c.lastSteals = st.StealTries, st.Steals
+		if dTries >= minProbeWindow {
+			fail := float64(dTries-dSteals) / float64(dTries)
+			switch {
+			case fail > failHigh:
+				// Mostly failed probes: lanes are idle-spinning against
+				// each other (the oversubscribed w>cores regime). Deepen
+				// the backoff so spare lanes get off the cores.
+				c.tn.SpinYields.Store(clamp32(c.tn.SpinYields.Load()/2, MinSpinYields, MaxSpinYields))
+				c.tn.SleepCapNS.Store(clamp64(c.tn.SleepCapNS.Load()*2, MinSleepCapNS, MaxSleepCapNS))
+			case fail < failLow:
+				// Probes mostly land: work is flowing, favor release
+				// latency again.
+				c.tn.SpinYields.Store(clamp32(c.tn.SpinYields.Load()*2, MinSpinYields, MaxSpinYields))
+				c.tn.SleepCapNS.Store(clamp64(c.tn.SleepCapNS.Load()/2, MinSleepCapNS, MaxSleepCapNS))
+			}
+			// Inside the band: hold (hysteresis).
+		}
+	}
+	if c.cfg.RenameCap && c.cfg.GraphStats != nil {
+		gs := c.cfg.GraphStats()
+		dFB := gs.RenameFallbacks - c.lastFallbacks
+		c.lastFallbacks = gs.RenameFallbacks
+		cur := int(c.tn.RenameCap.Load())
+		if cur <= 0 {
+			cur = c.cfg.BaseRenameCap
+		}
+		if dFB > 0 {
+			c.calmTicks = 0
+			if cur < MaxRenameCap {
+				c.tn.RenameCap.Store(int32(min(cur*2, MaxRenameCap)))
+			}
+		} else if cur > c.cfg.BaseRenameCap {
+			c.calmTicks++
+			if c.calmTicks >= capDecayTicks {
+				c.calmTicks = 0
+				c.tn.RenameCap.Store(int32(max(c.cfg.BaseRenameCap, cur/2)))
+			}
+		}
+	}
+}
+
+// Steps returns the number of control ticks run so far.
+func (c *Controller) Steps() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}
+
+// ChunkFor sizes one TaskLoop chunk for a label over an n-iteration space:
+// target window ÷ measured per-iteration cost, clamped to keep at least two
+// chunks per worker (load balancing) and at least one iteration. Before the
+// label's first measurement — or with the grain loop disabled — it falls
+// back to n/(4·workers). Repeated calls for one label hold the previous
+// answer while the ideal stays within ±25% (hysteresis), so a converged
+// loop does not jitter between adjacent chunk sizes.
+func (c *Controller) ChunkFor(label string, n int) int {
+	if n <= 1 {
+		return 1
+	}
+	w := c.cfg.Workers
+	maxChunk := n / (2 * w)
+	if maxChunk < 1 {
+		maxChunk = 1
+	}
+	heuristic := clampInt(n/(4*w), 1, maxChunk)
+	if !c.cfg.Grain {
+		return heuristic
+	}
+	per := c.agg.PerIterNS(label)
+	if per <= 0 {
+		return heuristic
+	}
+	ideal := clampInt(int(float64(c.tn.GrainTargetNS.Load())/per), 1, maxChunk)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if last, ok := c.lastChunk[label]; ok {
+		lo, hi := last-last/4, last+last/4
+		if ideal >= lo && ideal <= hi {
+			return last
+		}
+	}
+	c.lastChunk[label] = ideal
+	return ideal
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

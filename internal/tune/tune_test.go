@@ -1,0 +1,239 @@
+package tune
+
+import (
+	"testing"
+
+	"ompssgo/internal/core"
+	"ompssgo/internal/obs"
+)
+
+// scripted builds a controller whose engine counters are test-owned
+// variables, so each Step sees exactly the deltas the test wrote.
+func scripted(cfg Config, sched *core.SchedStats, graph *core.GraphStats) (*Controller, *core.Tunables) {
+	tn := &core.Tunables{}
+	cfg.SchedStats = func() core.SchedStats { return *sched }
+	cfg.GraphStats = func() core.GraphStats { return *graph }
+	return New(cfg, tn, obs.NewAggregator(0)), tn
+}
+
+func TestBackoffSetpoints(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	c, tn := scripted(Config{Workers: 2, Backoff: true}, &ss, &gs)
+	if got := tn.SpinYields.Load(); got != DefaultSpinYields {
+		t.Fatalf("seeded SpinYields = %d, want %d", got, DefaultSpinYields)
+	}
+	if got := tn.SleepCapNS.Load(); got != DefaultSleepCapNS {
+		t.Fatalf("seeded SleepCapNS = %d, want %d", got, DefaultSleepCapNS)
+	}
+
+	// 100 probes, 2 steals: 98% failure — deepen: yields halve, cap doubles.
+	ss.StealTries, ss.Steals = 100, 2
+	c.Step()
+	if got := tn.SpinYields.Load(); got != DefaultSpinYields/2 {
+		t.Errorf("after high-failure tick: SpinYields = %d, want %d", got, DefaultSpinYields/2)
+	}
+	if got := tn.SleepCapNS.Load(); got != 2*DefaultSleepCapNS {
+		t.Errorf("after high-failure tick: SleepCapNS = %d, want %d", got, 2*DefaultSleepCapNS)
+	}
+
+	// Sustained failure clamps at the floor/ceiling, never past.
+	for i := 0; i < 10; i++ {
+		ss.StealTries += 100
+		ss.Steals += 2
+		c.Step()
+	}
+	if got := tn.SpinYields.Load(); got != MinSpinYields {
+		t.Errorf("clamped SpinYields = %d, want %d", got, MinSpinYields)
+	}
+	if got := tn.SleepCapNS.Load(); got != MaxSleepCapNS {
+		t.Errorf("clamped SleepCapNS = %d, want %d", got, MaxSleepCapNS)
+	}
+
+	// 100 probes, 80 steals: 20% failure — sharpen back toward latency.
+	ss.StealTries += 100
+	ss.Steals += 80
+	c.Step()
+	if got := tn.SpinYields.Load(); got != 2*MinSpinYields {
+		t.Errorf("after low-failure tick: SpinYields = %d, want %d", got, 2*MinSpinYields)
+	}
+	if got := tn.SleepCapNS.Load(); got != MaxSleepCapNS/2 {
+		t.Errorf("after low-failure tick: SleepCapNS = %d, want %d", got, MaxSleepCapNS/2)
+	}
+}
+
+func TestBackoffHysteresisAndWindow(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	c, tn := scripted(Config{Workers: 2, Backoff: true}, &ss, &gs)
+
+	// In-band failure rate (70%): hold both setpoints.
+	ss.StealTries, ss.Steals = 100, 30
+	c.Step()
+	if got := tn.SpinYields.Load(); got != DefaultSpinYields {
+		t.Errorf("in-band tick moved SpinYields to %d, want hold at %d", got, DefaultSpinYields)
+	}
+
+	// Fewer than minProbeWindow probes: no signal, hold even at 100% failure.
+	ss.StealTries += minProbeWindow - 1
+	c.Step()
+	if got := tn.SpinYields.Load(); got != DefaultSpinYields {
+		t.Errorf("thin-window tick moved SpinYields to %d, want hold at %d", got, DefaultSpinYields)
+	}
+	if got := tn.SleepCapNS.Load(); got != DefaultSleepCapNS {
+		t.Errorf("thin-window tick moved SleepCapNS to %d, want hold at %d", got, DefaultSleepCapNS)
+	}
+}
+
+func TestRenameCapSetpoints(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	const base = 8
+	c, tn := scripted(Config{Workers: 2, RenameCap: true, BaseRenameCap: base}, &ss, &gs)
+	if got := tn.RenameCap.Load(); got != base {
+		t.Fatalf("seeded RenameCap = %d, want %d", got, base)
+	}
+
+	// Fallback pressure doubles the cap each tick up to the ceiling.
+	for i, want := range []int32{16, 32, 64, 64} {
+		gs.RenameFallbacks += 5
+		c.Step()
+		if got := tn.RenameCap.Load(); got != want {
+			t.Errorf("pressure tick %d: RenameCap = %d, want %d", i+1, got, want)
+		}
+	}
+	if MaxRenameCap != 64 {
+		t.Fatalf("ceiling moved (%d); update the expectations above", MaxRenameCap)
+	}
+
+	// Decay: capDecayTicks calm ticks halve the cap once, repeating down to
+	// base, never below.
+	for i, want := range []int32{64, 64, 64, 32} {
+		c.Step()
+		if got := tn.RenameCap.Load(); got != want {
+			t.Errorf("calm tick %d: RenameCap = %d, want %d", i+1, got, want)
+		}
+	}
+	for i := 0; i < 3*capDecayTicks; i++ {
+		c.Step()
+	}
+	if got := tn.RenameCap.Load(); got != base {
+		t.Errorf("fully decayed RenameCap = %d, want base %d", got, base)
+	}
+
+	// New pressure restarts the widening from the decayed value.
+	gs.RenameFallbacks += 1
+	c.Step()
+	if got := tn.RenameCap.Load(); got != 2*base {
+		t.Errorf("re-pressure: RenameCap = %d, want %d", got, 2*base)
+	}
+}
+
+func TestChunkFor(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	c, _ := scripted(Config{Workers: 2, Grain: true}, &ss, &gs)
+
+	// Before any measurement: the workers-derived heuristic, n/(4·workers).
+	if got, want := c.ChunkFor("L", 1024), 1024/(4*2); got != want {
+		t.Errorf("cold ChunkFor = %d, want heuristic %d", got, want)
+	}
+	if got := c.ChunkFor("L", 1); got != 1 {
+		t.Errorf("ChunkFor(n=1) = %d, want 1", got)
+	}
+
+	// First sample seeds the EWMA exactly: 100µs over 100 iters = 1µs/iter;
+	// 200µs target / 1µs = 200 per chunk.
+	c.TaskDone("L", 100_000, 100, false, false)
+	if got := c.ChunkFor("L", 10_000); got != 200 {
+		t.Errorf("measured ChunkFor = %d, want %d (target %d / per-iter 1000)", got, 200, DefaultTargetChunkNS)
+	}
+
+	// The per-worker clamp keeps at least two chunks per worker (a separate
+	// label: the clamped answer would pollute L's hysteresis memory).
+	c.TaskDone("K", 100_000, 100, false, false)
+	if got, want := c.ChunkFor("K", 100), 100/(2*2); got != want {
+		t.Errorf("clamped ChunkFor = %d, want n/(2w) = %d", got, want)
+	}
+
+	// Hysteresis: an ideal within ±25% of the last answer holds it. A second
+	// sample at 1.2µs/iter moves the EWMA to 1.05µs (alpha 0.25), ideal
+	// 190 — inside the band around 200, so the answer stays 200.
+	c.TaskDone("L", 120_000, 100, false, false)
+	if got := c.ChunkFor("L", 10_000); got != 200 {
+		t.Errorf("hysteresis ChunkFor = %d, want held 200", got)
+	}
+
+	// A big cost shift escapes the band: per-iter EWMA jumps to ~8.3µs
+	// after two 10µs/iter samples, ideal ~24 — well outside 150..250.
+	c.TaskDone("L", 1_000_000, 100, false, false)
+	c.TaskDone("L", 1_000_000, 100, false, false)
+	got := c.ChunkFor("L", 10_000)
+	if got >= 150 || got < 1 {
+		t.Errorf("post-shift ChunkFor = %d, want a re-sized chunk well below 150", got)
+	}
+
+	// Labels are independent: an unmeasured label still gets the heuristic.
+	if got, want := c.ChunkFor("M", 1024), 1024/(4*2); got != want {
+		t.Errorf("other-label ChunkFor = %d, want heuristic %d", got, want)
+	}
+}
+
+func TestChunkForGrainDisabled(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	c, _ := scripted(Config{Workers: 4, Grain: false}, &ss, &gs)
+	c.TaskDone("L", 100_000, 100, false, false)
+	// With the grain loop off, measurements never override the heuristic.
+	if got, want := c.ChunkFor("L", 1024), 1024/(4*4); got != want {
+		t.Errorf("grain-off ChunkFor = %d, want heuristic %d", got, want)
+	}
+}
+
+func TestTickCadence(t *testing.T) {
+	var ss core.SchedStats
+	var gs core.GraphStats
+	c, _ := scripted(Config{Workers: 2, Backoff: true, TickEvery: 8}, &ss, &gs)
+	for i := 0; i < 7; i++ {
+		c.TaskDone("L", 1000, 0, false, false)
+	}
+	if got := c.Steps(); got != 0 {
+		t.Fatalf("after 7 completions: %d ticks, want 0", got)
+	}
+	c.TaskDone("L", 1000, 0, false, false)
+	if got := c.Steps(); got != 1 {
+		t.Fatalf("after 8 completions: %d ticks, want 1", got)
+	}
+	for i := 0; i < 16; i++ {
+		c.TaskDone("L", 1000, 0, false, false)
+	}
+	if got := c.Steps(); got != 3 {
+		t.Fatalf("after 24 completions: %d ticks, want 3", got)
+	}
+}
+
+func TestAggregatorSnapshot(t *testing.T) {
+	a := obs.NewAggregator(0.25)
+	a.Note("b", 100, 0, false, false)
+	a.Note("a", 200, 10, true, false)
+	a.Note("a", 400, 10, false, true)
+	snap := a.Snapshot()
+	if len(snap) != 2 || snap[0].Label != "a" || snap[1].Label != "b" {
+		t.Fatalf("snapshot order = %+v, want labels [a b]", snap)
+	}
+	ag := snap[0]
+	if ag.Count != 2 || ag.Iters != 20 || ag.Renames != 1 || ag.Fallbacks != 1 {
+		t.Errorf("label a counters = %+v, want count 2, iters 20, renames 1, fallbacks 1", ag)
+	}
+	if ag.ExecNS != 600 || ag.MeanNS != 300 {
+		t.Errorf("label a exec/mean = %d/%d, want 600/300", ag.ExecNS, ag.MeanNS)
+	}
+	// EWMA: seed 200, then 0.75*200 + 0.25*400 = 250. Per-iter: seed 20,
+	// then 0.75*20 + 0.25*40 = 25.
+	if ag.EWMANS != 250 {
+		t.Errorf("label a EWMA = %d, want 250", ag.EWMANS)
+	}
+	if ag.PerIterNS != 25 {
+		t.Errorf("label a per-iter EWMA = %d, want 25", ag.PerIterNS)
+	}
+}

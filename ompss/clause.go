@@ -19,6 +19,7 @@ type taskSpec struct {
 	final       bool
 	affinity    uint32 // home shard of the Affinity hint
 	hasAffinity bool
+	iters       int // TaskLoop chunk's iteration count (0 for ordinary tasks)
 }
 
 func buildSpec(clauses []Clause) taskSpec {

@@ -8,6 +8,7 @@ import (
 
 	"ompssgo/internal/core"
 	"ompssgo/internal/obs"
+	"ompssgo/internal/tune"
 )
 
 // nativeBackend executes tasks on goroutine workers. With Workers(n), n−1
@@ -31,6 +32,14 @@ type nativeBackend struct {
 	sched *core.Sched
 	stop  atomic.Bool
 	gate  idleGate // Blocking mode: idle workers and taskwaiters
+
+	// tn/ctl are the feedback-control plane (nil when no Tuning field
+	// armed it): ctl consumes measured task completions and writes
+	// setpoints into tn, which the graph's rename-cap check and the
+	// polling spinner read. tn may also be non-nil alone, carrying a
+	// pinned StealBackoff without a controller.
+	tn  *core.Tunables
+	ctl *tune.Controller
 
 	wg    sync.WaitGroup
 	crit  critSet[sync.Mutex]
@@ -79,21 +88,41 @@ func (g *idleGate) wake() {
 // on a 2-core host — spin the cores bare and starve the lanes doing real
 // work; with it, release latency stays in the tens of microseconds, which
 // is the polling-vs-blocking gap the paper's §4 measures.
-type spinner struct{ misses int }
+//
+// With a Tunables block installed (tn non-nil), the yield budget and sleep
+// cap are read per miss from the controller's setpoints — one atomic load
+// each on the idle path only — so Tuning{StealBackoff: Auto} can deepen
+// the backoff when the steal matrix reports mostly failed probes.
+type spinner struct {
+	misses int
+	tn     *core.Tunables
+}
 
-const spinYields = 64
+const (
+	spinYields     = 64
+	spinSleepCapNS = 100_000
+)
 
 func (s *spinner) hit() { s.misses = 0 }
 
 func (s *spinner) miss() {
+	yields, capNS := spinYields, int64(spinSleepCapNS)
+	if tn := s.tn; tn != nil {
+		if y := tn.SpinYields.Load(); y > 0 {
+			yields = int(y)
+		}
+		if c := tn.SleepCapNS.Load(); c > 0 {
+			capNS = c
+		}
+	}
 	s.misses++
-	if s.misses <= spinYields {
+	if s.misses <= yields {
 		runtime.Gosched()
 		return
 	}
-	d := time.Duration(s.misses-spinYields) * time.Microsecond
-	if d > 100*time.Microsecond {
-		d = 100 * time.Microsecond
+	d := time.Duration(s.misses-yields) * time.Microsecond
+	if d > time.Duration(capNS) {
+		d = time.Duration(capNS)
 	}
 	time.Sleep(d)
 }
@@ -106,7 +135,27 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 		sched: core.NewSched(cfg.workers, cfg.schedPolicy(), cfg.seed),
 		epoch: time.Now(),
 	}
-	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
+	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renamingOn(), MaxVersions: cfg.renameCapN()})
+	if cfg.tuningActive() || cfg.tun.StealBackoff.IsSet() {
+		b.tn = &core.Tunables{}
+		if v, ok := cfg.tun.StealBackoff.Value(); ok && v > 0 {
+			// Pinned backoff: the sleep cap is set once and no loop moves it.
+			b.tn.SleepCapNS.Store(int64(v) * 1000)
+		}
+		if cfg.tuningActive() {
+			b.ctl = tune.New(tune.Config{
+				Workers:       cfg.workers,
+				Grain:         cfg.tun.Grain.IsAuto(),
+				Backoff:       cfg.tun.StealBackoff.IsAuto(),
+				RenameCap:     cfg.tun.RenameCap.IsAuto(),
+				BaseRenameCap: cfg.renameCapN(),
+				SchedStats:    b.sched.Stats,
+				GraphStats:    b.graph.Stats,
+			}, b.tn, obs.NewAggregator(0))
+		}
+		b.graph.SetTunables(b.tn)
+		b.sched.SetTunables(b.tn)
+	}
 	if rec := cfg.rec; rec != nil {
 		// Attach before any worker starts: the rings and clock are
 		// published to the worker goroutines by their go statements.
@@ -132,7 +181,7 @@ func (b *nativeBackend) workerLoop(lane int) {
 	defer b.wg.Done()
 	blocking := b.cfg.wait == Blocking
 	rec := b.cfg.rec
-	var idle spinner
+	idle := spinner{tn: b.tn}
 	idling := false
 	for {
 		var ticket uint64
@@ -179,6 +228,8 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		rec.Emit(lane, obs.EvStart, t.ID, 0)
 	}
 	var err error
+	var t0 int64
+	skipped := false
 	if skip := b.rt.skipReason(t); skip != nil {
 		// Skip-release: the task finishes without running, its dependents
 		// still release (and inherit the error under SkipDependents), so
@@ -189,11 +240,23 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 			rec.Emit(lane, obs.EvSkip, t.ID, 0)
 		}
 		err = skip
+		skipped = true
 	} else {
+		if b.ctl != nil {
+			t0 = int64(time.Since(b.epoch))
+		}
 		err = t.Body()
 	}
 	b.rt.noteTaskErr(t, err)
 	ready := b.graph.Finish(t, err)
+	if b.ctl != nil && !skipped {
+		// Feed the controller with the task's measured execution time and
+		// rename attribution; every TickEvery-th call runs a control tick
+		// inline on this lane. Allocation-free (asserted by the alloc-budget
+		// suite) so tuning never perturbs what it measures.
+		end := int64(time.Since(b.epoch))
+		b.ctl.TaskDone(t.Label, end-t0, t.Iters, t.Renamed(), t.RenameFallback())
+	}
 	if rec != nil {
 		// The end event and the ready events of the released successors
 		// share the completion instant — one group, one clock read, one
@@ -367,7 +430,7 @@ func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
 		rec.Emit(from.worker, obs.EvTaskwaitEnter, 0, 0)
 		defer rec.Emit(from.worker, obs.EvTaskwaitExit, 0, 0)
 	}
-	var idle spinner
+	idle := spinner{tn: b.tn}
 	for ctx.Pending() > 0 {
 		if b.helpOne(from.worker) {
 			idle.hit()
@@ -390,7 +453,7 @@ func (b *nativeBackend) taskwait(from *TC, ctx *core.Context) {
 // cond must eventually hold through task completions or a cancellation;
 // every task finish and cancelWake re-checks it via the gate sequence.
 func (b *nativeBackend) waitFor(from *TC, cond func() bool) {
-	var idle spinner
+	idle := spinner{tn: b.tn}
 	for !cond() {
 		if b.helpOne(from.worker) {
 			idle.hit()
@@ -474,7 +537,7 @@ func (b *nativeBackend) cancelWake() {
 func (b *nativeBackend) shutdown(from *TC) {
 	b.shutdownOnce.Do(func() {
 		// Implicit end-of-program barrier: drain every context.
-		var idle spinner
+		idle := spinner{tn: b.tn}
 		for b.graph.Unfinished() > 0 {
 			if b.helpOne(from.worker) {
 				idle.hit()
@@ -490,6 +553,8 @@ func (b *nativeBackend) shutdown(from *TC) {
 	})
 }
 
+func (b *nativeBackend) tuner() *tune.Controller { return b.ctl }
+
 func (b *nativeBackend) stats() RunStats {
-	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
+	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats(), Labels: labelStatsOf(b.ctl)}
 }

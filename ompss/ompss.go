@@ -61,6 +61,7 @@ import (
 
 	"ompssgo/internal/core"
 	"ompssgo/internal/obs"
+	"ompssgo/internal/tune"
 )
 
 // WaitMode selects how idle workers and waiters behave.
@@ -83,21 +84,19 @@ func (m WaitMode) String() string {
 }
 
 // config collects runtime options. The session-relevant subset — policy,
-// renaming, renameCap, rec, tenant, maxInFlight, admission — is accepted
+// the Tuning profile, rec, tenant, maxInFlight, admission — is accepted
 // uniformly at New and NewSession: NewSession starts from a copy of the
 // runtime's config and applies its own options on top, so session values
-// override runtime defaults field by field.
+// override runtime defaults field by field. Scheduling/renaming knobs live
+// in the Tuning profile (tuning.go); the legacy single-knob options write
+// single profile fields.
 type config struct {
 	workers     int
 	wait        WaitMode
-	locality    bool
-	affinity    bool
-	domains     int
+	tun         Tuning
 	seed        int64
 	rec         *obs.Recorder
 	policy      ErrorPolicy
-	renaming    bool
-	renameCap   int
 	tenant      int
 	maxInFlight int
 	admission   AdmissionMode
@@ -107,7 +106,7 @@ type config struct {
 // their Sched — the single point where runtime options become placement and
 // victim-selection behavior (internal/core/policy.go).
 func (c config) schedPolicy() core.Policy {
-	return core.Policy{Locality: c.locality, Affinity: c.affinity, Domains: c.domains}
+	return core.Policy{Locality: c.localityOn(), Affinity: c.affinityOn(), Domains: c.domainsN()}
 }
 
 // Option configures a Runtime.
@@ -121,23 +120,34 @@ func Workers(n int) Option { return func(c *config) { c.workers = n } }
 // Wait selects the idle-wait policy (default Polling, as in OmpSs).
 func Wait(m WaitMode) Option { return func(c *config) { c.wait = m } }
 
+// boolSetting converts a legacy on/off argument to a pinned Setting.
+func boolSetting(on bool) Setting {
+	if on {
+		return On
+	}
+	return Off
+}
+
 // Locality toggles locality-aware scheduling: successors released by a
 // finishing task are placed at the head of the finishing worker's queue so
 // producer→consumer chains run back-to-back on one core (default true; the
-// paper's ray-rot analysis credits this policy).
-func Locality(on bool) Option { return func(c *config) { c.locality = on } }
+// paper's ray-rot analysis credits this policy). Equivalent to
+// WithTuning(Tuning{Locality: On/Off}).
+func Locality(on bool) Option { return func(c *config) { c.tun.Locality = boolSetting(on) } }
 
 // AffinitySched toggles honoring Affinity clause hints (default true): on,
 // a hinted task is submitted to the mailbox of its datum's home lane; off,
 // hints are ignored and hinted tasks join the global FIFO like any other.
-func AffinitySched(on bool) Option { return func(c *config) { c.affinity = on } }
+// Equivalent to WithTuning(Tuning{Affinity: On/Off}).
+func AffinitySched(on bool) Option { return func(c *config) { c.tun.Affinity = boolSetting(on) } }
 
 // Domains splits the workers into n contiguous steal domains (modeling
 // sockets): an idle worker probes every victim in its own domain before
 // crossing into another, so affinity- and locality-placed work is drained
 // by near workers first and only leaves its domain as a last resort.
-// Values < 2 (the default) mean flat random-victim stealing.
-func Domains(n int) Option { return func(c *config) { c.domains = n } }
+// Values < 2 (the default) mean flat random-victim stealing. Equivalent to
+// WithTuning(Tuning{Domains: Fixed(n)}).
+func Domains(n int) Option { return func(c *config) { c.tun.Domains = Fixed(n) } }
 
 // Seed fixes the scheduler's steal-victim RNG.
 func Seed(s int64) Option { return func(c *config) { c.seed = s } }
@@ -159,13 +169,16 @@ func Seed(s int64) Option { return func(c *config) { c.seed = s } }
 // SkipDependents it runs (and publishes) even when a program-order
 // predecessor it never depended on fails. A renamed InOut keeps its true
 // RAW edge and still inherits the previous writer's failure.
-func WithRenaming(on bool) Option { return func(c *config) { c.renaming = on } }
+// Equivalent to WithTuning(Tuning{Renaming: On/Off}).
+func WithRenaming(on bool) Option { return func(c *config) { c.tun.Renaming = boolSetting(on) } }
 
 // RenameCap bounds the live renamed instances per datum (default
 // core.DefaultMaxVersions): a write that would exceed the cap stalls on
 // its WAR/WAW edges instead, keeping the memory held by in-flight copies
-// proportional to the cap, not to the submission depth.
-func RenameCap(n int) Option { return func(c *config) { c.renameCap = n } }
+// proportional to the cap, not to the submission depth. Equivalent to
+// WithTuning(Tuning{RenameCap: Fixed(n)}); Tuning{RenameCap: Auto} adapts
+// the cap online instead.
+func RenameCap(n int) Option { return func(c *config) { c.tun.RenameCap = Fixed(n) } }
 
 // Trace attaches a Tracer — the compatibility view over the observability
 // stream (DOT/SVG export, timeline CSV, Summary). It is equivalent to
@@ -185,8 +198,10 @@ func Observe(r *obs.Recorder) Option { return func(c *config) { c.rec = r } }
 
 func buildConfig(opts []Option) config {
 	// workers == 0 means "unset": New defaults to 1, RunSim to the
-	// simulated machine's core count.
-	c := config{wait: Polling, locality: true, affinity: true, seed: 1}
+	// simulated machine's core count. Unset Tuning fields resolve to the
+	// pre-profile defaults (locality/affinity on, renaming off) through
+	// the config accessors in tuning.go.
+	c := config{wait: Polling, seed: 1}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -218,6 +233,10 @@ type backend interface {
 	// cancelWake nudges parked threads after a cancellation so they can
 	// observe the skip-everything state. Must be safe from any goroutine.
 	cancelWake()
+	// tuner returns the backend's feedback controller, nil when no Tuning
+	// field armed one (auto TaskLoop chunking then falls back to a static
+	// heuristic).
+	tuner() *tune.Controller
 	shutdown(from *TC)
 	stats() RunStats
 }
@@ -373,11 +392,54 @@ func (rt *Runtime) skipReason(t *core.Task) error {
 	return nil
 }
 
-// RunStats reports engine activity counters.
+// RunStats reports engine activity counters. Labels carries the per-label
+// execution aggregates of the feedback controller's streaming view — the
+// controller's inputs, user-inspectable without attaching a recorder. It is
+// populated only when a Tuning field armed the controller (nil otherwise).
 type RunStats struct {
-	Graph core.GraphStats
-	Sched core.SchedStats
+	Graph  core.GraphStats
+	Sched  core.SchedStats
+	Labels []LabelStats
 }
+
+// LabelStats is the per-label slice of the controller's streaming
+// aggregates: how many tasks (and TaskLoop iterations) carried the label,
+// their total/mean/smoothed execution time, and how many of them renamed a
+// write or fell back on a full version cap.
+type LabelStats struct {
+	Label     string
+	Count     uint64
+	Iters     uint64 // TaskLoop iterations covered by the counted tasks
+	Renames   uint64
+	Fallbacks uint64
+	ExecNS    int64 // summed measured execution time (virtual ns under sim)
+	MeanNS    int64
+	EWMANS    int64 // smoothed per-task execution time
+	PerIterNS int64 // smoothed per-iteration execution time (loop labels)
+}
+
+// labelStatsOf converts the controller's aggregator snapshot to the public
+// stats slice (nil controller → nil slice).
+func labelStatsOf(ctl *tune.Controller) []LabelStats {
+	if ctl == nil {
+		return nil
+	}
+	aggs := ctl.Aggregator().Snapshot()
+	out := make([]LabelStats, len(aggs))
+	for i, a := range aggs {
+		out[i] = LabelStats{
+			Label: a.Label, Count: a.Count, Iters: a.Iters,
+			Renames: a.Renames, Fallbacks: a.Fallbacks,
+			ExecNS: a.ExecNS, MeanNS: a.MeanNS, EWMANS: a.EWMANS,
+			PerIterNS: a.PerIterNS,
+		}
+	}
+	return out
+}
+
+// LabelStats returns the runtime's per-label execution aggregates (see
+// RunStats.Labels); nil when no feedback controller is armed.
+func (rt *Runtime) LabelStats() []LabelStats { return labelStatsOf(rt.be.tuner()) }
 
 // Task spawns a task from the master thread and returns its Handle. The
 // body runs once its dependences (declared via In/Out/InOut clauses) are
@@ -520,7 +582,15 @@ func (tc *TC) Go(body func(*TC) error, clauses ...Clause) *Handle {
 
 // spawn is the common deferred/undeferred spawn path behind Task and Go.
 func (tc *TC) spawn(body func(*TC) error, clauses []Clause) *Handle {
+	return tc.spawnIters(body, clauses, 0)
+}
+
+// spawnIters is spawn carrying the TaskLoop chunk's iteration count (0 for
+// ordinary tasks) into the task record, where the feedback controller reads
+// it to learn per-iteration cost.
+func (tc *TC) spawnIters(body func(*TC) error, clauses []Clause, iters int) *Handle {
 	spec := buildSpec(clauses)
+	spec.iters = iters
 	if !spec.enabled || tc.final {
 		return tc.spawnInline(&spec, body)
 	}
@@ -584,6 +654,7 @@ func (tc *TC) buildDeferred(spec *taskSpec, body func(*TC) error) *core.Task {
 	ct.Label = spec.label
 	ct.Priority = spec.priority
 	ct.CPUCost = int64(spec.cost)
+	ct.Iters = spec.iters
 	ct.Accesses = spec.accesses
 	ct.Parent = tc.ctx
 	if s := tc.sess; s != nil {
@@ -663,7 +734,18 @@ func commutativeKeys(accesses []core.Access) []any {
 // touch distinct data; for independent chunks no clauses are needed).
 // TaskLoop does not wait; pair with Taskwait. It returns the chunk tasks'
 // Handles in chunk order.
+//
+// chunk == Auto asks the runtime to size the chunks: the grain controller's
+// decision when Tuning{Grain: Auto} armed one (targeting its per-chunk
+// execution-time window from the label's measured per-iteration cost), the
+// pinned Tuning{Grain: Fixed(v)} value, or a workers-derived heuristic
+// otherwise. Exactly Auto means runtime-chosen; every other non-positive
+// chunk keeps the historical clamp to 1, so e.g. a computed chunk that
+// underflows to 0 still means "one iteration per task", not "auto".
 func (tc *TC) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...Clause) []*Handle {
+	if chunk == Auto {
+		chunk = tc.autoChunk(n, clauses)
+	}
 	if chunk < 1 {
 		chunk = 1
 	}
@@ -674,9 +756,35 @@ func (tc *TC) TaskLoop(n, chunk int, body func(tc *TC, lo, hi int), clauses ...C
 			hi = n
 		}
 		lo, hi := lo, hi
-		hs = append(hs, tc.Task(func(c *TC) { body(c, lo, hi) }, clauses...))
+		hs = append(hs, tc.spawnIters(func(c *TC) error { body(c, lo, hi); return nil }, clauses, hi-lo))
 	}
 	return hs
+}
+
+// autoChunk resolves a TaskLoop's Auto chunk: the controller's decision,
+// the pinned Grain value, or the static heuristic (about four chunks per
+// worker — enough slack for stealing without drowning in per-task cost).
+func (tc *TC) autoChunk(n int, clauses []Clause) int {
+	if n <= 1 {
+		return 1
+	}
+	cfg := tc.rt.cfg
+	if v, ok := cfg.tun.Grain.Value(); ok && v > 0 {
+		return v
+	}
+	if ctl := tc.rt.be.tuner(); ctl != nil {
+		spec := buildSpec(clauses)
+		return ctl.ChunkFor(spec.label, n)
+	}
+	w := cfg.workers
+	if w < 1 {
+		w = 1
+	}
+	ch := n / (4 * w)
+	if ch < 1 {
+		ch = 1
+	}
+	return ch
 }
 
 // Taskwait blocks until this context's direct children have finished,

@@ -140,10 +140,13 @@ type Session struct {
 var taskPool = sync.Pool{New: func() any { return new(core.Task) }}
 
 // NewSession opens a request-scoped session. Session-relevant options —
-// OnError, WithRenaming, RenameCap, Observe, Tenant, MaxInFlight,
-// Admission — are accepted here with the same constructors New takes;
-// a session value overrides the runtime default, anything not set is
-// inherited (see DESIGN.md for the precedence table). Observe(nil) mutes
+// OnError, WithTuning (and its single-knob wrappers WithRenaming and
+// RenameCap), Observe, Tenant, MaxInFlight, Admission — are accepted here
+// with the same constructors New takes; a session value overrides the
+// runtime default, anything not set is inherited (see DESIGN.md for the
+// precedence table). A session Tuning profile can pin values (e.g.
+// RenameCap: Fixed(8)) but cannot arm feedback loops — the controller is
+// per-runtime, so Auto fields are meaningful only at New. Observe(nil) mutes
 // the session's per-task events in the runtime's recorder; attaching a
 // different recorder than the runtime's panics (per-session traces are
 // carved out of the runtime's stream by session ID instead — see
@@ -168,15 +171,15 @@ func (rt *Runtime) NewSession(opts ...Option) *Session {
 		Owner:  s,
 		Quiet:  rt.cfg.rec != nil && cfg.rec == nil,
 	}
-	if cfg.renaming != rt.cfg.renaming {
-		if cfg.renaming {
+	if cfg.renamingOn() != rt.cfg.renamingOn() {
+		if cfg.renamingOn() {
 			dom.Rename = core.RenameForceOn
 		} else {
 			dom.Rename = core.RenameForceOff
 		}
 	}
-	if cfg.renameCap > 0 && cfg.renameCap != rt.cfg.renameCap {
-		dom.RenameCap = cfg.renameCap
+	if capN := cfg.renameCapN(); capN > 0 && capN != rt.cfg.renameCapN() {
+		dom.RenameCap = capN
 	}
 	s.dom = dom
 	s.tc = &TC{rt: rt, ctx: &core.Context{}, worker: rt.main.worker, sess: s}
@@ -199,6 +202,12 @@ type SessionStats struct {
 	Failed    uint64 // finished with a non-nil outcome (includes skipped)
 	Skipped   uint64 // released without running
 	InFlight  int64  // submitted but not yet finished
+
+	// Labels holds the runtime's per-label execution aggregates (present
+	// only when the hosting runtime's Tuning profile armed a feedback loop).
+	// The aggregates are runtime-wide — labels are not session-scoped, so a
+	// label shared across sessions reports their combined stream.
+	Labels []LabelStats
 }
 
 // Stats returns the session's task accounting counters.
@@ -210,6 +219,7 @@ func (s *Session) Stats() SessionStats {
 		Failed:    ds.Failed,
 		Skipped:   ds.Skipped,
 		InFlight:  ds.InFlight,
+		Labels:    labelStatsOf(s.rt.be.tuner()),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ompssgo/internal/core"
 	"ompssgo/internal/obs"
+	"ompssgo/internal/tune"
 	"ompssgo/internal/vm"
 	"ompssgo/machine"
 )
@@ -52,7 +53,25 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 	}
 	rt := &Runtime{be: b, cfg: cfg, simMode: true}
 	b.rt = rt
-	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renaming, MaxVersions: cfg.renameCap})
+	b.graph.ConfigureRenaming(core.Renaming{Enabled: cfg.renamingOn(), MaxVersions: cfg.renameCapN()})
+	if cfg.tuningActive() {
+		// Same control plane as the native backend, but fed virtual time, so
+		// controller decisions are deterministic; Backoff is forced off — the
+		// simulator's idle waiting is event-driven, there is no spin loop to
+		// tune (documented no-op on Tuning.StealBackoff).
+		b.tn = &core.Tunables{}
+		b.ctl = tune.New(tune.Config{
+			Workers:       cfg.workers,
+			Grain:         cfg.tun.Grain.IsAuto(),
+			Backoff:       false,
+			RenameCap:     cfg.tun.RenameCap.IsAuto(),
+			BaseRenameCap: cfg.renameCapN(),
+			SchedStats:    b.sched.Stats,
+			GraphStats:    b.graph.Stats,
+		}, b.tn, obs.NewAggregator(0))
+		b.graph.SetTunables(b.tn)
+		b.sched.SetTunables(b.tn)
+	}
 	if rec := cfg.rec; rec != nil {
 		// Timestamps are the simulated machine's virtual clock; every
 		// emission happens on the event loop's goroutine.
@@ -115,6 +134,11 @@ type simBackend struct {
 	sched *core.Sched
 	lanes []*vm.Thread
 	stop  bool
+
+	// tn/ctl mirror the native backend's feedback-control plane (nil when no
+	// Tuning field armed it); the controller consumes virtual execution times.
+	tn  *core.Tunables
+	ctl *tune.Controller
 
 	ws          vm.WaitSet // Polling mode: idle workers and waiters
 	idle        []*vm.Thread
@@ -214,6 +238,8 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	}
 	b.pollCtx()
 	var err error
+	var t0 int64
+	skipped := false
 	if skip := b.rt.skipReason(t); skip != nil {
 		// Skip-release: no body, no modeled compute or memory traffic —
 		// a cancelled graph drains in (almost) zero virtual time.
@@ -223,7 +249,11 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 			rec.Emit(lane, obs.EvSkip, t.ID, 0)
 		}
 		err = skip
+		skipped = true
 	} else {
+		if b.ctl != nil {
+			t0 = int64(b.v.Now())
+		}
 		// Memory-system cost of the task's declared footprints, evaluated
 		// against where each datum was last produced (warmth/NUMA model).
 		var mem vm.Time
@@ -237,6 +267,14 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	vt.Charge(cm.TaskFinish)
 	vt.Flush()
 	ready := b.graph.Finish(t, err)
+	if b.ctl != nil && !skipped {
+		// The flush above advanced the virtual clock past the task's modeled
+		// compute/memory time, so Now()−t0 is the task's virtual execution
+		// time — the controller's decisions are deterministic under the
+		// serialized event loop.
+		end := int64(b.v.Now())
+		b.ctl.TaskDone(t.Label, end-t0, t.Iters, t.Renamed(), t.RenameFallback())
+	}
 	if rec != nil {
 		// Stamped after the flush so End−Start covers the task's modeled
 		// compute/memory time (Finish adds no virtual time); end and the
@@ -494,6 +532,8 @@ func (b *simBackend) shutdown(from *TC) {
 	}
 }
 
+func (b *simBackend) tuner() *tune.Controller { return b.ctl }
+
 func (b *simBackend) stats() RunStats {
-	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats()}
+	return RunStats{Graph: b.graph.Stats(), Sched: b.sched.Stats(), Labels: labelStatsOf(b.ctl)}
 }
