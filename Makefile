@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace serve serve-smoke serve-trend dist dist-tcp dist-race fuzz-frames soak ci
+.PHONY: all build test race bench bench-contention bench-submit bench-native bench-trend alloc-budget examples lint trace dist-trace serve serve-smoke serve-trend dist dist-tcp dist-race fuzz-frames soak ci
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 
 # Race-detector pass over the concurrent executor packages (the CI `race` job).
 race:
-	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/tune ./internal/serve ./internal/dist ./pthread
+	$(GO) test -race -shuffle=on ./ompss ./internal/core ./internal/tune ./internal/obs ./internal/obs/metrics ./internal/serve ./internal/dist ./pthread
 
 # Run every benchmark for one iteration so benchmark code cannot rot
 # (the CI `bench-smoke` job). For real numbers, raise -benchtime.
@@ -65,6 +65,19 @@ trace:
 	$(GO) run ./cmd/ompss-trace record -bench $(TRACE_BENCH) -workers $(TRACE_WORKERS) -o trace.raw.json
 	$(GO) run ./cmd/ompss-trace analyze trace.raw.json
 	$(GO) run ./cmd/ompss-trace export -format chrome -o trace.chrome.json trace.raw.json
+
+# Cross-process trace of a distributed run (the CI dist-smoke job): the
+# coordinator and every worker process record their own rings, the worker
+# streams ship back over the dispatch connection, and the merge aligns each
+# worker's clock before interleaving — one timeline, one track per worker
+# incarnation. The merged stream is reconciled against the run's transfer
+# accounting before it is written. Override: make dist-trace DIST_TRACE_BENCH=kmeans
+DIST_TRACE_BENCH ?= rotate
+DIST_TRACE_WORKERS ?= 2
+dist-trace:
+	$(GO) run ./cmd/ompss-trace record -bench $(DIST_TRACE_BENCH) -dist -dist-workers $(DIST_TRACE_WORKERS) -small -o trace.dist.json
+	$(GO) run ./cmd/ompss-trace analyze trace.dist.json
+	$(GO) run ./cmd/ompss-trace export -format chrome -o trace.dist.chrome.json trace.dist.json
 
 # Boot the multi-tenant service runtime on :8080 (Ctrl-C to stop). See
 # README "Serving requests" for the endpoints and tenant headers.
@@ -135,4 +148,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else \
 		echo "lint: govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@latest); skipping" >&2; fi
 
-ci: build lint test race bench bench-submit alloc-budget bench-trend serve-smoke dist-race soak examples
+ci: build lint test race bench bench-submit alloc-budget bench-trend serve-smoke dist-race dist-trace soak examples

@@ -25,11 +25,15 @@ import (
 
 	"ompssgo/internal/obs"
 	"ompssgo/internal/suite"
+	"ompssgo/internal/suite/distkern"
 	"ompssgo/machine"
 	"ompssgo/ompss"
 )
 
 func main() {
+	// Distributed recording re-execs this binary as worker processes; a
+	// spawned child diverts into its serve loop here and never returns.
+	ompss.MaybeWorker()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -55,6 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ompss-trace record  -bench <name> [-workers N] [-small] [-sim] [-cores N] [-cap N] [-o FILE]
+  ompss-trace record  -bench <name> -dist [-dist-workers N] [-small] [-cap N] [-o FILE]
   ompss-trace analyze [-top N] FILE
   ompss-trace export  -format chrome|paraver [-o FILE] FILE`)
 }
@@ -69,10 +74,15 @@ func record(args []string) error {
 		small     = fs.Bool("small", false, "use the reduced test workload")
 		sim       = fs.Bool("sim", false, "record on the simulated machine (virtual-time trace)")
 		cores     = fs.Int("cores", 8, "simulated core count (with -sim)")
+		distRun   = fs.Bool("dist", false, "record on the distributed (multi-process) backend: one merged coordinator+worker trace")
+		distW     = fs.Int("dist-workers", 2, "worker processes (with -dist)")
 		capacity  = fs.Int("cap", obs.DefaultCapacity, "per-worker ring capacity in events")
 		out       = fs.String("o", "trace.json", "output file for the raw trace")
 	)
 	fs.Parse(args)
+	if *distRun {
+		return recordDist(*benchName, *distW, *small, *capacity, *out)
+	}
 	if *benchName == "" {
 		return fmt.Errorf("record needs -bench\nvalid benchmarks: %s", strings.Join(suite.Names(), ", "))
 	}
@@ -119,6 +129,66 @@ func record(args []string) error {
 	}
 	fmt.Printf("recorded %s (%s): %d events, %d dropped -> %s\n",
 		*benchName, tr.Backend, len(tr.Events), tr.TotalDropped(), *out)
+	return nil
+}
+
+// recordDist runs one dist-adapted workload across worker processes and
+// saves the merged cross-process trace: coordinator dispatch lanes plus one
+// clock-aligned track per worker incarnation. The merged stream is
+// reconciled against the coordinator's transfer accounting before it is
+// written — a trace that disagrees with the stats is an error, not an
+// artifact.
+func recordDist(benchName string, workers int, small bool, capacity int, out string) error {
+	set := distkern.Default()
+	if small {
+		set = distkern.Small()
+	}
+	var names []string
+	var wl *distkern.Workload
+	for i := range set {
+		names = append(names, set[i].Name)
+		if set[i].Name == benchName {
+			wl = &set[i]
+		}
+	}
+	if wl == nil {
+		return fmt.Errorf("record -dist needs -bench\nvalid distributed benchmarks: %s", strings.Join(names, ", "))
+	}
+	want := wl.Seq()
+	var got uint64
+	var merged *obs.Trace
+	stats, err := ompss.RunDist(workers, func(rt *ompss.DistRT) error {
+		var rerr error
+		got, rerr = wl.Run(rt)
+		return rerr
+	},
+		ompss.DistTraceWorkers(capacity),
+		ompss.DistTraceSink(func(m *obs.Trace) { merged = m }))
+	if err != nil {
+		return fmt.Errorf("dist run: %v", err)
+	}
+	if got != want {
+		return fmt.Errorf("%s: checksum %#x, sequential reference %#x", benchName, got, want)
+	}
+	if merged == nil {
+		return fmt.Errorf("dist run produced no merged trace")
+	}
+	if err := ompss.DistReconcileTrace(merged, stats); err != nil {
+		return fmt.Errorf("merged trace disagrees with run stats: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := merged.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s (dist, %d workers): %d events on %d tracks, %d dropped -> %s\n",
+		benchName, workers, len(merged.Events), len(merged.Tracks), merged.TotalDropped(), out)
 	return nil
 }
 

@@ -54,6 +54,14 @@ func TestSubmitAllocBudget(t *testing.T) {
 		// and its per-completion feed must stay allocation-free.
 		"BenchmarkSubmitDatumPtrTuned": BenchmarkSubmitDatumPtrTuned,
 		"BenchmarkTuneRecord":          BenchmarkTuneRecord,
+		// Metrics-plane ceilings: every live increment/observation must
+		// stay allocation-free, so scraping a loaded server never perturbs
+		// it. The dist frame round-trip is pinned at its current cost so
+		// trace piggybacking cannot silently inflate the dispatch path.
+		"BenchmarkMetricsCounterInc":       BenchmarkMetricsCounterInc,
+		"BenchmarkMetricsGaugeSet":         BenchmarkMetricsGaugeSet,
+		"BenchmarkMetricsHistogramObserve": BenchmarkMetricsHistogramObserve,
+		"BenchmarkDistFrameRoundTrip":      BenchmarkDistFrameRoundTrip,
 	}
 	for name, fn := range benchmarks {
 		budget, ok := entries[name]

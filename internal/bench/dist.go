@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ompssgo/internal/dist"
+	"ompssgo/internal/obs"
 	"ompssgo/internal/suite"
 	"ompssgo/internal/suite/distkern"
 	"ompssgo/ompss"
@@ -99,6 +100,14 @@ func RunDist(workers []int, iters int, scale suite.Scale, transports []string, p
 		want := wl.Seq()
 		perWorkers := map[int]int64{} // workers -> best ns on transports[0]
 		for _, tr := range transports {
+			// Untimed verification run with worker tracing on: the merged
+			// cross-process trace must reconcile exactly with the
+			// coordinator's transfer accounting (dist.ReconcileTrace), so a
+			// booking bug in either plane fails the battery before any
+			// number is reported.
+			if err := verifyDistTrace(wl, tr, workers[len(workers)-1]); err != nil {
+				return nil, fmt.Errorf("%s/%s: trace reconcile: %w", wl.Name, tr, err)
+			}
 			for _, w := range workers {
 				cell := DistCell{Bench: wl.Name, Transport: tr, Workers: w, Runs: iters}
 				var total time.Duration
@@ -158,6 +167,27 @@ func RunDist(workers []int, iters int, scale suite.Scale, transports []string, p
 		}
 	}
 	return rep, nil
+}
+
+// verifyDistTrace runs one workload with worker-side tracing enabled and
+// cross-checks the merged trace against the run's Stats: exactly-once
+// task execution on worker tracks, and byte-exact transfer, forward,
+// cache-hit, and chain accounting.
+func verifyDistTrace(wl distkern.Workload, transport string, workers int) error {
+	var merged *obs.Trace
+	stats, err := ompss.RunDist(workers, func(rt *dist.RT) error {
+		_, err := wl.Run(rt)
+		return err
+	},
+		ompss.DistTransport(transport),
+		ompss.DistTraceSink(func(m *obs.Trace) { merged = m }))
+	if err != nil {
+		return err
+	}
+	if merged == nil {
+		return fmt.Errorf("trace sink never ran")
+	}
+	return dist.ReconcileTrace(merged, stats)
 }
 
 // WriteJSON serializes the report (stable field order, trailing newline).

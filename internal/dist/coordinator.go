@@ -43,6 +43,8 @@ type config struct {
 	chainLimit int
 	noForward  bool
 	slowExit   time.Duration // test hook: worker sleeps this long before exiting
+	traceCap   int           // per-worker trace ring capacity; >0 turns on worker-side tracing
+	traceSink  func(*obs.Trace)
 }
 
 // Option configures Run.
@@ -106,6 +108,27 @@ func ChainLimit(n int) Option { return func(c *config) { c.chainLimit = n } }
 // NoForwarding disables direct worker-to-worker datum forwarding: every
 // transfer relays through the coordinator, as in the original design.
 func NoForwarding() Option { return func(c *config) { c.noForward = true } }
+
+// TraceWorkers turns on worker-side tracing: every spawned worker process
+// records its own kernel-execution stream into a ring of `capacity`
+// events (0 means obs.DefaultCapacity) and ships batches back on its
+// completions. Use TraceSink to receive the merged cross-process trace.
+func TraceWorkers(capacity int) Option {
+	return func(c *config) {
+		if capacity <= 0 {
+			capacity = obs.DefaultCapacity
+		}
+		c.traceCap = capacity
+	}
+}
+
+// TraceSink registers the receiver of the run's merged cross-process
+// trace: the coordinator's own stream plus every worker incarnation's
+// shipped events, clock-aligned via the handshake round-trip and folded
+// into per-(slot, generation) tracks. Implies TraceWorkers; a recorder is
+// created internally when Observe was not given. The sink runs on the
+// Run goroutine after teardown, before Run returns.
+func TraceSink(fn func(*obs.Trace)) Option { return func(c *config) { c.traceSink = fn } }
 
 // withSlowExit is the test hook behind the ExitKillDelay regression
 // tests: spawned workers sleep this long between finishing their drain
@@ -236,6 +259,7 @@ type workerState struct {
 	fetchAddr string
 	sent      int // dispatch frames sent, for KillWorkerAfter
 	wstats    WorkerStats
+	tb        *traceBucket // current incarnation's shipped-trace bucket (nil unless tracing)
 }
 
 // taskInfo carries the dist-level description of a submitted task (the
@@ -267,6 +291,8 @@ type RT struct {
 	workers []*workerState
 	rec     *obs.Recorder
 	clock   func() int64
+	epoch   time.Time
+	buckets []*traceBucket // every worker incarnation's bucket, admission order
 	secret  []byte
 	addr    string // rendezvous address workers dial, for respawn
 	stopCh  chan struct{}
@@ -747,6 +773,8 @@ func (rt *RT) reader(w *workerState, gen int) {
 			rt.handleDone(w, gen, f.Done)
 		case f.Fetch != nil:
 			rt.handleFetch(w, gen, c, f.Fetch)
+		case f.Trace != nil:
+			rt.handleTrace(w, gen, f.Trace)
 		default:
 			rt.workerLost(w, gen, fmt.Errorf("unexpected frame from worker"))
 			return
@@ -763,9 +791,11 @@ func (rt *RT) handleFetch(w *workerState, gen int, c *conn, m *FetchMsg) {
 	var b []byte
 	rt.mu.Lock()
 	if w.gen == gen {
+		var task uint64
 		for _, inf := range w.queue {
 			if bb, ok := inf.fwd[k]; ok {
 				b = bb
+				task = inf.t.ID
 				break
 			}
 		}
@@ -774,6 +804,9 @@ func (rt *RT) handleFetch(w *workerState, gen int, c *conn, m *FetchMsg) {
 			// the coordinator after all.
 			rt.stats.BytesToWorkers += int64(len(b))
 			w.wstats.BytesIn += int64(len(b))
+			if rt.rec != nil {
+				rt.rec.Emit(w.slot, obs.EvXfer, task, uint64(len(b)))
+			}
 		}
 	}
 	rt.mu.Unlock()
@@ -799,6 +832,10 @@ func (rt *RT) handleDone(w *workerState, gen int, d *DoneMsg) {
 	}
 	inf := w.queue[0]
 	w.queue = w.queue[1:]
+	if w.tb != nil {
+		w.tb.events = append(w.tb.events, d.Events...)
+		w.tb.dropped += d.EventsDropped
+	}
 	var err error
 	if d.Err != "" {
 		err = &RemoteError{Worker: w.slot, Kernel: inf.info.kernel, Msg: d.Err, Panic: d.Panic}
@@ -874,7 +911,7 @@ func (rt *RT) workerLost(w *workerState, gen int, cause error) {
 		rt.finishLocked(inf.t, &WorkerLost{Worker: w.slot, Cause: cause})
 	}
 	if rt.cfg.respawn {
-		if cmd, err := spawnWorker(rt.cfg.transport, rt.addr, w.slot, rt.secret, rt.cfg.slowExit); err == nil {
+		if cmd, err := spawnWorker(rt.cfg.transport, rt.addr, w.slot, rt.secret, rt.cfg.slowExit, rt.cfg.traceCap); err == nil {
 			w.cmd = cmd
 			rt.cmds = append(rt.cmds, cmd)
 			rt.pendingRejoins++
@@ -933,6 +970,7 @@ func (rt *RT) rejoin(a admitted) {
 	w.fetchAddr = a.hello.FetchAddr
 	w.queue = nil
 	rt.stats.Rejoins++
+	rt.openBucketLocked(w, a)
 	if rt.pendingRejoins > 0 {
 		rt.pendingRejoins--
 	}
@@ -967,6 +1005,14 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 	}
 	if cfg.chainLimit == 0 {
 		cfg.chainLimit = DefaultChainLimit
+	}
+	if cfg.traceSink != nil {
+		if cfg.traceCap == 0 {
+			cfg.traceCap = obs.DefaultCapacity
+		}
+		if cfg.rec == nil {
+			cfg.rec = obs.NewRecorder() // the sink needs a coordinator base stream
+		}
 	}
 	secret := cfg.secret
 	if secret == nil {
@@ -1017,7 +1063,7 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 	defer close(rt.stopCh)
 
 	for i := 0; i < workers; i++ {
-		cmd, err := spawnWorker(cfg.transport, addr, i, secret, cfg.slowExit)
+		cmd, err := spawnWorker(cfg.transport, addr, i, secret, cfg.slowExit, cfg.traceCap)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -1030,6 +1076,7 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 
 	if rt.rec != nil {
 		epoch := time.Now()
+		rt.epoch = epoch
 		rt.clock = func() int64 { return time.Since(epoch).Nanoseconds() }
 		rt.rec.Attach(workers, "dist", false, rt.clock)
 		g.SetProbe(rt.rec)
@@ -1040,6 +1087,7 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 	for i := 0; i < workers; i++ {
 		w := &workerState{slot: i, cmd: cmds[i], conn: adm[i].conn,
 			gen: 1, mir: newMirror(cfg.cacheBytes), fetchAddr: adm[i].hello.FetchAddr}
+		rt.openBucketLocked(w, adm[i])
 		rt.workers = append(rt.workers, w)
 	}
 	for _, w := range rt.workers {
@@ -1087,6 +1135,10 @@ func Run(workers int, program func(*RT) error, opts ...Option) (Stats, error) {
 		w.conn.Close()
 	}
 	rt.readers.Wait()
+
+	if cfg.traceSink != nil && rt.rec != nil {
+		cfg.traceSink(rt.mergedTrace())
+	}
 
 	rt.mu.Lock()
 	rt.stats.Graph = rt.g.Stats()

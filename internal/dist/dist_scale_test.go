@@ -300,7 +300,7 @@ func TestDistHandshakeRefusesBadSecret(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
-	if err := answerChallenge(bad, []byte("wrong-secret"), 0, "", time.Second); err != nil {
+	if err := answerChallenge(bad, []byte("wrong-secret"), 0, "", nil, time.Second); err != nil {
 		t.Fatalf("sending the (bad) hello should succeed locally: %v", err)
 	}
 	bad.SetReadDeadline(time.Now().Add(2 * time.Second))
@@ -320,7 +320,7 @@ func TestDistHandshakeRefusesBadSecret(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer good.Close()
-	if err := answerChallenge(good, secret, 3, "tcp:127.0.0.1:9", time.Second); err != nil {
+	if err := answerChallenge(good, secret, 3, "tcp:127.0.0.1:9", nil, time.Second); err != nil {
 		t.Fatalf("handshake: %v", err)
 	}
 	select {

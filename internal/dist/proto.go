@@ -30,6 +30,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"ompssgo/internal/obs"
 )
 
 // MaxFrame bounds one frame's payload. The largest legitimate frame
@@ -50,6 +52,12 @@ type Hello struct {
 	PID       int
 	MAC       []byte
 	FetchAddr string
+	// Now is the worker's monotonic clock reading (nanoseconds since its
+	// own trace epoch) sampled while composing this Hello. The server side
+	// timestamps the challenge round-trip around it, which yields an
+	// NTP-style offset estimate good to half the round-trip time — the
+	// clock-alignment contract merged distributed traces rely on.
+	Now int64
 }
 
 // Challenge is the server's first frame on any inbound connection: a
@@ -159,6 +167,23 @@ type DoneMsg struct {
 	Fetches        int
 	FetchedBytes   int64
 	FetchFallbacks int
+	// Events piggybacks the worker-side trace batch recorded since the
+	// previous Done (empty when the worker is not tracing). Timestamps are
+	// on the worker's own clock; the coordinator realigns them with the
+	// handshake offset at merge time. EventsDropped counts ring overflow
+	// on the worker since the last drain.
+	Events        []obs.Event
+	EventsDropped uint64
+}
+
+// TraceMsg is the worker's final trace drain, sent right before it exits
+// on Shutdown (or before a quiet EOF exit): whatever events accumulated
+// after the last Done, plus the residual drop count. Slot names the
+// sending worker so a coordinator can bucket it without connection state.
+type TraceMsg struct {
+	Slot    int
+	Events  []obs.Event
+	Dropped uint64
 }
 
 // Frame is the single message envelope every connection uses: exactly one
@@ -171,6 +196,7 @@ type Frame struct {
 	Fetch     *FetchMsg
 	Data      *DataMsg
 	Done      *DoneMsg
+	Trace     *TraceMsg
 	Shutdown  bool
 }
 

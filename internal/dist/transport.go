@@ -27,6 +27,7 @@ const (
 	envWorker   = "OMPSS_DIST_WORKER"
 	envSecret   = "OMPSS_DIST_SECRET"
 	envSlowExit = "OMPSS_DIST_SLOW_EXIT_MS"
+	envTrace    = "OMPSS_DIST_TRACE" // per-worker ring capacity; >0 turns on worker-side tracing
 )
 
 // DefaultHandshakeTimeout bounds how long the coordinator waits for all
@@ -68,36 +69,52 @@ func computeMAC(secret, nonce []byte, slot int) []byte {
 	return h.Sum(nil)
 }
 
+// clockSync is the server-side clock measurement taken around one
+// challenge round-trip: mid is the server's clock at the midpoint of the
+// exchange (the instant the dialer most plausibly sampled Hello.Now), rtt
+// the full round-trip. The NTP-style offset estimate a merge uses is
+// mid-since-epoch minus Hello.Now, accurate to ±rtt/2.
+type clockSync struct {
+	mid time.Time
+	rtt time.Duration
+}
+
 // challengeConn runs the server half of the connect handshake: send a
 // fresh nonce, read the dialer's Hello within the deadline, and verify
 // its MAC binds the claimed slot to this connection's nonce. The caller
-// owns closing the connection on error.
-func challengeConn(c net.Conn, secret []byte, timeout time.Duration) (*Hello, error) {
+// owns closing the connection on error. The returned clockSync brackets
+// the round-trip for trace clock alignment.
+func challengeConn(c net.Conn, secret []byte, timeout time.Duration) (*Hello, clockSync, error) {
 	nonce := make([]byte, 32)
 	if _, err := rand.Read(nonce); err != nil {
-		return nil, fmt.Errorf("nonce: %w", err)
+		return nil, clockSync{}, fmt.Errorf("nonce: %w", err)
 	}
 	c.SetDeadline(time.Now().Add(timeout))
 	defer c.SetDeadline(time.Time{})
+	t0 := time.Now()
 	if err := WriteFrame(c, &Frame{Challenge: &Challenge{Nonce: nonce}}); err != nil {
-		return nil, fmt.Errorf("send challenge: %w", err)
+		return nil, clockSync{}, fmt.Errorf("send challenge: %w", err)
 	}
 	f, err := ReadFrame(c)
 	if err != nil {
-		return nil, fmt.Errorf("read hello: %w", err)
+		return nil, clockSync{}, fmt.Errorf("read hello: %w", err)
 	}
+	t1 := time.Now()
 	if f.Hello == nil {
-		return nil, fmt.Errorf("first frame is not Hello")
+		return nil, clockSync{}, fmt.Errorf("first frame is not Hello")
 	}
 	if !hmac.Equal(f.Hello.MAC, computeMAC(secret, nonce, f.Hello.Worker)) {
-		return nil, fmt.Errorf("bad MAC for claimed slot %d", f.Hello.Worker)
+		return nil, clockSync{}, fmt.Errorf("bad MAC for claimed slot %d", f.Hello.Worker)
 	}
-	return f.Hello, nil
+	rtt := t1.Sub(t0)
+	return f.Hello, clockSync{mid: t0.Add(rtt / 2), rtt: rtt}, nil
 }
 
 // answerChallenge runs the dialer half: read the server's nonce and send
-// the authenticated Hello.
-func answerChallenge(c net.Conn, secret []byte, slot int, fetchAddr string, timeout time.Duration) error {
+// the authenticated Hello. A non-nil clock is sampled right before the
+// Hello is composed and rides in Hello.Now for the server's clock
+// alignment; nil leaves Now zero (peer-fetch connections don't trace).
+func answerChallenge(c net.Conn, secret []byte, slot int, fetchAddr string, clock func() int64, timeout time.Duration) error {
 	c.SetDeadline(time.Now().Add(timeout))
 	defer c.SetDeadline(time.Time{})
 	f, err := ReadFrame(c)
@@ -107,11 +124,16 @@ func answerChallenge(c net.Conn, secret []byte, slot int, fetchAddr string, time
 	if f.Challenge == nil {
 		return fmt.Errorf("first frame is not Challenge")
 	}
+	var now int64
+	if clock != nil {
+		now = clock()
+	}
 	return WriteFrame(c, &Frame{Hello: &Hello{
 		Worker:    slot,
 		PID:       os.Getpid(),
 		MAC:       computeMAC(secret, f.Challenge.Nonce, slot),
 		FetchAddr: fetchAddr,
+		Now:       now,
 	}})
 }
 
@@ -159,7 +181,7 @@ func dialAddr(s string) (network, addr string) {
 // spawnWorker re-executes the current binary as worker `slot`. MaybeWorker
 // in the child (called before main proper does anything else) sees the
 // environment and diverts into the worker loop instead of running main.
-func spawnWorker(transport, addr string, slot int, secret []byte, slowExit time.Duration) (*exec.Cmd, error) {
+func spawnWorker(transport, addr string, slot int, secret []byte, slowExit time.Duration, traceCap int) (*exec.Cmd, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("dist: locate own binary: %w", err)
@@ -174,6 +196,9 @@ func spawnWorker(transport, addr string, slot int, secret []byte, slowExit time.
 	if slowExit > 0 {
 		cmd.Env = append(cmd.Env, envSlowExit+"="+strconv.Itoa(int(slowExit.Milliseconds())))
 	}
+	if traceCap > 0 {
+		cmd.Env = append(cmd.Env, envTrace+"="+strconv.Itoa(traceCap))
+	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("dist: spawn worker %d: %w", slot, err)
@@ -181,10 +206,12 @@ func spawnWorker(transport, addr string, slot int, secret []byte, slowExit time.
 	return cmd, nil
 }
 
-// admitted is one worker connection that survived the challenge.
+// admitted is one worker connection that survived the challenge, along
+// with the clock measurement taken during it.
 type admitted struct {
 	conn  *conn
 	hello *Hello
+	sync  clockSync
 }
 
 // acceptLoop is the rendezvous listener's persistent accept loop: it runs
@@ -202,13 +229,13 @@ func acceptLoop(l net.Listener, secret []byte, hsTimeout time.Duration, admit ch
 			return
 		}
 		go func(c net.Conn) {
-			h, err := challengeConn(c, secret, hsTimeout)
+			h, cs, err := challengeConn(c, secret, hsTimeout)
 			if err != nil {
 				c.Close() // a bad peer is refused, never admitted
 				return
 			}
 			select {
-			case admit <- admitted{conn: &conn{Conn: c}, hello: h}:
+			case admit <- admitted{conn: &conn{Conn: c}, hello: h, sync: cs}:
 			case <-stop:
 				c.Close()
 			}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"ompssgo/internal/obs"
 )
 
 // KernelFunc is a distributed task body. args is the opaque argument blob
@@ -94,6 +96,13 @@ type wproc struct {
 	c      net.Conn
 	cache  *wcache
 
+	// Worker-side tracing (enabled by OMPSS_DIST_TRACE): a single-lane
+	// recorder over kernel execution, cache traffic, and idle gaps, on a
+	// clock epoched at worker start. Batches ride home on every DoneMsg;
+	// the tail drains in a final Trace frame at shutdown.
+	rec   *obs.Recorder
+	epoch time.Time
+
 	peerMu sync.Mutex
 	peers  map[string]net.Conn // fetch address -> authenticated connection
 
@@ -103,12 +112,33 @@ type wproc struct {
 	fetchFallbacks int
 }
 
+// clockFn returns the recorder's epoch-relative clock, nil when not
+// tracing — the same reading rides in Hello.Now for clock alignment.
+func (w *wproc) clockFn() func() int64 {
+	if w.rec == nil {
+		return nil
+	}
+	return func() int64 { return time.Since(w.epoch).Nanoseconds() }
+}
+
+// emit records one worker-side trace event on the worker's single lane.
+func (w *wproc) emit(k obs.Kind, task, arg uint64) {
+	if w.rec != nil {
+		w.rec.Emit(0, k, task, arg)
+	}
+}
+
 func workerMain(network, addr string, slot int, secret []byte) error {
 	w := &wproc{
 		slot:   slot,
 		secret: secret,
 		cache:  newWCache(),
 		peers:  make(map[string]net.Conn),
+	}
+	if cap, _ := strconv.Atoi(os.Getenv(envTrace)); cap > 0 {
+		w.epoch = time.Now()
+		w.rec = obs.NewRecorder(obs.Capacity(cap))
+		w.rec.Attach(1, "dist-worker", false, w.clockFn())
 	}
 
 	// Peer-fetch server: other workers dial here to copy cached datum
@@ -125,11 +155,12 @@ func workerMain(network, addr string, slot int, secret []byte) error {
 	}
 	defer c.Close()
 	w.c = c
-	if err := answerChallenge(c, secret, slot, fetchAddr, DefaultHandshakeTimeout); err != nil {
+	if err := answerChallenge(c, secret, slot, fetchAddr, w.clockFn(), DefaultHandshakeTimeout); err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
 
 	for {
+		w.emit(obs.EvIdleEnter, 0, 0)
 		f, err := ReadFrame(c)
 		if err != nil {
 			if err == io.EOF {
@@ -137,14 +168,19 @@ func workerMain(network, addr string, slot int, secret []byte) error {
 			}
 			return fmt.Errorf("read: %w", err)
 		}
+		w.emit(obs.EvIdleExit, 0, 0)
 		switch {
 		case f.Shutdown:
+			w.flushTrace()
 			return nil
 		case f.Task != nil:
 			if err := w.execAndReport(f.Task); err != nil {
 				return err
 			}
 		case f.Chain != nil:
+			if len(f.Chain.Tasks) > 0 {
+				w.emit(obs.EvChain, f.Chain.Tasks[0].ID, uint64(len(f.Chain.Tasks)))
+			}
 			// Execute the pushed sub-DAG locally, one Done per link. A
 			// failing link aborts the remainder: every later link depends
 			// on it, and the coordinator resolves them as skipped without
@@ -164,6 +200,18 @@ func workerMain(network, addr string, slot int, secret []byte) error {
 	}
 }
 
+// flushTrace ships whatever trace tail accumulated after the last Done —
+// the shutdown-ordered idle gap, at minimum — as the connection's final
+// frame. Send errors are ignored: the coordinator may already be tearing
+// the connection down, and a lost tail only shortens the trace.
+func (w *wproc) flushTrace() {
+	if w.rec == nil {
+		return
+	}
+	evs, dropped := w.rec.Drain()
+	_ = WriteFrame(w.c, &Frame{Trace: &TraceMsg{Slot: w.slot, Events: evs, Dropped: dropped}})
+}
+
 func (w *wproc) execAndReport(msg *TaskMsg) error {
 	_, err := w.execAndReportOutcome(msg)
 	return err
@@ -171,6 +219,11 @@ func (w *wproc) execAndReport(msg *TaskMsg) error {
 
 func (w *wproc) execAndReportOutcome(msg *TaskMsg) (failed bool, err error) {
 	done := w.execTask(msg)
+	if w.rec != nil {
+		// Piggyback the trace batch on the completion it describes: no
+		// extra frames, no worker-side buffering across tasks.
+		done.Events, done.EventsDropped = w.rec.Drain()
+	}
 	if err := WriteFrame(w.c, &Frame{Done: done}); err != nil {
 		return false, fmt.Errorf("send done: %w", err)
 	}
@@ -183,6 +236,13 @@ func (w *wproc) execAndReportOutcome(msg *TaskMsg) (failed bool, err error) {
 // the coordinator can poison the writer and skip dependents; only
 // transport failures kill the worker.
 func (w *wproc) execTask(msg *TaskMsg) *DoneMsg {
+	w.emit(obs.EvStart, msg.ID, 0)
+	done := w.execTaskBody(msg)
+	w.emit(obs.EvEnd, msg.ID, 0)
+	return done
+}
+
+func (w *wproc) execTaskBody(msg *TaskMsg) *DoneMsg {
 	done := &DoneMsg{ID: msg.ID}
 	w.fetches, w.fetchedBytes, w.fetchFallbacks = 0, 0, 0
 	// Coordinator-directed eviction first: the Evict list was computed
@@ -204,8 +264,9 @@ func (w *wproc) execTask(msg *TaskMsg) *DoneMsg {
 			}
 			w.cache.put(k, r.Bytes)
 			reads[i] = r.Bytes
+			w.emit(obs.EvXfer, msg.ID, uint64(len(r.Bytes)))
 		case r.From != "":
-			b, err := w.fetchRef(r)
+			b, err := w.fetchRef(r, msg.ID)
 			if err != nil {
 				done.Err = fmt.Sprintf("read %d: fetch (datum %d, ver %d): %v", i, r.Datum, r.Ver, err)
 				return done
@@ -219,6 +280,7 @@ func (w *wproc) execTask(msg *TaskMsg) *DoneMsg {
 				return done
 			}
 			reads[i] = b
+			w.emit(obs.EvXferHit, msg.ID, uint64(len(b)))
 		}
 	}
 
@@ -272,13 +334,14 @@ func (w *wproc) execTask(msg *TaskMsg) *DoneMsg {
 // named in the ref, falling back to a coordinator relay when the peer is
 // unreachable or no longer holds it. The coordinator always holds the
 // content of any version it forwards, so the fallback cannot miss.
-func (w *wproc) fetchRef(r WireRef) ([]byte, error) {
+func (w *wproc) fetchRef(r WireRef, task uint64) ([]byte, error) {
 	if b, err := w.fetchFromPeer(r.From, CacheKey{Datum: r.Datum, Ver: r.Ver}); err == nil {
 		if int64(len(b)) != r.Size {
 			return nil, fmt.Errorf("peer sent %d bytes, want %d", len(b), r.Size)
 		}
 		w.fetches++
 		w.fetchedBytes += r.Size
+		w.emit(obs.EvForward, task, uint64(r.Size))
 		return b, nil
 	}
 	// Relay fallback: ask the coordinator. The task loop owns the
@@ -298,6 +361,7 @@ func (w *wproc) fetchRef(r WireRef) ([]byte, error) {
 	if int64(len(f.Data.Bytes)) != r.Size {
 		return nil, fmt.Errorf("relay sent %d bytes, want %d", len(f.Data.Bytes), r.Size)
 	}
+	w.emit(obs.EvXfer, task, uint64(r.Size))
 	return f.Data.Bytes, nil
 }
 
@@ -315,7 +379,7 @@ func (w *wproc) fetchFromPeer(fetchAddr string, k CacheKey) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := answerChallenge(c, w.secret, w.slot, "", 5*time.Second); err != nil {
+		if err := answerChallenge(c, w.secret, w.slot, "", nil, 5*time.Second); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -393,7 +457,7 @@ func fetchAddrOf(l net.Listener, network string) string {
 // coordinator); any transport error closes the connection.
 func (w *wproc) servePeer(c net.Conn) {
 	defer c.Close()
-	if _, err := challengeConn(c, w.secret, 10*time.Second); err != nil {
+	if _, _, err := challengeConn(c, w.secret, 10*time.Second); err != nil {
 		return
 	}
 	for {

@@ -117,11 +117,22 @@ type Analysis struct {
 	Chains       int
 	ChainedTasks int
 
+	// Worker-to-worker direct transfers (EvForward): payloads pulled
+	// straight from the producing peer, bypassing the coordinator.
+	Forwards     int
+	ForwardBytes int64
+
+	// Tunes counts feedback-controller setpoint moves (EvTune).
+	Tunes int
+
 	// DroppedEvents is the exact number of ring-overwritten events; when
-	// non-zero the reports cover a truncated stream (Truncated is set and
-	// WriteReport says so).
-	DroppedEvents uint64
-	Truncated     bool
+	// non-zero the reports cover a truncated stream (Truncated is set,
+	// WriteReport says so and suggests SuggestedCapacity — the smallest
+	// power-of-two ring that would have held the busiest lane's stream).
+	DroppedEvents     uint64
+	Truncated         bool
+	Capacity          int
+	SuggestedCapacity int
 }
 
 // Analyze merges the trace into per-task records and computes every
@@ -137,6 +148,10 @@ func Analyze(tr *Trace) *Analysis {
 		DroppedEvents: tr.TotalDropped(),
 	}
 	a.Truncated = a.DroppedEvents > 0
+	a.Capacity = tr.Capacity
+	if a.Truncated {
+		a.SuggestedCapacity = suggestedCapacity(tr)
+	}
 	a.ByWorker = make([]WorkerStat, tr.Workers)
 	a.StealMatrix = make([][]int, tr.Workers)
 	for i := range a.StealMatrix {
@@ -238,6 +253,11 @@ func Analyze(tr *Trace) *Analysis {
 		case EvChain:
 			a.Chains++
 			a.ChainedTasks += int(ev.Arg)
+		case EvForward:
+			a.Forwards++
+			a.ForwardBytes += int64(ev.Arg)
+		case EvTune:
+			a.Tunes++
 		}
 	}
 	sort.Slice(a.Order, func(i, j int) bool { return a.Order[i] < a.Order[j] })
@@ -380,6 +400,29 @@ func (a *Analysis) computeCriticalPath() {
 	}
 }
 
+// suggestedCapacity returns the smallest power-of-two per-ring capacity
+// that would have held the busiest ring's full stream — the actual ring
+// size (capacity rounds up at init) plus the worst per-ring overwrite
+// count, rounded up.
+func suggestedCapacity(tr *Trace) int {
+	ringCap := 1
+	for ringCap < tr.Capacity {
+		ringCap <<= 1
+	}
+	var worst uint64
+	for _, d := range tr.Dropped {
+		if d > worst {
+			worst = d
+		}
+	}
+	need := uint64(ringCap) + worst
+	c := uint64(ringCap)
+	for c < need {
+		c <<= 1
+	}
+	return int(c)
+}
+
 func dur(ns int64) time.Duration { return time.Duration(ns) }
 
 // WriteReport renders the analysis as the text report `ompss-trace
@@ -397,6 +440,8 @@ func (a *Analysis) WriteReport(w io.Writer, topN int) error {
 	if a.Truncated {
 		fmt.Fprintf(w, "WARNING: %d events overwritten by ring wraparound — timings below cover a truncated stream\n",
 			a.DroppedEvents)
+		fmt.Fprintf(w, "WARNING: rerun with a per-worker ring capacity of %d events (current %d) for a complete trace\n",
+			a.SuggestedCapacity, a.Capacity)
 	}
 	fmt.Fprintf(w, "tasks: %d submitted, %d executed, %d skipped, %d dependence edges\n",
 		a.Submitted, a.Executed, a.Skipped, a.Edges)
@@ -465,6 +510,16 @@ func (a *Analysis) WriteReport(w io.Writer, topN int) error {
 	if a.Transfers > 0 || a.TransferHits > 0 {
 		fmt.Fprintf(w, "transfers: %d moved %d bytes, %d avoided by version caches (%d bytes)\n",
 			a.Transfers, a.TransferBytes, a.TransferHits, a.BytesAvoided)
+	}
+	if a.Forwards > 0 {
+		fmt.Fprintf(w, "forwards: %d worker-to-worker transfers (%d bytes bypassed the coordinator)\n",
+			a.Forwards, a.ForwardBytes)
+	}
+	if a.Chains > 0 {
+		fmt.Fprintf(w, "chains: %d dispatch frames covering %d tasks\n", a.Chains, a.ChainedTasks)
+	}
+	if a.Tunes > 0 {
+		fmt.Fprintf(w, "tuning: %d setpoint moves by the feedback controller\n", a.Tunes)
 	}
 	return nil
 }

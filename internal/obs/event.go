@@ -73,6 +73,15 @@ const (
 	// a single dispatch frame: Task is the chain's first link, Arg the
 	// number of tasks in the chain, Worker the executing lane.
 	EvChain
+	// EvForward records a worker-to-worker direct transfer: the recording
+	// worker pulled a (datum, version) payload straight from the peer that
+	// produced it, bypassing the coordinator. Task is the served task, Arg
+	// the byte count.
+	EvForward
+	// EvTune records the feedback controller moving a setpoint: Label
+	// names the control loop ("grain", "spin-yields", "sleep-cap",
+	// "rename-cap"), Arg the old value, Task the new value.
+	EvTune
 
 	numKinds = iota
 )
@@ -81,6 +90,7 @@ var kindNames = [numKinds]string{
 	"submit", "edge", "ready", "start", "end", "skip", "steal",
 	"idle-enter", "idle-exit", "taskwait-enter", "taskwait-exit",
 	"rename", "writeback", "xfer", "xfer-hit", "chain",
+	"forward", "tune",
 }
 
 func (k Kind) String() string {

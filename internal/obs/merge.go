@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cross-process trace merging: the distributed coordinator records its own
+// dispatch-side stream while every worker process records kernel execution
+// into a private recorder and ships the batches back over the wire. After
+// the run drains, MergeTraces aligns each worker stream onto the
+// coordinator's clock (the offset is estimated from the handshake
+// round-trip, see internal/dist) and folds everything into one Trace whose
+// lanes beyond the coordinator's are per-(worker-process, slot, generation)
+// tracks.
+
+// Track describes one lane of a merged trace: which process it belongs to
+// and, for worker lanes, the slot/generation/PID identity of that worker
+// process incarnation. Lane indexes match Event.Worker in the merged
+// stream.
+type Track struct {
+	Lane  int32  `json:"lane"`
+	Proc  string `json:"proc"` // "coordinator" or "worker"
+	Slot  int    `json:"slot,omitempty"`
+	Gen   int    `json:"gen,omitempty"`
+	PID   int    `json:"pid,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+// TrackStream is one worker process's shipped event stream, pre-alignment:
+// Events carry the worker's own epoch-relative timestamps and Offset is
+// the estimated difference between the two epochs (coordinator-clock =
+// worker-clock + Offset), from the handshake round-trip midpoint.
+type TrackStream struct {
+	Proc    string
+	Slot    int
+	Gen     int
+	PID     int
+	Offset  int64
+	Events  []Event
+	Dropped uint64
+}
+
+// sortEventsBySeq orders a drained batch by its recorder-local sequence.
+func sortEventsBySeq(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+}
+
+// MergeTraces merges worker streams into the coordinator's base trace. Each
+// stream becomes one new lane after the base's (base lanes are untouched;
+// -1 no-lane events keep routing to the merged overflow lane). Stream
+// timestamps are shifted by the stream's clock offset and clamped at the
+// epoch; negative-skew events cannot precede the run.
+//
+// Exactly-once rule: a task that has both a start and an end on a worker
+// track was executed remotely, so the coordinator's own EvStart/EvEnd for
+// it (which bracket the dispatch round-trip, not execution) are dropped —
+// every executed task appears exactly once, on the track that ran it. The
+// coordinator keeps its submit/ready/xfer/chain events, so dispatch
+// structure stays visible.
+//
+// The merged stream is ordered by aligned timestamp (coordinator events
+// first on ties, then shipping order) and renumbered from Seq 1.
+func MergeTraces(base *Trace, streams []TrackStream) *Trace {
+	baseW := base.Workers
+	out := &Trace{
+		Backend:  base.Backend,
+		Virtual:  base.Virtual,
+		Workers:  baseW + len(streams),
+		Capacity: base.Capacity,
+	}
+
+	// Drop vector: base lanes, then one entry per stream, then the base
+	// overflow lane's count on the merged overflow slot.
+	out.Dropped = make([]uint64, out.Workers+1)
+	for i := 0; i < baseW && i < len(base.Dropped); i++ {
+		out.Dropped[i] = base.Dropped[i]
+	}
+	for i, s := range streams {
+		out.Dropped[baseW+i] = s.Dropped
+	}
+	if len(base.Dropped) > baseW {
+		out.Dropped[out.Workers] = base.Dropped[baseW]
+	}
+
+	// Lane identity metadata.
+	out.Tracks = make([]Track, 0, out.Workers)
+	for i := 0; i < baseW; i++ {
+		out.Tracks = append(out.Tracks, Track{Lane: int32(i), Proc: "coordinator"})
+	}
+	for i, s := range streams {
+		proc := s.Proc
+		if proc == "" {
+			proc = "worker"
+		}
+		out.Tracks = append(out.Tracks, Track{
+			Lane: int32(baseW + i), Proc: proc,
+			Slot: s.Slot, Gen: s.Gen, PID: s.PID, Label: trackLabel(s),
+		})
+	}
+
+	// Tasks executed remotely: both lifecycle ends seen on a worker stream.
+	started := make(map[uint64]bool)
+	ended := make(map[uint64]bool)
+	for _, s := range streams {
+		for i := range s.Events {
+			ev := &s.Events[i]
+			switch ev.Kind {
+			case EvStart:
+				started[ev.Task] = true
+			case EvEnd:
+				ended[ev.Task] = true
+			}
+		}
+	}
+	remote := func(task uint64) bool { return started[task] && ended[task] }
+
+	type merged struct {
+		ev   Event
+		src  int // 0 = coordinator, 1+i = stream i (tie order)
+		orig uint64
+	}
+	all := make([]merged, 0, len(base.Events))
+	for _, ev := range base.Events {
+		if (ev.Kind == EvStart || ev.Kind == EvEnd) && remote(ev.Task) {
+			continue
+		}
+		all = append(all, merged{ev: ev, src: 0, orig: ev.Seq})
+	}
+	for i, s := range streams {
+		lane := int32(baseW + i)
+		for _, ev := range s.Events {
+			at := ev.At + s.Offset
+			if at < 0 {
+				at = 0
+			}
+			ev.At = at
+			ev.Worker = lane
+			all = append(all, merged{ev: ev, src: 1 + i, orig: ev.Seq})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.orig < b.orig
+	})
+	out.Events = make([]Event, len(all))
+	for i := range all {
+		ev := all[i].ev
+		ev.Seq = uint64(i + 1)
+		out.Events[i] = ev
+	}
+	return out
+}
+
+// trackLabel renders the worker-track display name used by the exporters.
+func trackLabel(s TrackStream) string {
+	return fmt.Sprintf("worker slot %d gen %d pid %d", s.Slot, s.Gen, s.PID)
+}

@@ -1,0 +1,212 @@
+package obs
+
+// Deterministic merge tests: synthetic coordinator and worker streams with
+// known clock offsets, checked for exact merged ordering, the exactly-once
+// lifecycle rule, track metadata, and the drop-vector layout. No processes
+// are spawned — this is the sim-side contract the distributed domain's
+// end-to-end tests (internal/dist) build on.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// synthBase builds a two-lane coordinator trace from events stamped with
+// explicit times and sequences.
+func synthBase(events ...Event) *Trace {
+	return &Trace{
+		Backend:  "dist",
+		Workers:  2,
+		Capacity: 64,
+		Dropped:  []uint64{3, 0, 7}, // lane 0, lane 1, overflow
+		Events:   events,
+	}
+}
+
+func ev(seq uint64, at int64, worker int32, k Kind, task uint64) Event {
+	return Event{Seq: seq, At: at, Worker: worker, Kind: k, Task: task}
+}
+
+// TestMergeTracesDeterministic pins the whole merge: two worker streams
+// with opposite clock skews fold into one stream whose order, lanes, and
+// renumbering are exactly predictable.
+func TestMergeTracesDeterministic(t *testing.T) {
+	// Coordinator: submits tasks 1 and 2, then records its own dispatch
+	// start/end for both (to be dropped — both execute remotely), and one
+	// xfer that must survive.
+	base := synthBase(
+		ev(1, 100, 0, EvSubmit, 1),
+		ev(2, 200, 0, EvSubmit, 2),
+		ev(3, 300, 0, EvStart, 1), // dropped: task 1 ran remotely
+		ev(4, 350, 1, EvXfer, 1),  // kept: dispatch structure
+		ev(5, 900, 0, EvEnd, 1),   // dropped
+		ev(6, 950, 1, EvStart, 2), // dropped
+		ev(7, 980, 1, EvEnd, 2),   // dropped
+	)
+
+	// Worker A runs task 1; its clock started 400ns before the
+	// coordinator's epoch (offset +400 brings it onto the base clock).
+	wa := TrackStream{
+		Slot: 0, Gen: 1, PID: 111, Offset: +400,
+		Events: []Event{
+			ev(1, 0, 0, EvStart, 1), // aligned to 400
+			ev(2, 100, 0, EvEnd, 1), // aligned to 500
+		},
+		Dropped: 5,
+	}
+	// Worker B runs task 2; its clock started after the coordinator's
+	// (offset −50), and its first event would land before the epoch —
+	// clamped to 0.
+	wb := TrackStream{
+		Slot: 1, Gen: 2, PID: 222, Offset: -50,
+		Events: []Event{
+			ev(1, 10, 0, EvIdleEnter, 0), // aligned to -40 → clamped 0
+			ev(2, 650, 0, EvStart, 2),    // aligned to 600
+			ev(3, 750, 0, EvEnd, 2),      // aligned to 700
+		},
+	}
+
+	m := MergeTraces(base, []TrackStream{wa, wb})
+
+	if m.Workers != 4 {
+		t.Fatalf("merged Workers = %d, want 4", m.Workers)
+	}
+	// Expected order: wb's clamped idle (0), submits (100, 200), wa start
+	// (400), wa end (500), coordinator xfer @350 before them... sorted by
+	// time: 0, 100, 200, 350, 400, 500, 600, 700.
+	want := []struct {
+		at     int64
+		worker int32
+		kind   Kind
+		task   uint64
+	}{
+		{0, 3, EvIdleEnter, 0},
+		{100, 0, EvSubmit, 1},
+		{200, 0, EvSubmit, 2},
+		{350, 1, EvXfer, 1},
+		{400, 2, EvStart, 1},
+		{500, 2, EvEnd, 1},
+		{600, 3, EvStart, 2},
+		{700, 3, EvEnd, 2},
+	}
+	if len(m.Events) != len(want) {
+		t.Fatalf("merged %d events, want %d: %+v", len(m.Events), len(want), m.Events)
+	}
+	for i, w := range want {
+		got := m.Events[i]
+		if got.Seq != uint64(i+1) {
+			t.Errorf("event %d: Seq = %d, want %d", i, got.Seq, i+1)
+		}
+		if got.At != w.at || got.Worker != w.worker || got.Kind != w.kind || got.Task != w.task {
+			t.Errorf("event %d = {At:%d Worker:%d Kind:%v Task:%d}, want %+v",
+				i, got.At, got.Worker, got.Kind, got.Task, w)
+		}
+	}
+
+	// Track metadata: base lanes first, then one track per stream.
+	wantTracks := []Track{
+		{Lane: 0, Proc: "coordinator"},
+		{Lane: 1, Proc: "coordinator"},
+		{Lane: 2, Proc: "worker", Slot: 0, Gen: 1, PID: 111, Label: "worker slot 0 gen 1 pid 111"},
+		{Lane: 3, Proc: "worker", Slot: 1, Gen: 2, PID: 222, Label: "worker slot 1 gen 2 pid 222"},
+	}
+	if len(m.Tracks) != len(wantTracks) {
+		t.Fatalf("merged %d tracks, want %d", len(m.Tracks), len(wantTracks))
+	}
+	for i, w := range wantTracks {
+		if m.Tracks[i] != w {
+			t.Errorf("track %d = %+v, want %+v", i, m.Tracks[i], w)
+		}
+	}
+
+	// Drop vector: base lanes, stream slots, base overflow at the end.
+	wantDropped := []uint64{3, 0, 5, 0, 7}
+	if len(m.Dropped) != len(wantDropped) {
+		t.Fatalf("dropped vector %v, want %v", m.Dropped, wantDropped)
+	}
+	for i, w := range wantDropped {
+		if m.Dropped[i] != w {
+			t.Fatalf("dropped vector %v, want %v", m.Dropped, wantDropped)
+		}
+	}
+	if got := m.TotalDropped(); got != 15 {
+		t.Errorf("TotalDropped = %d, want 15", got)
+	}
+}
+
+// TestMergeTracesTieOrder pins the tie-break: at equal aligned timestamps,
+// coordinator events sort first, then streams in ship order, then each
+// source's own sequence.
+func TestMergeTracesTieOrder(t *testing.T) {
+	base := synthBase(
+		ev(1, 500, 0, EvSubmit, 9),
+		ev(2, 500, 1, EvReady, 9),
+	)
+	wa := TrackStream{Slot: 0, Gen: 1, PID: 1, Offset: 0,
+		Events: []Event{ev(1, 500, 0, EvChain, 9), ev(2, 500, 0, EvXfer, 9)}}
+	wb := TrackStream{Slot: 1, Gen: 1, PID: 2, Offset: 100,
+		Events: []Event{ev(1, 400, 0, EvXferHit, 9)}}
+
+	m := MergeTraces(base, []TrackStream{wa, wb})
+	wantKinds := []Kind{EvSubmit, EvReady, EvChain, EvXfer, EvXferHit}
+	if len(m.Events) != len(wantKinds) {
+		t.Fatalf("merged %d events, want %d", len(m.Events), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if m.Events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, m.Events[i].Kind, k)
+		}
+		if m.Events[i].At != 500 {
+			t.Errorf("event %d at = %d, want 500", i, m.Events[i].At)
+		}
+	}
+}
+
+// TestMergeTracesPartialLifecycle checks the exactly-once rule's guard: a
+// task with only a worker-side start (its end was lost with the worker)
+// keeps the coordinator's lifecycle events.
+func TestMergeTracesPartialLifecycle(t *testing.T) {
+	base := synthBase(
+		ev(1, 100, 0, EvStart, 5),
+		ev(2, 200, 0, EvEnd, 5),
+	)
+	w := TrackStream{Slot: 0, Gen: 1, PID: 1,
+		Events: []Event{ev(1, 150, 0, EvStart, 5)}} // no end: worker died
+	m := MergeTraces(base, []TrackStream{w})
+	var coordLifecycle int
+	for _, e := range m.Events {
+		if e.Worker < 2 && (e.Kind == EvStart || e.Kind == EvEnd) {
+			coordLifecycle++
+		}
+	}
+	if coordLifecycle != 2 {
+		t.Fatalf("coordinator lifecycle events = %d, want 2 (partial worker lifecycle must not suppress them)", coordLifecycle)
+	}
+}
+
+// TestMergedTraceRoundTrip checks Tracks survive the JSON wire format.
+func TestMergedTraceRoundTrip(t *testing.T) {
+	base := synthBase(ev(1, 100, 0, EvSubmit, 1))
+	m := MergeTraces(base, []TrackStream{{Slot: 0, Gen: 1, PID: 42,
+		Events: []Event{ev(1, 0, 0, EvStart, 1), ev(2, 10, 0, EvEnd, 1)}}})
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(back.Tracks) != len(m.Tracks) {
+		t.Fatalf("round-trip lost tracks: %d vs %d", len(back.Tracks), len(m.Tracks))
+	}
+	for i := range m.Tracks {
+		if back.Tracks[i] != m.Tracks[i] {
+			t.Fatalf("track %d round-tripped to %+v, want %+v", i, back.Tracks[i], m.Tracks[i])
+		}
+	}
+	if len(back.Events) != len(m.Events) {
+		t.Fatalf("round-trip lost events: %d vs %d", len(back.Events), len(m.Events))
+	}
+}

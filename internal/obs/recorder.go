@@ -179,6 +179,39 @@ func (g *Group) AddSess(k Kind, task, arg, sess uint64, label string) {
 	g.seq++
 }
 
+// Drain collects and removes everything recorded since Attach (or the
+// previous Drain), returning the events ascending by Seq and the number of
+// events the rings overwrote during the batch. The sequence counter and
+// clock keep running, so successive batches stay globally ordered — this is
+// the shipping primitive of the distributed workers, which drain after
+// every task report. Not safe concurrently with Emit; callers drain from
+// the same goroutine that records (the worker loop is serial).
+func (r *Recorder) Drain() ([]Event, uint64) {
+	if len(r.rings) == 0 {
+		return nil, 0
+	}
+	var evs []Event
+	var dropped uint64
+	for i := range r.rings {
+		dropped += r.rings[i].dropped()
+		evs = r.rings[i].collect(evs)
+		r.rings[i].reset()
+	}
+	sortEventsBySeq(evs)
+	return evs, dropped
+}
+
+// DroppedTotal sums the rings' current overwrite counts without touching
+// the recorded events — the live ring-drop reading a metrics scrape
+// exposes while a run is still recording. Safe concurrently with Emit.
+func (r *Recorder) DroppedTotal() uint64 {
+	var n uint64
+	for i := range r.rings {
+		n += r.rings[i].dropped()
+	}
+	return n
+}
+
 // StealEvent implements the scheduler probe (core.Probe): a successful
 // steal by thief from victim's queues.
 func (r *Recorder) StealEvent(thief, victim int, task uint64) {

@@ -25,6 +25,10 @@ type Trace struct {
 	// Dropped is the exact per-ring overwrite count, indexed by lane;
 	// the last entry is the overflow ring (no-lane emitters).
 	Dropped []uint64
+	// Tracks carries lane identity for merged multi-process traces
+	// (MergeTraces); nil for single-process traces, where every lane
+	// belongs to the recording process.
+	Tracks []Track
 	// Events is the merged stream, ascending by Seq.
 	Events []Event
 }
@@ -154,6 +158,7 @@ type wireTrace struct {
 	Workers  int         `json:"workers"`
 	Capacity int         `json:"capacity"`
 	Dropped  []uint64    `json:"dropped"`
+	Tracks   []Track     `json:"tracks,omitempty"`
 	Events   []wireEvent `json:"events"`
 }
 
@@ -178,6 +183,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		Workers:  t.Workers,
 		Capacity: t.Capacity,
 		Dropped:  t.Dropped,
+		Tracks:   t.Tracks,
 		Events:   make([]wireEvent, len(t.Events)),
 	}
 	for i, ev := range t.Events {
@@ -211,6 +217,7 @@ func ReadTrace(rd io.Reader) (*Trace, error) {
 		Workers:  wt.Workers,
 		Capacity: wt.Capacity,
 		Dropped:  wt.Dropped,
+		Tracks:   wt.Tracks,
 		Events:   make([]Event, len(wt.Events)),
 	}
 	for i, ev := range wt.Events {

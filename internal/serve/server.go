@@ -18,6 +18,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ompssgo/internal/obs"
+	"ompssgo/internal/obs/metrics"
 	"ompssgo/internal/suite"
 	"ompssgo/internal/suite/h264dec"
 	"ompssgo/internal/suite/rgbcmy"
@@ -32,6 +34,11 @@ type Config struct {
 	SessionInFlight int
 	// Admission selects the full-budget behavior of request sessions.
 	Admission ompss.AdmissionMode
+	// Recorder is the trace recorder the hosting runtime was built with
+	// (ompss.Observe), if any. The metrics plane reads its ring-drop count
+	// and leaves the engine's probe seam to it; when nil, the server claims
+	// the dependence-tracker probe for its own counters.
+	Recorder *obs.Recorder
 }
 
 // Runner produces a fresh benchmark instance per request (request-private
@@ -51,6 +58,11 @@ type Server struct {
 	served     atomic.Uint64 // 2xx responses
 	faulted    atomic.Uint64 // deliberate /v1/fault 5xx responses
 	violations atomic.Uint64 // checksum mismatches / unexpected skips
+
+	// Live metrics plane (metrics.go): the registry behind GET /metrics and
+	// the per-tenant-class series the request path increments.
+	reg     *metrics.Registry
+	tenants [3]tenantSeries
 
 	mu      sync.Mutex
 	refs    map[string]uint64 // endpoint -> cached RunSeq checksum
@@ -105,6 +117,8 @@ func New(rt *ompss.Runtime, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/fault", s.handleFault)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.liveCond = sync.NewCond(&s.liveMu)
+	s.initMetrics()
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -252,15 +266,17 @@ func (s *Server) sessionOpts(tenant int) []ompss.Option {
 }
 
 func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path string) {
+	tenant := tenantClass(req.Header.Get("X-Tenant"))
 	if !s.beginRequest() {
+		s.tenants[tenant].rejections.Inc()
 		s.writeUnavailable(w)
 		return
 	}
 	defer s.endRequest()
+	s.tenants[tenant].requests.Inc()
 	r := s.runners[path]
 	want := s.reference(path)
 	in := r.New()
-	tenant := tenantClass(req.Header.Get("X-Tenant"))
 
 	sess := s.rt.NewSession(s.sessionOpts(tenant)...)
 	start := time.Now()
@@ -268,6 +284,7 @@ func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path str
 	err := sess.Close()
 	elapsed := time.Since(start)
 	st := sess.Stats()
+	s.tenants[tenant].latency.Observe(elapsed.Nanoseconds())
 
 	resp := Response{
 		Bench:     r.Name,
@@ -281,10 +298,12 @@ func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path str
 	switch {
 	case got != want:
 		s.violations.Add(1)
+		s.tenants[tenant].violations.Inc()
 		resp.Error = fmt.Sprintf("isolation violation: checksum %#x, reference %#x", got, want)
 		writeJSON(w, http.StatusInternalServerError, resp)
 	case err != nil || st.Skipped > 0:
 		s.violations.Add(1)
+		s.tenants[tenant].violations.Inc()
 		resp.Error = fmt.Sprintf("isolation violation: healthy session closed with err=%v skipped=%d", err, st.Skipped)
 		writeJSON(w, http.StatusInternalServerError, resp)
 	default:
@@ -298,12 +317,14 @@ func (s *Server) handleKernel(w http.ResponseWriter, req *http.Request, path str
 // The request answers 500 by design — concurrent kernel requests returning
 // correct checksums while this endpoint fires is the isolation demo.
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	tenant := tenantClass(req.Header.Get("X-Tenant"))
 	if !s.beginRequest() {
+		s.tenants[tenant].rejections.Inc()
 		s.writeUnavailable(w)
 		return
 	}
 	defer s.endRequest()
-	tenant := tenantClass(req.Header.Get("X-Tenant"))
+	s.tenants[tenant].faults.Inc()
 	sess := s.rt.NewSession(s.sessionOpts(tenant)...)
 	start := time.Now()
 	var x int

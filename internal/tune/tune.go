@@ -94,6 +94,13 @@ type Config struct {
 	// differentiates (nil disables the loops that need them).
 	SchedStats func() core.SchedStats
 	GraphStats func() core.GraphStats
+	// Event, when set, is called every time a control loop actually moves a
+	// setpoint: loop is the constant loop name ("grain", "spin-yields",
+	// "sleep-cap", "rename-cap"), old and new the setpoint values. Called
+	// inline on the tick path (under the tick mutex, on whatever worker
+	// finished the triggering task), so it must be cheap and allocation-free
+	// — the runtime wires it to the observability recorder's EvTune emit.
+	Event func(loop string, old, new int64)
 }
 
 // Controller is the feedback controller. Create with New, feed completions
@@ -189,13 +196,13 @@ func (c *Controller) step() {
 				// Mostly failed probes: lanes are idle-spinning against
 				// each other (the oversubscribed w>cores regime). Deepen
 				// the backoff so spare lanes get off the cores.
-				c.tn.SpinYields.Store(clamp32(c.tn.SpinYields.Load()/2, MinSpinYields, MaxSpinYields))
-				c.tn.SleepCapNS.Store(clamp64(c.tn.SleepCapNS.Load()*2, MinSleepCapNS, MaxSleepCapNS))
+				c.moveSpinYields(c.tn.SpinYields.Load() / 2)
+				c.moveSleepCap(c.tn.SleepCapNS.Load() * 2)
 			case fail < failLow:
 				// Probes mostly land: work is flowing, favor release
 				// latency again.
-				c.tn.SpinYields.Store(clamp32(c.tn.SpinYields.Load()*2, MinSpinYields, MaxSpinYields))
-				c.tn.SleepCapNS.Store(clamp64(c.tn.SleepCapNS.Load()/2, MinSleepCapNS, MaxSleepCapNS))
+				c.moveSpinYields(c.tn.SpinYields.Load() * 2)
+				c.moveSleepCap(c.tn.SleepCapNS.Load() / 2)
 			}
 			// Inside the band: hold (hysteresis).
 		}
@@ -211,15 +218,72 @@ func (c *Controller) step() {
 		if dFB > 0 {
 			c.calmTicks = 0
 			if cur < MaxRenameCap {
-				c.tn.RenameCap.Store(int32(min(cur*2, MaxRenameCap)))
+				c.moveRenameCap(cur, min(cur*2, MaxRenameCap))
 			}
 		} else if cur > c.cfg.BaseRenameCap {
 			c.calmTicks++
 			if c.calmTicks >= capDecayTicks {
 				c.calmTicks = 0
-				c.tn.RenameCap.Store(int32(max(c.cfg.BaseRenameCap, cur/2)))
+				c.moveRenameCap(cur, max(c.cfg.BaseRenameCap, cur/2))
 			}
 		}
+	}
+}
+
+// moveSpinYields clamps and stores a new yield budget, reporting an actual
+// move through the Event hook. Loop names are package-level constants so
+// the hook path allocates nothing.
+func (c *Controller) moveSpinYields(want int32) {
+	old := c.tn.SpinYields.Load()
+	nv := clamp32(want, MinSpinYields, MaxSpinYields)
+	if nv == old {
+		return
+	}
+	c.tn.SpinYields.Store(nv)
+	if c.cfg.Event != nil {
+		c.cfg.Event("spin-yields", int64(old), int64(nv))
+	}
+}
+
+// moveSleepCap clamps and stores a new idle-sleep cap, reporting a move.
+func (c *Controller) moveSleepCap(wantNS int64) {
+	old := c.tn.SleepCapNS.Load()
+	nv := clamp64(wantNS, MinSleepCapNS, MaxSleepCapNS)
+	if nv == old {
+		return
+	}
+	c.tn.SleepCapNS.Store(nv)
+	if c.cfg.Event != nil {
+		c.cfg.Event("sleep-cap", old, nv)
+	}
+}
+
+// moveRenameCap stores a new live-version cap, reporting a move.
+func (c *Controller) moveRenameCap(old, nv int) {
+	c.tn.RenameCap.Store(int32(nv))
+	if nv != old && c.cfg.Event != nil {
+		c.cfg.Event("rename-cap", int64(old), int64(nv))
+	}
+}
+
+// Setpoints is a snapshot of the controller's actuator values — what the
+// feedback loops currently command, readable by a metrics scrape without
+// touching the tick path.
+type Setpoints struct {
+	GrainTargetNS int64
+	SpinYields    int
+	SleepCapNS    int64
+	RenameCap     int
+}
+
+// Setpoints reads the current setpoints off the controlled Tunables
+// (atomic loads; safe from any goroutine).
+func (c *Controller) Setpoints() Setpoints {
+	return Setpoints{
+		GrainTargetNS: c.tn.GrainTargetNS.Load(),
+		SpinYields:    int(c.tn.SpinYields.Load()),
+		SleepCapNS:    c.tn.SleepCapNS.Load(),
+		RenameCap:     int(c.tn.RenameCap.Load()),
 	}
 }
 
@@ -257,13 +321,17 @@ func (c *Controller) ChunkFor(label string, n int) int {
 	ideal := clampInt(int(float64(c.tn.GrainTargetNS.Load())/per), 1, maxChunk)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if last, ok := c.lastChunk[label]; ok {
+	last, had := c.lastChunk[label]
+	if had {
 		lo, hi := last-last/4, last+last/4
 		if ideal >= lo && ideal <= hi {
 			return last
 		}
 	}
 	c.lastChunk[label] = ideal
+	if had && ideal != last && c.cfg.Event != nil {
+		c.cfg.Event("grain", int64(last), int64(ideal))
+	}
 	return ideal
 }
 

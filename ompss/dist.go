@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ompssgo/internal/dist"
+	"ompssgo/internal/obs"
 )
 
 // RunDist executes program on the distributed backend: a coordinator in
@@ -121,6 +122,28 @@ func DistChainLimit(n int) DistOption { return dist.ChainLimit(n) }
 // DistNoForwarding disables direct worker-to-worker datum forwarding;
 // every transfer relays through the coordinator.
 func DistNoForwarding() DistOption { return dist.NoForwarding() }
+
+// DistObserve attaches an observability recorder to the coordinator side
+// of a distributed run: dispatch lifecycle, transfers, cache hits, and
+// chain frames land on per-slot lanes, as ompss.Observe does in-process.
+func DistObserve(rec *obs.Recorder) DistOption { return dist.Observe(rec) }
+
+// DistTraceWorkers additionally traces inside every worker process:
+// kernel execution, wire arrivals, cache hits, peer forwards, and idle
+// gaps, recorded into a per-worker ring of `capacity` events (0 for the
+// default) and shipped back piggybacked on completions.
+func DistTraceWorkers(capacity int) DistOption { return dist.TraceWorkers(capacity) }
+
+// DistTraceSink receives the run's merged cross-process trace — the
+// coordinator stream plus every worker incarnation's events, aligned onto
+// one clock and labelled with per-(slot, generation) tracks — right
+// before RunDist returns. It implies worker tracing.
+func DistTraceSink(fn func(*obs.Trace)) DistOption { return dist.TraceSink(fn) }
+
+// DistReconcileTrace cross-checks a merged distributed trace against the
+// run's Stats: exactly-once remote execution and matching transfer,
+// forward, cache-hit, and chain accounting (exact on clean runs).
+func DistReconcileTrace(tr *obs.Trace, st DistStats) error { return dist.ReconcileTrace(tr, st) }
 
 // ErrNoDistWorkers is returned for tasks that cannot run because every
 // worker process has been lost.

@@ -151,6 +151,7 @@ func newNativeBackend(rt *Runtime, cfg config) *nativeBackend {
 				BaseRenameCap: cfg.renameCapN(),
 				SchedStats:    b.sched.Stats,
 				GraphStats:    b.graph.Stats,
+				Event:         tuneEventFn(cfg.rec),
 			}, b.tn, obs.NewAggregator(0))
 		}
 		b.graph.SetTunables(b.tn)
@@ -248,6 +249,11 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		err = t.Body()
 	}
 	b.rt.noteTaskErr(t, err)
+	// Finish retires the task: a concurrently closing session may recycle it
+	// the moment its in-flight count drops, so everything the post-finish
+	// paths report is read out first.
+	id, label, iters := t.ID, t.Label, t.Iters
+	renamed, renameFallback := t.Renamed(), t.RenameFallback()
 	ready := b.graph.Finish(t, err)
 	if b.ctl != nil && !skipped {
 		// Feed the controller with the task's measured execution time and
@@ -255,14 +261,14 @@ func (b *nativeBackend) runTask(t *core.Task, lane int) {
 		// inline on this lane. Allocation-free (asserted by the alloc-budget
 		// suite) so tuning never perturbs what it measures.
 		end := int64(time.Since(b.epoch))
-		b.ctl.TaskDone(t.Label, end-t0, t.Iters, t.Renamed(), t.RenameFallback())
+		b.ctl.TaskDone(label, end-t0, iters, renamed, renameFallback)
 	}
 	if rec != nil {
 		// The end event and the ready events of the released successors
 		// share the completion instant — one group, one clock read, one
 		// sequence fetch-add for the whole site. Muted (Observe(nil))
 		// sessions' tasks are filtered out before the group is sized.
-		obsFinish(rec, lane, t, quiet, ready)
+		obsFinish(rec, lane, id, quiet, ready)
 	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
@@ -312,6 +318,21 @@ func (b *nativeBackend) submitBatch(from *TC, ts []*core.Task) {
 	}
 }
 
+// tuneEventFn bridges the feedback controller's setpoint moves into the
+// observability stream: every actual move becomes an EvTune event (Label =
+// the loop name, Arg = old value, Task = new value) on the no-lane ring.
+// Nil recorder → nil hook, so an untraced run pays nothing. The loop names
+// are constants and EmitLabel allocates nothing, keeping the tick path
+// within its zero-alloc budget. Shared by both backends.
+func tuneEventFn(rec *obs.Recorder) func(loop string, old, new int64) {
+	if rec == nil {
+		return nil
+	}
+	return func(loop string, old, new int64) {
+		rec.EmitLabel(-1, obs.EvTune, uint64(new), uint64(old), loop)
+	}
+}
+
 // taskQuiet reports whether the task's session muted per-task observability
 // (Session Observe(nil) under a recording runtime). Shared by both backends.
 func taskQuiet(t *core.Task) bool {
@@ -331,7 +352,7 @@ func sessOf(t *core.Task) uint64 {
 // the released successors share one group (one clock read, one sequence
 // fetch-add). Quiet tasks are filtered out before the group is sized, so a
 // muted session contributes no events at all. Shared by both backends.
-func obsFinish(rec *obs.Recorder, worker int, t *core.Task, quiet bool, ready []*core.Task) {
+func obsFinish(rec *obs.Recorder, worker int, id uint64, quiet bool, ready []*core.Task) {
 	n := 0
 	if !quiet {
 		n++
@@ -349,7 +370,7 @@ func obsFinish(rec *obs.Recorder, worker int, t *core.Task, quiet bool, ready []
 		return
 	}
 	if !quiet {
-		g.Add(obs.EvEnd, t.ID, 0, "")
+		g.Add(obs.EvEnd, id, 0, "")
 	}
 	for _, r := range ready {
 		if !taskQuiet(r) {

@@ -491,6 +491,33 @@ func (rt *Runtime) Stats() RunStats { return rt.be.stats() }
 // seam (see internal/core/backend.go).
 func (rt *Runtime) Backend() core.Backend { return rt.be }
 
+// TuneSetpoints is a live snapshot of the self-tuning controller's
+// actuator values (see Tuning): what the feedback loops currently
+// command for loop granularity, idle backoff, and the rename cap.
+type TuneSetpoints struct {
+	GrainTargetNS int64 // TaskLoop auto-chunk execution-time target
+	SpinYields    int   // idle yields before a polling worker sleeps
+	SleepCapNS    int64 // idle sleep growth cap
+	RenameCap     int   // live renamed instances allowed per version chain
+}
+
+// TuneSetpoints reads the controller's current setpoints (atomic loads —
+// safe while the runtime serves). ok is false when no feedback controller
+// is armed, i.e. the runtime runs on static defaults.
+func (rt *Runtime) TuneSetpoints() (sp TuneSetpoints, ok bool) {
+	ctl := rt.be.tuner()
+	if ctl == nil {
+		return TuneSetpoints{}, false
+	}
+	s := ctl.Setpoints()
+	return TuneSetpoints{
+		GrainTargetNS: s.GrainTargetNS,
+		SpinYields:    s.SpinYields,
+		SleepCapNS:    s.SleepCapNS,
+		RenameCap:     s.RenameCap,
+	}, true
+}
+
 // DepRecords reports the live dependence records (exact-key datums,
 // array-region bases) across the tracker's shards. Sessions release their
 // arenas at Close, so for a drained runtime the pair returns to the

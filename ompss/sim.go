@@ -68,6 +68,7 @@ func RunSimCtx(ctx context.Context, mc machine.Config, program func(*Runtime), o
 			BaseRenameCap: cfg.renameCapN(),
 			SchedStats:    b.sched.Stats,
 			GraphStats:    b.graph.Stats,
+			Event:         tuneEventFn(cfg.rec),
 		}, b.tn, obs.NewAggregator(0))
 		b.graph.SetTunables(b.tn)
 		b.sched.SetTunables(b.tn)
@@ -266,6 +267,8 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 	b.rt.noteTaskErr(t, err)
 	vt.Charge(cm.TaskFinish)
 	vt.Flush()
+	id, label, iters := t.ID, t.Label, t.Iters
+	renamed, renameFallback := t.Renamed(), t.RenameFallback()
 	ready := b.graph.Finish(t, err)
 	if b.ctl != nil && !skipped {
 		// The flush above advanced the virtual clock past the task's modeled
@@ -273,13 +276,13 @@ func (b *simBackend) runTaskSim(vt *vm.Thread, t *core.Task, lane int) {
 		// time — the controller's decisions are deterministic under the
 		// serialized event loop.
 		end := int64(b.v.Now())
-		b.ctl.TaskDone(t.Label, end-t0, t.Iters, t.Renamed(), t.RenameFallback())
+		b.ctl.TaskDone(label, end-t0, iters, renamed, renameFallback)
 	}
 	if rec != nil {
 		// Stamped after the flush so End−Start covers the task's modeled
 		// compute/memory time (Finish adds no virtual time); end and the
 		// successors' ready events share the completion instant.
-		obsFinish(rec, lane, t, quiet, ready)
+		obsFinish(rec, lane, id, quiet, ready)
 	}
 	for _, r := range ready {
 		b.sched.PushReady(r, lane)
